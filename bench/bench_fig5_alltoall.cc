@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reproduces paper Figure 5 (NCCL all-to-all busBW from 32 to 128
+ * GPUs, MPFT vs MRFT) and times the collective simulation.
+ */
+
+#include "bench_util.hh"
+
+#include "collective/patterns.hh"
+#include "common/units.hh"
+#include "core/report.hh"
+
+namespace {
+
+void
+printTables()
+{
+    dsv3::bench::printTable(dsv3::core::reproduceFigure5());
+}
+
+void
+BM_AllToAllSim(benchmark::State &state)
+{
+    dsv3::net::ClusterConfig cc;
+    cc.fabric = dsv3::net::Fabric::MPFT;
+    cc.hosts = (std::size_t)state.range(0);
+    auto c = buildCluster(cc);
+    std::vector<std::size_t> ranks(c.gpus.size());
+    for (std::size_t i = 0; i < ranks.size(); ++i)
+        ranks[i] = i;
+    for (auto _ : state) {
+        auto r = dsv3::collective::runAllToAll(
+            c, ranks, 16.0 * dsv3::kMB * (double)ranks.size(),
+            dsv3::net::RoutePolicy::ADAPTIVE);
+        benchmark::DoNotOptimize(r.busBw);
+    }
+    state.counters["gpus"] = (double)ranks.size();
+}
+BENCHMARK(BM_AllToAllSim)->Arg(4)->Arg(8)->Arg(16);
+
+} // namespace
+
+DSV3_BENCH_MAIN(printTables)

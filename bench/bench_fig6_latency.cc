@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Reproduces paper Figure 6 (all-to-all latency vs message size on 16
+ * GPUs, MPFT vs MRFT) and times the small-message path.
+ */
+
+#include "bench_util.hh"
+
+#include "collective/patterns.hh"
+#include "common/units.hh"
+#include "core/report.hh"
+
+namespace {
+
+void
+printTables()
+{
+    dsv3::bench::printTable(dsv3::core::reproduceFigure6());
+}
+
+void
+BM_SmallAllToAll(benchmark::State &state)
+{
+    dsv3::net::ClusterConfig cc;
+    cc.fabric = dsv3::net::Fabric::MPFT;
+    cc.hosts = 2;
+    auto c = buildCluster(cc);
+    std::vector<std::size_t> ranks(c.gpus.size());
+    for (std::size_t i = 0; i < ranks.size(); ++i)
+        ranks[i] = i;
+    double size = (double)state.range(0) * dsv3::kKB;
+    for (auto _ : state) {
+        auto r = dsv3::collective::runAllToAll(
+            c, ranks, size, dsv3::net::RoutePolicy::ADAPTIVE);
+        benchmark::DoNotOptimize(r.seconds);
+    }
+}
+BENCHMARK(BM_SmallAllToAll)->Arg(16)->Arg(256)->Arg(4096);
+
+} // namespace
+
+DSV3_BENCH_MAIN(printTables)

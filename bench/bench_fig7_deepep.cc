@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Reproduces paper Figure 7 (DeepEP dispatch/combine bandwidth on
+ * MPFT, 16-128 GPUs) and times the EP simulation.
+ */
+
+#include "bench_util.hh"
+
+#include "core/report.hh"
+#include "ep/deepep.hh"
+
+namespace {
+
+void
+printTables()
+{
+    dsv3::bench::printTable(dsv3::core::reproduceFigure7());
+}
+
+dsv3::ep::EpWorkload
+workload(std::size_t tokens)
+{
+    dsv3::ep::EpWorkload w;
+    w.tokensPerGpu = tokens;
+    w.gate.experts = 256;
+    w.gate.topK = 8;
+    w.gate.groups = 8;
+    w.gate.topKGroups = 4;
+    return w;
+}
+
+void
+BM_DeepEpRound(benchmark::State &state)
+{
+    dsv3::net::ClusterConfig cc;
+    cc.fabric = dsv3::net::Fabric::MPFT;
+    cc.hosts = (std::size_t)state.range(0);
+    auto c = buildCluster(cc);
+    auto w = workload(256);
+    for (auto _ : state) {
+        auto r = dsv3::ep::simulateDeepEp(c, w);
+        benchmark::DoNotOptimize(r.dispatchGBsPerGpu);
+    }
+    state.counters["gpus"] = (double)c.gpus.size();
+}
+BENCHMARK(BM_DeepEpRound)->Arg(2)->Arg(4)->Arg(8);
+
+} // namespace
+
+DSV3_BENCH_MAIN(printTables)

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces paper Figure 8 (RoCE collectives under ECMP / adaptive /
+ * static routing) and times the routing-policy assignment.
+ */
+
+#include "bench_util.hh"
+
+#include "collective/patterns.hh"
+#include "common/units.hh"
+#include "core/report.hh"
+
+namespace {
+
+void
+printTables()
+{
+    dsv3::bench::printTable(dsv3::core::reproduceFigure8());
+}
+
+dsv3::net::Cluster
+roceCluster()
+{
+    dsv3::net::LinkSpec nic{50e9, 0.25e-6};
+    return dsv3::net::buildSingleRail(32, 8, 8, nic, nic, 0.75e-6,
+                                      2.35e-6);
+}
+
+void
+BM_ConcurrentRings(benchmark::State &state)
+{
+    auto c = roceCluster();
+    std::vector<std::vector<std::size_t>> groups(4);
+    for (std::size_t h = 0; h < 32; ++h)
+        groups[h / 8].push_back(h);
+    auto policy = (dsv3::net::RoutePolicy)state.range(0);
+    for (auto _ : state) {
+        auto bws = dsv3::collective::runConcurrentRings(
+            c, groups, 32.0 * dsv3::kMB, policy);
+        benchmark::DoNotOptimize(bws.front());
+    }
+}
+BENCHMARK(BM_ConcurrentRings)
+    ->Arg((int)dsv3::net::RoutePolicy::ECMP)
+    ->Arg((int)dsv3::net::RoutePolicy::ADAPTIVE)
+    ->Arg((int)dsv3::net::RoutePolicy::STATIC);
+
+void
+BM_AssignPathsEcmp(benchmark::State &state)
+{
+    auto c = roceCluster();
+    std::vector<dsv3::net::Flow> flows;
+    std::uint64_t qp = 0;
+    for (std::size_t i = 0; i < 32; ++i)
+        for (std::size_t j = 0; j < 32; ++j)
+            if (i != j)
+                flows.push_back({c.gpus[i], c.gpus[j], 1.0, qp++,
+                                 {}, {}});
+    for (auto _ : state) {
+        auto copy = flows;
+        assignPaths(c.graph, copy, dsv3::net::RoutePolicy::ECMP, 1);
+        benchmark::DoNotOptimize(copy.size());
+    }
+}
+BENCHMARK(BM_AssignPathsEcmp);
+
+} // namespace
+
+DSV3_BENCH_MAIN(printTables)

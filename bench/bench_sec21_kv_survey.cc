@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reproduces the Sec 2.1.2 KV-cache strategy survey (shared KV,
+ * windowed KV, quantized KV vs MLA) and the MLA cached-latent
+ * equivalence check underlying Table 1.
+ */
+
+#include "bench_util.hh"
+
+#include "common/rng.hh"
+#include "core/report_extensions.hh"
+#include "model/attention_ref.hh"
+
+namespace {
+
+void
+printTables()
+{
+    dsv3::bench::printTable(dsv3::core::reproduceKvSurvey());
+    dsv3::bench::printTable(dsv3::core::reproduceMlaEquivalence());
+}
+
+void
+BM_MlaDecodeCachedLatent(benchmark::State &state)
+{
+    dsv3::model::MlaReference mla(128, 8, 32, 8, 16, 16, 1);
+    dsv3::Rng rng(2);
+    std::vector<double> x(128);
+    for (auto &v : x)
+        v = rng.normal();
+    // Prefill a history.
+    for (int t = 0; t < 32; ++t)
+        mla.decode(x);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mla.decodeExplicit(x, false));
+}
+BENCHMARK(BM_MlaDecodeCachedLatent);
+
+void
+BM_GqaDecode(benchmark::State &state)
+{
+    dsv3::model::GqaReference gqa(128, 8, 2, 16, 3);
+    dsv3::Rng rng(4);
+    std::vector<double> x(128);
+    for (auto &v : x)
+        v = rng.normal();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gqa.decode(x));
+}
+BENCHMARK(BM_GqaDecode);
+
+} // namespace
+
+DSV3_BENCH_MAIN(printTables)

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Reproduces the Sec 2.2.2 analysis (MoE vs dense decode speed on
+ * personal/local hardware) and times the roofline evaluator.
+ */
+
+#include "bench_util.hh"
+
+#include "core/report.hh"
+#include "inference/roofline.hh"
+#include "model/config.hh"
+#include "model/hardware.hh"
+
+namespace {
+
+void
+printTables()
+{
+    dsv3::bench::printTable(dsv3::core::reproduceLocalInference());
+}
+
+void
+BM_DecodeEstimate(benchmark::State &state)
+{
+    dsv3::inference::DecodeScenario s;
+    s.modelConfig = dsv3::model::deepSeekV2();
+    s.memBytesPerSec = dsv3::model::aiPcSoc().hbmBytesPerSec;
+    s.weightBytesPerParam = 1.0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dsv3::inference::decodeEstimate(s));
+}
+BENCHMARK(BM_DecodeEstimate);
+
+void
+BM_KTransformersTps(benchmark::State &state)
+{
+    auto cfg = dsv3::model::deepSeekV3();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dsv3::inference::ktransformersTps(
+            cfg, 1008e9, 560e9, 1.0));
+}
+BENCHMARK(BM_KTransformersTps);
+
+} // namespace
+
+DSV3_BENCH_MAIN(printTables)

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reproduces the Sec 2.3.2 EP speed-limit analysis and the Sec 2.3.1
+ * dual micro-batch overlap table.
+ */
+
+#include "bench_util.hh"
+
+#include "core/report.hh"
+#include "core/report_extensions.hh"
+#include "ep/speed_limit.hh"
+#include "inference/overlap.hh"
+
+namespace {
+
+void
+printTables()
+{
+    dsv3::bench::printTable(dsv3::core::reproduceSpeedLimit());
+    dsv3::bench::printTable(dsv3::core::reproduceOverlap());
+    dsv3::bench::printTable(dsv3::core::reproduceDisaggregation());
+}
+
+void
+BM_SpeedLimit(benchmark::State &state)
+{
+    dsv3::ep::SpeedLimitParams p;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dsv3::ep::epSpeedLimit(p));
+}
+BENCHMARK(BM_SpeedLimit);
+
+void
+BM_Overlap(benchmark::State &state)
+{
+    dsv3::inference::LayerStageTimes st{60e-6, 121e-6, 60e-6, 121e-6};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            dsv3::inference::dualMicroBatchOverlap(st));
+}
+BENCHMARK(BM_Overlap);
+
+} // namespace
+
+DSV3_BENCH_MAIN(printTables)

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Reproduces the Sec 2.3.3 MTP analysis (acceptance sweep -> TPS
+ * gain) and times the Monte Carlo simulation.
+ */
+
+#include "bench_util.hh"
+
+#include "common/rng.hh"
+#include "core/report.hh"
+#include "inference/mtp.hh"
+
+namespace {
+
+void
+printTables()
+{
+    dsv3::bench::printTable(dsv3::core::reproduceMtp());
+}
+
+void
+BM_MtpAnalytic(benchmark::State &state)
+{
+    dsv3::inference::MtpConfig cfg;
+    cfg.acceptanceRate = 0.85;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dsv3::inference::mtpAnalytic(cfg));
+}
+BENCHMARK(BM_MtpAnalytic);
+
+void
+BM_MtpSimulate(benchmark::State &state)
+{
+    dsv3::inference::MtpConfig cfg;
+    cfg.acceptanceRate = 0.85;
+    dsv3::Rng rng(7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            dsv3::inference::mtpSimulate(cfg, rng,
+                                         (std::size_t)state.range(0)));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MtpSimulate)->Arg(1000)->Arg(100000);
+
+} // namespace
+
+DSV3_BENCH_MAIN(printTables)

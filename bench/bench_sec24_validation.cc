@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Reproduces the Sec 2.4 technique-validation methodology: FP8
+ * precision recipes evaluated end-to-end on a small MoE transformer
+ * before any large-scale commitment.
+ */
+
+#include "bench_util.hh"
+
+#include "common/rng.hh"
+#include "core/report_extensions.hh"
+#include "model/tiny_transformer.hh"
+
+namespace {
+
+void
+printTables()
+{
+    dsv3::bench::printTable(
+        dsv3::core::reproducePrecisionValidation());
+}
+
+void
+BM_TinyTransformerForward(benchmark::State &state)
+{
+    dsv3::model::TinyTransformerConfig cfg;
+    dsv3::model::TinyTransformer model(cfg, 1);
+    dsv3::Rng rng(2);
+    dsv3::model::Matrix x(16, cfg.hidden);
+    x.fillNormal(rng);
+    auto precision = (dsv3::model::Precision)state.range(0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.forward(x, precision));
+}
+BENCHMARK(BM_TinyTransformerForward)
+    ->Arg((int)dsv3::model::Precision::FP64)
+    ->Arg((int)dsv3::model::Precision::BF16)
+    ->Arg((int)dsv3::model::Precision::FP8_FINE);
+
+} // namespace
+
+DSV3_BENCH_MAIN(printTables)

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces the Sec 3.1 FP8 analyses: GEMM accuracy by granularity
+ * and accumulator, the FP22 error-growth ablation, and throughput of
+ * the emulated pipelines.
+ */
+
+#include "bench_util.hh"
+
+#include "common/rng.hh"
+#include "core/report.hh"
+#include "numerics/gemm.hh"
+
+namespace {
+
+void
+printTables()
+{
+    dsv3::bench::printTable(dsv3::core::reproduceFp8Gemm());
+    dsv3::bench::printTable(dsv3::core::reproduceFp8AccumulationSweep());
+}
+
+using dsv3::numerics::AccumMode;
+using dsv3::numerics::GemmOptions;
+using dsv3::numerics::Matrix;
+
+void
+BM_GemmQuantized(benchmark::State &state)
+{
+    dsv3::Rng rng(1);
+    const std::size_t k = (std::size_t)state.range(0);
+    Matrix a(16, k), b(k, 16);
+    a.fillNormal(rng);
+    b.fillNormal(rng, 0.0, 0.02);
+    GemmOptions opt;
+    opt.accum = (AccumMode)state.range(1);
+    opt.fineGrained = opt.accum != AccumMode::FP22_NO_PROMOTION;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gemmQuantized(a, b, opt));
+    state.SetItemsProcessed(state.iterations() * 16 * 16 *
+                            (std::int64_t)k);
+}
+BENCHMARK(BM_GemmQuantized)
+    ->Args({1024, (int)AccumMode::FP32})
+    ->Args({1024, (int)AccumMode::FP22})
+    ->Args({1024, (int)AccumMode::FP22_NO_PROMOTION});
+
+void
+BM_GemmBf16(benchmark::State &state)
+{
+    dsv3::Rng rng(2);
+    Matrix a(16, 1024), b(1024, 16);
+    a.fillNormal(rng);
+    b.fillNormal(rng, 0.0, 0.02);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gemmBf16(a, b));
+    state.SetItemsProcessed(state.iterations() * 16 * 16 * 1024);
+}
+BENCHMARK(BM_GemmBf16);
+
+} // namespace
+
+DSV3_BENCH_MAIN(printTables)

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces the Sec 3.2 LogFMT analysis (quality vs FP8/BF16, the
+ * linear-vs-log rounding ablation) and measures codec throughput —
+ * the paper abandoned LogFMT because fused encode/decode cost
+ * 50-100% extra on GPU; the relative cost vs plain FP8 quantization
+ * is visible here too.
+ */
+
+#include "bench_util.hh"
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/report.hh"
+#include "numerics/logfmt.hh"
+#include "numerics/minifloat.hh"
+
+namespace {
+
+void
+printTables()
+{
+    dsv3::bench::printTable(dsv3::core::reproduceLogFmt());
+}
+
+std::vector<double>
+activations(std::size_t n)
+{
+    dsv3::Rng rng(5);
+    std::vector<double> out(n);
+    for (auto &x : out)
+        x = rng.normal();
+    return out;
+}
+
+void
+BM_LogFmtEncodeDecode(benchmark::State &state)
+{
+    auto data = activations(1 << 14);
+    dsv3::numerics::LogFmtCodec codec((int)state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(codec.roundTrip(data));
+    state.SetItemsProcessed(state.iterations() *
+                            (std::int64_t)data.size());
+}
+BENCHMARK(BM_LogFmtEncodeDecode)->Arg(8)->Arg(10);
+
+void
+BM_Fp8QuantizeBaseline(benchmark::State &state)
+{
+    auto data = activations(1 << 14);
+    for (auto _ : state) {
+        double acc = 0.0;
+        for (double x : data)
+            acc += quantize(dsv3::numerics::kE4M3, x);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            (std::int64_t)data.size());
+}
+BENCHMARK(BM_Fp8QuantizeBaseline);
+
+} // namespace
+
+DSV3_BENCH_MAIN(printTables)

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reproduces the Sec 4.4 scale-up/scale-out convergence analysis
+ * (SM forwarding vs RDMA-only vs hardware offload) together with the
+ * EPLB load-balancing ablation that determines the per-GPU load those
+ * transports carry.
+ */
+
+#include "bench_util.hh"
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/report_extensions.hh"
+#include "ep/offload.hh"
+#include "moe/eplb.hh"
+
+namespace {
+
+void
+printTables()
+{
+    dsv3::bench::printTable(dsv3::core::reproduceOffload());
+    dsv3::bench::printTable(dsv3::core::reproduceEplb());
+    dsv3::bench::printTable(dsv3::core::reproduceBiasBalancing());
+}
+
+void
+BM_EvaluateTransport(benchmark::State &state)
+{
+    dsv3::ep::TransportParams p;
+    p.computeTime = 110e-6;
+    p.ibTimePerNodeCopy = 33e-6;
+    for (auto _ : state) {
+        for (auto tr : {dsv3::ep::CommTransport::SM_FORWARDING,
+                        dsv3::ep::CommTransport::RDMA_ONLY,
+                        dsv3::ep::CommTransport::HARDWARE_OFFLOAD})
+            benchmark::DoNotOptimize(evaluateTransport(tr, p));
+    }
+}
+BENCHMARK(BM_EvaluateTransport);
+
+void
+BM_EplbBalance(benchmark::State &state)
+{
+    dsv3::Rng rng(1);
+    std::vector<double> load(256);
+    for (auto &l : load)
+        l = rng.exponential(1.0) + 0.05;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            dsv3::moe::balanceExperts(load, 64, 5));
+}
+BENCHMARK(BM_EplbBalance);
+
+} // namespace
+
+DSV3_BENCH_MAIN(printTables)

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Reproduces the Sec 4.5 bandwidth-contention analysis (EP traffic vs
+ * KV-cache transfers on PCIe under different arbitration schemes).
+ */
+
+#include "bench_util.hh"
+
+#include "core/report_extensions.hh"
+#include "net/contention.hh"
+
+namespace {
+
+void
+printTables()
+{
+    dsv3::bench::printTable(dsv3::core::reproduceContention());
+}
+
+void
+BM_EvaluateContention(benchmark::State &state)
+{
+    dsv3::net::ContentionScenario s;
+    s.epBytes = 40e6;
+    s.kvBytes = 320e6;
+    for (auto _ : state) {
+        for (auto a : {dsv3::net::PcieArbitration::FAIR_SHARE,
+                       dsv3::net::PcieArbitration::EP_PRIORITY,
+                       dsv3::net::PcieArbitration::IO_DIE})
+            benchmark::DoNotOptimize(evaluateContention(a, s));
+    }
+}
+BENCHMARK(BM_EvaluateContention);
+
+} // namespace
+
+DSV3_BENCH_MAIN(printTables)

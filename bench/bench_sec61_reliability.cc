@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Reproduces the Sec 6.1 robustness analysis: goodput vs cluster
+ * size with heuristic vs hardware silent-data-corruption detection.
+ */
+
+#include "bench_util.hh"
+
+#include "core/report_extensions.hh"
+#include "pipeline/reliability.hh"
+
+namespace {
+
+void
+printTables()
+{
+    dsv3::bench::printTable(dsv3::core::reproduceReliability());
+}
+
+void
+BM_EvaluateReliability(benchmark::State &state)
+{
+    dsv3::pipeline::ReliabilityParams p;
+    p.gpus = (std::size_t)state.range(0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(evaluateReliability(p, false));
+        benchmark::DoNotOptimize(evaluateReliability(p, true));
+    }
+}
+BENCHMARK(BM_EvaluateReliability)->Arg(2048)->Arg(65536);
+
+} // namespace
+
+DSV3_BENCH_MAIN(printTables)

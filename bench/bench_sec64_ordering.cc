@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Reproduces the Sec 6.4 memory-semantic ordering analysis (sender
+ * fences vs the proposed RAR mechanism) and the Sec 5.2.2 incast /
+ * traffic-isolation analysis.
+ */
+
+#include "bench_util.hh"
+
+#include "core/report_extensions.hh"
+#include "net/incast.hh"
+#include "net/ordering.hh"
+
+namespace {
+
+void
+printTables()
+{
+    dsv3::bench::printTable(dsv3::core::reproduceOrdering());
+    dsv3::bench::printTable(dsv3::core::reproduceIncast());
+}
+
+void
+BM_EvaluateOrdering(benchmark::State &state)
+{
+    dsv3::net::OrderingParams p;
+    p.concurrentStreams = 8;
+    for (auto _ : state) {
+        for (auto m : {dsv3::net::OrderingMechanism::SENDER_FENCE,
+                       dsv3::net::OrderingMechanism::RECEIVER_BUFFER,
+                       dsv3::net::OrderingMechanism::RAR_HARDWARE})
+            benchmark::DoNotOptimize(evaluateOrdering(m, p));
+    }
+}
+BENCHMARK(BM_EvaluateOrdering);
+
+void
+BM_EvaluateIncast(benchmark::State &state)
+{
+    dsv3::net::IncastScenario s;
+    for (auto _ : state) {
+        for (auto d : {dsv3::net::QueueDiscipline::SHARED_QUEUE,
+                       dsv3::net::QueueDiscipline::VOQ,
+                       dsv3::net::QueueDiscipline::VOQ_WITH_CC})
+            benchmark::DoNotOptimize(evaluateIncast(d, s));
+    }
+}
+BENCHMARK(BM_EvaluateIncast);
+
+} // namespace
+
+DSV3_BENCH_MAIN(printTables)

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Reproduces the Sec 6.5 in-network computation/compression analysis
+ * for EP dispatch (multicast) and combine (reduction).
+ */
+
+#include "bench_util.hh"
+
+#include "core/report_extensions.hh"
+#include "ep/innetwork.hh"
+
+namespace {
+
+void
+printTables()
+{
+    dsv3::bench::printTable(dsv3::core::reproduceInNetwork());
+}
+
+void
+BM_EvaluateInNetwork(benchmark::State &state)
+{
+    dsv3::ep::InNetworkParams p;
+    for (auto _ : state) {
+        for (auto c :
+             {dsv3::ep::NetworkCapability::UNICAST,
+              dsv3::ep::NetworkCapability::MULTICAST_DISPATCH,
+              dsv3::ep::NetworkCapability::MULTICAST_AND_REDUCE})
+            benchmark::DoNotOptimize(evaluateInNetwork(c, p));
+    }
+}
+BENCHMARK(BM_EvaluateInNetwork);
+
+} // namespace
+
+DSV3_BENCH_MAIN(printTables)

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reproduces paper Table 1 (KV cache per token, MLA vs GQA) and times
+ * the KV-cache calculator.
+ */
+
+#include "bench_util.hh"
+
+#include "core/report.hh"
+#include "model/config.hh"
+#include "model/kv_cache.hh"
+
+namespace {
+
+void
+printTables()
+{
+    dsv3::bench::printTable(dsv3::core::reproduceTable1());
+}
+
+void
+BM_KvCacheBytesPerToken(benchmark::State &state)
+{
+    auto cfg = dsv3::model::deepSeekV3();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            dsv3::model::kvCacheBytesPerToken(cfg));
+}
+BENCHMARK(BM_KvCacheBytesPerToken);
+
+void
+BM_MaxContextTokens(benchmark::State &state)
+{
+    auto cfg = dsv3::model::deepSeekV3();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            dsv3::model::maxContextTokens(cfg, 80e9));
+}
+BENCHMARK(BM_MaxContextTokens);
+
+} // namespace
+
+DSV3_BENCH_MAIN(printTables)

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reproduces paper Table 2 (training GFLOPs/token) and times the
+ * parameter/FLOPs calculators.
+ */
+
+#include "bench_util.hh"
+
+#include "core/report.hh"
+#include "model/config.hh"
+#include "model/flops.hh"
+#include "model/params.hh"
+
+namespace {
+
+void
+printTables()
+{
+    dsv3::bench::printTable(dsv3::core::reproduceTable2());
+}
+
+void
+BM_CountParams(benchmark::State &state)
+{
+    auto cfg = dsv3::model::deepSeekV3();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dsv3::model::countParams(cfg));
+}
+BENCHMARK(BM_CountParams);
+
+void
+BM_TrainingFlops(benchmark::State &state)
+{
+    auto cfg = dsv3::model::deepSeekV3();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            dsv3::model::trainingGflopsPerToken(cfg, 4096));
+}
+BENCHMARK(BM_TrainingFlops);
+
+} // namespace
+
+DSV3_BENCH_MAIN(printTables)

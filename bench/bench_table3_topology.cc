@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces paper Table 3 (topology sizing and cost) and times the
+ * graph builders (Slim Fly construction is the heavy one).
+ */
+
+#include "bench_util.hh"
+
+#include "core/report.hh"
+#include "net/cost.hh"
+#include "net/dragonfly.hh"
+#include "net/slimfly.hh"
+
+namespace {
+
+void
+printTables()
+{
+    dsv3::bench::printTable(dsv3::core::reproduceTable3());
+}
+
+void
+BM_CountTopologies(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dsv3::net::countFatTree2(64, 2048));
+        benchmark::DoNotOptimize(
+            dsv3::net::countMultiPlaneFatTree(64, 8, 16384));
+        benchmark::DoNotOptimize(dsv3::net::countFatTree3(64, 65536));
+        benchmark::DoNotOptimize(dsv3::net::countSlimFly(28));
+        benchmark::DoNotOptimize(
+            dsv3::net::countDragonfly(16, 32, 16, 511));
+    }
+}
+BENCHMARK(BM_CountTopologies);
+
+void
+BM_BuildSlimFlyQ13(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto g = dsv3::net::buildSlimFly(13, 2);
+        benchmark::DoNotOptimize(g.edgeCount());
+    }
+}
+BENCHMARK(BM_BuildSlimFlyQ13);
+
+void
+BM_BuildDragonfly(benchmark::State &state)
+{
+    dsv3::net::DragonflyParams p;
+    p.p = 2;
+    p.a = 8;
+    p.h = 4; // 33 groups, 264 switches
+    for (auto _ : state) {
+        auto g = dsv3::net::buildDragonfly(p);
+        benchmark::DoNotOptimize(g.edgeCount());
+    }
+}
+BENCHMARK(BM_BuildDragonfly);
+
+void
+BM_SlimFlyDiameter(benchmark::State &state)
+{
+    auto g = dsv3::net::buildSlimFly(5, 0);
+    auto switches = g.nodesOfKind(dsv3::net::NodeKind::LEAF);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dsv3::net::graphDiameter(g, switches));
+}
+BENCHMARK(BM_SlimFlyDiameter);
+
+} // namespace
+
+DSV3_BENCH_MAIN(printTables)

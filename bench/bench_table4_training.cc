@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Reproduces paper Table 4 (DeepSeek-V3 training step on MPFT vs
+ * MRFT) and times the full training-step simulation.
+ */
+
+#include "bench_util.hh"
+
+#include "core/report.hh"
+#include "model/config.hh"
+#include "model/hardware.hh"
+#include "pipeline/training.hh"
+
+namespace {
+
+void
+printTables()
+{
+    dsv3::bench::printTable(dsv3::core::reproduceTable4());
+}
+
+void
+BM_SimulateTrainingStep(benchmark::State &state)
+{
+    dsv3::pipeline::TrainingSetup setup;
+    setup.modelConfig = dsv3::model::deepSeekV3();
+    setup.node = dsv3::model::h800Node();
+    setup.fabric = state.range(0) == 0 ? dsv3::net::Fabric::MPFT
+                                       : dsv3::net::Fabric::MRFT;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            dsv3::pipeline::simulateTraining(setup));
+}
+BENCHMARK(BM_SimulateTrainingStep)->Arg(0)->Arg(1);
+
+void
+BM_ComputeSchedule(benchmark::State &state)
+{
+    dsv3::pipeline::ScheduleParams p;
+    p.stages = 16;
+    p.microbatches = 73;
+    p.chunk = {0.0753, 0.1327, 0.032, 0.003};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dsv3::pipeline::computeSchedule(p));
+}
+BENCHMARK(BM_ComputeSchedule);
+
+} // namespace
+
+DSV3_BENCH_MAIN(printTables)

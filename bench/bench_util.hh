@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared scaffolding for the bench binaries.
+ *
+ * Every bench binary reproduces one of the paper's tables/figures:
+ * its main() first prints the reproduction table(s) (the deliverable),
+ * then runs the registered google-benchmark microbenchmarks that time
+ * the underlying kernels.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <functional>
+
+#include <benchmark/benchmark.h>
+
+#include "common/table.hh"
+
+namespace dsv3::bench {
+
+/** Print a reproduction table to stdout. */
+inline void
+printTable(const Table &table)
+{
+    std::fputs(table.render().c_str(), stdout);
+    std::fputs("\n", stdout);
+}
+
+/**
+ * Standard bench main body: print the reproduction tables, then run
+ * the microbenchmarks.
+ */
+inline int
+runBench(int argc, char **argv,
+         const std::function<void()> &print_tables)
+{
+    print_tables();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+} // namespace dsv3::bench
+
+#define DSV3_BENCH_MAIN(print_tables)                                  \
+    int main(int argc, char **argv)                                    \
+    {                                                                  \
+        return ::dsv3::bench::runBench(argc, argv, (print_tables));    \
+    }

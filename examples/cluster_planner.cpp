@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Cluster planner: compare scale-out topologies for a target GPU
+ * count the way Sec 5.1 does for the paper's 2048-GPU deployment.
+ *
+ * For the requested endpoint count it prints switch/link/cost sizing
+ * for FT2 (if it fits), MPFT, and FT3, then simulates the all-to-all
+ * bandwidth and EP traffic a DeepSeek-V3-style workload would see on
+ * an H800 cluster of that size.
+ *
+ * Usage: cluster_planner [gpus] (default 128, must be multiple of 8)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "collective/patterns.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+#include "ep/deepep.hh"
+#include "net/cluster.hh"
+#include "net/cost.hh"
+
+using namespace dsv3;
+
+int
+main(int argc, char **argv)
+{
+    std::size_t gpus = argc > 1 ? std::strtoul(argv[1], nullptr, 10)
+                                : 128;
+    if (gpus == 0 || gpus % 8 != 0) {
+        std::fprintf(stderr,
+                     "usage: cluster_planner [gpus, multiple of 8]\n");
+        return 1;
+    }
+
+    // Topology sizing at this scale (64-port switches).
+    Table sizing("Scale-out sizing for " + formatCount(gpus) +
+                 " endpoints");
+    sizing.setHeader({"Topology", "Switches", "Inter-switch links",
+                      "Cost", "Cost/endpoint"});
+    auto add = [&](const net::TopologyCounts &tc) {
+        sizing.addRow({tc.name, Table::fmtInt(tc.switches),
+                       Table::fmtInt(tc.links),
+                       formatMillions(totalCost(tc)),
+                       "$" + Table::fmt(costPerEndpoint(tc) / 1e3, 2) +
+                           "k"});
+    };
+    if (gpus <= 2048)
+        add(net::countFatTree2(64, gpus));
+    if (gpus % 8 == 0)
+        add(net::countMultiPlaneFatTree(64, 8, gpus));
+    add(net::countFatTree3(64, gpus));
+    std::fputs(sizing.render().c_str(), stdout);
+
+    // Simulated fabric behaviour at a sample size (capped for the
+    // flow-level simulator).
+    std::size_t sim_hosts = std::min<std::size_t>(gpus / 8, 16);
+    Table fabric("Simulated fabric behaviour (" +
+                 formatCount(sim_hosts * 8) + " GPUs sample)");
+    fabric.setHeader({"Metric", "MPFT", "MRFT"});
+    double a2a[2];
+    int idx = 0;
+    for (net::Fabric f : {net::Fabric::MPFT, net::Fabric::MRFT}) {
+        net::ClusterConfig cc;
+        cc.fabric = f;
+        cc.hosts = sim_hosts;
+        net::Cluster c = buildCluster(cc);
+        std::vector<std::size_t> ranks(c.gpus.size());
+        for (std::size_t i = 0; i < ranks.size(); ++i)
+            ranks[i] = i;
+        a2a[idx++] = collective::runAllToAll(
+                         c, ranks, 16.0 * kMB * (double)ranks.size(),
+                         net::RoutePolicy::ADAPTIVE)
+                         .busBw;
+    }
+    fabric.addRow({"all-to-all busBW/GPU", formatRate(a2a[0], 1),
+                   formatRate(a2a[1], 1)});
+    std::fputs(fabric.render().c_str(), stdout);
+
+    // EP dispatch/combine on the MPFT sample.
+    net::ClusterConfig cc;
+    cc.fabric = net::Fabric::MPFT;
+    cc.hosts = sim_hosts;
+    net::Cluster c = buildCluster(cc);
+    ep::EpWorkload w;
+    w.tokensPerGpu = 1024;
+    w.gate.experts = 256;
+    w.gate.topK = 8;
+    w.gate.groups = 8;
+    w.gate.topKGroups = 4;
+    if (w.gate.experts % c.gpus.size() == 0) {
+        ep::EpResult r = simulateDeepEp(c, w);
+        Table epTable("DeepSeek-V3 EP traffic on this fabric");
+        epTable.setHeader({"Metric", "Value"});
+        epTable.addRow({"dispatch NIC bandwidth/GPU",
+                        formatRate(r.dispatchGBsPerGpu, 1)});
+        epTable.addRow({"combine NIC bandwidth/GPU",
+                        formatRate(r.combineGBsPerGpu, 1)});
+        epTable.addRow({"mean nodes touched per token (E[M])",
+                        Table::fmt(r.meanNodesTouched, 2)});
+        std::fputs(epTable.render().c_str(), stdout);
+    }
+    return 0;
+}

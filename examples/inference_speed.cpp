@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Inference-speed walkthrough: composes the paper's Sec 2.3 levers —
+ * dual micro-batch overlap, MTP speculative decoding, and the
+ * interconnect speed limit — into end-to-end TPOT/TPS estimates for
+ * DeepSeek-V3 decode on several fabrics.
+ *
+ * Usage: inference_speed [acceptance] (MTP acceptance, default 0.85)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hh"
+#include "common/units.hh"
+#include "ep/speed_limit.hh"
+#include "inference/mtp.hh"
+#include "inference/overlap.hh"
+
+using namespace dsv3;
+
+int
+main(int argc, char **argv)
+{
+    double acceptance = argc > 1 ? std::strtod(argv[1], nullptr)
+                                 : 0.85;
+
+    inference::MtpConfig mtp_cfg;
+    mtp_cfg.acceptanceRate = acceptance;
+    inference::MtpResult mtp = inference::mtpAnalytic(mtp_cfg);
+
+    Table t("DeepSeek-V3 decode speed by fabric (61 layers, EP)");
+    t.setHeader({"Fabric", "comm/layer", "TPOT", "TPS",
+                 "TPS + MTP"});
+    struct FabricSpec
+    {
+        const char *name;
+        double bw;
+    };
+    for (const FabricSpec &f :
+         {FabricSpec{"H800 + CX7 400G IB", 50e9},
+          FabricSpec{"2x IB (800G class)", 100e9},
+          FabricSpec{"GB200 NVL72", 900e9}}) {
+        ep::SpeedLimitParams p;
+        p.bandwidthBytesPerSec = f.bw;
+        ep::SpeedLimit lim = ep::epSpeedLimit(p);
+        t.addRow({f.name, formatTime(lim.timePerLayer, 2),
+                  formatTime(lim.tpotSeconds, 2),
+                  Table::fmt(lim.tokensPerSecond, 0),
+                  Table::fmt(lim.tokensPerSecond * mtp.speedup, 0)});
+    }
+    std::fputs(t.render().c_str(), stdout);
+
+    std::printf("MTP at %.0f%% acceptance: %.2f tokens/step at %.2fx "
+                "step cost -> %.2fx TPS\n\n",
+                acceptance * 100.0, mtp.meanTokensPerStep,
+                mtp.stepCostRatio, mtp.speedup);
+
+    // How much of the H800 TPOT the dual micro-batch overlap hides.
+    Table o("Dual micro-batch overlap on the H800 decode layer");
+    o.setHeader({"MLA compute", "MoE compute", "seq/layer",
+                 "overlapped/layer", "speedup"});
+    for (double mla_us : {30.0, 60.0, 121.0, 240.0}) {
+        inference::LayerStageTimes st{mla_us * 1e-6, 121e-6, 60e-6,
+                                      121e-6};
+        auto r = inference::dualMicroBatchOverlap(st);
+        o.addRow({formatTime(st.mlaCompute, 0),
+                  formatTime(st.moeCompute, 0),
+                  formatTime(r.sequentialLayerTime, 0),
+                  formatTime(r.overlappedLayerTime, 0),
+                  Table::fmt(r.speedup, 2) + "x"});
+    }
+    std::fputs(o.render().c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Quantization lab: push a synthetic activation tensor through every
+ * wire/compute format in the library and compare quality, then run a
+ * quantized GEMM end-to-end the way DeepGEMM executes it.
+ *
+ * Usage: quantization_lab [outlier_gain] (default 50)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "numerics/error.hh"
+#include "numerics/gemm.hh"
+#include "numerics/logfmt.hh"
+#include "numerics/quantize.hh"
+
+using namespace dsv3;
+using namespace dsv3::numerics;
+
+int
+main(int argc, char **argv)
+{
+    double outlier_gain = argc > 1 ? std::strtod(argv[1], nullptr)
+                                   : 50.0;
+
+    Rng rng(7);
+    const std::size_t n = 1 << 15;
+    Matrix activations(1, n);
+    activations.fillActivationLike(rng, 1.0, 0.002, outlier_gain);
+    const auto &data = activations.data();
+
+    Table wire("Wire formats on activations (outlier gain " +
+               Table::fmt(outlier_gain, 0) + ")");
+    wire.setHeader({"Format", "Granularity", "SNR dB", "rel L2"});
+    for (Granularity g :
+         {Granularity::PER_TENSOR, Granularity::TILE_1X128}) {
+        for (const FloatFormat *fmt : {&kE4M3, &kE5M2, &kE5M6}) {
+            Matrix deq = fakeQuantize(activations, *fmt, g);
+            wire.addRow({fmt->name, granularityName(g),
+                         Table::fmt(snrDb(deq.data(), data), 1),
+                         Table::fmtPercent(
+                             relL2Error(deq.data(), data), 3)});
+        }
+    }
+    for (int bits : {8, 10}) {
+        LogFmtCodec codec(bits);
+        auto deq = codec.roundTrip(data);
+        wire.addRow({"LogFMT-" + std::to_string(bits), "tile 1x128",
+                     Table::fmt(snrDb(deq, data), 1),
+                     Table::fmtPercent(relL2Error(deq, data), 3)});
+    }
+    std::fputs(wire.render().c_str(), stdout);
+
+    // End-to-end quantized GEMM, DeepGEMM style.
+    Matrix a(32, 2048), b(2048, 32);
+    a.fillActivationLike(rng, 1.0, 0.002, outlier_gain);
+    b.fillNormal(rng, 0.0, 0.02);
+    Matrix ref = gemmRef(a, b);
+
+    Table gemm("Quantized GEMM (M=32, K=2048, N=32)");
+    gemm.setHeader({"Pipeline", "rel L2 vs FP64"});
+    gemm.addRow({"BF16 + FP32 accum",
+                 Table::fmtPercent(relL2Error(gemmBf16(a, b), ref),
+                                   3)});
+    GemmOptions deepgemm; // fine-grained FP8, FP22+promotion
+    gemm.addRow({"FP8 fine-grained (DeepGEMM path)",
+                 Table::fmtPercent(
+                     relL2Error(gemmQuantized(a, b, deepgemm), ref),
+                     3)});
+    GemmOptions coarse;
+    coarse.fineGrained = false;
+    coarse.accum = AccumMode::FP22_NO_PROMOTION;
+    gemm.addRow({"FP8 per-tensor, raw FP22 (naive Hopper)",
+                 Table::fmtPercent(
+                     relL2Error(gemmQuantized(a, b, coarse), ref),
+                     3)});
+    std::fputs(gemm.render().c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Quickstart: size up DeepSeek-V3 with the library's cost models.
+ *
+ * Shows the three headline co-design quantities from the paper for any
+ * model preset: KV-cache footprint (memory efficiency, Sec 2.1),
+ * training FLOPs per token (cost-effectiveness, Sec 2.2), and the
+ * theoretical EP decode speed limit (inference speed, Sec 2.3).
+ *
+ * Usage: quickstart [v3|v2|qwen|llama]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.hh"
+#include "common/units.hh"
+#include "ep/speed_limit.hh"
+#include "model/config.hh"
+#include "model/flops.hh"
+#include "model/hardware.hh"
+#include "model/kv_cache.hh"
+#include "model/params.hh"
+
+using namespace dsv3;
+
+int
+main(int argc, char **argv)
+{
+    std::string which = argc > 1 ? argv[1] : "v3";
+    model::ModelConfig cfg;
+    if (which == "v3") {
+        cfg = model::deepSeekV3();
+    } else if (which == "v2") {
+        cfg = model::deepSeekV2();
+    } else if (which == "qwen") {
+        cfg = model::qwen25_72B();
+    } else if (which == "llama") {
+        cfg = model::llama31_405B();
+    } else {
+        std::fprintf(stderr,
+                     "usage: quickstart [v3|v2|qwen|llama]\n");
+        return 1;
+    }
+
+    model::ParamCounts params = model::countParams(cfg);
+    auto flops = model::flopsPerToken(cfg, 4096);
+
+    Table t("Model summary: " + cfg.name);
+    t.setHeader({"Quantity", "Value"});
+    t.addRow({"Attention", model::attentionKindName(cfg.attn.kind)});
+    t.addRow({"Total parameters",
+              Table::fmt(params.total() / 1e9, 1) + " B"});
+    t.addRow({"Active per token",
+              Table::fmt(params.activePerToken(cfg) / 1e9, 1) + " B"});
+    t.addRow({"KV cache per token",
+              formatBytes(model::kvCacheBytesPerToken(cfg))});
+    t.addRow({"KV cache @128k context",
+              formatBytes(model::kvCacheBytes(cfg, 131072))});
+    t.addRow({"Training cost",
+              Table::fmt(flops.training() / kGFLOP, 0) +
+                  " GFLOPs/token (seq 4096)"});
+    std::fputs(t.render().c_str(), stdout);
+
+    if (cfg.isMoe()) {
+        // Decode speed limit on the paper's two interconnects.
+        Table s("EP decode speed limit (" + cfg.name + ")");
+        s.setHeader({"Fabric", "TPOT", "Tokens/s"});
+        for (auto [name, bw] :
+             {std::pair<const char *, double>{"H800 + CX7 IB", 50e9},
+              {"GB200 NVL72", 900e9}}) {
+            ep::SpeedLimitParams p;
+            p.layers = cfg.layers;
+            p.hidden = cfg.hidden;
+            p.expertsPerToken =
+                cfg.moe->topK + cfg.moe->sharedExperts;
+            p.bandwidthBytesPerSec = bw;
+            ep::SpeedLimit lim = ep::epSpeedLimit(p);
+            s.addRow({name, formatTime(lim.tpotSeconds),
+                      Table::fmt(lim.tokensPerSecond, 0)});
+        }
+        std::fputs(s.render().c_str(), stdout);
+    }
+    return 0;
+}

@@ -1,0 +1,145 @@
+#include "collective/patterns.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dsv3::collective {
+
+using net::Flow;
+
+std::vector<Flow>
+allToAllFlows(const net::Cluster &cluster,
+              const std::vector<std::size_t> &ranks,
+              double bytes_per_rank)
+{
+    const std::size_t n = ranks.size();
+    DSV3_ASSERT(n >= 2);
+    const double slice = bytes_per_rank / (double)n;
+    std::vector<Flow> flows;
+    flows.reserve(n * (n - 1));
+    std::uint64_t qp = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i == j)
+                continue;
+            Flow f;
+            f.src = cluster.gpus[ranks[i]];
+            f.dst = cluster.gpus[ranks[j]];
+            f.bytes = slice;
+            f.qp = qp++;
+            flows.push_back(f);
+        }
+    }
+    return flows;
+}
+
+std::vector<Flow>
+ringFlows(const net::Cluster &cluster,
+          const std::vector<std::size_t> &ranks, double bytes_per_rank)
+{
+    const std::size_t n = ranks.size();
+    DSV3_ASSERT(n >= 2);
+    // All-gather ring: every rank forwards n-1 blocks of size B to its
+    // successor over the schedule. Reduce-scatter is the same matrix.
+    const double per_edge = bytes_per_rank * (double)(n - 1);
+    std::vector<Flow> flows;
+    flows.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Flow f;
+        f.src = cluster.gpus[ranks[i]];
+        f.dst = cluster.gpus[ranks[(i + 1) % n]];
+        f.bytes = per_edge;
+        f.qp = (std::uint64_t)i;
+        flows.push_back(f);
+    }
+    return flows;
+}
+
+namespace {
+
+double
+simulateMakespan(const net::Cluster &cluster, std::vector<Flow> flows,
+                 net::RoutePolicy policy, std::uint64_t seed)
+{
+    assignPaths(cluster.graph, flows, policy, seed);
+    return simulateFlows(cluster.graph, flows).makespan;
+}
+
+} // namespace
+
+CollectiveResult
+runAllToAll(const net::Cluster &cluster,
+            const std::vector<std::size_t> &ranks, double bytes_per_rank,
+            net::RoutePolicy policy, std::uint64_t seed,
+            double launch_overhead)
+{
+    const std::size_t n = ranks.size();
+    double t = launch_overhead +
+               simulateMakespan(
+                   cluster, allToAllFlows(cluster, ranks,
+                                          bytes_per_rank),
+                   policy, seed);
+    CollectiveResult out;
+    out.seconds = t;
+    // nccl-tests alltoall: algBW = size/time, busBW = alg * (n-1)/n.
+    out.algBw = bytes_per_rank / t;
+    out.busBw = out.algBw * (double)(n - 1) / (double)n;
+    return out;
+}
+
+CollectiveResult
+runRing(const net::Cluster &cluster,
+        const std::vector<std::size_t> &ranks, double bytes_per_rank,
+        net::RoutePolicy policy, std::uint64_t seed,
+        double launch_overhead)
+{
+    const std::size_t n = ranks.size();
+    double t = launch_overhead +
+               simulateMakespan(
+                   cluster, ringFlows(cluster, ranks, bytes_per_rank),
+                   policy, seed);
+    CollectiveResult out;
+    out.seconds = t;
+    // nccl-tests all_gather: algBW = n*B/time (output size), busBW =
+    // alg * (n-1)/n == the per-link wire rate actually sustained.
+    out.algBw = (double)n * bytes_per_rank / t;
+    out.busBw = out.algBw * (double)(n - 1) / (double)n;
+    return out;
+}
+
+std::vector<double>
+runConcurrentRings(const net::Cluster &cluster,
+                   const std::vector<std::vector<std::size_t>> &groups,
+                   double bytes_per_rank, net::RoutePolicy policy,
+                   std::uint64_t seed)
+{
+    // Build all groups' flows into one simulation so they contend.
+    std::vector<Flow> flows;
+    std::vector<std::size_t> group_of_flow;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        auto gf = ringFlows(cluster, groups[g], bytes_per_rank);
+        for (auto &f : gf) {
+            f.qp = (std::uint64_t)(g * 1000 + f.qp);
+            flows.push_back(f);
+            group_of_flow.push_back(g);
+        }
+    }
+    assignPaths(cluster.graph, flows, policy, seed);
+    net::FlowSimResult sim = simulateFlows(cluster.graph, flows);
+
+    // Per-group completion: its slowest flow.
+    std::vector<double> group_time(groups.size(), 0.0);
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+        std::size_t g = group_of_flow[i];
+        group_time[g] = std::max(group_time[g], sim.finishTimes[i]);
+    }
+    std::vector<double> bus_bw(groups.size(), 0.0);
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        std::size_t n = groups[g].size();
+        bus_bw[g] = (double)(n - 1) * bytes_per_rank / group_time[g];
+    }
+    return bus_bw;
+}
+
+} // namespace dsv3::collective

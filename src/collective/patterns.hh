@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Collective traffic patterns expressed as flow sets over a Cluster.
+ *
+ * The flow-level model captures steady-state collective bandwidth:
+ * NCCL's pipelined ring and pairwise all-to-all keep every transfer of
+ * the schedule in flight simultaneously, so the aggregate byte matrix
+ * under max-min sharing reproduces the sustained rates (the quantity
+ * Figures 5, 6 and 8 plot).
+ *
+ * Bandwidth reporting follows nccl-tests conventions:
+ *   algBW = bytesPerRank / time
+ *   busBW = algBW * (n-1)/n
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/cluster.hh"
+#include "net/flow.hh"
+
+namespace dsv3::collective {
+
+/**
+ * All-to-all: every rank holds @p bytes_per_rank and sends an equal
+ * 1/n slice to every peer (including keeping its own slice locally).
+ */
+std::vector<net::Flow>
+allToAllFlows(const net::Cluster &cluster,
+              const std::vector<std::size_t> &ranks,
+              double bytes_per_rank);
+
+/**
+ * Ring all-gather / reduce-scatter: over the whole schedule every rank
+ * sends (n-1)/n * n * chunk == (n-1) * chunk bytes to its ring
+ * successor. Both collectives produce the same byte matrix (the ring
+ * runs in opposite directions); one pattern serves both.
+ *
+ * @param bytes_per_rank per-rank payload (the nccl-tests "size")
+ */
+std::vector<net::Flow>
+ringFlows(const net::Cluster &cluster,
+          const std::vector<std::size_t> &ranks, double bytes_per_rank);
+
+/** Result of one collective execution. */
+struct CollectiveResult
+{
+    double seconds = 0.0;
+    double algBw = 0.0;  //!< bytes/s per rank
+    double busBw = 0.0;  //!< nccl-tests bus bandwidth per rank
+};
+
+/**
+ * Time an all-to-all over @p ranks under the given routing policy.
+ *
+ * @param launch_overhead fixed per-collective cost (kernel launch,
+ *        protocol setup); dominates small sizes as in Figure 6.
+ */
+CollectiveResult
+runAllToAll(const net::Cluster &cluster,
+            const std::vector<std::size_t> &ranks, double bytes_per_rank,
+            net::RoutePolicy policy, std::uint64_t seed = 0,
+            double launch_overhead = 15e-6);
+
+/** Time a ring all-gather / reduce-scatter over @p ranks. */
+CollectiveResult
+runRing(const net::Cluster &cluster,
+        const std::vector<std::size_t> &ranks, double bytes_per_rank,
+        net::RoutePolicy policy, std::uint64_t seed = 0,
+        double launch_overhead = 15e-6);
+
+/**
+ * Run several ring collectives concurrently (one per group), as in the
+ * Figure 8 experiment where multiple TP groups stress the fabric at
+ * once. Returns the per-group bus bandwidths.
+ */
+std::vector<double>
+runConcurrentRings(const net::Cluster &cluster,
+                   const std::vector<std::vector<std::size_t>> &groups,
+                   double bytes_per_rank, net::RoutePolicy policy,
+                   std::uint64_t seed = 0);
+
+} // namespace dsv3::collective

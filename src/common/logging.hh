@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a simulator bug);
+ *            aborts so a debugger/core dump can capture the state.
+ * fatal()  — the user supplied an impossible configuration; exits
+ *            with an error code.
+ * warn()   — something is suspicious but the run can continue.
+ */
+
+#pragma once
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dsv3 {
+
+/** Terminate due to an internal bug. Never returns. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Terminate due to a user/configuration error. Never returns. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Emit a non-fatal warning to stderr. */
+void warnImpl(const char *file, int line, const std::string &msg);
+
+namespace detail {
+
+/** Fold a list of stream-able arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace dsv3
+
+#define DSV3_PANIC(...) \
+    ::dsv3::panicImpl(__FILE__, __LINE__, ::dsv3::detail::concat(__VA_ARGS__))
+
+#define DSV3_FATAL(...) \
+    ::dsv3::fatalImpl(__FILE__, __LINE__, ::dsv3::detail::concat(__VA_ARGS__))
+
+#define DSV3_WARN(...) \
+    ::dsv3::warnImpl(__FILE__, __LINE__, ::dsv3::detail::concat(__VA_ARGS__))
+
+/** Invariant check: active in all build types (cheap conditions only). */
+#define DSV3_ASSERT(cond, ...)                                             \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::dsv3::panicImpl(__FILE__, __LINE__,                          \
+                ::dsv3::detail::concat("assertion failed: " #cond " ",     \
+                                       ##__VA_ARGS__));                    \
+        }                                                                  \
+    } while (0)

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic components of the simulator (token synthesis, ECMP
+ * hashing, acceptance sampling) draw from this generator so that every
+ * experiment is reproducible from a single seed. The implementation is
+ * xoshiro256** seeded via SplitMix64, which is fast, has a 256-bit
+ * state, and passes BigCrush.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace dsv3 {
+
+/** SplitMix64 step; also usable as a cheap integer hash. */
+std::uint64_t splitmix64(std::uint64_t &state);
+
+/** Stateless 64-bit mixing hash (SplitMix64 finalizer). */
+std::uint64_t hashU64(std::uint64_t value);
+
+/** Combine two hashes (boost-style). */
+std::uint64_t hashCombine(std::uint64_t seed, std::uint64_t value);
+
+/**
+ * xoshiro256** PRNG with convenience distributions.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Uniform 64-bit integer. */
+    std::uint64_t nextU64();
+
+    /** Uniform integer in [0, bound) using rejection-free Lemire. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Standard normal via Box-Muller (no cached spare, stateless). */
+    double normal(double mean = 0.0, double stddev = 1.0);
+
+    /** Standard Gumbel(0,1) sample; used for top-k sampling noise. */
+    double gumbel();
+
+    /** Bernoulli trial. */
+    bool bernoulli(double p);
+
+    /** Exponential with given rate (lambda). */
+    double exponential(double rate);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace dsv3

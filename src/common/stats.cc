@@ -1,0 +1,122 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dsv3 {
+
+void
+RunningStat::add(double x)
+{
+    ++n_;
+    sum_ += x;
+    if (n_ == 1) {
+        mean_ = x;
+        min_ = x;
+        max_ = x;
+        m2_ = 0.0;
+        return;
+    }
+    double delta = x - mean_;
+    mean_ += delta / (double)n_;
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+RunningStat::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / (double)(n_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+percentile(const std::vector<double> &sorted_values, double p)
+{
+    DSV3_ASSERT(!sorted_values.empty());
+    DSV3_ASSERT(p >= 0.0 && p <= 100.0);
+    if (sorted_values.size() == 1)
+        return sorted_values.front();
+    double rank = p / 100.0 * (double)(sorted_values.size() - 1);
+    auto lo = (std::size_t)std::floor(rank);
+    auto hi = (std::size_t)std::ceil(rank);
+    double frac = rank - (double)lo;
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    DSV3_ASSERT(hi > lo);
+    DSV3_ASSERT(bins > 0);
+}
+
+void
+Histogram::add(double x)
+{
+    double span = hi_ - lo_;
+    auto bin = (std::ptrdiff_t)((x - lo_) / span * (double)counts_.size());
+    bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                     (std::ptrdiff_t)counts_.size() - 1);
+    ++counts_[(std::size_t)bin];
+    ++total_;
+}
+
+double
+Histogram::binLo(std::size_t bin) const
+{
+    return lo_ + (hi_ - lo_) * (double)bin / (double)counts_.size();
+}
+
+double
+Histogram::fraction(std::size_t bin) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return (double)counts_.at(bin) / (double)total_;
+}
+
+double
+jainFairness(const std::vector<double> &loads)
+{
+    if (loads.empty())
+        return 1.0;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (double x : loads) {
+        sum += x;
+        sum_sq += x * x;
+    }
+    if (sum_sq == 0.0)
+        return 1.0;
+    return sum * sum / ((double)loads.size() * sum_sq);
+}
+
+double
+maxOverMean(const std::vector<double> &loads)
+{
+    if (loads.empty())
+        return 1.0;
+    double sum = 0.0;
+    double mx = loads.front();
+    for (double x : loads) {
+        sum += x;
+        mx = std::max(mx, x);
+    }
+    double mean = sum / (double)loads.size();
+    if (mean == 0.0)
+        return 1.0;
+    return mx / mean;
+}
+
+} // namespace dsv3

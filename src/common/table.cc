@@ -1,0 +1,130 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace dsv3 {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    if (!header_.empty())
+        row.resize(header_.size());
+    rows_.push_back(std::move(row));
+}
+
+const std::string &
+Table::cell(std::size_t row, std::size_t col) const
+{
+    DSV3_ASSERT(row < rows_.size());
+    DSV3_ASSERT(col < rows_[row].size());
+    return rows_[row][col];
+}
+
+std::string
+Table::render() const
+{
+    std::size_t cols = header_.size();
+    for (const auto &row : rows_)
+        cols = std::max(cols, row.size());
+    if (cols == 0)
+        return title_ + "\n";
+
+    std::vector<std::size_t> width(cols, 0);
+    auto measure = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    };
+    measure(header_);
+    for (const auto &row : rows_)
+        measure(row);
+
+    auto rule = [&]() {
+        std::string s = "+";
+        for (std::size_t c = 0; c < cols; ++c)
+            s += std::string(width[c] + 2, '-') + "+";
+        return s + "\n";
+    };
+    auto line = [&](const std::vector<std::string> &row) {
+        std::string s = "|";
+        for (std::size_t c = 0; c < cols; ++c) {
+            std::string cell = c < row.size() ? row[c] : "";
+            s += " " + cell + std::string(width[c] - cell.size(), ' ') +
+                 " |";
+        }
+        return s + "\n";
+    };
+
+    std::ostringstream os;
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+    os << rule();
+    if (!header_.empty()) {
+        os << line(header_);
+        os << rule();
+    }
+    for (const auto &row : rows_)
+        os << line(row);
+    os << rule();
+    return os.str();
+}
+
+std::string
+Table::renderCsv() const
+{
+    auto quote = [](const std::string &cell) {
+        if (cell.find(',') == std::string::npos)
+            return cell;
+        return "\"" + cell + "\"";
+    };
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ",";
+            os << quote(row[c]);
+        }
+        os << "\n";
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+std::string
+Table::fmt(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+Table::fmtInt(std::uint64_t value)
+{
+    return formatCount(value);
+}
+
+std::string
+Table::fmtPercent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+} // namespace dsv3

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * ASCII table rendering for the benchmark harness.
+ *
+ * Every bench binary reproduces one of the paper's tables/figures as a
+ * textual table; this class renders the rows with aligned columns,
+ * an optional title, and a CSV export for downstream plotting.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dsv3 {
+
+class Table
+{
+  public:
+    explicit Table(std::string title = "");
+
+    /** Set the header row. Resets nothing else. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a pre-formatted row; padded/truncated to header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Number of data rows. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Cell accessor (row-major, excludes header). */
+    const std::string &cell(std::size_t row, std::size_t col) const;
+
+    /** Render with box-drawing rules and a title banner. */
+    std::string render() const;
+
+    /** Render as CSV (header + rows, comma-separated, quoted commas). */
+    std::string renderCsv() const;
+
+    const std::string &title() const { return title_; }
+
+    // Cell formatting helpers ------------------------------------------
+    static std::string fmt(double value, int precision = 2);
+    static std::string fmtInt(std::uint64_t value);
+    static std::string fmtPercent(double fraction, int precision = 2);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace dsv3

@@ -1,0 +1,77 @@
+#include "common/units.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dsv3 {
+
+namespace {
+
+std::string
+formatWithSuffix(double value, const char *suffix, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f %s", precision, value, suffix);
+    return buf;
+}
+
+} // namespace
+
+std::string
+formatBytes(double bytes, int precision)
+{
+    double mag = std::fabs(bytes);
+    if (mag >= kTB)
+        return formatWithSuffix(bytes / kTB, "TB", precision);
+    if (mag >= kGB)
+        return formatWithSuffix(bytes / kGB, "GB", precision);
+    if (mag >= kMB)
+        return formatWithSuffix(bytes / kMB, "MB", precision);
+    if (mag >= kKB)
+        return formatWithSuffix(bytes / kKB, "KB", precision);
+    return formatWithSuffix(bytes, "B", precision);
+}
+
+std::string
+formatRate(double bytes_per_sec, int precision)
+{
+    return formatWithSuffix(bytes_per_sec / kGB, "GB/s", precision);
+}
+
+std::string
+formatTime(double seconds, int precision)
+{
+    double mag = std::fabs(seconds);
+    if (mag >= 1.0)
+        return formatWithSuffix(seconds, "s", precision);
+    if (mag >= kMilli)
+        return formatWithSuffix(seconds / kMilli, "ms", precision);
+    if (mag >= kMicro)
+        return formatWithSuffix(seconds / kMicro, "us", precision);
+    return formatWithSuffix(seconds * 1e9, "ns", precision);
+}
+
+std::string
+formatCount(std::uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count > 0 && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    return {out.rbegin(), out.rend()};
+}
+
+std::string
+formatMillions(double dollars, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "$%.*fM", precision, dollars / 1e6);
+    return buf;
+}
+
+} // namespace dsv3

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Unit helpers and formatting.
+ *
+ * Conventions used throughout the library (and in the paper):
+ *  - Bytes are decimal: 1 KB = 1e3 B, 1 GB = 1e9 B. The paper reports
+ *    "70.272 KB" for 70,272 bytes, i.e. decimal kilobytes.
+ *  - Link rates quoted in Gbps are converted at 1 GB/s = 8 Gbps.
+ *  - Times are held in seconds (double); helpers exist for us/ms.
+ *  - FLOP counts are plain doubles; 1 GFLOP = 1e9 FLOPs.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dsv3 {
+
+// Byte quantities -----------------------------------------------------
+
+constexpr double kKB = 1e3;
+constexpr double kMB = 1e6;
+constexpr double kGB = 1e9;
+constexpr double kTB = 1e12;
+
+// FLOP quantities ------------------------------------------------------
+
+constexpr double kGFLOP = 1e9;
+constexpr double kTFLOP = 1e12;
+
+// Time quantities ------------------------------------------------------
+
+constexpr double kMicro = 1e-6;
+constexpr double kMilli = 1e-3;
+constexpr double kSecondsPerDay = 86400.0;
+
+/** Convert a NIC line rate in Gbps to bytes per second. */
+constexpr double
+gbpsToBytesPerSec(double gbps)
+{
+    return gbps * 1e9 / 8.0;
+}
+
+/** Format a byte count with a binary-free decimal suffix, e.g. "70.272 KB". */
+std::string formatBytes(double bytes, int precision = 3);
+
+/** Format a rate in GB/s, e.g. "42.1 GB/s". */
+std::string formatRate(double bytes_per_sec, int precision = 2);
+
+/** Format a duration with an auto-selected unit (ns/us/ms/s). */
+std::string formatTime(double seconds, int precision = 2);
+
+/** Format a count with thousands separators, e.g. "16,384". */
+std::string formatCount(std::uint64_t value);
+
+/** Format a dollar amount in millions, e.g. "$72.0M". */
+std::string formatMillions(double dollars, int precision = 1);
+
+} // namespace dsv3

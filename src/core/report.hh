@@ -1,0 +1,94 @@
+/**
+ * @file
+ * One-call reproduction of every table and figure in the paper's
+ * evaluation. Each function assembles the relevant simulators and
+ * returns a rendered Table; the bench binaries print these alongside
+ * microbenchmarks of the underlying kernels.
+ *
+ * Paper targets (see EXPERIMENTS.md for paper-vs-measured):
+ *   Table 1  KV cache per token            reproduceTable1()
+ *   Table 2  training GFLOPs/token         reproduceTable2()
+ *   Table 3  topology cost comparison      reproduceTable3()
+ *   Table 4  MPFT vs MRFT training step    reproduceTable4()
+ *   Table 5  IB/RoCE/NVLink latency        reproduceTable5()
+ *   Fig 5    all-to-all busBW 32-128 GPUs  reproduceFigure5()
+ *   Fig 6    all-to-all latency vs size    reproduceFigure6()
+ *   Fig 7    DeepEP dispatch/combine       reproduceFigure7()
+ *   Fig 8    RoCE routing policies         reproduceFigure8()
+ *   Sec 2.2.2 local/MoE inference          reproduceLocalInference()
+ *   Sec 2.3.2 EP speed limit               reproduceSpeedLimit()
+ *   Sec 2.3.3 MTP speedup                  reproduceMtp()
+ *   Sec 3.1  FP8 GEMM accuracy             reproduceFp8Gemm()
+ *   Sec 3.2  LogFMT accuracy               reproduceLogFmt()
+ *   Sec 4.3  node-limited routing          reproduceNodeLimited()
+ */
+
+#pragma once
+
+#include "common/table.hh"
+
+namespace dsv3::core {
+
+using dsv3::Table;
+
+// Model cost tables ------------------------------------------------------
+
+/** Table 1: KV cache bytes per token, MLA vs GQA. */
+Table reproduceTable1();
+
+/** Table 2: training GFLOPs per token at sequence length 4096. */
+Table reproduceTable2();
+
+// Network design tables ---------------------------------------------------
+
+/** Table 3: FT2 / MPFT / FT3 / SF / DF sizing and cost. */
+Table reproduceTable3();
+
+/** Table 4: DeepSeek-V3 training metrics on MPFT vs MRFT. */
+Table reproduceTable4();
+
+/** Table 5: 64B end-to-end latency for RoCE / IB / NVLink. */
+Table reproduceTable5();
+
+// Figures -----------------------------------------------------------------
+
+/** Figure 5: NCCL all-to-all busBW, 32-128 GPUs, MPFT vs MRFT. */
+Table reproduceFigure5();
+
+/** Figure 6: all-to-all latency vs message size (16 GPUs). */
+Table reproduceFigure6();
+
+/** Figure 7: DeepEP dispatch/combine per-GPU bandwidth, 16-128 GPUs. */
+Table reproduceFigure7();
+
+/** Figure 8: AllGather/ReduceScatter under ECMP / AR / Static. */
+Table reproduceFigure8();
+
+// In-text analyses --------------------------------------------------------
+
+/** Sec 2.2.2: MoE vs dense decode speed on personal/local hardware. */
+Table reproduceLocalInference();
+
+/** Sec 2.3.2: theoretical EP decode speed limits (H800 IB, NVL72). */
+Table reproduceSpeedLimit();
+
+/** Sec 2.3.3: MTP acceptance-rate sweep and TPS speedup. */
+Table reproduceMtp();
+
+/** Sec 2.3.1: dual micro-batch overlap utilization/TPOT. */
+Table reproduceOverlap();
+
+/** Sec 3.1: FP8 GEMM accuracy by granularity and accumulator. */
+Table reproduceFp8Gemm(std::size_t m = 48, std::size_t n = 48,
+                       std::size_t k = 4096);
+
+/** Sec 3.1 ablation: FP22 error growth with reduction length K. */
+Table reproduceFp8AccumulationSweep();
+
+/** Sec 3.2: LogFMT-nBit vs FP8/BF16 quantization quality. */
+Table reproduceLogFmt();
+
+/** Sec 4.3: node-limited routing, M distribution and IB time. */
+Table reproduceNodeLimited();
+
+} // namespace dsv3::core

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproductions beyond the paper's numbered tables/figures: the
+ * quantitative versions of its discussion sections, plus ablations of
+ * the library's own design choices.
+ *
+ *   Sec 2.1.2  KV-cache strategy survey      reproduceKvSurvey()
+ *   Sec 2.1.2  MLA equivalence check         reproduceMlaEquivalence()
+ *   EPLB       expert load balancing         reproduceEplb()
+ *   Sec 4.4    SM vs RDMA vs offloaded comm  reproduceOffload()
+ *   Sec 4.5    PCIe bandwidth contention     reproduceContention()
+ *   Sec 6.1    reliability / goodput         reproduceReliability()
+ */
+
+#pragma once
+
+#include "common/table.hh"
+
+namespace dsv3::core {
+
+/** Sec 2.1.2: KV bytes at 128k context for MLA / GQA / MQA /
+ *  windowed / quantized strategies across the compared models. */
+Table reproduceKvSurvey();
+
+/** MLA cached-latent vs explicit-KV numerical equivalence + the
+ *  measured compression ratio (backs Table 1's premise). */
+Table reproduceMlaEquivalence();
+
+/** EPLB: expert-load imbalance before/after replica balancing for a
+ *  range of routing skews. */
+Table reproduceEplb();
+
+/** DeepSeek-V3's auxiliary-loss-free gate balancing: cumulative
+ *  expert imbalance with and without the bias mechanism. */
+Table reproduceBiasBalancing();
+
+/** Sec 4.4: the three EP transport designs on a decode layer. */
+Table reproduceOffload();
+
+/** Sec 4.5: EP latency under PCIe contention with a KV prefetch. */
+Table reproduceContention();
+
+/** Sec 6.1: goodput vs cluster size, with/without hardware SDC
+ *  detection. */
+Table reproduceReliability();
+
+/** Sec 6.5: in-network multicast/reduction (+ LogFMT compression)
+ *  savings on EP all-to-all. */
+Table reproduceInNetwork();
+
+/** Sec 6.4: small-message throughput under sender fences vs the
+ *  proposed RAR hardware ordering. */
+Table reproduceOrdering();
+
+/** Sec 5.2.2: incast victim latency under shared queues vs VOQ vs
+ *  VOQ + endpoint congestion control. */
+Table reproduceIncast();
+
+/** Sec 2.3.1: prefill/decode disaggregation vs colocation. */
+Table reproduceDisaggregation();
+
+/** Sec 2.4: small-model validation pipeline for FP8 — model-level
+ *  output and pseudo-loss divergence per precision. */
+Table reproducePrecisionValidation();
+
+} // namespace dsv3::core

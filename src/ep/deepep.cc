@@ -1,0 +1,187 @@
+#include "ep/deepep.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+#include "moe/placement.hh"
+#include "moe/token_gen.hh"
+#include "net/flow.hh"
+
+namespace dsv3::ep {
+
+namespace {
+
+/** Aggregated traffic matrices produced by routing all tokens. */
+struct TrafficCounts
+{
+    // copies[src_gpu][dst_host]: IB token copies (deduplicated).
+    std::vector<std::vector<double>> interHostCopies;
+    // deliveries[src_gpu][dst_gpu]: expert deliveries.
+    std::vector<std::vector<double>> deliveries;
+    double sumNodesTouched = 0.0;
+    double sumGpusTouched = 0.0;
+    double tokens = 0.0;
+};
+
+TrafficCounts
+routeAllTokens(const net::Cluster &cluster, const EpWorkload &w)
+{
+    const std::size_t gpus = cluster.gpus.size();
+    const std::size_t hosts = cluster.config.hosts;
+    moe::ExpertPlacement placement(w.gate.experts, hosts,
+                                   cluster.config.gpusPerHost);
+    moe::TopKGate gate(w.gate);
+
+    TrafficCounts tc;
+    tc.interHostCopies.assign(gpus, std::vector<double>(hosts, 0.0));
+    tc.deliveries.assign(gpus, std::vector<double>(gpus, 0.0));
+
+    for (std::size_t src = 0; src < gpus; ++src) {
+        moe::TokenScoreGenerator gen(w.gate.experts, w.popularitySkew,
+                                     w.seed + src);
+        for (std::size_t t = 0; t < w.tokensPerGpu; ++t) {
+            auto decision = gate.route(gen.next());
+            std::vector<std::uint32_t> dst_hosts, dst_gpus;
+            for (std::uint32_t e : decision.experts) {
+                dst_hosts.push_back(placement.node(e));
+                dst_gpus.push_back(placement.gpu(e));
+            }
+            auto dedup = [](std::vector<std::uint32_t> &v) {
+                std::sort(v.begin(), v.end());
+                v.erase(std::unique(v.begin(), v.end()), v.end());
+            };
+            dedup(dst_hosts);
+            dedup(dst_gpus);
+            tc.sumNodesTouched += (double)dst_hosts.size();
+            tc.sumGpusTouched += (double)dst_gpus.size();
+            tc.tokens += 1.0;
+            for (std::uint32_t h : dst_hosts) {
+                if (h != cluster.hostOf(src))
+                    tc.interHostCopies[src][h] += 1.0;
+            }
+            for (std::uint32_t g : dst_gpus)
+                tc.deliveries[src][g] += 1.0;
+        }
+    }
+    return tc;
+}
+
+/** One phase (dispatch or combine) timed via the fluid model. */
+struct PhaseResult
+{
+    double seconds;
+    double worstNicBytes;
+};
+
+PhaseResult
+timePhase(const net::Cluster &cluster, const TrafficCounts &tc,
+          double bytes_per_token, bool reverse)
+{
+    const std::size_t gpus = cluster.gpus.size();
+    const std::size_t per_host = cluster.config.gpusPerHost;
+
+    // Aggregate flows keyed by (graph src, graph dst).
+    std::map<std::pair<net::NodeId, net::NodeId>, double> agg;
+    std::vector<double> nic_bytes(gpus, 0.0);
+
+    auto add = [&](std::size_t a_rank, std::size_t b_rank,
+                   double bytes) {
+        if (a_rank == b_rank || bytes <= 0.0)
+            return;
+        std::size_t s = reverse ? b_rank : a_rank;
+        std::size_t d = reverse ? a_rank : b_rank;
+        agg[{cluster.gpus[s], cluster.gpus[d]}] += bytes;
+    };
+
+    for (std::size_t src = 0; src < gpus; ++src) {
+        const std::size_t src_host = cluster.hostOf(src);
+        const std::size_t src_plane = cluster.planeOf(src);
+
+        // Inter-host copies: src -> same-plane relay on dst host.
+        for (std::size_t h = 0; h < cluster.config.hosts; ++h) {
+            double copies = tc.interHostCopies[src][h];
+            if (copies <= 0.0)
+                continue;
+            std::size_t relay = h * per_host + src_plane;
+            double bytes = copies * bytes_per_token;
+            add(src, relay, bytes);
+            nic_bytes[reverse ? relay : src] += bytes;
+
+            // Relay fans copies out over NVLink to expert GPUs.
+            for (std::size_t g = h * per_host;
+                 g < (h + 1) * per_host; ++g) {
+                double deliv = tc.deliveries[src][g];
+                if (deliv <= 0.0 || g == relay)
+                    continue;
+                add(relay, g, deliv * bytes_per_token);
+            }
+        }
+        // Intra-host deliveries go straight over NVLink.
+        for (std::size_t g = src_host * per_host;
+             g < (src_host + 1) * per_host; ++g) {
+            double deliv = tc.deliveries[src][g];
+            if (deliv <= 0.0)
+                continue;
+            add(src, g, deliv * bytes_per_token);
+        }
+    }
+
+    std::vector<net::Flow> flows;
+    flows.reserve(agg.size());
+    std::uint64_t qp = 0;
+    for (const auto &[key, bytes] : agg) {
+        net::Flow f;
+        f.src = key.first;
+        f.dst = key.second;
+        f.bytes = bytes;
+        f.qp = qp++;
+        flows.push_back(f);
+    }
+    assignPaths(cluster.graph, flows, net::RoutePolicy::ADAPTIVE);
+    net::FlowSimResult sim = simulateFlows(cluster.graph, flows);
+
+    PhaseResult out;
+    out.seconds = sim.makespan;
+    out.worstNicBytes =
+        *std::max_element(nic_bytes.begin(), nic_bytes.end());
+    return out;
+}
+
+} // namespace
+
+EpResult
+simulateDeepEp(const net::Cluster &cluster, const EpWorkload &w)
+{
+    DSV3_ASSERT(w.gate.experts % cluster.gpus.size() == 0,
+                "experts must divide evenly over GPUs");
+    TrafficCounts tc = routeAllTokens(cluster, w);
+
+    const double dispatch_bytes =
+        (double)w.hidden *
+        (w.dispatchBytesPerElem * (1.0 + w.dispatchScaleOverhead));
+    const double combine_bytes =
+        (double)w.hidden * w.combineBytesPerElem;
+
+    PhaseResult dispatch = timePhase(cluster, tc, dispatch_bytes,
+                                     /*reverse=*/false);
+    PhaseResult combine = timePhase(cluster, tc, combine_bytes,
+                                    /*reverse=*/true);
+
+    EpResult out;
+    out.dispatchSeconds = dispatch.seconds;
+    out.combineSeconds = combine.seconds;
+    out.dispatchNicBytesPerGpu = dispatch.worstNicBytes;
+    out.combineNicBytesPerGpu = combine.worstNicBytes;
+    out.dispatchGBsPerGpu = dispatch.seconds > 0.0
+        ? dispatch.worstNicBytes / dispatch.seconds : 0.0;
+    out.combineGBsPerGpu = combine.seconds > 0.0
+        ? combine.worstNicBytes / combine.seconds : 0.0;
+    out.meanNodesTouched = tc.tokens > 0.0
+        ? tc.sumNodesTouched / tc.tokens : 0.0;
+    out.meanGpusTouched = tc.tokens > 0.0
+        ? tc.sumGpusTouched / tc.tokens : 0.0;
+    return out;
+}
+
+} // namespace dsv3::ep

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Flow-level model of DeepEP-style expert-parallel all-to-all
+ * (dispatch and combine) over an H800 cluster.
+ *
+ * Token routing comes from the real gate (moe::TopKGate, optionally
+ * node-limited). Traffic follows DeepEP's transport scheme:
+ *
+ *  - dispatch: for every destination host, a token crosses IB once
+ *    (FP8 payload + per-128 scales), landing on the *same-plane* GPU
+ *    of the destination host; NVLink then forwards the copy to the
+ *    GPUs hosting the selected experts (traffic deduplication,
+ *    Sec 4.3). Intra-host deliveries use NVLink directly.
+ *  - combine: the reverse traffic in BF16.
+ *
+ * Both segments of a relayed transfer run concurrently in the fluid
+ * model, matching the steady-state pipelining of the real kernels.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "moe/gate.hh"
+#include "net/cluster.hh"
+
+namespace dsv3::ep {
+
+struct EpWorkload
+{
+    std::size_t tokensPerGpu = 4096; //!< Figure 7 uses 4096
+    std::size_t hidden = 7168;
+    moe::GateConfig gate;            //!< experts / topK / node limits
+    double dispatchBytesPerElem = 1.0; //!< FP8
+    double combineBytesPerElem = 2.0;  //!< BF16
+    /** FP8 scale overhead: one float per 128 elements. */
+    double dispatchScaleOverhead = 4.0 / 128.0;
+    double popularitySkew = 0.3;     //!< token synthesis skew
+    std::uint64_t seed = 42;
+};
+
+struct EpResult
+{
+    double dispatchSeconds = 0.0;
+    double combineSeconds = 0.0;
+    /** Worst per-GPU NIC bytes sent during dispatch / rate achieved. */
+    double dispatchNicBytesPerGpu = 0.0;
+    double dispatchGBsPerGpu = 0.0;
+    double combineNicBytesPerGpu = 0.0;
+    double combineGBsPerGpu = 0.0;
+    /** Mean distinct destination hosts per token (E[M]). */
+    double meanNodesTouched = 0.0;
+    /** Mean distinct destination GPUs per token. */
+    double meanGpusTouched = 0.0;
+};
+
+/**
+ * Simulate one dispatch+combine round on @p cluster. The gate's
+ * expert count must divide evenly over the cluster's GPUs.
+ */
+EpResult simulateDeepEp(const net::Cluster &cluster,
+                        const EpWorkload &workload);
+
+} // namespace dsv3::ep

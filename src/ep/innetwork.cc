@@ -1,0 +1,64 @@
+#include "ep/innetwork.hh"
+
+#include "common/logging.hh"
+
+namespace dsv3::ep {
+
+const char *
+networkCapabilityName(NetworkCapability capability)
+{
+    switch (capability) {
+      case NetworkCapability::UNICAST:
+        return "unicast (today)";
+      case NetworkCapability::MULTICAST_DISPATCH:
+        return "+ multicast dispatch";
+      case NetworkCapability::MULTICAST_AND_REDUCE:
+        return "+ in-network reduce";
+    }
+    return "?";
+}
+
+InNetworkResult
+evaluateInNetwork(NetworkCapability capability,
+                  const InNetworkParams &p)
+{
+    DSV3_ASSERT(p.nicBytesPerSec > 0.0);
+    DSV3_ASSERT(p.meanNodesTouched >= 1.0);
+
+    const double dispatch_copy = (double)p.hidden *
+                                 p.dispatchBytesPerElem *
+                                 p.compressionFactor;
+    const double combine_copy = (double)p.hidden *
+                                p.combineBytesPerElem *
+                                p.compressionFactor;
+
+    InNetworkResult out;
+    switch (capability) {
+      case NetworkCapability::UNICAST:
+        // One deduplicated copy per destination node each way.
+        out.dispatchBytesPerToken = p.meanNodesTouched * dispatch_copy;
+        out.combineBytesPerToken = p.meanNodesTouched * combine_copy;
+        break;
+      case NetworkCapability::MULTICAST_DISPATCH:
+        // The switch replicates: the source NIC emits one copy no
+        // matter how many nodes the token reaches.
+        out.dispatchBytesPerToken = dispatch_copy;
+        out.combineBytesPerToken = p.meanNodesTouched * combine_copy;
+        break;
+      case NetworkCapability::MULTICAST_AND_REDUCE:
+        // The switch also aggregates combine contributions: the
+        // owner's NIC receives one reduced copy.
+        out.dispatchBytesPerToken = dispatch_copy;
+        out.combineBytesPerToken = combine_copy;
+        break;
+    }
+    out.dispatchTimePerToken =
+        out.dispatchBytesPerToken / p.nicBytesPerSec;
+    out.combineTimePerToken =
+        out.combineBytesPerToken / p.nicBytesPerSec;
+    out.totalTimePerToken =
+        out.dispatchTimePerToken + out.combineTimePerToken;
+    return out;
+}
+
+} // namespace dsv3::ep

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * In-network computation model for EP all-to-all (Sec 6.5).
+ *
+ * Dispatch is a small-scale multicast: today the sender (or its
+ * NVLink forwarder) emits one unicast copy per destination; a switch
+ * that replicates packets would let one copy per *switch subtree*
+ * suffice. Combine is a small-scale reduction: today every expert's
+ * contribution travels to the token's owner; in-network aggregation
+ * would merge them at the switch. LogFMT compression (Sec 3.2)
+ * stacks multiplicatively on either.
+ *
+ * The model compares NIC bytes per token for each capability level
+ * and converts them into dispatch/combine times on the H800 NIC.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+namespace dsv3::ep {
+
+enum class NetworkCapability
+{
+    UNICAST,            //!< today: one copy per destination node
+    MULTICAST_DISPATCH, //!< switch replicates dispatch packets
+    MULTICAST_AND_REDUCE, //!< plus in-network combine aggregation
+};
+
+const char *networkCapabilityName(NetworkCapability capability);
+
+struct InNetworkParams
+{
+    double meanNodesTouched = 3.5; //!< E[M] per token
+    std::size_t hidden = 7168;
+    double dispatchBytesPerElem = 1.0; //!< FP8
+    double combineBytesPerElem = 2.0;  //!< BF16
+    double nicBytesPerSec = 40e9;
+    /** Wire-format compression from LogFMT-style hardware codecs:
+     *  bytes multiplier (1.0 = none, 0.5 = LogFMT-8 vs BF16). */
+    double compressionFactor = 1.0;
+};
+
+struct InNetworkResult
+{
+    double dispatchBytesPerToken = 0.0; //!< leaving the source NIC
+    double combineBytesPerToken = 0.0;  //!< entering the owner NIC
+    double dispatchTimePerToken = 0.0;
+    double combineTimePerToken = 0.0;
+    double totalTimePerToken = 0.0;
+};
+
+/** Evaluate one capability level. */
+InNetworkResult evaluateInNetwork(NetworkCapability capability,
+                                  const InNetworkParams &params);
+
+} // namespace dsv3::ep

@@ -1,0 +1,66 @@
+#include "ep/offload.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dsv3::ep {
+
+const char *
+commTransportName(CommTransport transport)
+{
+    switch (transport) {
+      case CommTransport::SM_FORWARDING:
+        return "SM forwarding (training)";
+      case CommTransport::RDMA_ONLY:
+        return "RDMA only (inference)";
+      case CommTransport::HARDWARE_OFFLOAD:
+        return "hardware offload (proposed)";
+    }
+    return "?";
+}
+
+TransportResult
+evaluateTransport(CommTransport transport, const TransportParams &p)
+{
+    DSV3_ASSERT(p.totalSms > p.commSms);
+    DSV3_ASSERT(p.computeTime >= 0.0 && p.ibTimePerNodeCopy >= 0.0);
+
+    TransportResult out;
+    double sm_fraction = 1.0;
+    double ib_copies = p.meanNodesTouched;
+
+    switch (transport) {
+      case CommTransport::SM_FORWARDING:
+        // Compute loses the communication SMs; IB carries one copy
+        // per destination node (NVLink forwarding dedups).
+        sm_fraction = (double)(p.totalSms - p.commSms) /
+                      (double)p.totalSms;
+        ib_copies = p.meanNodesTouched;
+        break;
+      case CommTransport::RDMA_ONLY:
+        // All SMs compute; every destination GPU gets its own RDMA
+        // copy (no forwarding to dedup with).
+        sm_fraction = 1.0;
+        ib_copies = p.meanGpusTouched;
+        break;
+      case CommTransport::HARDWARE_OFFLOAD:
+        // Co-processor forwards and dedups without SM involvement.
+        sm_fraction = 1.0;
+        ib_copies = p.meanNodesTouched;
+        break;
+    }
+
+    out.effectiveComputeTime = p.computeTime / sm_fraction;
+    out.ibTime = ib_copies * p.ibTimePerNodeCopy;
+    // Dual micro-batch overlap: the layer advances at the slower of
+    // compute and communication.
+    out.layerTime = std::max(out.effectiveComputeTime, out.ibTime);
+    out.computeEfficiency =
+        p.computeTime > 0.0 && out.layerTime > 0.0
+            ? p.computeTime / out.layerTime
+            : 0.0;
+    return out;
+}
+
+} // namespace dsv3::ep

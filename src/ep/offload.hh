@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Communication-transport cost model for EP all-to-all (Sec 4.4).
+ *
+ * During training DeepSeek-V3 spends up to 20 of the H800's 132 SMs
+ * on communication work (QP/WQE filling, NVLink forwarding, RDMA
+ * buffer copies, combine reductions, casts), shrinking the compute
+ * available to GEMM kernels. Inference instead uses NIC-only RDMA
+ * (IBGDA) to keep all SMs for compute — but without SM forwarding the
+ * NVLink dedup of node-limited routing is unavailable, so IB carries
+ * one copy per destination *GPU* rather than per destination *node*.
+ * The paper's suggestion is hardware offload (a communication
+ * co-processor) that provides dedup without SM cost.
+ *
+ * evaluateTransport() scores the three designs on the same layer:
+ * compute slowdown from lost SMs, IB time from the dedup factor, and
+ * the resulting dual-micro-batch layer time.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+namespace dsv3::ep {
+
+enum class CommTransport
+{
+    SM_FORWARDING,    //!< training path: SMs forward + dedup
+    RDMA_ONLY,        //!< inference path: no SM cost, no dedup
+    HARDWARE_OFFLOAD, //!< proposed: co-processor dedups, no SM cost
+};
+
+const char *commTransportName(CommTransport transport);
+
+struct TransportParams
+{
+    std::size_t totalSms = 132;    //!< H800 SM count
+    std::size_t commSms = 20;      //!< SMs consumed by SM forwarding
+    double computeTime = 0.0;      //!< layer compute at full SMs (s)
+    double meanNodesTouched = 3.5; //!< E[M] under node-limited gate
+    double meanGpusTouched = 7.0;  //!< E[distinct dst GPUs] per token
+    /** IB time for ONE deduplicated copy set (M = 1), seconds. */
+    double ibTimePerNodeCopy = 0.0;
+};
+
+struct TransportResult
+{
+    double effectiveComputeTime = 0.0; //!< slowed by SM loss
+    double ibTime = 0.0;               //!< per layer (both phases)
+    double layerTime = 0.0;            //!< dual micro-batch overlap
+    double computeEfficiency = 0.0;    //!< vs full-SM compute
+};
+
+/** Evaluate one transport design. */
+TransportResult evaluateTransport(CommTransport transport,
+                                  const TransportParams &params);
+
+} // namespace dsv3::ep

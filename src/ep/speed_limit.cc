@@ -1,0 +1,34 @@
+#include "ep/speed_limit.hh"
+
+#include "common/logging.hh"
+
+namespace dsv3::ep {
+
+SpeedLimit
+epSpeedLimit(const SpeedLimitParams &params)
+{
+    DSV3_ASSERT(params.bandwidthBytesPerSec > 0.0);
+    const double bytes =
+        (params.dispatchBytes + params.combineBytes) *
+        (double)params.batchPerDevice *
+        (double)params.expertsPerToken * (double)params.hidden;
+
+    SpeedLimit out;
+    out.commTimePerStage = bytes / params.bandwidthBytesPerSec;
+    out.timePerLayer = 2.0 * out.commTimePerStage;
+    out.tpotSeconds = (double)params.layers * out.timePerLayer;
+    out.tokensPerSecond = 1.0 / out.tpotSeconds;
+    return out;
+}
+
+double
+nodeLimitedIbTime(double nodes_touched, std::size_t hidden,
+                  double bytes_per_elem,
+                  double bandwidth_bytes_per_sec)
+{
+    DSV3_ASSERT(bandwidth_bytes_per_sec > 0.0);
+    return nodes_touched * (double)hidden * bytes_per_elem /
+           bandwidth_bytes_per_sec;
+}
+
+} // namespace dsv3::ep

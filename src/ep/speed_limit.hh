@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The EP inference speed-limit model of Sec 2.3.2, plus the
+ * node-limited-routing IB timing of Sec 4.3.
+ *
+ * Reproduces the paper's arithmetic exactly:
+ *   Comm time = (1B + 2B) * 32 * 9 * 7K / 50GB/s = 120.96 us
+ *   Total per layer (dual micro-batch) = 2 * comm = 241.92 us
+ *   TPOT = 61 layers * 241.92 us = 14.76 ms  (67 tok/s)
+ * and the GB200 NVL72 variant at 900 GB/s: 6.72 us per stage,
+ * 0.82 ms TPOT (~1200 tok/s).
+ */
+
+#pragma once
+
+#include <cstddef>
+
+namespace dsv3::ep {
+
+struct SpeedLimitParams
+{
+    std::size_t batchPerDevice = 32; //!< decode tokens in flight
+    std::size_t hidden = 7000;       //!< "~7K" in the paper's estimate
+    std::size_t expertsPerToken = 9; //!< 8 routed + 1 shared
+    double dispatchBytes = 1.0;      //!< FP8
+    double combineBytes = 2.0;       //!< BF16
+    std::size_t layers = 61;
+    double bandwidthBytesPerSec = 50e9; //!< CX7 IB per GPU
+};
+
+struct SpeedLimit
+{
+    double commTimePerStage = 0.0; //!< one dispatch+combine pass (s)
+    double timePerLayer = 0.0;     //!< 2x under dual micro-batch
+    double tpotSeconds = 0.0;
+    double tokensPerSecond = 0.0;
+};
+
+/** Evaluate the analytical speed limit. */
+SpeedLimit epSpeedLimit(const SpeedLimitParams &params);
+
+/**
+ * IB dispatch time for one token under node-limited routing: with the
+ * token's experts on M distinct remote nodes and NVLink dedup, the
+ * token crosses IB M times (Sec 4.3's "Mt" argument).
+ */
+double nodeLimitedIbTime(double nodes_touched, std::size_t hidden,
+                         double bytes_per_elem,
+                         double bandwidth_bytes_per_sec);
+
+} // namespace dsv3::ep

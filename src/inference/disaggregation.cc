@@ -1,0 +1,47 @@
+#include "inference/disaggregation.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dsv3::inference {
+
+DisaggregationReport
+evaluateDisaggregation(const ServingWorkload &w)
+{
+    DSV3_ASSERT(w.prefillTokensPerSecPerGpu > 0.0);
+    DSV3_ASSERT(w.decodeTpotSeconds > 0.0);
+    DSV3_ASSERT(w.decodeStreamsPerGpu > 0.0);
+
+    DisaggregationReport out;
+
+    // Demand: prefill tokens/s and concurrent decode streams.
+    const double prefill_tps = w.requestsPerSecond * w.promptTokens;
+    out.prefillGpus = prefill_tps / w.prefillTokensPerSecPerGpu;
+    const double concurrent_streams =
+        w.requestsPerSecond * w.genTokens * w.decodeTpotSeconds;
+    out.decodeGpus = concurrent_streams / w.decodeStreamsPerGpu;
+
+    // Colocated: the shared pool serves both; prefill chunks occupy
+    // a duty-cycle fraction of every GPU, stretching decode steps.
+    const double pool = out.prefillGpus + out.decodeGpus;
+    out.colocatedDutyCycle = pool > 0.0 ? out.prefillGpus / pool : 0.0;
+    DSV3_ASSERT(out.colocatedDutyCycle < 1.0);
+    out.colocatedTpot =
+        w.decodeTpotSeconds / (1.0 - out.colocatedDutyCycle);
+    // TTFT: one GPU's-worth of prefill throughput processes the
+    // prompt (chunked prefill parallelism is out of scope here).
+    out.colocatedTtft = w.promptTokens / w.prefillTokensPerSecPerGpu;
+
+    // Disaggregated: clean decode TPOT; TTFT adds the KV handoff.
+    out.disaggTpot = w.decodeTpotSeconds;
+    out.disaggTtft =
+        w.promptTokens / w.prefillTokensPerSecPerGpu +
+        w.kvTransferSeconds;
+
+    out.tpotImprovement = out.colocatedTpot / out.disaggTpot;
+    return out;
+}
+
+} // namespace dsv3::inference

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Prefill/decode disaggregation model (Sec 2.3.1).
+ *
+ * Production DeepSeek-V3 serving separates large-batch prefill from
+ * latency-sensitive decode into different expert-parallel groups.
+ * Colocating them makes every decode step wait behind interleaved
+ * prefill chunks (TPOT inflates by the prefill duty cycle), while
+ * disaggregation keeps decode TPOT clean at the cost of shipping the
+ * prompt's KV cache between pools.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+namespace dsv3::inference {
+
+struct ServingWorkload
+{
+    double requestsPerSecond = 4.0;
+    double promptTokens = 4096.0;
+    double genTokens = 512.0;
+
+    double prefillTokensPerSecPerGpu = 12000.0; //!< compute-bound
+    double decodeTpotSeconds = 0.015;  //!< uncontended decode step
+    double decodeStreamsPerGpu = 16.0; //!< concurrent sequences/GPU
+    double kvTransferSeconds = 0.05;   //!< prefill->decode handoff
+};
+
+struct DisaggregationReport
+{
+    // GPU demand.
+    double prefillGpus = 0.0;
+    double decodeGpus = 0.0;
+
+    // Colocated deployment.
+    double colocatedDutyCycle = 0.0; //!< prefill share of GPU time
+    double colocatedTpot = 0.0;
+    double colocatedTtft = 0.0;
+
+    // Disaggregated deployment.
+    double disaggTpot = 0.0;
+    double disaggTtft = 0.0;
+
+    double tpotImprovement = 0.0; //!< colocated / disaggregated
+};
+
+/** Evaluate both deployments for the workload. */
+DisaggregationReport evaluateDisaggregation(const ServingWorkload &w);
+
+} // namespace dsv3::inference

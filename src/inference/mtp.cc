@@ -1,0 +1,46 @@
+#include "inference/mtp.hh"
+
+#include "common/logging.hh"
+
+namespace dsv3::inference {
+
+MtpResult
+mtpAnalytic(const MtpConfig &config)
+{
+    DSV3_ASSERT(config.acceptanceRate >= 0.0 &&
+                config.acceptanceRate <= 1.0);
+    MtpResult out;
+    // Chain acceptance: draft i lands only if drafts 1..i all land.
+    double tokens = 1.0;
+    double chain = 1.0;
+    for (std::size_t i = 0; i < config.draftTokens; ++i) {
+        chain *= config.acceptanceRate;
+        tokens += chain;
+    }
+    out.meanTokensPerStep = tokens;
+    out.stepCostRatio = 1.0 + config.stepOverhead;
+    out.speedup = out.meanTokensPerStep / out.stepCostRatio;
+    return out;
+}
+
+MtpResult
+mtpSimulate(const MtpConfig &config, Rng &rng, std::size_t steps)
+{
+    DSV3_ASSERT(steps > 0);
+    double total_tokens = 0.0;
+    for (std::size_t s = 0; s < steps; ++s) {
+        total_tokens += 1.0; // the model's own token always lands
+        for (std::size_t d = 0; d < config.draftTokens; ++d) {
+            if (!rng.bernoulli(config.acceptanceRate))
+                break;
+            total_tokens += 1.0;
+        }
+    }
+    MtpResult out;
+    out.meanTokensPerStep = total_tokens / (double)steps;
+    out.stepCostRatio = 1.0 + config.stepOverhead;
+    out.speedup = out.meanTokensPerStep / out.stepCostRatio;
+    return out;
+}
+
+} // namespace dsv3::inference

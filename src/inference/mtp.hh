@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Multi-Token Prediction speculative decoding model (Sec 2.3.3).
+ *
+ * The MTP module drafts the next token(s) with a single extra layer;
+ * the main model verifies the draft in parallel with generating its
+ * own token. With acceptance probability p per drafted token (the
+ * paper reports 80-90% for the second token) a step emits on average
+ * 1 + p + p^2 + ... tokens for a chain of drafts, at a per-step cost
+ * inflated only by the lightweight draft layer(s) and the slightly
+ * wider verification batch.
+ *
+ * Both the closed form and a Monte Carlo simulation are provided; the
+ * simulation exercises the chain-acceptance process directly and is
+ * used by the property tests to validate the closed form.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hh"
+
+namespace dsv3::inference {
+
+struct MtpConfig
+{
+    double acceptanceRate = 0.85; //!< per-draft-token acceptance
+    std::size_t draftTokens = 1;  //!< chain length (V3 deploys 1)
+    /**
+     * Extra per-step cost of drafting+verifying, relative to a plain
+     * decode step: one extra transformer layer out of 61 plus the
+     * shared head, and the wider verify batch.
+     */
+    double stepOverhead = 0.05;
+};
+
+struct MtpResult
+{
+    double meanTokensPerStep = 0.0;
+    double stepCostRatio = 0.0; //!< vs non-MTP decode step
+    double speedup = 0.0;       //!< generation TPS multiplier
+};
+
+/** Closed-form expectation. */
+MtpResult mtpAnalytic(const MtpConfig &config);
+
+/** Monte Carlo over @p steps decode steps. */
+MtpResult mtpSimulate(const MtpConfig &config, Rng &rng,
+                      std::size_t steps);
+
+} // namespace dsv3::inference

@@ -1,0 +1,25 @@
+#include "inference/overlap.hh"
+
+#include <algorithm>
+
+namespace dsv3::inference {
+
+OverlapResult
+dualMicroBatchOverlap(const LayerStageTimes &stages)
+{
+    OverlapResult out;
+    out.sequentialLayerTime = stages.sum();
+    // Steady state: the compute engine serializes both micro-batches'
+    // compute stages while the network pipes both micro-batches' comm
+    // stages alongside; the pair advances one layer every
+    // 2*max(compute, comm), i.e. max(compute, comm) per micro-batch.
+    out.overlappedLayerTime =
+        std::max(stages.compute(), stages.comm());
+    out.speedup = out.overlappedLayerTime > 0.0
+        ? out.sequentialLayerTime / out.overlappedLayerTime : 1.0;
+    out.gpuUtilization = out.overlappedLayerTime > 0.0
+        ? stages.compute() / out.overlappedLayerTime : 0.0;
+    return out;
+}
+
+} // namespace dsv3::inference

@@ -1,0 +1,90 @@
+#include "inference/roofline.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "model/flops.hh"
+#include "model/kv_cache.hh"
+#include "model/params.hh"
+
+namespace dsv3::inference {
+
+DecodeEstimate
+decodeEstimate(const DecodeScenario &scenario)
+{
+    const model::ModelConfig &cfg = scenario.modelConfig;
+    DSV3_ASSERT(scenario.memBytesPerSec > 0.0);
+    DSV3_ASSERT(scenario.batch >= 1);
+
+    model::ParamCounts params = model::countParams(cfg);
+    DecodeEstimate out;
+    // Weights stream once per step regardless of batch (they are
+    // shared across the batched GEMV). For MoE, distinct requests may
+    // activate distinct experts; with small batches the union of
+    // activated experts ~= batch * topK (little overlap for 256
+    // experts), capped at the full expert set.
+    double weight_params = params.matmulActivePerToken(cfg);
+    if (cfg.moe && scenario.batch > 1) {
+        const model::MoeConfig &m = *cfg.moe;
+        double per_token_routed =
+            params.moeRouted * (double)m.topK /
+            (double)m.routedExperts;
+        double activated = std::min(
+            (double)params.moeRouted,
+            per_token_routed * (double)scenario.batch);
+        weight_params += activated - per_token_routed;
+    }
+    out.weightBytesPerStep =
+        weight_params * scenario.weightBytesPerParam;
+    out.kvBytesPerStep =
+        model::kvCacheBytes(cfg, scenario.context,
+                            scenario.kvBytesPerElem) *
+        (double)scenario.batch;
+    out.memSecondsPerStep =
+        (out.weightBytesPerStep + out.kvBytesPerStep) /
+        scenario.memBytesPerSec;
+
+    if (scenario.computeFlopsPerSec > 0.0) {
+        double flops = model::decodeFlopsPerToken(cfg,
+                                                  scenario.context) *
+                       (double)scenario.batch;
+        out.computeSecondsPerStep =
+            flops / scenario.computeFlopsPerSec;
+    }
+    out.secondsPerStep =
+        std::max(out.memSecondsPerStep, out.computeSecondsPerStep);
+    out.memoryBound = out.memSecondsPerStep >= out.computeSecondsPerStep;
+    out.tokensPerSecond = (double)scenario.batch / out.secondsPerStep;
+    return out;
+}
+
+double
+ktransformersTps(const model::ModelConfig &cfg, double gpu_bw,
+                 double dram_bw, double weight_bytes_per_param,
+                 std::size_t context)
+{
+    DSV3_ASSERT(cfg.moe, "KTransformers split needs an MoE model");
+    DSV3_ASSERT(gpu_bw > 0.0 && dram_bw > 0.0);
+    model::ParamCounts params = model::countParams(cfg);
+    const model::MoeConfig &m = *cfg.moe;
+
+    // Host DRAM side: the activated routed experts.
+    double routed_active =
+        params.moeRouted * (double)m.topK / (double)m.routedExperts;
+    double cpu_time =
+        routed_active * weight_bytes_per_param / dram_bw;
+
+    // GPU side: everything else that participates in the step, plus
+    // the KV cache.
+    double gpu_params = params.matmulActivePerToken(cfg) - routed_active;
+    double gpu_bytes = gpu_params * weight_bytes_per_param +
+                       model::kvCacheBytes(cfg, context);
+    double gpu_time = gpu_bytes / gpu_bw;
+
+    // Expert compute and attention overlap poorly in this split (the
+    // token needs its experts' outputs before the next layer), so the
+    // stages serialize.
+    return 1.0 / (cpu_time + gpu_time);
+}
+
+} // namespace dsv3::inference

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Decode-phase roofline models (Secs 2.1.2, 2.2.2).
+ *
+ * Autoregressive decode is GEMV-shaped: every generated token must
+ * stream the activated weights plus the KV cache through the memory
+ * system, so small-batch decode is memory-bound (the paper's point
+ * about the GEMM->GEMV shift). These models quantify:
+ *
+ *  - decodeEstimate(): TPS on a single device from its memory
+ *    bandwidth and compute peak, for any model/batch/context;
+ *  - ktransformersTps(): the heterogeneous CPU+GPU deployment where
+ *    routed experts stream from host DRAM and attention/shared layers
+ *    run on a consumer GPU (the "~$10k server at ~20 TPS" claim);
+ *  - the MoE-vs-dense personal-device comparison of Sec 2.2.2.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "model/config.hh"
+#include "model/hardware.hh"
+
+namespace dsv3::inference {
+
+struct DecodeScenario
+{
+    model::ModelConfig modelConfig;
+    double memBytesPerSec = 0.0;   //!< device memory bandwidth
+    double computeFlopsPerSec = 0.0;
+    double weightBytesPerParam = 1.0; //!< FP8/INT8 = 1, BF16 = 2
+    std::size_t context = 4096;    //!< KV cache depth per request
+    std::size_t batch = 1;         //!< concurrent decode requests
+    std::size_t kvBytesPerElem = 2;
+};
+
+struct DecodeEstimate
+{
+    double weightBytesPerStep = 0.0;
+    double kvBytesPerStep = 0.0;
+    double memSecondsPerStep = 0.0;
+    double computeSecondsPerStep = 0.0;
+    double secondsPerStep = 0.0; //!< max(mem, compute)
+    double tokensPerSecond = 0.0; //!< batch / secondsPerStep
+    bool memoryBound = false;
+};
+
+/** Roofline decode estimate for one device. */
+DecodeEstimate decodeEstimate(const DecodeScenario &scenario);
+
+/**
+ * KTransformers-style split: routed experts stream from host DRAM at
+ * @p dram_bw while attention/dense/shared run from GPU memory at
+ * @p gpu_bw. Returns single-request decode TPS.
+ */
+double ktransformersTps(const model::ModelConfig &cfg, double gpu_bw,
+                        double dram_bw, double weight_bytes_per_param,
+                        std::size_t context = 4096);
+
+} // namespace dsv3::inference

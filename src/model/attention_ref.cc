@@ -1,0 +1,294 @@
+#include "model/attention_ref.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dsv3::model {
+
+namespace {
+
+Matrix
+randomWeights(std::size_t out, std::size_t in, Rng &rng)
+{
+    Matrix w(out, in);
+    double scale = 1.0 / std::sqrt((double)in);
+    w.fillNormal(rng, 0.0, scale);
+    return w;
+}
+
+std::vector<double>
+matVec(const Matrix &w, const std::vector<double> &x)
+{
+    DSV3_ASSERT(w.cols() == x.size());
+    std::vector<double> y(w.rows(), 0.0);
+    for (std::size_t r = 0; r < w.rows(); ++r) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < w.cols(); ++c)
+            acc += w.at(r, c) * x[c];
+        y[r] = acc;
+    }
+    return y;
+}
+
+/** y = W^T x. */
+std::vector<double>
+matTVec(const Matrix &w, const std::vector<double> &x)
+{
+    DSV3_ASSERT(w.rows() == x.size());
+    std::vector<double> y(w.cols(), 0.0);
+    for (std::size_t r = 0; r < w.rows(); ++r)
+        for (std::size_t c = 0; c < w.cols(); ++c)
+            y[c] += w.at(r, c) * x[r];
+    return y;
+}
+
+void
+appendRow(Matrix &m, const std::vector<double> &row)
+{
+    DSV3_ASSERT(m.cols() == row.size() || m.rows() == 0);
+    Matrix grown(m.rows() + 1, row.size());
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            grown.at(r, c) = m.at(r, c);
+    for (std::size_t c = 0; c < row.size(); ++c)
+        grown.at(m.rows(), c) = row[c];
+    m = std::move(grown);
+}
+
+std::vector<double>
+softmax(std::vector<double> scores)
+{
+    double mx = *std::max_element(scores.begin(), scores.end());
+    double denom = 0.0;
+    for (auto &s : scores) {
+        s = std::exp(s - mx);
+        denom += s;
+    }
+    for (auto &s : scores)
+        s /= denom;
+    return scores;
+}
+
+} // namespace
+
+std::vector<double>
+attendOne(const Matrix &keys, const Matrix &values,
+          const std::vector<double> &query)
+{
+    DSV3_ASSERT(keys.rows() == values.rows());
+    DSV3_ASSERT(keys.cols() == query.size());
+    DSV3_ASSERT(keys.rows() > 0);
+
+    const double scale = 1.0 / std::sqrt((double)query.size());
+    std::vector<double> scores(keys.rows(), 0.0);
+    for (std::size_t t = 0; t < keys.rows(); ++t) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < keys.cols(); ++c)
+            acc += keys.at(t, c) * query[c];
+        scores[t] = acc * scale;
+    }
+    scores = softmax(std::move(scores));
+
+    std::vector<double> out(values.cols(), 0.0);
+    for (std::size_t t = 0; t < values.rows(); ++t)
+        for (std::size_t c = 0; c < values.cols(); ++c)
+            out[c] += scores[t] * values.at(t, c);
+    return out;
+}
+
+// GqaReference ----------------------------------------------------------
+
+GqaReference::GqaReference(std::size_t hidden, std::size_t heads,
+                           std::size_t kv_heads, std::size_t head_dim,
+                           std::uint64_t seed)
+    : hidden_(hidden), heads_(heads), kvHeads_(kv_heads),
+      headDim_(head_dim)
+{
+    DSV3_ASSERT(heads_ % kvHeads_ == 0,
+                "query heads must group evenly onto KV heads");
+    Rng rng(seed);
+    wq_ = randomWeights(heads_ * headDim_, hidden_, rng);
+    wk_ = randomWeights(kvHeads_ * headDim_, hidden_, rng);
+    wv_ = randomWeights(kvHeads_ * headDim_, hidden_, rng);
+    wo_ = randomWeights(hidden_, heads_ * headDim_, rng);
+    keyCache_.assign(kvHeads_, Matrix(0, headDim_));
+    valueCache_.assign(kvHeads_, Matrix(0, headDim_));
+}
+
+std::vector<double>
+GqaReference::decode(const std::vector<double> &x)
+{
+    DSV3_ASSERT(x.size() == hidden_);
+    std::vector<double> q = matVec(wq_, x);
+    std::vector<double> k = matVec(wk_, x);
+    std::vector<double> v = matVec(wv_, x);
+
+    for (std::size_t h = 0; h < kvHeads_; ++h) {
+        std::vector<double> kh(k.begin() + (std::ptrdiff_t)(h *
+                                                            headDim_),
+                               k.begin() + (std::ptrdiff_t)((h + 1) *
+                                                            headDim_));
+        std::vector<double> vh(v.begin() + (std::ptrdiff_t)(h *
+                                                            headDim_),
+                               v.begin() + (std::ptrdiff_t)((h + 1) *
+                                                            headDim_));
+        appendRow(keyCache_[h], kh);
+        appendRow(valueCache_[h], vh);
+    }
+    ++tokens_;
+
+    const std::size_t group = heads_ / kvHeads_;
+    std::vector<double> concat(heads_ * headDim_, 0.0);
+    for (std::size_t h = 0; h < heads_; ++h) {
+        std::size_t kv = h / group;
+        std::vector<double> qh(q.begin() + (std::ptrdiff_t)(h *
+                                                            headDim_),
+                               q.begin() + (std::ptrdiff_t)((h + 1) *
+                                                            headDim_));
+        auto out = attendOne(keyCache_[kv], valueCache_[kv], qh);
+        std::copy(out.begin(), out.end(),
+                  concat.begin() + (std::ptrdiff_t)(h * headDim_));
+    }
+    return matVec(wo_, concat);
+}
+
+std::size_t
+GqaReference::cacheBytes(std::size_t elem_bytes) const
+{
+    return 2 * kvHeads_ * headDim_ * tokens_ * elem_bytes;
+}
+
+// MlaReference ----------------------------------------------------------
+
+MlaReference::MlaReference(std::size_t hidden, std::size_t heads,
+                           std::size_t kv_lora_rank,
+                           std::size_t rope_dim, std::size_t nope_dim,
+                           std::size_t v_dim, std::uint64_t seed)
+    : hidden_(hidden), heads_(heads), kvLoraRank_(kv_lora_rank),
+      ropeDim_(rope_dim), nopeDim_(nope_dim), vDim_(v_dim),
+      latentCache_(0, kv_lora_rank), ropeCache_(0, rope_dim)
+{
+    Rng rng(seed);
+    wdkv_ = randomWeights(kvLoraRank_, hidden_, rng);
+    wkrope_ = randomWeights(ropeDim_, hidden_, rng);
+    wq_ = randomWeights(heads_ * (nopeDim_ + ropeDim_), hidden_, rng);
+    for (std::size_t h = 0; h < heads_; ++h) {
+        wuk_.push_back(randomWeights(nopeDim_, kvLoraRank_, rng));
+        wuv_.push_back(randomWeights(vDim_, kvLoraRank_, rng));
+    }
+    wo_ = randomWeights(hidden_, heads_ * vDim_, rng);
+}
+
+std::vector<double>
+MlaReference::project(const Matrix &w, const std::vector<double> &x)
+    const
+{
+    return matVec(w, x);
+}
+
+std::vector<double>
+MlaReference::decode(const std::vector<double> &x)
+{
+    DSV3_ASSERT(x.size() == hidden_);
+    // Append this token's latent and shared RoPE key.
+    appendRow(latentCache_, project(wdkv_, x));
+    appendRow(ropeCache_, project(wkrope_, x));
+    ++tokens_;
+
+    std::vector<double> q = project(wq_, x);
+    const std::size_t qdim = nopeDim_ + ropeDim_;
+    const double scale = 1.0 / std::sqrt((double)qdim);
+
+    std::vector<double> concat(heads_ * vDim_, 0.0);
+    for (std::size_t h = 0; h < heads_; ++h) {
+        std::vector<double> q_nope(
+            q.begin() + (std::ptrdiff_t)(h * qdim),
+            q.begin() + (std::ptrdiff_t)(h * qdim + nopeDim_));
+        std::vector<double> q_rope(
+            q.begin() + (std::ptrdiff_t)(h * qdim + nopeDim_),
+            q.begin() + (std::ptrdiff_t)((h + 1) * qdim));
+
+        // Weight absorption: q_eff = W_uk^T q_nope lives in latent
+        // space, so scores come straight from the latent cache.
+        std::vector<double> q_eff = matTVec(wuk_[h], q_nope);
+        std::vector<double> scores(tokens_, 0.0);
+        for (std::size_t t = 0; t < tokens_; ++t) {
+            double acc = 0.0;
+            for (std::size_t c = 0; c < kvLoraRank_; ++c)
+                acc += latentCache_.at(t, c) * q_eff[c];
+            for (std::size_t c = 0; c < ropeDim_; ++c)
+                acc += ropeCache_.at(t, c) * q_rope[c];
+            scores[t] = acc * scale;
+        }
+        scores = softmax(std::move(scores));
+
+        // Output absorption: aggregate latents first, up-project once.
+        std::vector<double> agg(kvLoraRank_, 0.0);
+        for (std::size_t t = 0; t < tokens_; ++t)
+            for (std::size_t c = 0; c < kvLoraRank_; ++c)
+                agg[c] += scores[t] * latentCache_.at(t, c);
+        std::vector<double> out_h = matVec(wuv_[h], agg);
+        std::copy(out_h.begin(), out_h.end(),
+                  concat.begin() + (std::ptrdiff_t)(h * vDim_));
+    }
+    return matVec(wo_, concat);
+}
+
+std::vector<double>
+MlaReference::decodeExplicit(const std::vector<double> &x, bool append)
+{
+    DSV3_ASSERT(x.size() == hidden_);
+    if (append) {
+        appendRow(latentCache_, project(wdkv_, x));
+        appendRow(ropeCache_, project(wkrope_, x));
+        ++tokens_;
+    }
+    DSV3_ASSERT(tokens_ > 0, "no history to attend over");
+
+    std::vector<double> q = project(wq_, x);
+    const std::size_t qdim = nopeDim_ + ropeDim_;
+
+    std::vector<double> concat(heads_ * vDim_, 0.0);
+    for (std::size_t h = 0; h < heads_; ++h) {
+        // Materialize this head's full K and V from the latents.
+        Matrix keys(tokens_, qdim);
+        Matrix values(tokens_, vDim_);
+        for (std::size_t t = 0; t < tokens_; ++t) {
+            std::vector<double> c_kv(kvLoraRank_);
+            for (std::size_t c = 0; c < kvLoraRank_; ++c)
+                c_kv[c] = latentCache_.at(t, c);
+            std::vector<double> k_nope = matVec(wuk_[h], c_kv);
+            std::vector<double> v_h = matVec(wuv_[h], c_kv);
+            for (std::size_t c = 0; c < nopeDim_; ++c)
+                keys.at(t, c) = k_nope[c];
+            for (std::size_t c = 0; c < ropeDim_; ++c)
+                keys.at(t, nopeDim_ + c) = ropeCache_.at(t, c);
+            for (std::size_t c = 0; c < vDim_; ++c)
+                values.at(t, c) = v_h[c];
+        }
+        std::vector<double> qh(
+            q.begin() + (std::ptrdiff_t)(h * qdim),
+            q.begin() + (std::ptrdiff_t)((h + 1) * qdim));
+        auto out_h = attendOne(keys, values, qh);
+        std::copy(out_h.begin(), out_h.end(),
+                  concat.begin() + (std::ptrdiff_t)(h * vDim_));
+    }
+    return matVec(wo_, concat);
+}
+
+std::size_t
+MlaReference::cacheBytes(std::size_t elem_bytes) const
+{
+    return (kvLoraRank_ + ropeDim_) * tokens_ * elem_bytes;
+}
+
+std::size_t
+MlaReference::explicitCacheBytes(std::size_t elem_bytes) const
+{
+    return heads_ * (nopeDim_ + ropeDim_ + vDim_) * tokens_ *
+           elem_bytes;
+}
+
+} // namespace dsv3::model

@@ -1,0 +1,155 @@
+#include "model/config.hh"
+
+#include "common/logging.hh"
+
+namespace dsv3::model {
+
+const char *
+attentionKindName(AttentionKind kind)
+{
+    switch (kind) {
+      case AttentionKind::MHA:
+        return "MHA";
+      case AttentionKind::GQA:
+        return "GQA";
+      case AttentionKind::MQA:
+        return "MQA";
+      case AttentionKind::MLA:
+        return "MLA";
+    }
+    return "?";
+}
+
+std::size_t
+AttentionConfig::qkDim() const
+{
+    if (kind == AttentionKind::MLA)
+        return qkNopeHeadDim + qkRopeHeadDim;
+    return headDim;
+}
+
+std::size_t
+ModelConfig::moeLayers() const
+{
+    if (!moe)
+        return 0;
+    DSV3_ASSERT(moe->firstDenseLayers <= layers);
+    return layers - moe->firstDenseLayers;
+}
+
+std::size_t
+ModelConfig::denseFfnLayers() const
+{
+    return layers - moeLayers();
+}
+
+ModelConfig
+deepSeekV3()
+{
+    ModelConfig cfg;
+    cfg.name = "DeepSeek-V3";
+    cfg.vocab = 129280;
+    cfg.hidden = 7168;
+    cfg.layers = 61;
+    cfg.denseIntermediate = 18432;
+    cfg.attn.kind = AttentionKind::MLA;
+    cfg.attn.heads = 128;
+    cfg.attn.kvHeads = 128;
+    cfg.attn.vHeadDim = 128;
+    cfg.attn.kvLoraRank = 512;
+    cfg.attn.qkRopeHeadDim = 64;
+    cfg.attn.qkNopeHeadDim = 128;
+    cfg.attn.qLoraRank = 1536;
+    MoeConfig moe;
+    moe.routedExperts = 256;
+    moe.sharedExperts = 1;
+    moe.topK = 8;
+    moe.intermediate = 2048;
+    moe.groups = 8;
+    moe.topKGroups = 4;
+    moe.firstDenseLayers = 3;
+    cfg.moe = moe;
+    return cfg;
+}
+
+ModelConfig
+deepSeekV2()
+{
+    ModelConfig cfg;
+    cfg.name = "DeepSeek-V2";
+    cfg.vocab = 102400;
+    cfg.hidden = 5120;
+    cfg.layers = 60;
+    cfg.denseIntermediate = 12288;
+    cfg.attn.kind = AttentionKind::MLA;
+    cfg.attn.heads = 128;
+    cfg.attn.kvHeads = 128;
+    cfg.attn.vHeadDim = 128;
+    cfg.attn.kvLoraRank = 512;
+    cfg.attn.qkRopeHeadDim = 64;
+    cfg.attn.qkNopeHeadDim = 128;
+    cfg.attn.qLoraRank = 1536;
+    MoeConfig moe;
+    moe.routedExperts = 160;
+    moe.sharedExperts = 2;
+    moe.topK = 6;
+    moe.intermediate = 1536;
+    moe.groups = 8;
+    moe.topKGroups = 3;
+    moe.firstDenseLayers = 1;
+    cfg.moe = moe;
+    return cfg;
+}
+
+ModelConfig
+qwen25_72B()
+{
+    ModelConfig cfg;
+    cfg.name = "Qwen-2.5 72B";
+    cfg.vocab = 152064;
+    cfg.hidden = 8192;
+    cfg.layers = 80;
+    cfg.denseIntermediate = 29568;
+    cfg.attn.kind = AttentionKind::GQA;
+    cfg.attn.heads = 64;
+    cfg.attn.kvHeads = 8;
+    cfg.attn.headDim = 128;
+    cfg.attn.vHeadDim = 128;
+    return cfg;
+}
+
+ModelConfig
+llama31_405B()
+{
+    ModelConfig cfg;
+    cfg.name = "LLaMA-3.1 405B";
+    cfg.vocab = 128256;
+    cfg.hidden = 16384;
+    cfg.layers = 126;
+    cfg.denseIntermediate = 53248;
+    cfg.attn.kind = AttentionKind::GQA;
+    cfg.attn.heads = 128;
+    cfg.attn.kvHeads = 8;
+    cfg.attn.headDim = 128;
+    cfg.attn.vHeadDim = 128;
+    return cfg;
+}
+
+ModelConfig
+dense7B()
+{
+    ModelConfig cfg;
+    cfg.name = "Dense-7B";
+    cfg.vocab = 102400;
+    cfg.hidden = 4096;
+    cfg.layers = 30;
+    cfg.denseIntermediate = 11008;
+    cfg.attn.kind = AttentionKind::MHA;
+    cfg.attn.heads = 32;
+    cfg.attn.kvHeads = 32;
+    cfg.attn.headDim = 128;
+    cfg.attn.vHeadDim = 128;
+    return cfg;
+}
+
+} // namespace dsv3::model

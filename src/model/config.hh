@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Transformer architecture descriptions for the models compared in the
+ * paper: DeepSeek-V2/V3 (MLA + DeepSeekMoE), Qwen2.5-72B (GQA dense)
+ * and LLaMA-3.1 405B (GQA dense). The presets carry exactly the fields
+ * needed by the cost models (KV cache, parameter counts, FLOPs); they
+ * are taken from the models' public configuration files.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace dsv3::model {
+
+/** Attention family; determines what must be cached per token. */
+enum class AttentionKind
+{
+    MHA, //!< one KV pair per head
+    GQA, //!< kvHeads shared KV groups
+    MQA, //!< single shared KV pair (kvHeads == 1)
+    MLA, //!< compressed KV latent + decoupled RoPE key
+};
+
+const char *attentionKindName(AttentionKind kind);
+
+struct AttentionConfig
+{
+    AttentionKind kind = AttentionKind::MHA;
+    std::size_t heads = 0;         //!< query heads
+    std::size_t kvHeads = 0;       //!< KV heads (GQA/MQA); ==heads for MHA
+    std::size_t headDim = 0;       //!< per-head K/Q dim (non-MLA)
+    std::size_t vHeadDim = 0;      //!< per-head V dim
+
+    // MLA-only fields (DeepSeek-V2/V3 values: 512/64/128/1536).
+    std::size_t kvLoraRank = 0;    //!< compressed KV latent width
+    std::size_t qkRopeHeadDim = 0; //!< decoupled RoPE key dim (shared)
+    std::size_t qkNopeHeadDim = 0; //!< per-head non-RoPE key dim
+    std::size_t qLoraRank = 0;     //!< query low-rank width (0 = dense q)
+
+    /** Effective q/k dot-product dimensionality per head. */
+    std::size_t qkDim() const;
+};
+
+struct MoeConfig
+{
+    std::size_t routedExperts = 0;   //!< e.g. 256 for DeepSeek-V3
+    std::size_t sharedExperts = 0;   //!< always-active experts
+    std::size_t topK = 0;            //!< routed experts per token
+    std::size_t intermediate = 0;    //!< per-expert FFN width
+    std::size_t groups = 1;          //!< expert groups (== nodes)
+    std::size_t topKGroups = 1;      //!< node-limited routing bound M
+    std::size_t firstDenseLayers = 0;//!< leading layers with dense FFN
+};
+
+struct ModelConfig
+{
+    std::string name;
+    std::size_t vocab = 0;
+    std::size_t hidden = 0;
+    std::size_t layers = 0;
+    std::size_t denseIntermediate = 0; //!< FFN width of dense layers
+    AttentionConfig attn;
+    std::optional<MoeConfig> moe;      //!< nullopt for dense models
+    bool tiedEmbeddings = false;
+
+    bool isMoe() const { return moe.has_value(); }
+    /** Number of layers whose FFN is MoE. */
+    std::size_t moeLayers() const;
+    /** Number of layers whose FFN is dense. */
+    std::size_t denseFfnLayers() const;
+};
+
+// Presets ---------------------------------------------------------------
+
+/** DeepSeek-V3: 671B total / 37B active, 61 layers, MLA + 256 experts. */
+ModelConfig deepSeekV3();
+
+/** DeepSeek-V2: 236B total / 21B active, 60 layers, MLA + 160 experts. */
+ModelConfig deepSeekV2();
+
+/** Qwen2.5-72B: dense, GQA 64q/8kv heads, 80 layers. */
+ModelConfig qwen25_72B();
+
+/** LLaMA-3.1 405B: dense, GQA 128q/8kv heads, 126 layers. */
+ModelConfig llama31_405B();
+
+/** A small dense 7B-class model used for LogFMT validation (Sec 3.2). */
+ModelConfig dense7B();
+
+} // namespace dsv3::model

@@ -1,0 +1,55 @@
+#include "model/flops.hh"
+
+#include "common/units.hh"
+
+namespace dsv3::model {
+
+namespace {
+
+/**
+ * Attention-score FLOPs per token per layer for an average context of
+ * @p avg_context tokens: QK^T (2 * heads * qkDim * ctx) plus attn x V
+ * (2 * heads * vHeadDim * ctx).
+ */
+double
+attentionScoreFlopsPerLayer(const ModelConfig &cfg, double avg_context)
+{
+    const AttentionConfig &a = cfg.attn;
+    double dims = (double)(a.qkDim() + a.vHeadDim);
+    return 2.0 * (double)a.heads * dims * avg_context;
+}
+
+} // namespace
+
+FlopsBreakdown
+flopsPerToken(const ModelConfig &cfg, std::size_t seq_len, bool causal)
+{
+    ParamCounts params = countParams(cfg);
+    FlopsBreakdown out;
+    out.linearForward = 2.0 * params.matmulActivePerToken(cfg);
+    double avg_context =
+        causal ? (double)seq_len / 2.0 : (double)seq_len;
+    out.attentionForward =
+        attentionScoreFlopsPerLayer(cfg, avg_context) *
+        (double)cfg.layers;
+    return out;
+}
+
+double
+trainingGflopsPerToken(const ModelConfig &cfg, std::size_t seq_len,
+                       bool causal)
+{
+    return flopsPerToken(cfg, seq_len, causal).training() / kGFLOP;
+}
+
+double
+decodeFlopsPerToken(const ModelConfig &cfg, std::size_t context)
+{
+    ParamCounts params = countParams(cfg);
+    double linear = 2.0 * params.matmulActivePerToken(cfg);
+    double attn = attentionScoreFlopsPerLayer(cfg, (double)context) *
+                  (double)cfg.layers;
+    return linear + attn;
+}
+
+} // namespace dsv3::model

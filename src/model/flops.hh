@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Training/inference FLOPs model (paper Table 2).
+ *
+ * Matmul FLOPs follow the 6N rule: a weight that participates in a
+ * forward GEMM costs 2 FLOPs/token forward and 4 FLOPs/token backward
+ * (gradient w.r.t. input + gradient w.r.t. weight). Attention-score
+ * FLOPs are added explicitly: for causal training over a sequence of
+ * length L the average context is L/2, giving per token per layer
+ *     2 * heads * (qkDim + vHeadDim) * L/2   (forward)
+ * and twice that backward. Non-causal accounting (Megatron-style, used
+ * by the paper's "non-causal MFU") uses the full L.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "model/config.hh"
+#include "model/params.hh"
+
+namespace dsv3::model {
+
+struct FlopsBreakdown
+{
+    double linearForward = 0.0;    //!< GEMM flops/token, forward
+    double attentionForward = 0.0; //!< score+AV flops/token, forward
+
+    double forward() const { return linearForward + attentionForward; }
+    /** Backward ~= 2x forward for both components. */
+    double backward() const { return 2.0 * forward(); }
+    /** Full training step cost per token (fwd + bwd). */
+    double training() const { return forward() + backward(); }
+};
+
+/**
+ * FLOPs per token for @p cfg at sequence length @p seq_len.
+ *
+ * @param causal count only the lower triangle of the attention matrix
+ *        (FlashAttention-style); false counts the full matrix
+ *        (Megatron-style).
+ */
+FlopsBreakdown flopsPerToken(const ModelConfig &cfg, std::size_t seq_len,
+                             bool causal = true);
+
+/** Convenience: training GFLOPs/token as quoted in Table 2. */
+double trainingGflopsPerToken(const ModelConfig &cfg, std::size_t seq_len,
+                              bool causal = true);
+
+/**
+ * Decode-time forward FLOPs per token with a KV cache of @p context
+ * tokens (attention over the cache, no re-computation).
+ */
+double decodeFlopsPerToken(const ModelConfig &cfg, std::size_t context);
+
+} // namespace dsv3::model

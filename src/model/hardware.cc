@@ -1,0 +1,92 @@
+#include "model/hardware.hh"
+
+namespace dsv3::model {
+
+NodeSpec
+h800Node()
+{
+    NodeSpec node;
+    node.name = "H800 SXM node";
+    node.gpu.name = "H800";
+    node.gpu.bf16Tflops = 989.0;
+    node.gpu.fp8Tflops = 1979.0;
+    node.gpu.hbmBytesPerSec = 3.35 * kTB;
+    node.gpu.hbmCapacityBytes = 80.0 * kGB;
+    node.gpu.nvlinkPeakGBs = 200.0; // reduced from 450 GB/s on H100
+    node.gpu.nvlinkEffGBs = 160.0;  // "about 160GB/s can be achieved"
+    node.gpusPerNode = 8;
+    node.nicsPerNode = 8;
+    node.nicGbps = 400.0; // CX7
+    node.nicEffGBs = 40.0;
+    node.pcieGBs = 64.0;
+    return node;
+}
+
+NodeSpec
+h100Node()
+{
+    NodeSpec node = h800Node();
+    node.name = "H100 SXM node";
+    node.gpu.name = "H100";
+    node.gpu.nvlinkPeakGBs = 450.0;
+    node.gpu.nvlinkEffGBs = 360.0;
+    return node;
+}
+
+NodeSpec
+gb200Nvl72Node()
+{
+    NodeSpec node;
+    node.name = "GB200 NVL72 rack";
+    node.gpu.name = "B200 (NVL72)";
+    node.gpu.bf16Tflops = 2500.0;
+    node.gpu.fp8Tflops = 5000.0;
+    node.gpu.hbmBytesPerSec = 8.0 * kTB;
+    node.gpu.hbmCapacityBytes = 192.0 * kGB;
+    node.gpu.nvlinkPeakGBs = 900.0; // paper's Sec 2.3.2 figure
+    node.gpu.nvlinkEffGBs = 900.0;  // idealized, as in the paper
+    node.gpusPerNode = 72;
+    node.nicsPerNode = 72;
+    node.nicGbps = 400.0;
+    node.nicEffGBs = 40.0;
+    node.pcieGBs = 128.0;
+    return node;
+}
+
+GpuSpec
+aiPcSoc()
+{
+    GpuSpec soc;
+    soc.name = "AI PC SoC (M4-Max class)";
+    soc.bf16Tflops = 34.0;
+    soc.fp8Tflops = 68.0;
+    soc.hbmBytesPerSec = 546.0 * kGB; // unified LPDDR5x
+    soc.hbmCapacityBytes = 256.0 * kGB;
+    soc.nvlinkPeakGBs = 0.0;
+    soc.nvlinkEffGBs = 0.0;
+    return soc;
+}
+
+GpuSpec
+consumerGpu()
+{
+    GpuSpec gpu;
+    gpu.name = "Consumer GPU (4090 class)";
+    gpu.bf16Tflops = 165.0;
+    gpu.fp8Tflops = 330.0;
+    gpu.hbmBytesPerSec = 1008.0 * kGB;
+    gpu.hbmCapacityBytes = 24.0 * kGB;
+    gpu.nvlinkPeakGBs = 0.0;
+    gpu.nvlinkEffGBs = 0.0;
+    return gpu;
+}
+
+double
+ktransformersHostDramBytesPerSec()
+{
+    // Dual-socket DDR5 server: ~920 GB/s theoretical, ~60% effective
+    // for the expert GEMV streaming pattern.
+    return 560.0 * kGB;
+}
+
+} // namespace dsv3::model

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Hardware descriptions used across the co-design analyses: the H800
+ * node the paper trains on, the hypothetical GB200 NVL72 scale-up
+ * domain of Sec 2.3.2, and the consumer-class devices of Sec 2.2.2.
+ *
+ * Bandwidths follow the paper's conventions: NVLink on H800 offers
+ * 200 GB/s per direction of which ~160 GB/s is achievable; each CX7
+ * 400 Gbps NIC offers 50 GB/s of which ~40 GB/s is effective for the
+ * small messages EP generates.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/units.hh"
+
+namespace dsv3::model {
+
+struct GpuSpec
+{
+    std::string name;
+    double bf16Tflops = 0.0;       //!< dense BF16 tensor peak
+    double fp8Tflops = 0.0;        //!< dense FP8 tensor peak
+    double hbmBytesPerSec = 0.0;   //!< memory bandwidth
+    double hbmCapacityBytes = 0.0; //!< device memory
+    double nvlinkPeakGBs = 0.0;    //!< per-direction scale-up bandwidth
+    double nvlinkEffGBs = 0.0;     //!< achievable scale-up bandwidth
+};
+
+struct NodeSpec
+{
+    std::string name;
+    GpuSpec gpu;
+    std::size_t gpusPerNode = 8;
+    std::size_t nicsPerNode = 8;
+    double nicGbps = 400.0;        //!< line rate per NIC
+    double nicEffGBs = 40.0;       //!< effective per-NIC bandwidth
+    double pcieGBs = 64.0;         //!< CPU<->GPU PCIe Gen5 x16
+
+    /** Raw per-NIC bandwidth in bytes/s (line rate / 8). */
+    double nicPeakBytesPerSec() const
+    {
+        return gbpsToBytesPerSec(nicGbps);
+    }
+};
+
+/** H800 SXM as described in Sec 4.1 (Figure 2). */
+NodeSpec h800Node();
+
+/** H100 SXM reference (full 900 GB/s NVLink) for comparison. */
+NodeSpec h100Node();
+
+/** GB200 NVL72: 72-GPU scale-up domain, 900 GB/s per direction. */
+NodeSpec gb200Nvl72Node();
+
+/** AI-SoC equipped PC (Sec 2.2.2): unified memory ~546 GB/s class. */
+GpuSpec aiPcSoc();
+
+/** Consumer GPU in the KTransformers server scenario. */
+GpuSpec consumerGpu();
+
+/** Host DRAM bandwidth of the low-cost KTransformers server (bytes/s). */
+double ktransformersHostDramBytesPerSec();
+
+} // namespace dsv3::model

@@ -1,0 +1,60 @@
+#include "model/kv_cache.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dsv3::model {
+
+double
+kvCacheBytesPerToken(const ModelConfig &cfg, std::size_t elem_bytes)
+{
+    const AttentionConfig &a = cfg.attn;
+    double per_layer = 0.0;
+    switch (a.kind) {
+      case AttentionKind::MHA:
+      case AttentionKind::GQA:
+      case AttentionKind::MQA: {
+        std::size_t kv_heads =
+            a.kind == AttentionKind::MQA ? 1 : a.kvHeads;
+        DSV3_ASSERT(kv_heads > 0 && a.headDim > 0);
+        per_layer = 2.0 * (double)kv_heads *
+                    (double)(a.headDim + a.vHeadDim) / 2.0;
+        // K uses headDim, V uses vHeadDim; written as the average*2 to
+        // keep a single expression. Equivalent to kvHeads*(hd + vhd).
+        break;
+      }
+      case AttentionKind::MLA:
+        DSV3_ASSERT(a.kvLoraRank > 0);
+        per_layer = (double)(a.kvLoraRank + a.qkRopeHeadDim);
+        break;
+    }
+    return per_layer * (double)cfg.layers * (double)elem_bytes;
+}
+
+double
+kvCacheBytes(const ModelConfig &cfg, std::size_t tokens,
+             std::size_t elem_bytes)
+{
+    return kvCacheBytesPerToken(cfg, elem_bytes) * (double)tokens;
+}
+
+std::size_t
+maxContextTokens(const ModelConfig &cfg, double budget_bytes,
+                 std::size_t elem_bytes)
+{
+    double per_token = kvCacheBytesPerToken(cfg, elem_bytes);
+    DSV3_ASSERT(per_token > 0.0);
+    return (std::size_t)std::floor(budget_bytes / per_token);
+}
+
+double
+kvCacheBytesWindowed(const ModelConfig &cfg, std::size_t context,
+                     std::size_t window, std::size_t elem_bytes)
+{
+    std::size_t kept =
+        window == 0 ? context : std::min(context, window);
+    return kvCacheBytes(cfg, kept, elem_bytes);
+}
+
+} // namespace dsv3::model

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * KV-cache memory model (paper Table 1).
+ *
+ * For MHA/GQA/MQA, every layer caches K and V for each KV head:
+ *     bytes/token = 2 * kvHeads * headDim * layers * elemBytes.
+ * For MLA, only the compressed latent plus the shared decoupled RoPE
+ * key is cached:
+ *     bytes/token = (kvLoraRank + qkRopeHeadDim) * layers * elemBytes.
+ *
+ * With DeepSeek-V3 (512+64, 61 layers, BF16) this yields exactly the
+ * paper's 70,272 B = 70.272 KB per token.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "model/config.hh"
+
+namespace dsv3::model {
+
+/** Bytes of KV cache appended per generated/processed token. */
+double kvCacheBytesPerToken(const ModelConfig &cfg,
+                            std::size_t elem_bytes = 2);
+
+/** Total KV bytes for a context of @p tokens tokens. */
+double kvCacheBytes(const ModelConfig &cfg, std::size_t tokens,
+                    std::size_t elem_bytes = 2);
+
+/**
+ * Longest context (tokens) whose cache fits in @p budget_bytes.
+ */
+std::size_t maxContextTokens(const ModelConfig &cfg, double budget_bytes,
+                             std::size_t elem_bytes = 2);
+
+/**
+ * Windowed-KV cache size (Sec 2.1.2's "Windowed KV" alternative):
+ * only the most recent @p window tokens stay cached, so the footprint
+ * saturates at window * bytesPerToken. window == 0 means unlimited.
+ */
+double kvCacheBytesWindowed(const ModelConfig &cfg, std::size_t context,
+                            std::size_t window,
+                            std::size_t elem_bytes = 2);
+
+} // namespace dsv3::model

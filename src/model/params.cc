@@ -1,0 +1,104 @@
+#include "model/params.hh"
+
+#include "common/logging.hh"
+
+namespace dsv3::model {
+
+double
+ParamCounts::total() const
+{
+    return embedding + lmHead + attention + denseFfn + moeRouted +
+           moeShared + gate + norms;
+}
+
+double
+ParamCounts::activePerToken(const ModelConfig &cfg) const
+{
+    double routed_active = 0.0;
+    if (cfg.moe && cfg.moe->routedExperts > 0) {
+        routed_active = moeRouted * (double)cfg.moe->topK /
+                        (double)cfg.moe->routedExperts;
+    }
+    return embedding + lmHead + attention + denseFfn + moeShared +
+           gate + norms + routed_active;
+}
+
+double
+ParamCounts::matmulActivePerToken(const ModelConfig &cfg) const
+{
+    return activePerToken(cfg) - embedding - norms;
+}
+
+namespace {
+
+double
+attentionParamsPerLayer(const ModelConfig &cfg)
+{
+    const AttentionConfig &a = cfg.attn;
+    const double h = (double)cfg.hidden;
+    if (a.kind == AttentionKind::MLA) {
+        const double qk = (double)(a.qkNopeHeadDim + a.qkRopeHeadDim);
+        double q_params;
+        if (a.qLoraRank > 0) {
+            q_params = h * (double)a.qLoraRank +
+                       (double)a.qLoraRank * (double)a.heads * qk;
+        } else {
+            q_params = h * (double)a.heads * qk;
+        }
+        double kv_down = h * (double)(a.kvLoraRank + a.qkRopeHeadDim);
+        double kv_up = (double)a.kvLoraRank * (double)a.heads *
+                       (double)(a.qkNopeHeadDim + a.vHeadDim);
+        double out = (double)a.heads * (double)a.vHeadDim * h;
+        return q_params + kv_down + kv_up + out;
+    }
+    std::size_t kv_heads = a.kind == AttentionKind::MQA ? 1 : a.kvHeads;
+    double q = h * (double)a.heads * (double)a.headDim;
+    double k = h * (double)kv_heads * (double)a.headDim;
+    double v = h * (double)kv_heads * (double)a.vHeadDim;
+    double out = (double)a.heads * (double)a.vHeadDim * h;
+    return q + k + v + out;
+}
+
+/** SwiGLU FFN: gate, up, down projections. */
+double
+ffnParams(double hidden, double intermediate)
+{
+    return 3.0 * hidden * intermediate;
+}
+
+} // namespace
+
+ParamCounts
+countParams(const ModelConfig &cfg)
+{
+    DSV3_ASSERT(cfg.hidden > 0 && cfg.layers > 0 && cfg.vocab > 0);
+    ParamCounts out;
+    const double h = (double)cfg.hidden;
+
+    out.embedding = (double)cfg.vocab * h;
+    out.lmHead = cfg.tiedEmbeddings ? 0.0 : (double)cfg.vocab * h;
+    out.attention = attentionParamsPerLayer(cfg) * (double)cfg.layers;
+    out.denseFfn = ffnParams(h, (double)cfg.denseIntermediate) *
+                   (double)cfg.denseFfnLayers();
+
+    if (cfg.moe) {
+        const MoeConfig &moe = *cfg.moe;
+        const double n_moe_layers = (double)cfg.moeLayers();
+        const double expert = ffnParams(h, (double)moe.intermediate);
+        out.moeRouted = expert * (double)moe.routedExperts * n_moe_layers;
+        out.moeShared = expert * (double)moe.sharedExperts * n_moe_layers;
+        out.gate = h * (double)moe.routedExperts * n_moe_layers;
+    }
+
+    // Two RMSNorm weights per layer, the final norm, and the MLA latent
+    // norms; small but counted for completeness.
+    double per_layer_norms = 2.0 * h;
+    if (cfg.attn.kind == AttentionKind::MLA) {
+        per_layer_norms += (double)cfg.attn.kvLoraRank +
+                           (double)cfg.attn.qLoraRank;
+    }
+    out.norms = per_layer_norms * (double)cfg.layers + h;
+    return out;
+}
+
+} // namespace dsv3::model

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Parameter counting for dense and MoE transformers.
+ *
+ * The counts feed two consumers: the model-size figures quoted in the
+ * paper (671B total / 37B activated for DeepSeek-V3) and the training
+ * FLOPs model of Table 2 (matmul FLOPs are proportional to the
+ * parameters a token actually touches).
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "model/config.hh"
+
+namespace dsv3::model {
+
+/** Breakdown of parameter counts (all in individual weights). */
+struct ParamCounts
+{
+    double embedding = 0.0;     //!< input embedding table
+    double lmHead = 0.0;        //!< output projection (0 when tied)
+    double attention = 0.0;     //!< all attention projections
+    double denseFfn = 0.0;      //!< dense-FFN layers (SwiGLU: 3 mats)
+    double moeRouted = 0.0;     //!< all routed experts
+    double moeShared = 0.0;     //!< shared experts
+    double gate = 0.0;          //!< router/gating weights
+    double norms = 0.0;         //!< layer norms and small vectors
+
+    /** Every parameter in the checkpoint. */
+    double total() const;
+
+    /**
+     * Parameters activated per token: everything except the routed
+     * experts a token does not visit. The embedding table contributes
+     * a single row lookup and is conventionally included, matching the
+     * paper's 37B/21B figures.
+     */
+    double activePerToken(const ModelConfig &cfg) const;
+
+    /**
+     * Matmul-active parameters: the weights that participate in a
+     * GEMM for one token (excludes the embedding lookup but includes
+     * the LM head). This is the base of the 6N training-FLOPs rule.
+     */
+    double matmulActivePerToken(const ModelConfig &cfg) const;
+};
+
+/** Count parameters of @p cfg. */
+ParamCounts countParams(const ModelConfig &cfg);
+
+} // namespace dsv3::model

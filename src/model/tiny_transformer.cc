@@ -1,0 +1,268 @@
+#include "model/tiny_transformer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "numerics/error.hh"
+
+namespace dsv3::model {
+
+const char *
+precisionName(Precision precision)
+{
+    switch (precision) {
+      case Precision::FP64:
+        return "FP64";
+      case Precision::BF16:
+        return "BF16";
+      case Precision::FP8_FINE:
+        return "FP8 fine-grained";
+      case Precision::FP8_PER_TENSOR:
+        return "FP8 per-tensor";
+    }
+    return "?";
+}
+
+namespace {
+
+Matrix
+randomWeights(std::size_t in, std::size_t out, Rng &rng)
+{
+    Matrix w(in, out); // stored (in x out): y = x * W
+    w.fillNormal(rng, 0.0, 1.0 / std::sqrt((double)in));
+    return w;
+}
+
+double
+silu(double x)
+{
+    return x / (1.0 + std::exp(-x));
+}
+
+} // namespace
+
+TinyTransformer::TinyTransformer(const TinyTransformerConfig &config,
+                                 std::uint64_t seed)
+    : cfg_(config)
+{
+    DSV3_ASSERT(cfg_.hidden > 0 && cfg_.layers > 0);
+    DSV3_ASSERT(cfg_.topK <= cfg_.experts);
+    Rng rng(seed);
+    const std::size_t qkv = cfg_.heads * cfg_.headDim;
+    for (std::size_t l = 0; l < cfg_.layers; ++l) {
+        LayerWeights w;
+        w.wq = randomWeights(cfg_.hidden, qkv, rng);
+        w.wk = randomWeights(cfg_.hidden, qkv, rng);
+        w.wv = randomWeights(cfg_.hidden, qkv, rng);
+        w.wo = randomWeights(qkv, cfg_.hidden, rng);
+        for (std::size_t e = 0; e < cfg_.experts; ++e) {
+            w.expertUp.push_back(
+                randomWeights(cfg_.hidden, cfg_.moeIntermediate, rng));
+            w.expertDown.push_back(
+                randomWeights(cfg_.moeIntermediate, cfg_.hidden, rng));
+        }
+        w.sharedUp =
+            randomWeights(cfg_.hidden, cfg_.moeIntermediate, rng);
+        w.sharedDown =
+            randomWeights(cfg_.moeIntermediate, cfg_.hidden, rng);
+        w.gate = randomWeights(cfg_.hidden, cfg_.experts, rng);
+        layers_.push_back(std::move(w));
+    }
+}
+
+Matrix
+TinyTransformer::runGemm(const Matrix &a, const Matrix &b,
+                         Precision precision) const
+{
+    switch (precision) {
+      case Precision::FP64:
+        return gemmRef(a, b);
+      case Precision::BF16:
+        return gemmBf16(a, b);
+      case Precision::FP8_FINE: {
+        numerics::GemmOptions opt; // fine-grained + FP22 promotion
+        return gemmQuantized(a, b, opt);
+      }
+      case Precision::FP8_PER_TENSOR: {
+        numerics::GemmOptions opt;
+        opt.fineGrained = false;
+        opt.accum = numerics::AccumMode::FP22_NO_PROMOTION;
+        return gemmQuantized(a, b, opt);
+      }
+    }
+    DSV3_PANIC("unknown precision");
+}
+
+Matrix
+TinyTransformer::rmsNorm(const Matrix &x)
+{
+    Matrix out(x.rows(), x.cols());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        double sum_sq = 0.0;
+        for (std::size_t c = 0; c < x.cols(); ++c)
+            sum_sq += x.at(r, c) * x.at(r, c);
+        double inv = 1.0 / std::sqrt(sum_sq / (double)x.cols() +
+                                     1e-6);
+        for (std::size_t c = 0; c < x.cols(); ++c)
+            out.at(r, c) = x.at(r, c) * inv;
+    }
+    return out;
+}
+
+Matrix
+TinyTransformer::attention(const Matrix &x, const LayerWeights &w,
+                           Precision precision) const
+{
+    const std::size_t tokens = x.rows();
+    const std::size_t hd = cfg_.headDim;
+    Matrix q = runGemm(x, w.wq, precision);
+    Matrix k = runGemm(x, w.wk, precision);
+    Matrix v = runGemm(x, w.wv, precision);
+
+    // Causal softmax attention per head, in FP64 (the production
+    // recipe keeps attention cores above FP8; see Figure 1).
+    Matrix concat(tokens, cfg_.heads * hd);
+    const double scale = 1.0 / std::sqrt((double)hd);
+    for (std::size_t h = 0; h < cfg_.heads; ++h) {
+        for (std::size_t t = 0; t < tokens; ++t) {
+            // Scores over history [0, t].
+            std::vector<double> scores(t + 1, 0.0);
+            double mx = -1e300;
+            for (std::size_t s = 0; s <= t; ++s) {
+                double acc = 0.0;
+                for (std::size_t c = 0; c < hd; ++c)
+                    acc += q.at(t, h * hd + c) * k.at(s, h * hd + c);
+                scores[s] = acc * scale;
+                mx = std::max(mx, scores[s]);
+            }
+            double denom = 0.0;
+            for (auto &s : scores) {
+                s = std::exp(s - mx);
+                denom += s;
+            }
+            for (std::size_t c = 0; c < hd; ++c) {
+                double acc = 0.0;
+                for (std::size_t s = 0; s <= t; ++s)
+                    acc += scores[s] * v.at(s, h * hd + c);
+                concat.at(t, h * hd + c) = acc / denom;
+            }
+        }
+    }
+    return runGemm(concat, w.wo, precision);
+}
+
+Matrix
+TinyTransformer::moeFfn(const Matrix &x, const LayerWeights &w,
+                        Precision precision) const
+{
+    const std::size_t tokens = x.rows();
+
+    // Gate in FP64 (tiny GEMV; the recipe keeps routing exact).
+    Matrix logits = gemmRef(x, w.gate);
+    moe::GateConfig gate_cfg;
+    gate_cfg.experts = cfg_.experts;
+    gate_cfg.topK = cfg_.topK;
+    moe::TopKGate gate(gate_cfg);
+
+    Matrix out(tokens, cfg_.hidden);
+
+    // Shared expert over all tokens.
+    {
+        Matrix up = runGemm(x, w.sharedUp, precision);
+        for (auto &v : up.data())
+            v = silu(v);
+        Matrix down = runGemm(up, w.sharedDown, precision);
+        for (std::size_t t = 0; t < tokens; ++t)
+            for (std::size_t c = 0; c < cfg_.hidden; ++c)
+                out.at(t, c) += (double)cfg_.sharedExperts *
+                                down.at(t, c);
+    }
+
+    // Routed experts: batch each expert's assigned tokens into one
+    // GEMM (the grouped-GEMM execution DeepGEMM provides).
+    std::vector<std::vector<std::size_t>> assigned(cfg_.experts);
+    std::vector<std::vector<double>> weights(cfg_.experts);
+    for (std::size_t t = 0; t < tokens; ++t) {
+        std::vector<double> row(cfg_.experts);
+        for (std::size_t e = 0; e < cfg_.experts; ++e)
+            row[e] = logits.at(t, e);
+        auto decision = gate.route(row);
+        for (std::size_t i = 0; i < decision.experts.size(); ++i) {
+            assigned[decision.experts[i]].push_back(t);
+            weights[decision.experts[i]].push_back(
+                decision.weights[i]);
+        }
+    }
+    for (std::size_t e = 0; e < cfg_.experts; ++e) {
+        if (assigned[e].empty())
+            continue;
+        Matrix sub(assigned[e].size(), cfg_.hidden);
+        for (std::size_t i = 0; i < assigned[e].size(); ++i)
+            for (std::size_t c = 0; c < cfg_.hidden; ++c)
+                sub.at(i, c) = x.at(assigned[e][i], c);
+        Matrix up = runGemm(sub, w.expertUp[e], precision);
+        for (auto &v : up.data())
+            v = silu(v);
+        Matrix down = runGemm(up, w.expertDown[e], precision);
+        for (std::size_t i = 0; i < assigned[e].size(); ++i)
+            for (std::size_t c = 0; c < cfg_.hidden; ++c)
+                out.at(assigned[e][i], c) +=
+                    weights[e][i] * down.at(i, c);
+    }
+    return out;
+}
+
+Matrix
+TinyTransformer::forward(const Matrix &inputs,
+                         Precision precision) const
+{
+    DSV3_ASSERT(inputs.cols() == cfg_.hidden);
+    Matrix x = inputs;
+    for (const LayerWeights &w : layers_) {
+        Matrix attn = attention(rmsNorm(x), w, precision);
+        for (std::size_t i = 0; i < x.data().size(); ++i)
+            x.data()[i] += attn.data()[i];
+        Matrix ffn = moeFfn(rmsNorm(x), w, precision);
+        for (std::size_t i = 0; i < x.data().size(); ++i)
+            x.data()[i] += ffn.data()[i];
+    }
+    return x;
+}
+
+PrecisionValidation
+validatePrecision(const TinyTransformerConfig &cfg,
+                  std::size_t seq_len, std::uint64_t seed)
+{
+    TinyTransformer model(cfg, seed);
+    Rng rng(seed + 1);
+    Matrix inputs(seq_len, cfg.hidden);
+    inputs.fillNormal(rng);
+
+    Matrix ref = model.forward(inputs, Precision::FP64);
+    Matrix bf16 = model.forward(inputs, Precision::BF16);
+    Matrix fine = model.forward(inputs, Precision::FP8_FINE);
+    Matrix coarse = model.forward(inputs, Precision::FP8_PER_TENSOR);
+
+    PrecisionValidation out;
+    out.bf16Error = numerics::relL2Error(bf16, ref);
+    out.fp8FineError = numerics::relL2Error(fine, ref);
+    out.fp8PerTensorError = numerics::relL2Error(coarse, ref);
+
+    auto pseudo_loss = [](const Matrix &y) {
+        double acc = 0.0;
+        for (double v : y.data())
+            acc += v * v;
+        return 0.5 * acc / (double)y.data().size();
+    };
+    double l_ref = pseudo_loss(ref);
+    out.bf16LossDiff = std::fabs(pseudo_loss(bf16) - l_ref) / l_ref;
+    out.fp8FineLossDiff =
+        std::fabs(pseudo_loss(fine) - l_ref) / l_ref;
+    out.fp8PerTensorLossDiff =
+        std::fabs(pseudo_loss(coarse) - l_ref) / l_ref;
+    return out;
+}
+
+} // namespace dsv3::model

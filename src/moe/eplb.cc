@@ -1,0 +1,101 @@
+#include "moe/eplb.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace dsv3::moe {
+
+EplbResult
+balanceExperts(const std::vector<double> &expert_load, std::size_t gpus,
+               std::size_t slots_per_gpu)
+{
+    const std::size_t experts = expert_load.size();
+    const std::size_t slots = gpus * slots_per_gpu;
+    DSV3_ASSERT(experts > 0 && gpus > 0 && slots_per_gpu > 0);
+    DSV3_ASSERT(slots >= experts,
+                "need at least one slot per expert: ", slots, " < ",
+                experts);
+
+    EplbResult out;
+    out.replicaCount.assign(experts, 1);
+
+    // Baseline: contiguous placement, experts/gpus per GPU (ceil).
+    {
+        std::vector<double> base(gpus, 0.0);
+        std::size_t per_gpu = (experts + gpus - 1) / gpus;
+        for (std::size_t e = 0; e < experts; ++e)
+            base[std::min(e / per_gpu, gpus - 1)] += expert_load[e];
+        out.imbalanceBefore = maxOverMean(base);
+    }
+
+    // 1. Give each spare slot to the currently hottest replica.
+    for (std::size_t spare = 0; spare < slots - experts; ++spare) {
+        std::size_t hottest = 0;
+        double worst = -1.0;
+        for (std::size_t e = 0; e < experts; ++e) {
+            double per_replica =
+                expert_load[e] / (double)out.replicaCount[e];
+            if (per_replica > worst) {
+                worst = per_replica;
+                hottest = e;
+            }
+        }
+        ++out.replicaCount[hottest];
+    }
+
+    // 2. Pack replicas, largest per-replica load first, onto the
+    // least-loaded GPU with a free slot; avoid same-expert collisions
+    // on one GPU when possible.
+    struct Replica
+    {
+        std::uint32_t expert;
+        double load;
+    };
+    std::vector<Replica> replicas;
+    for (std::size_t e = 0; e < experts; ++e) {
+        double per_replica =
+            expert_load[e] / (double)out.replicaCount[e];
+        for (std::uint32_t r = 0; r < out.replicaCount[e]; ++r)
+            replicas.push_back({(std::uint32_t)e, per_replica});
+    }
+    std::stable_sort(replicas.begin(), replicas.end(),
+                     [](const Replica &a, const Replica &b) {
+                         return a.load > b.load;
+                     });
+
+    out.gpuSlots.assign(gpus, {});
+    out.gpuLoad.assign(gpus, 0.0);
+    for (const Replica &rep : replicas) {
+        std::size_t best = gpus; // invalid
+        std::size_t fallback = gpus;
+        double best_load = 0.0, fallback_load = 0.0;
+        for (std::size_t g = 0; g < gpus; ++g) {
+            if (out.gpuSlots[g].size() >= slots_per_gpu)
+                continue;
+            bool has_expert =
+                std::find(out.gpuSlots[g].begin(),
+                          out.gpuSlots[g].end(),
+                          rep.expert) != out.gpuSlots[g].end();
+            if (!has_expert &&
+                (best == gpus || out.gpuLoad[g] < best_load)) {
+                best = g;
+                best_load = out.gpuLoad[g];
+            }
+            if (fallback == gpus || out.gpuLoad[g] < fallback_load) {
+                fallback = g;
+                fallback_load = out.gpuLoad[g];
+            }
+        }
+        std::size_t target = best != gpus ? best : fallback;
+        DSV3_ASSERT(target != gpus, "ran out of slots");
+        out.gpuSlots[target].push_back(rep.expert);
+        out.gpuLoad[target] += rep.load;
+    }
+    out.imbalanceAfter = maxOverMean(out.gpuLoad);
+    return out;
+}
+
+} // namespace dsv3::moe

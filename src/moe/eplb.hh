@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Expert-Parallel Load Balancer (EPLB).
+ *
+ * DeepSeek-V3's production serving replicates heavily-loaded experts
+ * onto spare slots so that every GPU in the EP group sees a similar
+ * token load (the open-sourced EPLB tool implements this; the paper's
+ * EP sections assume balanced experts). This module reproduces the
+ * algorithm:
+ *
+ *  1. replica assignment: spare slots go one at a time to the expert
+ *     with the highest per-replica load (greedy water-level descent);
+ *  2. packing: replicas are placed largest-first onto the GPU with
+ *     the lowest accumulated load that still has a free slot,
+ *     avoiding two replicas of one expert on the same GPU.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dsv3::moe {
+
+struct EplbResult
+{
+    /** gpuSlots[g] = expert ids hosted by GPU g (with duplicates
+     *  across GPUs for replicated experts). */
+    std::vector<std::vector<std::uint32_t>> gpuSlots;
+    /** Replicas per expert (>= 1). */
+    std::vector<std::uint32_t> replicaCount;
+    /** Per-GPU load assuming each expert's load splits evenly over
+     *  its replicas. */
+    std::vector<double> gpuLoad;
+    double imbalanceBefore = 0.0; //!< max/mean without replication
+    double imbalanceAfter = 0.0;  //!< max/mean with replication
+};
+
+/**
+ * Balance @p expert_load over @p gpus GPUs with @p slots_per_gpu
+ * expert slots each.
+ *
+ * Requires gpus * slots_per_gpu >= experts (every expert needs at
+ * least one slot). The baseline imbalance assumes the contiguous
+ * placement of ExpertPlacement (experts/gpus per GPU).
+ */
+EplbResult balanceExperts(const std::vector<double> &expert_load,
+                          std::size_t gpus, std::size_t slots_per_gpu);
+
+} // namespace dsv3::moe

@@ -1,0 +1,122 @@
+#include "moe/gate.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace dsv3::moe {
+
+TopKGate::TopKGate(const GateConfig &cfg) : cfg_(cfg)
+{
+    DSV3_ASSERT(cfg_.experts > 0);
+    DSV3_ASSERT(cfg_.topK > 0 && cfg_.topK <= cfg_.experts);
+    DSV3_ASSERT(cfg_.groups >= 1);
+    DSV3_ASSERT(cfg_.experts % cfg_.groups == 0,
+                "experts must divide evenly into groups");
+    DSV3_ASSERT(cfg_.topKGroups >= 1 && cfg_.topKGroups <= cfg_.groups);
+    if (cfg_.nodeLimited()) {
+        DSV3_ASSERT(cfg_.topKGroups * cfg_.expertsPerGroup() >= cfg_.topK,
+                    "selected groups must contain >= topK experts");
+    }
+}
+
+std::vector<std::uint32_t>
+TopKGate::topKIndices(std::span<const double> scores,
+                      std::span<const std::uint32_t> candidates,
+                      std::size_t k)
+{
+    std::vector<std::uint32_t> idx(candidates.begin(), candidates.end());
+    k = std::min(k, idx.size());
+    std::partial_sort(idx.begin(), idx.begin() + (std::ptrdiff_t)k,
+                      idx.end(),
+                      [&](std::uint32_t a, std::uint32_t b) {
+                          if (scores[a] != scores[b])
+                              return scores[a] > scores[b];
+                          return a < b; // deterministic tie-break
+                      });
+    idx.resize(k);
+    return idx;
+}
+
+RoutingDecision
+TopKGate::route(std::span<const double> logits) const
+{
+    DSV3_ASSERT(logits.size() == cfg_.experts);
+
+    // Logits -> affinity scores.
+    std::vector<double> scores(logits.size());
+    if (cfg_.scoring == GateScoring::SOFTMAX) {
+        double mx = *std::max_element(logits.begin(), logits.end());
+        double denom = 0.0;
+        for (std::size_t i = 0; i < logits.size(); ++i) {
+            scores[i] = std::exp(logits[i] - mx);
+            denom += scores[i];
+        }
+        for (auto &s : scores)
+            s /= denom;
+    } else {
+        for (std::size_t i = 0; i < logits.size(); ++i)
+            scores[i] = 1.0 / (1.0 + std::exp(-logits[i]));
+    }
+
+    // Candidate set: all experts, or only those in the winning groups.
+    std::vector<std::uint32_t> candidates;
+    if (cfg_.nodeLimited()) {
+        const std::size_t per_group = cfg_.expertsPerGroup();
+        std::vector<double> group_score(cfg_.groups, 0.0);
+        std::vector<double> member(per_group);
+        for (std::size_t g = 0; g < cfg_.groups; ++g) {
+            for (std::size_t i = 0; i < per_group; ++i)
+                member[i] = scores[g * per_group + i];
+            std::size_t n =
+                std::min(cfg_.groupTopScores, per_group);
+            std::partial_sort(member.begin(),
+                              member.begin() + (std::ptrdiff_t)n,
+                              member.end(), std::greater<>());
+            group_score[g] = std::accumulate(
+                member.begin(), member.begin() + (std::ptrdiff_t)n, 0.0);
+        }
+        std::vector<std::uint32_t> group_ids(cfg_.groups);
+        std::iota(group_ids.begin(), group_ids.end(), 0u);
+        auto winners = topKIndices(group_score, group_ids,
+                                   cfg_.topKGroups);
+        for (std::uint32_t g : winners)
+            for (std::size_t i = 0; i < per_group; ++i)
+                candidates.push_back(
+                    (std::uint32_t)(g * per_group + i));
+    } else {
+        candidates.resize(cfg_.experts);
+        std::iota(candidates.begin(), candidates.end(), 0u);
+    }
+
+    RoutingDecision out;
+    out.experts = topKIndices(scores, candidates, cfg_.topK);
+
+    // Combine weights: selected scores normalized by their sum.
+    out.weights.resize(out.experts.size());
+    double denom = 0.0;
+    for (std::uint32_t e : out.experts)
+        denom += scores[e];
+    DSV3_ASSERT(denom > 0.0);
+    for (std::size_t i = 0; i < out.experts.size(); ++i)
+        out.weights[i] = scores[out.experts[i]] / denom;
+    return out;
+}
+
+std::vector<std::uint32_t>
+TopKGate::groupsTouched(const RoutingDecision &d) const
+{
+    const std::size_t per_group = cfg_.expertsPerGroup();
+    std::vector<std::uint32_t> groups;
+    groups.reserve(d.experts.size());
+    for (std::uint32_t e : d.experts)
+        groups.push_back((std::uint32_t)(e / per_group));
+    std::sort(groups.begin(), groups.end());
+    groups.erase(std::unique(groups.begin(), groups.end()),
+                 groups.end());
+    return groups;
+}
+
+} // namespace dsv3::moe

@@ -1,0 +1,30 @@
+#include "moe/placement.hh"
+
+#include "common/logging.hh"
+
+namespace dsv3::moe {
+
+ExpertPlacement::ExpertPlacement(std::size_t experts, std::size_t nodes,
+                                 std::size_t gpus_per_node)
+    : experts_(experts), nodes_(nodes), gpusPerNode_(gpus_per_node)
+{
+    DSV3_ASSERT(experts_ > 0 && nodes_ > 0 && gpusPerNode_ > 0);
+    DSV3_ASSERT(experts_ % (nodes_ * gpusPerNode_) == 0,
+                "experts must divide evenly over GPUs");
+}
+
+std::uint32_t
+ExpertPlacement::node(std::uint32_t expert) const
+{
+    DSV3_ASSERT(expert < experts_);
+    return (std::uint32_t)(expert / expertsPerNode());
+}
+
+std::uint32_t
+ExpertPlacement::gpu(std::uint32_t expert) const
+{
+    DSV3_ASSERT(expert < experts_);
+    return (std::uint32_t)(expert / expertsPerGpu());
+}
+
+} // namespace dsv3::moe

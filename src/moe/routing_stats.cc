@@ -1,0 +1,84 @@
+#include "moe/routing_stats.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace dsv3::moe {
+
+RoutingStats::RoutingStats(const ExpertPlacement &placement)
+    : placement_(placement),
+      nodesTouchedHist_(placement.nodes() + 1, 0),
+      expertLoad_(placement.experts(), 0.0),
+      nodeLoad_(placement.nodes(), 0.0)
+{
+}
+
+void
+RoutingStats::add(const RoutingDecision &decision)
+{
+    ++tokens_;
+    std::vector<std::uint32_t> nodes;
+    nodes.reserve(decision.experts.size());
+    for (std::uint32_t e : decision.experts) {
+        DSV3_ASSERT(e < placement_.experts());
+        expertLoad_[e] += 1.0;
+        nodes.push_back(placement_.node(e));
+    }
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+    for (std::uint32_t n : nodes)
+        nodeLoad_[n] += 1.0;
+    std::size_t m = nodes.size();
+    DSV3_ASSERT(m < nodesTouchedHist_.size());
+    ++nodesTouchedHist_[m];
+    sumNodesTouched_ += (double)m;
+}
+
+double
+RoutingStats::meanNodesTouched() const
+{
+    return tokens_ ? sumNodesTouched_ / (double)tokens_ : 0.0;
+}
+
+std::size_t
+RoutingStats::maxNodesTouched() const
+{
+    for (std::size_t m = nodesTouchedHist_.size(); m-- > 0;)
+        if (nodesTouchedHist_[m] > 0)
+            return m;
+    return 0;
+}
+
+double
+RoutingStats::nodesTouchedFraction(std::size_t m) const
+{
+    if (tokens_ == 0 || m >= nodesTouchedHist_.size())
+        return 0.0;
+    return (double)nodesTouchedHist_[m] / (double)tokens_;
+}
+
+double
+RoutingStats::ibDedupFactor(std::size_t top_k) const
+{
+    DSV3_ASSERT(top_k > 0);
+    return meanNodesTouched() / (double)top_k;
+}
+
+std::vector<double>
+RoutingStats::gpuLoad() const
+{
+    std::vector<double> load(placement_.totalGpus(), 0.0);
+    for (std::size_t e = 0; e < expertLoad_.size(); ++e)
+        load[placement_.gpu((std::uint32_t)e)] += expertLoad_[e];
+    return load;
+}
+
+double
+RoutingStats::expertImbalance() const
+{
+    return maxOverMean(expertLoad_);
+}
+
+} // namespace dsv3::moe

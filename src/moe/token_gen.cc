@@ -1,0 +1,23 @@
+#include "moe/token_gen.hh"
+
+namespace dsv3::moe {
+
+TokenScoreGenerator::TokenScoreGenerator(std::size_t experts,
+                                         double popularity_skew,
+                                         std::uint64_t seed)
+    : base_(experts, 0.0), rng_(seed)
+{
+    for (auto &b : base_)
+        b = rng_.normal(0.0, popularity_skew);
+}
+
+std::vector<double>
+TokenScoreGenerator::next()
+{
+    std::vector<double> logits(base_.size());
+    for (std::size_t i = 0; i < base_.size(); ++i)
+        logits[i] = base_[i] + rng_.gumbel();
+    return logits;
+}
+
+} // namespace dsv3::moe

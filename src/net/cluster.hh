@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Builders for the cluster fabrics compared in Sec 5.1: the Multi-Plane
+ * two-layer Fat-Tree (MPFT) actually deployed for DeepSeek-V3, and the
+ * Single-Plane Multi-Rail Fat-Tree (MRFT) baseline.
+ *
+ * Both fabrics share the same node architecture (Figure 2): eight GPUs
+ * per host joined by an NVSwitch (modeled as a per-host crossbar with a
+ * per-GPU port limit), one 400G NIC per GPU, NIC i of every host living
+ * on rail/plane i.
+ *
+ *  - MRFT: every rail has its own leaf switches but all leaves share a
+ *    single spine layer, so cross-rail traffic can traverse the fabric
+ *    (leaf -> spine -> leaf').
+ *  - MPFT: each plane is an isolated two-layer fat-tree; cross-plane
+ *    traffic cannot traverse the fabric at all and must be forwarded
+ *    intra-node over NVLink to the GPU whose NIC lives on the target
+ *    plane (the PXN pattern, implemented in collective/pxn).
+ *
+ * Edge latencies are per-hop: wire latency on every link plus the
+ * switch forwarding latency folded into edges that *enter* a switch.
+ * Host-side (CPU/NIC doorbell) overhead is kept in the config and added
+ * once per message by the latency helpers, matching the CPU-side
+ * end-to-end methodology of Table 5.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "net/graph.hh"
+
+namespace dsv3::net {
+
+/** Scale-out fabric style. */
+enum class Fabric
+{
+    MRFT, //!< single-plane multi-rail fat-tree (shared spines)
+    MPFT, //!< multi-plane fat-tree (isolated planes)
+};
+
+const char *fabricName(Fabric fabric);
+
+/** Link technology timing/bandwidth knobs. */
+struct LinkSpec
+{
+    double bandwidth = 0.0;    //!< bytes/s per direction
+    double wireLatency = 0.0;  //!< cable + serdes per hop (s)
+};
+
+struct ClusterConfig
+{
+    Fabric fabric = Fabric::MPFT;
+    std::size_t hosts = 2;
+    std::size_t gpusPerHost = 8;
+    std::size_t planes = 8;        //!< == NICs per host
+    std::size_t switchRadix = 64;  //!< ports per network switch
+
+    // Effective bandwidths default to the paper's H800 numbers.
+    LinkSpec nic{40e9, 0.15e-6};       //!< GPU<->leaf (CX7 effective)
+    LinkSpec leafSpine{40e9, 0.15e-6}; //!< leaf<->spine trunk
+    LinkSpec nvlink{160e9, 0.15e-6};   //!< GPU<->NVSwitch port
+
+    double switchLatency = 0.3e-6;  //!< forwarding latency per switch
+    double nvswitchLatency = 0.3e-6;
+    double hostOverhead = 2.2e-6;   //!< CPU-side send+recv overhead
+
+    std::size_t totalGpus() const { return hosts * gpusPerHost; }
+};
+
+/** A built cluster: the graph plus id lookup tables. */
+struct Cluster
+{
+    ClusterConfig config;
+    Graph graph;
+
+    std::vector<NodeId> gpus;       //!< [host * gpusPerHost + g]
+    std::vector<NodeId> nvswitches; //!< [host]
+
+    NodeId gpu(std::size_t host, std::size_t idx) const
+    {
+        return gpus[host * config.gpusPerHost + idx];
+    }
+    /** Host index of a global GPU rank. */
+    std::size_t hostOf(std::size_t rank) const
+    {
+        return rank / config.gpusPerHost;
+    }
+    /** Local index (== NIC plane) of a global GPU rank. */
+    std::size_t planeOf(std::size_t rank) const
+    {
+        return rank % config.gpusPerHost;
+    }
+};
+
+/**
+ * Build an H800-style cluster. Requires planes == gpusPerHost (one NIC
+ * per GPU, NIC i on plane i).
+ */
+Cluster buildCluster(const ClusterConfig &config);
+
+/**
+ * Build a single-rail scale-out network for the RoCE routing study
+ * (Figure 8): @p hosts endpoints with one NIC each, leaves of
+ * @p hosts_per_leaf endpoints, and an ECMP-able spine layer of
+ * @p spines switches. No NVLink domain.
+ */
+Cluster buildSingleRail(std::size_t hosts, std::size_t hosts_per_leaf,
+                        std::size_t spines, const LinkSpec &nic,
+                        const LinkSpec &leaf_spine,
+                        double switch_latency, double host_overhead);
+
+/**
+ * CPU-side end-to-end latency of one message between two GPUs along
+ * the lowest-latency route, assuming an idle network: host overhead +
+ * per-hop latencies + serialization at the narrowest link.
+ */
+double endToEndLatency(const Cluster &cluster, std::size_t src_rank,
+                       std::size_t dst_rank, double bytes);
+
+} // namespace dsv3::net

@@ -1,0 +1,93 @@
+#include "net/contention.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dsv3::net {
+
+const char *
+pcieArbitrationName(PcieArbitration arbitration)
+{
+    switch (arbitration) {
+      case PcieArbitration::FAIR_SHARE:
+        return "fair share (today)";
+      case PcieArbitration::EP_PRIORITY:
+        return "EP priority (TC)";
+      case PcieArbitration::IO_DIE:
+        return "I/O-die NIC";
+    }
+    return "?";
+}
+
+namespace {
+
+/**
+ * Two-stream fluid completion: stream A at rate_a_1 while both run,
+ * rate_a_2 after B finishes (and vice versa).
+ */
+ContentionResult
+twoStream(double a_bytes, double a_rate_shared, double a_rate_alone,
+          double b_bytes, double b_rate_shared, double b_rate_alone)
+{
+    ContentionResult out;
+    double t_a_shared =
+        a_rate_shared > 0.0 ? a_bytes / a_rate_shared : 1e300;
+    double t_b_shared =
+        b_rate_shared > 0.0 ? b_bytes / b_rate_shared : 1e300;
+    if (t_a_shared <= t_b_shared) {
+        out.epTime = t_a_shared;
+        double left = b_bytes - b_rate_shared * t_a_shared;
+        out.kvTime = t_a_shared + std::max(0.0, left) / b_rate_alone;
+    } else {
+        out.kvTime = t_b_shared;
+        double left = a_bytes - a_rate_shared * t_b_shared;
+        out.epTime = t_b_shared + std::max(0.0, left) / a_rate_alone;
+    }
+    return out;
+}
+
+} // namespace
+
+ContentionResult
+evaluateContention(PcieArbitration arbitration,
+                   const ContentionScenario &s)
+{
+    DSV3_ASSERT(s.pcieBytesPerSec > 0.0 && s.epBytesPerSec > 0.0);
+    DSV3_ASSERT(s.epBytes > 0.0 && s.kvBytes >= 0.0);
+
+    const double ep_alone = std::min(s.epBytesPerSec,
+                                     s.pcieBytesPerSec);
+    const double uncontended = s.epBytes / ep_alone;
+
+    double ep_shared = 0.0, kv_shared = 0.0;
+    double kv_alone = s.pcieBytesPerSec;
+
+    switch (arbitration) {
+      case PcieArbitration::FAIR_SHARE: {
+        double half = s.pcieBytesPerSec / 2.0;
+        ep_shared = std::min(s.epBytesPerSec, half);
+        kv_shared = s.pcieBytesPerSec - ep_shared;
+        break;
+      }
+      case PcieArbitration::EP_PRIORITY:
+        ep_shared = ep_alone;
+        kv_shared = std::max(0.0, s.pcieBytesPerSec - ep_shared);
+        break;
+      case PcieArbitration::IO_DIE:
+        // NIC traffic never enters PCIe.
+        ep_shared = s.epBytesPerSec;
+        kv_shared = s.pcieBytesPerSec;
+        break;
+    }
+
+    ContentionResult out =
+        twoStream(s.epBytes, ep_shared,
+                  arbitration == PcieArbitration::IO_DIE
+                      ? s.epBytesPerSec : ep_alone,
+                  s.kvBytes, kv_shared, kv_alone);
+    out.epSlowdown = out.epTime / uncontended;
+    return out;
+}
+
+} // namespace dsv3::net

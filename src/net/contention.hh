@@ -1,0 +1,50 @@
+/**
+ * @file
+ * PCIe/NVLink bandwidth-contention model (Sec 4.5).
+ *
+ * On the H800 node the NICs hang off PCIe, so a KV-cache transfer
+ * from CPU memory to the GPU shares the PCIe link with EP's RDMA
+ * traffic. Without traffic prioritization both streams get a fair
+ * share and the latency-critical EP all-to-all stalls; with priority
+ * classes (the paper's suggestion) EP proceeds at full rate and the
+ * bulk KV prefetch absorbs the slowdown. The model also covers the
+ * proposed I/O-die integration, which removes the NIC from the PCIe
+ * path entirely.
+ */
+
+#pragma once
+
+namespace dsv3::net {
+
+enum class PcieArbitration
+{
+    FAIR_SHARE,    //!< today: no traffic classes exposed
+    EP_PRIORITY,   //!< suggested: EP traffic gets strict priority
+    IO_DIE,        //!< suggested: NIC on the I/O die, no PCIe sharing
+};
+
+const char *pcieArbitrationName(PcieArbitration arbitration);
+
+struct ContentionScenario
+{
+    double pcieBytesPerSec = 64e9;  //!< Gen5 x16 effective
+    double epBytesPerSec = 40e9;    //!< EP demand through the NIC
+    double epBytes = 0.0;           //!< EP transfer size this window
+    double kvBytes = 0.0;           //!< concurrent KV prefetch size
+};
+
+struct ContentionResult
+{
+    double epTime = 0.0;       //!< EP transfer completion (s)
+    double kvTime = 0.0;       //!< KV prefetch completion (s)
+    double epSlowdown = 0.0;   //!< vs uncontended EP time
+};
+
+/**
+ * Fluid-model completion times for the two concurrent streams under
+ * the given arbitration policy.
+ */
+ContentionResult evaluateContention(PcieArbitration arbitration,
+                                    const ContentionScenario &scenario);
+
+} // namespace dsv3::net

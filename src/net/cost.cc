@@ -1,0 +1,131 @@
+#include "net/cost.hh"
+
+#include "common/logging.hh"
+
+namespace dsv3::net {
+
+double
+costPerEndpoint(const TopologyCounts &counts)
+{
+    return kNicPlusDac + counts.portsPerEndpoint() * kPortCost +
+           counts.linksPerEndpoint() * kOpticalCableCost;
+}
+
+double
+totalCost(const TopologyCounts &counts)
+{
+    return costPerEndpoint(counts) * (double)counts.endpoints;
+}
+
+TopologyCounts
+countFatTree2(std::size_t radix, std::size_t endpoints)
+{
+    DSV3_ASSERT(radix >= 2 && radix % 2 == 0);
+    const std::size_t down = radix / 2;
+    DSV3_ASSERT(endpoints <= radix * down,
+                "FT2 with radix ", radix, " tops out at ", radix * down,
+                " endpoints");
+    const std::size_t leaves = (endpoints + down - 1) / down;
+    // Each leaf has `down` uplinks; spines absorb them with all their
+    // radix ports: spines = leaves * down / radix = leaves / 2.
+    const std::size_t spines = (leaves + 1) / 2;
+
+    TopologyCounts out;
+    out.name = "FT2";
+    out.endpoints = endpoints;
+    out.switches = leaves + spines;
+    out.links = leaves * down;
+    out.switchPorts = endpoints + 2 * out.links;
+    return out;
+}
+
+TopologyCounts
+countMultiPlaneFatTree(std::size_t radix, std::size_t planes,
+                       std::size_t endpoints)
+{
+    DSV3_ASSERT(planes >= 1);
+    DSV3_ASSERT(endpoints % planes == 0,
+                "endpoints must divide evenly across planes");
+    TopologyCounts plane = countFatTree2(radix, endpoints / planes);
+    TopologyCounts out;
+    out.name = "MPFT";
+    out.endpoints = endpoints;
+    out.switches = plane.switches * planes;
+    out.links = plane.links * planes;
+    out.switchPorts = plane.switchPorts * planes;
+    return out;
+}
+
+TopologyCounts
+countFatTree3(std::size_t radix, std::size_t endpoints)
+{
+    DSV3_ASSERT(radix >= 2 && radix % 2 == 0);
+    const std::size_t down = radix / 2;
+    const std::size_t per_pod = down * down;
+    // Full scale: radix pods of (radix/2)^2 endpoints = radix^3/4.
+    DSV3_ASSERT(endpoints <= radix * per_pod,
+                "FT3 with radix ", radix, " tops out at ",
+                radix * per_pod, " endpoints");
+    const std::size_t pods = (endpoints + per_pod - 1) / per_pod;
+    const std::size_t core = down * down;
+
+    TopologyCounts out;
+    out.name = "FT3";
+    out.endpoints = endpoints;
+    out.switches = pods * radix + core; // (leaves + aggs) + core
+    // leaf->agg links: per pod, down leaves x down uplinks each;
+    // agg->core: same count again.
+    out.links = pods * per_pod * 2;
+    out.switchPorts = endpoints + 2 * out.links;
+    return out;
+}
+
+TopologyCounts
+countSlimFly(std::size_t q)
+{
+    DSV3_ASSERT(q >= 3);
+    // q = 4w + delta with delta in {-1, 0, 1}.
+    int delta;
+    switch (q % 4) {
+      case 0:
+        delta = 0;
+        break;
+      case 1:
+        delta = 1;
+        break;
+      case 3:
+        delta = -1;
+        break;
+      default:
+        DSV3_FATAL("Slim Fly requires q = 4w + delta, delta in "
+                   "{-1,0,1}; q=", q, " has q%4==2");
+    }
+    const std::size_t k_net = (3 * q - (std::size_t)(delta + 1) + 1) / 2;
+    // k' = (3q - delta) / 2, written to stay in unsigned arithmetic.
+    const std::size_t switches = 2 * q * q;
+    const std::size_t p = (k_net + 1) / 2; // endpoints per switch
+
+    TopologyCounts out;
+    out.name = "SF";
+    out.endpoints = switches * p;
+    out.switches = switches;
+    out.links = switches * k_net / 2;
+    out.switchPorts = out.endpoints + 2 * out.links;
+    return out;
+}
+
+TopologyCounts
+countDragonfly(std::size_t p, std::size_t a, std::size_t h,
+               std::size_t groups)
+{
+    DSV3_ASSERT(p >= 1 && a >= 1 && h >= 1 && groups >= 2);
+    TopologyCounts out;
+    out.name = "DF";
+    out.switches = groups * a;
+    out.endpoints = out.switches * p;
+    out.links = groups * (a * (a - 1) / 2) + groups * a * h / 2;
+    out.switchPorts = out.endpoints + 2 * out.links;
+    return out;
+}
+
+} // namespace dsv3::net

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Closed-form topology sizing and the cost model of Table 3.
+ *
+ * Counting conventions follow the paper's table:
+ *  - "Endpoints" is the number of attachable hosts (GPUs/NICs).
+ *  - "Switches" counts network switches (not NICs).
+ *  - "Links" counts inter-switch cables only; endpoint cables are
+ *    accounted separately in the cost model (they are short DACs).
+ *
+ * The cost model follows the Slim Fly paper's methodology: per-endpoint
+ * cost = NIC + endpoint cable + (switch ports used per endpoint) x
+ * port cost + (inter-switch links per endpoint) x optical cable cost.
+ * The three constants are calibrated once (kNicPlusDac, kPortCost,
+ * kOpticalCableCost) and reproduce all five of the paper's
+ * cost-per-endpoint numbers within ~1%.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dsv3::net {
+
+struct TopologyCounts
+{
+    std::string name;
+    std::uint64_t endpoints = 0;
+    std::uint64_t switches = 0;
+    std::uint64_t links = 0;     //!< inter-switch links
+    std::uint64_t switchPorts = 0; //!< total occupied switch ports
+
+    double portsPerEndpoint() const
+    {
+        return (double)switchPorts / (double)endpoints;
+    }
+    double linksPerEndpoint() const
+    {
+        return (double)links / (double)endpoints;
+    }
+};
+
+// Calibrated cost constants (USD). See file comment.
+constexpr double kNicPlusDac = 380.0;
+constexpr double kPortCost = 900.0;
+constexpr double kOpticalCableCost = 1310.0;
+
+/** Cost of one endpoint's share of the network. */
+double costPerEndpoint(const TopologyCounts &counts);
+
+/** Total network cost. */
+double totalCost(const TopologyCounts &counts);
+
+/**
+ * Two-layer fat-tree with @p radix-port switches at maximum scale:
+ * radix^2/2 endpoints; or a smaller deployment of @p endpoints.
+ */
+TopologyCounts countFatTree2(std::size_t radix, std::size_t endpoints);
+
+/** Multi-plane fat-tree: @p planes independent FT2 fabrics. */
+TopologyCounts countMultiPlaneFatTree(std::size_t radix,
+                                      std::size_t planes,
+                                      std::size_t endpoints);
+
+/** Three-layer fat-tree at maximum scale radix^3/4 (or smaller). */
+TopologyCounts countFatTree3(std::size_t radix, std::size_t endpoints);
+
+/**
+ * Slim Fly MMS topology with parameter q: 2q^2 switches, network
+ * degree k' = (3q - delta)/2 with q = 4w + delta, and p = ceil(k'/2)
+ * endpoints per switch (the NSDI paper's balanced concentration).
+ */
+TopologyCounts countSlimFly(std::size_t q);
+
+/**
+ * Canonical dragonfly(p, a, h) with an explicit group count @p groups
+ * (the balanced value is a*h + 1).
+ */
+TopologyCounts countDragonfly(std::size_t p, std::size_t a,
+                              std::size_t h, std::size_t groups);
+
+} // namespace dsv3::net

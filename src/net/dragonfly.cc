@@ -1,0 +1,73 @@
+#include "net/dragonfly.hh"
+
+#include "common/logging.hh"
+
+namespace dsv3::net {
+
+Graph
+buildDragonfly(const DragonflyParams &params, double nic_bw,
+               double local_bw, double global_bw)
+{
+    const std::size_t a = params.a;
+    const std::size_t h = params.h;
+    const std::size_t p = params.p;
+    const std::size_t groups = params.balancedGroups();
+    DSV3_ASSERT(a >= 1 && h >= 1 && p >= 1);
+
+    Graph graph;
+    const double lat = 0.5e-6;
+
+    // Switches: sw[group][idx].
+    std::vector<std::vector<NodeId>> sw(groups);
+    for (std::size_t g = 0; g < groups; ++g) {
+        for (std::size_t s = 0; s < a; ++s) {
+            sw[g].push_back(graph.addNode(
+                NodeKind::LEAF,
+                "df" + std::to_string(g) + "." + std::to_string(s),
+                (std::int32_t)g));
+        }
+    }
+
+    // Intra-group full mesh.
+    for (std::size_t g = 0; g < groups; ++g)
+        for (std::size_t s = 0; s < a; ++s)
+            for (std::size_t t = s + 1; t < a; ++t)
+                graph.addDuplex(sw[g][s], sw[g][t], local_bw, lat);
+
+    // Global links: switch s's global port k of group g reaches the
+    // group whose index (skipping g itself) is s*h + k. With
+    // g = a*h + 1 this joins every group pair exactly once; the link
+    // is added from the lower-numbered group only.
+    for (std::size_t g = 0; g < groups; ++g) {
+        for (std::size_t s = 0; s < a; ++s) {
+            for (std::size_t k = 0; k < h; ++k) {
+                std::size_t peer = s * h + k;
+                std::size_t dest = peer >= g ? peer + 1 : peer;
+                if (dest <= g)
+                    continue; // added from the other side
+                // Destination switch: the reverse of the same map.
+                std::size_t back = g; // g < dest, so no skip adjust
+                std::size_t ds = back / h;
+                graph.addDuplex(sw[g][s], sw[dest][ds], global_bw,
+                                lat);
+            }
+        }
+    }
+
+    // Endpoints.
+    for (std::size_t g = 0; g < groups; ++g) {
+        for (std::size_t s = 0; s < a; ++s) {
+            for (std::size_t e = 0; e < p; ++e) {
+                NodeId gpu = graph.addNode(
+                    NodeKind::GPU,
+                    "ep" + std::to_string(g) + "." +
+                        std::to_string(s) + "." + std::to_string(e),
+                    (std::int32_t)g);
+                graph.addDuplex(sw[g][s], gpu, nic_bw, lat);
+            }
+        }
+    }
+    return graph;
+}
+
+} // namespace dsv3::net

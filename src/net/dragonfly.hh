@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Canonical dragonfly topology builder (Kim et al., ISCA'08): groups
+ * of @p a switches, fully meshed inside a group, @p h global links per
+ * switch, @p p endpoints per switch. With the balanced group count
+ * g = a*h + 1 every pair of groups is joined by exactly one global
+ * link (the arrangement used here). Diameter is 3
+ * (local -> global -> local).
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "net/graph.hh"
+
+namespace dsv3::net {
+
+struct DragonflyParams
+{
+    std::size_t p = 2; //!< endpoints per switch
+    std::size_t a = 4; //!< switches per group
+    std::size_t h = 2; //!< global links per switch
+
+    std::size_t balancedGroups() const { return a * h + 1; }
+};
+
+/** Build the balanced dragonfly (g = a*h + 1 groups). */
+Graph buildDragonfly(const DragonflyParams &params, double nic_bw = 40e9,
+                     double local_bw = 40e9, double global_bw = 40e9);
+
+} // namespace dsv3::net

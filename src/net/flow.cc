@@ -1,0 +1,296 @@
+#include "net/flow.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace dsv3::net {
+
+const char *
+routePolicyName(RoutePolicy policy)
+{
+    switch (policy) {
+      case RoutePolicy::ECMP:
+        return "ECMP";
+      case RoutePolicy::ADAPTIVE:
+        return "AR";
+      case RoutePolicy::STATIC:
+        return "Static";
+    }
+    return "?";
+}
+
+void
+assignPaths(const Graph &graph, std::vector<Flow> &flows,
+            RoutePolicy policy, std::uint64_t seed)
+{
+    std::map<std::pair<NodeId, NodeId>, std::vector<Path>> cache;
+    std::vector<std::uint32_t> static_load(graph.edgeCount(), 0);
+
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+        Flow &flow = flows[i];
+        auto key = std::make_pair(flow.src, flow.dst);
+        auto it = cache.find(key);
+        if (it == cache.end()) {
+            auto paths_found = shortestPaths(graph, flow.src,
+                                             flow.dst);
+            // Canonical order so STATIC's "k-th path" selects the
+            // same spine for every (src, dst) pair.
+            std::sort(paths_found.begin(), paths_found.end());
+            it = cache.emplace(key, std::move(paths_found)).first;
+        }
+        const std::vector<Path> &paths = it->second;
+        DSV3_ASSERT(!paths.empty(), "no route ", flow.src, "->",
+                    flow.dst);
+
+        flow.paths.clear();
+        flow.weights.clear();
+        switch (policy) {
+          case RoutePolicy::ECMP: {
+            std::uint64_t h = hashCombine(seed, flow.src);
+            h = hashCombine(h, flow.dst);
+            h = hashCombine(h, flow.qp);
+            flow.paths.push_back(paths[h % paths.size()]);
+            flow.weights.push_back(1.0);
+            break;
+          }
+          case RoutePolicy::ADAPTIVE: {
+            double w = 1.0 / (double)paths.size();
+            for (const Path &p : paths) {
+                flow.paths.push_back(p);
+                flow.weights.push_back(w);
+            }
+            break;
+          }
+          case RoutePolicy::STATIC: {
+            // Manually configured route tables, tuned offline for the
+            // known traffic pattern (Sec 5.2.2): modeled as a greedy
+            // conflict-minimizing assignment in flow order. Each flow
+            // takes the candidate path whose most-loaded link carries
+            // the fewest already-assigned flows. Deterministic, and
+            // conflict-free when a conflict-free table exists for the
+            // pattern -- but it cannot adapt once traffic changes,
+            // which is the inflexibility the paper notes.
+            std::size_t best = 0;
+            std::uint64_t best_cost = ~0ull;
+            for (std::size_t p = 0; p < paths.size(); ++p) {
+                std::uint32_t worst = 0;
+                std::uint64_t sum = 0;
+                for (EdgeId e : paths[p]) {
+                    worst = std::max(worst, static_load[e]);
+                    sum += static_load[e];
+                }
+                std::uint64_t cost =
+                    ((std::uint64_t)worst << 32) + sum;
+                if (cost < best_cost) {
+                    best_cost = cost;
+                    best = p;
+                }
+            }
+            for (EdgeId e : paths[best])
+                ++static_load[e];
+            flow.paths.push_back(paths[best]);
+            flow.weights.push_back(1.0);
+            break;
+          }
+        }
+    }
+}
+
+namespace {
+
+/** One schedulable unit: a (flow, path) pair. */
+struct Subflow
+{
+    std::size_t flow;
+    const Path *path;
+    double rate = 0.0;
+    bool frozen = false;
+};
+
+/**
+ * Progressive water-filling over the active subflows.
+ * @param residual per-edge residual capacity (modified)
+ */
+void
+waterFill(const Graph &graph, std::vector<Subflow> &subflows,
+          std::vector<double> residual)
+{
+    std::vector<std::uint32_t> active_on_edge(graph.edgeCount(), 0);
+    std::size_t unfrozen = 0;
+    for (auto &sf : subflows) {
+        if (sf.frozen)
+            continue;
+        ++unfrozen;
+        for (EdgeId e : *sf.path)
+            ++active_on_edge[e];
+    }
+
+    std::vector<bool> done(subflows.size(), false);
+    while (unfrozen > 0) {
+        // Bottleneck edge: smallest fair share among loaded edges.
+        double best_share = std::numeric_limits<double>::infinity();
+        EdgeId best_edge = 0;
+        bool found = false;
+        for (EdgeId e = 0; e < graph.edgeCount(); ++e) {
+            if (active_on_edge[e] == 0)
+                continue;
+            double share = residual[e] / (double)active_on_edge[e];
+            if (share < best_share) {
+                best_share = share;
+                best_edge = e;
+                found = true;
+            }
+        }
+        DSV3_ASSERT(found, "active subflow crosses no edge");
+
+        // Freeze every unfrozen subflow crossing the bottleneck.
+        for (std::size_t i = 0; i < subflows.size(); ++i) {
+            Subflow &sf = subflows[i];
+            if (sf.frozen || done[i])
+                continue;
+            bool crosses = false;
+            for (EdgeId e : *sf.path) {
+                if (e == best_edge) {
+                    crosses = true;
+                    break;
+                }
+            }
+            if (!crosses)
+                continue;
+            sf.rate = best_share;
+            done[i] = true;
+            --unfrozen;
+            for (EdgeId e : *sf.path) {
+                residual[e] -= best_share;
+                if (residual[e] < 0.0)
+                    residual[e] = 0.0;
+                --active_on_edge[e];
+            }
+        }
+        // The bottleneck edge must now be drained of active subflows.
+        DSV3_ASSERT(active_on_edge[best_edge] == 0);
+    }
+    for (std::size_t i = 0; i < subflows.size(); ++i)
+        if (done[i])
+            subflows[i].frozen = true;
+}
+
+} // namespace
+
+std::vector<double>
+maxMinRates(const Graph &graph, const std::vector<Flow> &flows)
+{
+    std::vector<Subflow> subflows;
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+        DSV3_ASSERT(!flows[i].paths.empty(),
+                    "call assignPaths() before maxMinRates()");
+        for (const Path &p : flows[i].paths) {
+            if (p.empty())
+                continue; // src == dst: local, infinite rate
+            subflows.push_back({i, &p, 0.0, false});
+        }
+    }
+    std::vector<double> residual(graph.edgeCount());
+    for (EdgeId e = 0; e < graph.edgeCount(); ++e)
+        residual[e] = graph.edge(e).capacity;
+    waterFill(graph, subflows, std::move(residual));
+
+    std::vector<double> rates(flows.size(), 0.0);
+    for (const Subflow &sf : subflows)
+        rates[sf.flow] += sf.rate;
+    // Flows whose every path was empty (src == dst) get infinite rate.
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+        bool local = true;
+        for (const Path &p : flows[i].paths)
+            if (!p.empty())
+                local = false;
+        if (local)
+            rates[i] = std::numeric_limits<double>::infinity();
+    }
+    return rates;
+}
+
+FlowSimResult
+simulateFlows(const Graph &graph, const std::vector<Flow> &flows)
+{
+    FlowSimResult result;
+    result.finishTimes.assign(flows.size(), 0.0);
+
+    std::vector<double> remaining(flows.size());
+    std::vector<bool> finished(flows.size(), false);
+    std::size_t left = 0;
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+        remaining[i] = flows[i].bytes;
+        if (remaining[i] <= 0.0) {
+            finished[i] = true;
+            continue;
+        }
+        ++left;
+    }
+
+    double now = 0.0;
+    bool first_epoch = true;
+    while (left > 0) {
+        // Rates for the currently unfinished set.
+        std::vector<Flow> active;
+        std::vector<std::size_t> index;
+        for (std::size_t i = 0; i < flows.size(); ++i) {
+            if (!finished[i]) {
+                active.push_back(flows[i]);
+                index.push_back(i);
+            }
+        }
+        std::vector<double> rates = maxMinRates(graph, active);
+
+        if (first_epoch) {
+            result.rates.assign(flows.size(), 0.0);
+            std::vector<double> edge_load(graph.edgeCount(), 0.0);
+            for (std::size_t a = 0; a < active.size(); ++a) {
+                result.rates[index[a]] = rates[a];
+                const Flow &f = active[a];
+                for (std::size_t p = 0; p < f.paths.size(); ++p) {
+                    // Approximation: per-path share follows weights.
+                    double r = rates[a] * f.weights[p];
+                    for (EdgeId e : f.paths[p])
+                        edge_load[e] += r;
+                }
+            }
+            for (EdgeId e = 0; e < graph.edgeCount(); ++e) {
+                result.peakUtilization =
+                    std::max(result.peakUtilization,
+                             edge_load[e] / graph.edge(e).capacity);
+            }
+            first_epoch = false;
+        }
+
+        // Advance to the next completion.
+        double dt = std::numeric_limits<double>::infinity();
+        for (std::size_t a = 0; a < active.size(); ++a) {
+            if (rates[a] <= 0.0)
+                continue;
+            dt = std::min(dt, remaining[index[a]] / rates[a]);
+        }
+        DSV3_ASSERT(std::isfinite(dt), "deadlocked flows");
+        now += dt;
+        const double eps = 1e-6; // bytes
+        for (std::size_t a = 0; a < active.size(); ++a) {
+            std::size_t i = index[a];
+            remaining[i] -= rates[a] * dt;
+            if (std::isinf(rates[a]) || remaining[i] <= eps) {
+                remaining[i] = 0.0;
+                finished[i] = true;
+                result.finishTimes[i] = now;
+                --left;
+            }
+        }
+    }
+    result.makespan = now;
+    return result;
+}
+
+} // namespace dsv3::net

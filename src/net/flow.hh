@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Flow-level network simulation.
+ *
+ * A Flow carries bytes from a source GPU to a destination GPU over one
+ * or more paths. The routing policy decides the path set:
+ *
+ *  - ECMP: a hash of (src, dst, qp) selects exactly one of the
+ *    equal-cost shortest paths. Collisions of large flows on one link
+ *    are what Figure 8 shows degrading NCCL performance.
+ *  - ADAPTIVE: the flow is split evenly across all equal-cost paths
+ *    (idealized packet spraying).
+ *  - STATIC: deterministic round-robin assignment of flows to paths in
+ *    flow-creation order (a manually configured routing table).
+ *
+ * Rates come from max-min fair sharing (progressive water-filling) of
+ * directed link capacities; completion uses an event loop that re-fills
+ * whenever a flow finishes, so mixed-size flow sets are timed exactly
+ * under the fluid model.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.hh"
+
+namespace dsv3::net {
+
+enum class RoutePolicy
+{
+    ECMP,
+    ADAPTIVE,
+    STATIC,
+};
+
+const char *routePolicyName(RoutePolicy policy);
+
+/** One unidirectional transfer. */
+struct Flow
+{
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    double bytes = 0.0;
+    std::uint64_t qp = 0; //!< queue-pair id; feeds the ECMP hash
+
+    // Filled in by assignPaths():
+    std::vector<Path> paths;      //!< one (ECMP/STATIC) or many
+    std::vector<double> weights;  //!< fraction of traffic per path
+};
+
+/**
+ * Populate flow.paths/weights for every flow.
+ *
+ * @param seed perturbs the ECMP hash (models switches hashing
+ *        differently across runs); ignored by other policies.
+ */
+void assignPaths(const Graph &graph, std::vector<Flow> &flows,
+                 RoutePolicy policy, std::uint64_t seed = 0);
+
+/** Result of a fluid simulation. */
+struct FlowSimResult
+{
+    std::vector<double> rates;       //!< instantaneous first-epoch rate
+    std::vector<double> finishTimes; //!< per-flow completion (seconds)
+    double makespan = 0.0;           //!< last completion
+    /** Peak utilization (rate/capacity) over all edges, first epoch. */
+    double peakUtilization = 0.0;
+};
+
+/**
+ * Max-min fair rates for the given flows (single epoch; ignores
+ * bytes). rates[i] is flow i's total rate across its paths.
+ */
+std::vector<double> maxMinRates(const Graph &graph,
+                                const std::vector<Flow> &flows);
+
+/**
+ * Fluid-model completion times: repeatedly compute max-min rates,
+ * advance to the next flow completion, release its capacity.
+ */
+FlowSimResult simulateFlows(const Graph &graph,
+                            const std::vector<Flow> &flows);
+
+} // namespace dsv3::net

@@ -1,0 +1,151 @@
+#include "net/graph.hh"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace dsv3::net {
+
+const char *
+nodeKindName(NodeKind kind)
+{
+    switch (kind) {
+      case NodeKind::GPU:
+        return "gpu";
+      case NodeKind::NVSWITCH:
+        return "nvswitch";
+      case NodeKind::LEAF:
+        return "leaf";
+      case NodeKind::SPINE:
+        return "spine";
+      case NodeKind::CORE:
+        return "core";
+    }
+    return "?";
+}
+
+NodeId
+Graph::addNode(NodeKind kind, std::string label, std::int32_t plane,
+               std::int32_t host)
+{
+    nodes_.push_back({kind, std::move(label), plane, host});
+    adjacency_.emplace_back();
+    return (NodeId)(nodes_.size() - 1);
+}
+
+EdgeId
+Graph::addEdge(NodeId from, NodeId to, double capacity, double latency)
+{
+    DSV3_ASSERT(from < nodes_.size() && to < nodes_.size());
+    DSV3_ASSERT(capacity > 0.0);
+    edges_.push_back({from, to, capacity, latency});
+    EdgeId id = (EdgeId)(edges_.size() - 1);
+    adjacency_[from].push_back(id);
+    return id;
+}
+
+void
+Graph::addDuplex(NodeId a, NodeId b, double capacity, double latency)
+{
+    addEdge(a, b, capacity, latency);
+    addEdge(b, a, capacity, latency);
+}
+
+std::vector<NodeId>
+Graph::nodesOfKind(NodeKind kind) const
+{
+    std::vector<NodeId> out;
+    for (NodeId id = 0; id < nodes_.size(); ++id)
+        if (nodes_[id].kind == kind)
+            out.push_back(id);
+    return out;
+}
+
+double
+pathLatency(const Graph &graph, const Path &path)
+{
+    double total = 0.0;
+    for (EdgeId e : path)
+        total += graph.edge(e).latency;
+    return total;
+}
+
+double
+pathCapacity(const Graph &graph, const Path &path)
+{
+    double cap = std::numeric_limits<double>::infinity();
+    for (EdgeId e : path)
+        cap = std::min(cap, graph.edge(e).capacity);
+    return cap;
+}
+
+std::vector<Path>
+shortestPaths(const Graph &graph, NodeId src, NodeId dst,
+              std::size_t max_paths)
+{
+    DSV3_ASSERT(src < graph.nodeCount() && dst < graph.nodeCount());
+    if (src == dst)
+        return {Path{}};
+
+    // BFS building the shortest-path DAG: dist[] plus, per node, the
+    // list of incoming edges that lie on some shortest path.
+    constexpr std::uint32_t kInf = 0xffffffffu;
+    std::vector<std::uint32_t> dist(graph.nodeCount(), kInf);
+    std::vector<std::vector<EdgeId>> parents(graph.nodeCount());
+    std::deque<NodeId> queue;
+    dist[src] = 0;
+    queue.push_back(src);
+    while (!queue.empty()) {
+        NodeId u = queue.front();
+        queue.pop_front();
+        if (dist[u] >= dist[dst] && dst != u && dist[dst] != kInf)
+            continue; // no shorter paths can be found beyond dst
+        for (EdgeId e : graph.outEdges(u)) {
+            NodeId v = graph.edge(e).to;
+            if (dist[v] == kInf) {
+                dist[v] = dist[u] + 1;
+                parents[v].push_back(e);
+                queue.push_back(v);
+            } else if (dist[v] == dist[u] + 1) {
+                parents[v].push_back(e);
+            }
+        }
+    }
+    if (dist[dst] == kInf)
+        return {};
+
+    // Expand the DAG from dst backwards (DFS), bounded by max_paths.
+    std::vector<Path> paths;
+    Path current;
+    // Iterative DFS stack: (node, next-parent-index).
+    struct Frame { NodeId node; std::size_t idx; };
+    std::vector<Frame> stack;
+    stack.push_back({dst, 0});
+    while (!stack.empty()) {
+        Frame &top = stack.back();
+        if (top.node == src) {
+            Path p(current.rbegin(), current.rend());
+            paths.push_back(std::move(p));
+            if (paths.size() >= max_paths)
+                break;
+            stack.pop_back();
+            if (!current.empty())
+                current.pop_back();
+            continue;
+        }
+        if (top.idx >= parents[top.node].size()) {
+            stack.pop_back();
+            if (!current.empty())
+                current.pop_back();
+            continue;
+        }
+        EdgeId e = parents[top.node][top.idx++];
+        current.push_back(e);
+        stack.push_back({graph.edge(e).from, 0});
+    }
+    return paths;
+}
+
+} // namespace dsv3::net

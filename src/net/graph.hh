@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Directed capacity graph underlying the cluster network simulator.
+ *
+ * Vertices are GPUs, NVSwitches, and network switches; every physical
+ * full-duplex cable is represented as two directed edges with
+ * independent capacities. Flow-level simulation (max-min fairness) and
+ * per-hop latency accumulation both operate on this graph.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dsv3::net {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+constexpr NodeId kInvalidNode = 0xffffffffu;
+
+enum class NodeKind : std::uint8_t
+{
+    GPU,      //!< endpoint (GPU with its NIC)
+    NVSWITCH, //!< intra-node scale-up switch
+    LEAF,     //!< first-layer network switch
+    SPINE,    //!< second-layer network switch
+    CORE,     //!< third-layer network switch (FT3)
+};
+
+const char *nodeKindName(NodeKind kind);
+
+struct Node
+{
+    NodeKind kind;
+    std::string label;
+    std::int32_t plane = -1; //!< network plane/rail id; -1 = n/a
+    std::int32_t host = -1;  //!< server index for GPUs/NVSwitches
+};
+
+struct Edge
+{
+    NodeId from;
+    NodeId to;
+    double capacity;  //!< bytes/s
+    double latency;   //!< propagation+forwarding seconds for this hop
+};
+
+class Graph
+{
+  public:
+    NodeId addNode(NodeKind kind, std::string label,
+                   std::int32_t plane = -1, std::int32_t host = -1);
+
+    /** Add one directed edge. */
+    EdgeId addEdge(NodeId from, NodeId to, double capacity,
+                   double latency);
+
+    /** Add both directions of a full-duplex cable. */
+    void addDuplex(NodeId a, NodeId b, double capacity, double latency);
+
+    std::size_t nodeCount() const { return nodes_.size(); }
+    std::size_t edgeCount() const { return edges_.size(); }
+
+    const Node &node(NodeId id) const { return nodes_[id]; }
+    const Edge &edge(EdgeId id) const { return edges_[id]; }
+
+    /** Outgoing edge ids of @p node. */
+    const std::vector<EdgeId> &outEdges(NodeId node) const
+    {
+        return adjacency_[node];
+    }
+
+    /** All node ids of a given kind. */
+    std::vector<NodeId> nodesOfKind(NodeKind kind) const;
+
+  private:
+    std::vector<Node> nodes_;
+    std::vector<Edge> edges_;
+    std::vector<std::vector<EdgeId>> adjacency_;
+};
+
+/** A path is a sequence of edge ids from src to dst. */
+using Path = std::vector<EdgeId>;
+
+/** Sum of per-hop latencies along a path. */
+double pathLatency(const Graph &graph, const Path &path);
+
+/** Minimum capacity along a path. */
+double pathCapacity(const Graph &graph, const Path &path);
+
+/**
+ * Enumerate all shortest paths (by hop count) from @p src to @p dst.
+ * @p max_paths bounds the expansion for safety.
+ */
+std::vector<Path> shortestPaths(const Graph &graph, NodeId src,
+                                NodeId dst, std::size_t max_paths = 512);
+
+} // namespace dsv3::net

@@ -1,0 +1,70 @@
+#include "net/incast.hh"
+
+#include "common/logging.hh"
+
+namespace dsv3::net {
+
+const char *
+queueDisciplineName(QueueDiscipline discipline)
+{
+    switch (discipline) {
+      case QueueDiscipline::SHARED_QUEUE:
+        return "shared queues (today)";
+      case QueueDiscipline::VOQ:
+        return "VOQ";
+      case QueueDiscipline::VOQ_WITH_CC:
+        return "VOQ + endpoint CC";
+    }
+    return "?";
+}
+
+IncastResult
+evaluateIncast(QueueDiscipline discipline, const IncastScenario &s)
+{
+    DSV3_ASSERT(s.portBytesPerSec > 0.0);
+    DSV3_ASSERT(s.incastSenders >= 1);
+
+    IncastResult out;
+    const double burst_bytes =
+        (double)s.incastSenders * s.burstBytesPerSender;
+    out.victimUncontended = s.victimBytes / s.portBytesPerSec;
+    out.burstSeconds = burst_bytes / s.portBytesPerSec;
+
+    switch (discipline) {
+      case QueueDiscipline::SHARED_QUEUE:
+        // Head-of-line blocking: the victim's packets sit behind the
+        // whole burst already queued for the egress port.
+        out.victimSeconds = out.burstSeconds + out.victimUncontended;
+        break;
+      case QueueDiscipline::VOQ:
+        // The victim has its own queue: it shares the port fairly
+        // with the N burst flows (1/(N+1) of line rate) while the
+        // burst drains, but is never stuck behind it.
+        out.victimSeconds =
+            s.victimBytes /
+            (s.portBytesPerSec / (double)(s.incastSenders + 1));
+        if (out.victimSeconds > out.burstSeconds) {
+            // Burst finished first: remainder at full rate.
+            double done = out.burstSeconds * s.portBytesPerSec /
+                          (double)(s.incastSenders + 1);
+            out.victimSeconds =
+                out.burstSeconds +
+                (s.victimBytes - done) / s.portBytesPerSec;
+        }
+        break;
+      case QueueDiscipline::VOQ_WITH_CC:
+        // Paced senders keep the port below saturation; the victim
+        // sees nearly the full residual rate.
+        out.victimSeconds =
+            s.victimBytes /
+            (s.portBytesPerSec * (1.0 - s.ccPacedUtilization) +
+             s.portBytesPerSec / (double)(s.incastSenders + 1));
+        out.burstSeconds =
+            burst_bytes / (s.portBytesPerSec * s.ccPacedUtilization);
+        break;
+    }
+    out.victimInflation = out.victimSeconds / out.victimUncontended;
+    return out;
+}
+
+} // namespace dsv3::net

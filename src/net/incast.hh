@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Incast / traffic-isolation model (Sec 5.2.2, recommendation 3).
+ *
+ * EP's all-to-all creates bursty many-to-one transfers. On a RoCE
+ * switch with a small number of shared priority queues, an incast
+ * burst fills the shared buffer and head-of-line blocks unrelated
+ * traffic (e.g. DP all-reduce) on the same port. Virtual output
+ * queuing (one virtual queue per flow/QP) isolates the victim, and
+ * endpoint congestion control shortens the burst itself.
+ *
+ * The model computes the latency inflation of a victim flow that
+ * shares an egress port with an N-to-1 incast burst.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+namespace dsv3::net {
+
+enum class QueueDiscipline
+{
+    SHARED_QUEUE, //!< few shared priority queues: HoL blocking
+    VOQ,          //!< per-QP virtual output queues
+    VOQ_WITH_CC,  //!< VOQ + endpoint congestion control
+};
+
+const char *queueDisciplineName(QueueDiscipline discipline);
+
+struct IncastScenario
+{
+    std::size_t incastSenders = 16;   //!< N of the N-to-1 burst
+    double burstBytesPerSender = 4e6;
+    double portBytesPerSec = 50e9;
+    double victimBytes = 64e3;        //!< latency-sensitive transfer
+    /** With congestion control, senders pace so the aggregate stays
+     *  at this fraction of line rate (no queue growth). */
+    double ccPacedUtilization = 0.95;
+};
+
+struct IncastResult
+{
+    double victimSeconds = 0.0;       //!< victim completion time
+    double victimUncontended = 0.0;   //!< without the burst
+    double victimInflation = 0.0;     //!< ratio
+    double burstSeconds = 0.0;        //!< incast drain time
+};
+
+/** Evaluate the victim's latency under one queue discipline. */
+IncastResult evaluateIncast(QueueDiscipline discipline,
+                            const IncastScenario &scenario);
+
+} // namespace dsv3::net

@@ -1,0 +1,62 @@
+#include "net/ordering.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dsv3::net {
+
+const char *
+orderingMechanismName(OrderingMechanism mechanism)
+{
+    switch (mechanism) {
+      case OrderingMechanism::SENDER_FENCE:
+        return "sender fence (today)";
+      case OrderingMechanism::RECEIVER_BUFFER:
+        return "receiver sequence buffer";
+      case OrderingMechanism::RAR_HARDWARE:
+        return "RAR hardware (proposed)";
+    }
+    return "?";
+}
+
+OrderingResult
+evaluateOrdering(OrderingMechanism mechanism, const OrderingParams &p)
+{
+    DSV3_ASSERT(p.wireBytesPerSec > 0.0 && p.messageBytes > 0.0);
+    DSV3_ASSERT(p.concurrentStreams >= 1);
+
+    const double serialize = p.messageBytes / p.wireBytesPerSec;
+    const double wire_msg_rate = p.wireBytesPerSec / p.messageBytes;
+
+    OrderingResult out;
+    double per_stream_rate = 0.0;
+    switch (mechanism) {
+      case OrderingMechanism::SENDER_FENCE:
+        // The fence blocks the issuing thread until the data writes
+        // are remotely complete: one message per (serialize + RTT).
+        out.perMessageSeconds = serialize + p.rttSeconds;
+        per_stream_rate = 1.0 / out.perMessageSeconds;
+        break;
+      case OrderingMechanism::RECEIVER_BUFFER:
+        // Fully pipelined sends; the receiver re-sequences, adding
+        // latency but not throughput cost.
+        out.perMessageSeconds =
+            serialize + p.reorderLatency + p.rttSeconds / 2.0;
+        per_stream_rate = 1.0 / serialize;
+        break;
+      case OrderingMechanism::RAR_HARDWARE:
+        // Pipelined and delivered in order by the NIC bitmap.
+        out.perMessageSeconds = serialize + p.rttSeconds / 2.0;
+        per_stream_rate = 1.0 / serialize;
+        break;
+    }
+    out.messagesPerSecond =
+        std::min((double)p.concurrentStreams * per_stream_rate,
+                 wire_msg_rate);
+    out.effectiveBytesPerSec = out.messagesPerSecond * p.messageBytes;
+    out.wireUtilization = out.effectiveBytesPerSec / p.wireBytesPerSec;
+    return out;
+}
+
+} // namespace dsv3::net

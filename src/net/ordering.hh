@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Memory-semantic communication ordering model (Sec 6.4).
+ *
+ * With load/store (or RDMA-write + flag) communication, today's
+ * hardware forces the sender to fence between the data writes and the
+ * notification flag, costing an extra network round trip per message
+ * and stalling the issuing thread. The paper's proposed Region
+ * Acquire/Release (RAR) mechanism moves ordering enforcement to the
+ * receiver's NIC/I/O die — a bitmap over the RNR region — removing
+ * the sender-side fence.
+ *
+ * The model computes achievable message rate and effective bandwidth
+ * for a stream of small messages under each ordering mechanism, with
+ * a configurable number of concurrent in-flight streams (GPU threads
+ * issuing independently, which is how IBGDA hides latency).
+ */
+
+#pragma once
+
+#include <cstddef>
+
+namespace dsv3::net {
+
+enum class OrderingMechanism
+{
+    SENDER_FENCE,   //!< fence + flag: +1 RTT per message, stalls
+    RECEIVER_BUFFER,//!< receiver buffers + sequence numbers: hides
+                    //!< the RTT but adds per-message reorder latency
+    RAR_HARDWARE,   //!< paper's proposal: no fence, no extra latency
+};
+
+const char *orderingMechanismName(OrderingMechanism mechanism);
+
+struct OrderingParams
+{
+    double messageBytes = 4096.0;
+    double wireBytesPerSec = 50e9;   //!< per-QP wire rate
+    double rttSeconds = 3.6e-6;      //!< end-to-end round trip
+    double reorderLatency = 0.4e-6;  //!< receiver-side resequencing
+    std::size_t concurrentStreams = 1; //!< independent QPs/threads
+};
+
+struct OrderingResult
+{
+    double perMessageSeconds = 0.0; //!< issue-to-complete, one stream
+    double messagesPerSecond = 0.0; //!< aggregate over streams
+    double effectiveBytesPerSec = 0.0;
+    double wireUtilization = 0.0;   //!< vs pure serialization
+};
+
+/** Evaluate one ordering mechanism. */
+OrderingResult evaluateOrdering(OrderingMechanism mechanism,
+                                const OrderingParams &params);
+
+} // namespace dsv3::net

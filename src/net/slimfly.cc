@@ -1,0 +1,196 @@
+#include "net/slimfly.hh"
+
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace dsv3::net {
+
+bool
+isPrime(std::size_t q)
+{
+    if (q < 2)
+        return false;
+    for (std::size_t d = 2; d * d <= q; ++d)
+        if (q % d == 0)
+            return false;
+    return true;
+}
+
+std::size_t
+primitiveRoot(std::size_t q)
+{
+    DSV3_ASSERT(isPrime(q));
+    // Factor q-1, then test candidates g by checking
+    // g^((q-1)/f) != 1 for every prime factor f.
+    std::size_t phi = q - 1;
+    std::vector<std::size_t> factors;
+    std::size_t n = phi;
+    for (std::size_t d = 2; d * d <= n; ++d) {
+        if (n % d == 0) {
+            factors.push_back(d);
+            while (n % d == 0)
+                n /= d;
+        }
+    }
+    if (n > 1)
+        factors.push_back(n);
+
+    auto pow_mod = [&](std::size_t base, std::size_t exp) {
+        std::size_t result = 1 % q;
+        base %= q;
+        while (exp) {
+            if (exp & 1)
+                result = result * base % q;
+            base = base * base % q;
+            exp >>= 1;
+        }
+        return result;
+    };
+
+    for (std::size_t g = 2; g < q; ++g) {
+        bool ok = true;
+        for (std::size_t f : factors) {
+            if (pow_mod(g, phi / f) == 1) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            return g;
+    }
+    DSV3_PANIC("no primitive root found for prime ", q);
+}
+
+Graph
+buildSlimFly(std::size_t q, std::size_t endpoints_per_switch,
+             double nic_bw, double switch_bw)
+{
+    DSV3_ASSERT(isPrime(q), "MMS builder supports prime q; got ", q);
+    DSV3_ASSERT(q % 4 == 1, "MMS builder implements delta=1 (q=4w+1)");
+
+    const std::size_t xi = primitiveRoot(q);
+
+    // X = even powers of xi (quadratic residues),
+    // X' = odd powers (non-residues).
+    std::set<std::size_t> res, nonres;
+    std::size_t acc = 1;
+    for (std::size_t i = 0; i < q - 1; ++i) {
+        if (i % 2 == 0)
+            res.insert(acc);
+        else
+            nonres.insert(acc);
+        acc = acc * xi % q;
+    }
+
+    Graph g;
+    // Node index: subgraph s, coordinates (x, y) -> s*q*q + x*q + y.
+    std::vector<NodeId> sw(2 * q * q);
+    for (std::size_t s = 0; s < 2; ++s) {
+        for (std::size_t x = 0; x < q; ++x) {
+            for (std::size_t y = 0; y < q; ++y) {
+                sw[s * q * q + x * q + y] = g.addNode(
+                    NodeKind::LEAF,
+                    "sf" + std::to_string(s) + "." +
+                        std::to_string(x) + "." + std::to_string(y));
+            }
+        }
+    }
+    auto id = [&](std::size_t s, std::size_t x, std::size_t y) {
+        return sw[s * q * q + x * q + y];
+    };
+
+    const double lat = 0.5e-6;
+    // Intra-row / intra-column edges.
+    for (std::size_t x = 0; x < q; ++x) {
+        for (std::size_t y = 0; y < q; ++y) {
+            for (std::size_t y2 = y + 1; y2 < q; ++y2) {
+                std::size_t diff = (y2 - y) % q;
+                // The generator sets are symmetric (-1 is a residue
+                // iff q % 4 == 1), so checking one direction suffices.
+                if (res.count(diff))
+                    g.addDuplex(id(0, x, y), id(0, x, y2), switch_bw,
+                                lat);
+                if (nonres.count(diff))
+                    g.addDuplex(id(1, x, y), id(1, x, y2), switch_bw,
+                                lat);
+            }
+        }
+    }
+    // Cross edges: (0, x, y) ~ (1, m, c) iff y = m*x + c (mod q).
+    for (std::size_t m = 0; m < q; ++m) {
+        for (std::size_t x = 0; x < q; ++x) {
+            for (std::size_t c = 0; c < q; ++c) {
+                std::size_t y = (m * x + c) % q;
+                g.addDuplex(id(0, x, y), id(1, m, c), switch_bw, lat);
+            }
+        }
+    }
+
+    // Endpoints.
+    for (std::size_t i = 0; i < sw.size(); ++i) {
+        for (std::size_t e = 0; e < endpoints_per_switch; ++e) {
+            NodeId gpu = g.addNode(NodeKind::GPU,
+                                   "ep" + std::to_string(i) + "." +
+                                       std::to_string(e));
+            g.addDuplex(sw[i], gpu, nic_bw, lat);
+        }
+    }
+    return g;
+}
+
+std::size_t
+hopDistance(const Graph &graph, NodeId a, NodeId b)
+{
+    std::vector<std::size_t> dist(graph.nodeCount(), SIZE_MAX);
+    std::deque<NodeId> queue;
+    dist[a] = 0;
+    queue.push_back(a);
+    while (!queue.empty()) {
+        NodeId u = queue.front();
+        queue.pop_front();
+        if (u == b)
+            return dist[u];
+        for (EdgeId e : graph.outEdges(u)) {
+            NodeId v = graph.edge(e).to;
+            if (dist[v] == SIZE_MAX) {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    return dist[b];
+}
+
+std::size_t
+graphDiameter(const Graph &graph, const std::vector<NodeId> &nodes)
+{
+    std::size_t worst = 0;
+    for (NodeId a : nodes) {
+        // Single BFS per source.
+        std::vector<std::size_t> dist(graph.nodeCount(), SIZE_MAX);
+        std::deque<NodeId> queue;
+        dist[a] = 0;
+        queue.push_back(a);
+        while (!queue.empty()) {
+            NodeId u = queue.front();
+            queue.pop_front();
+            for (EdgeId e : graph.outEdges(u)) {
+                NodeId v = graph.edge(e).to;
+                if (dist[v] == SIZE_MAX) {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        for (NodeId b : nodes) {
+            DSV3_ASSERT(dist[b] != SIZE_MAX, "disconnected graph");
+            worst = std::max(worst, dist[b]);
+        }
+    }
+    return worst;
+}
+
+} // namespace dsv3::net

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Slim Fly (MMS) graph construction.
+ *
+ * Builds the diameter-2 MMS graph for a prime q with q = 4w + 1:
+ * vertices (0, x, y) and (1, m, c) over Z_q^2; row vertices connect
+ * when their y offsets differ by a quadratic residue (even powers of a
+ * primitive root), column vertices by a non-residue, and cross edges
+ * follow y = m*x + c. Network degree is (3q - 1)/2 and the diameter is
+ * exactly 2, which the unit tests verify structurally.
+ *
+ * Used here as the comparison topology of Table 3 (its closed-form
+ * counts live in net/cost.hh); the explicit graph exists so the
+ * construction itself is testable.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "net/graph.hh"
+
+namespace dsv3::net {
+
+/** True when @p q is prime. */
+bool isPrime(std::size_t q);
+
+/** Smallest primitive root modulo prime @p q. */
+std::size_t primitiveRoot(std::size_t q);
+
+/**
+ * Build the MMS Slim Fly switch graph for prime q with q % 4 == 1,
+ * attaching @p endpoints_per_switch GPU endpoints per switch.
+ * Switch-switch links get @p switch_bw, endpoint links @p nic_bw.
+ */
+Graph buildSlimFly(std::size_t q, std::size_t endpoints_per_switch,
+                   double nic_bw = 40e9, double switch_bw = 40e9);
+
+/** Hop distance between two nodes (BFS); SIZE_MAX if unreachable. */
+std::size_t hopDistance(const Graph &graph, NodeId a, NodeId b);
+
+/** Maximum pairwise hop distance among @p nodes. */
+std::size_t graphDiameter(const Graph &graph,
+                          const std::vector<NodeId> &nodes);
+
+} // namespace dsv3::net

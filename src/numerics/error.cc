@@ -1,0 +1,126 @@
+#include "numerics/error.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace dsv3::numerics {
+
+namespace {
+
+void
+checkSizes(std::span<const double> a, std::span<const double> b)
+{
+    DSV3_ASSERT(a.size() == b.size());
+    DSV3_ASSERT(!a.empty());
+}
+
+} // namespace
+
+double
+relL2Error(std::span<const double> approx, std::span<const double> ref)
+{
+    checkSizes(approx, ref);
+    double err_sq = 0.0, ref_sq = 0.0;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        double d = approx[i] - ref[i];
+        err_sq += d * d;
+        ref_sq += ref[i] * ref[i];
+    }
+    if (ref_sq == 0.0)
+        return err_sq == 0.0 ? 0.0
+                             : std::numeric_limits<double>::infinity();
+    return std::sqrt(err_sq / ref_sq);
+}
+
+double
+relL2Error(const Matrix &approx, const Matrix &ref)
+{
+    return relL2Error(std::span<const double>(approx.data()),
+                      std::span<const double>(ref.data()));
+}
+
+double
+rmse(std::span<const double> approx, std::span<const double> ref)
+{
+    checkSizes(approx, ref);
+    double err_sq = 0.0;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        double d = approx[i] - ref[i];
+        err_sq += d * d;
+    }
+    return std::sqrt(err_sq / (double)ref.size());
+}
+
+double
+maxRelError(std::span<const double> approx, std::span<const double> ref,
+            double eps)
+{
+    checkSizes(approx, ref);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        double denom = std::max(std::fabs(ref[i]), eps);
+        worst = std::max(worst, std::fabs(approx[i] - ref[i]) / denom);
+    }
+    return worst;
+}
+
+double
+snrDb(std::span<const double> approx, std::span<const double> ref)
+{
+    checkSizes(approx, ref);
+    double err_sq = 0.0, ref_sq = 0.0;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        double d = approx[i] - ref[i];
+        err_sq += d * d;
+        ref_sq += ref[i] * ref[i];
+    }
+    if (err_sq == 0.0)
+        return std::numeric_limits<double>::infinity();
+    return 10.0 * std::log10(ref_sq / err_sq);
+}
+
+double
+meanSignedError(std::span<const double> approx,
+                std::span<const double> ref)
+{
+    checkSizes(approx, ref);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        sum += approx[i] - ref[i];
+    return sum / (double)ref.size();
+}
+
+double
+relMagnitudeBias(std::span<const double> approx,
+                 std::span<const double> ref)
+{
+    checkSizes(approx, ref);
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        if (ref[i] == 0.0)
+            continue;
+        sum += (std::fabs(approx[i]) - std::fabs(ref[i])) /
+               std::fabs(ref[i]);
+        ++n;
+    }
+    return n ? sum / (double)n : 0.0;
+}
+
+double
+additiveMagnitudeBias(std::span<const double> approx,
+                      std::span<const double> ref)
+{
+    checkSizes(approx, ref);
+    double diff = 0.0;
+    double mag = 0.0;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        diff += std::fabs(approx[i]) - std::fabs(ref[i]);
+        mag += std::fabs(ref[i]);
+    }
+    return mag > 0.0 ? diff / mag : 0.0;
+}
+
+} // namespace dsv3::numerics

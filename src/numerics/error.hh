@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Error metrics for comparing lossy numeric pipelines against a
+ * reference: relative L2 error, RMSE, max relative elementwise error,
+ * signal-to-noise ratio, and mean signed error (quantization bias).
+ */
+
+#pragma once
+
+#include <span>
+
+#include "numerics/matrix.hh"
+
+namespace dsv3::numerics {
+
+/** ||approx - ref||_2 / ||ref||_2. */
+double relL2Error(std::span<const double> approx,
+                  std::span<const double> ref);
+double relL2Error(const Matrix &approx, const Matrix &ref);
+
+/** sqrt(mean((approx - ref)^2)). */
+double rmse(std::span<const double> approx, std::span<const double> ref);
+
+/** max_i |approx_i - ref_i| / max(|ref_i|, eps). */
+double maxRelError(std::span<const double> approx,
+                   std::span<const double> ref, double eps = 1e-12);
+
+/** 10 log10(||ref||^2 / ||approx - ref||^2); +inf when exact. */
+double snrDb(std::span<const double> approx, std::span<const double> ref);
+
+/** mean(approx - ref): nonzero values reveal biased rounding. */
+double meanSignedError(std::span<const double> approx,
+                       std::span<const double> ref);
+
+/**
+ * mean((|approx| - |ref|) / |ref|) over non-zero refs: mean relative
+ * magnitude deviation.
+ */
+double relMagnitudeBias(std::span<const double> approx,
+                        std::span<const double> ref);
+
+/**
+ * mean(|approx| - |ref|) / mean(|ref|): *additive* magnitude bias,
+ * normalized. This is the bias that matters for expected dot products
+ * and gradients, and the statistic the paper's "round in linear space
+ * for unbiased quantization" refers to: linear-space rounding drives
+ * it to ~0 while log-space rounding systematically inflates
+ * magnitudes (the rounding threshold sits at the geometric rather
+ * than arithmetic midpoint).
+ */
+double additiveMagnitudeBias(std::span<const double> approx,
+                             std::span<const double> ref);
+
+} // namespace dsv3::numerics

@@ -1,0 +1,135 @@
+#include "numerics/fp22.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dsv3::numerics {
+
+const char *
+accumModeName(AccumMode mode)
+{
+    switch (mode) {
+      case AccumMode::FP32:
+        return "FP32";
+      case AccumMode::FP22:
+        return "FP22+promote";
+      case AccumMode::FP22_NO_PROMOTION:
+        return "FP22 (no promotion)";
+    }
+    return "?";
+}
+
+double
+alignedGroupSum(std::span<const double> products, int fraction_bits)
+{
+    if (products.empty())
+        return 0.0;
+
+    // Find the maximum exponent among the products. frexp returns
+    // mag = f * 2^e with f in [0.5, 1); use e directly as the shared
+    // alignment exponent.
+    int max_e = 0;
+    bool any = false;
+    for (double p : products) {
+        if (p == 0.0 || !std::isfinite(p))
+            continue;
+        int e;
+        std::frexp(p, &e);
+        if (!any || e > max_e)
+            max_e = e;
+        any = true;
+    }
+    if (!any)
+        return 0.0;
+
+    // Quantum below which fraction bits are discarded: the largest
+    // product occupies the top fraction bit, so the retained LSB weighs
+    // 2^(max_e - fraction_bits). Truncation is toward zero.
+    double quantum = std::ldexp(1.0, max_e - fraction_bits);
+    double sum = 0.0;
+    for (double p : products) {
+        if (!std::isfinite(p)) {
+            sum += p;
+            continue;
+        }
+        sum += std::trunc(p / quantum) * quantum;
+    }
+    return sum;
+}
+
+void
+Fp22Register::add(double value)
+{
+    value_ = quantizeTruncate(kFP22, value_ + value);
+}
+
+TensorCoreAccumulator::TensorCoreAccumulator(AccumMode mode,
+                                             std::size_t group_size,
+                                             std::size_t promotion_interval)
+    : mode_(mode), groupSize_(group_size),
+      promotionInterval_(promotion_interval)
+{
+    DSV3_ASSERT(group_size > 0 && group_size <= 64);
+    DSV3_ASSERT(promotion_interval >= group_size);
+    DSV3_ASSERT(promotion_interval % group_size == 0,
+                "promotion interval must be a multiple of group size");
+}
+
+void
+TensorCoreAccumulator::addProduct(double product)
+{
+    if (mode_ == AccumMode::FP32) {
+        idealAccum_ += product;
+        return;
+    }
+    pending_[pendingCount_++] = product;
+    ++sincePromotion_;
+    if (pendingCount_ == groupSize_)
+        flushGroup();
+    if (mode_ == AccumMode::FP22 && sincePromotion_ == promotionInterval_)
+        promote();
+}
+
+void
+TensorCoreAccumulator::flushGroup()
+{
+    if (pendingCount_ == 0)
+        return;
+    double group = alignedGroupSum({pending_, pendingCount_});
+    fp22_.add(group);
+    pendingCount_ = 0;
+}
+
+void
+TensorCoreAccumulator::promote()
+{
+    fp32Accum_ += (float)fp22_.value();
+    fp22_.reset();
+    sincePromotion_ = 0;
+}
+
+double
+TensorCoreAccumulator::result()
+{
+    if (mode_ == AccumMode::FP32)
+        return idealAccum_;
+    flushGroup();
+    if (mode_ == AccumMode::FP22) {
+        promote();
+        return (double)fp32Accum_;
+    }
+    return fp22_.value();
+}
+
+void
+TensorCoreAccumulator::reset()
+{
+    pendingCount_ = 0;
+    sincePromotion_ = 0;
+    fp22_.reset();
+    fp32Accum_ = 0.0f;
+    idealAccum_ = 0.0;
+}
+
+} // namespace dsv3::numerics

@@ -1,0 +1,147 @@
+#include "numerics/gemm.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace dsv3::numerics {
+
+Matrix
+gemmRef(const Matrix &a, const Matrix &b)
+{
+    DSV3_ASSERT(a.cols() == b.rows());
+    std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+    Matrix c(m, n);
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (std::size_t kk = 0; kk < k; ++kk)
+                acc += a.at(i, kk) * b.at(kk, j);
+            c.at(i, j) = acc;
+        }
+    }
+    return c;
+}
+
+Matrix
+gemmBf16(const Matrix &a, const Matrix &b)
+{
+    DSV3_ASSERT(a.cols() == b.rows());
+    std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+
+    // Pre-quantize operands to BF16 once.
+    Matrix aq(m, k), bq(k, n);
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t kk = 0; kk < k; ++kk)
+            aq.at(i, kk) = quantize(kBF16, a.at(i, kk));
+    for (std::size_t kk = 0; kk < k; ++kk)
+        for (std::size_t j = 0; j < n; ++j)
+            bq.at(kk, j) = quantize(kBF16, b.at(kk, j));
+
+    Matrix c(m, n);
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            float acc = 0.0f;
+            for (std::size_t kk = 0; kk < k; ++kk)
+                acc += (float)(aq.at(i, kk) * bq.at(kk, j));
+            c.at(i, j) = (double)acc;
+        }
+    }
+    return c;
+}
+
+Matrix
+gemmQuantized(const Matrix &a, const Matrix &b, const GemmOptions &options)
+{
+    DSV3_ASSERT(a.cols() == b.rows());
+    const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+    const std::size_t tile_k = options.tileK;
+    const std::size_t group = options.groupSize;
+
+    const Granularity ga = options.fineGrained ? Granularity::TILE_1X128
+                                               : Granularity::PER_TENSOR;
+    const Granularity gb = options.fineGrained
+        ? Granularity::BLOCK_128X128 : Granularity::PER_TENSOR;
+    if (options.accum == AccumMode::FP22_NO_PROMOTION) {
+        DSV3_ASSERT(!options.fineGrained,
+                    "FP22-only accumulation cannot fold fine-grained "
+                    "scales (no promotion step exists)");
+    }
+
+    QuantizedMatrix aq(a, *options.fmt, ga, tile_k);
+    QuantizedMatrix bq(b, *options.fmt, gb, tile_k);
+
+    // Decode the raw (unscaled) operand values once; the inner loops
+    // below then only multiply doubles.
+    Matrix araw(m, k), braw(k, n);
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t kk = 0; kk < k; ++kk)
+            araw.at(i, kk) = aq.rawValue(i, kk);
+    for (std::size_t kk = 0; kk < k; ++kk)
+        for (std::size_t j = 0; j < n; ++j)
+            braw.at(kk, j) = bq.rawValue(kk, j);
+
+    Matrix c(m, n);
+    std::vector<double> products;
+    products.reserve(group);
+
+    const std::size_t num_tiles = (k + tile_k - 1) / tile_k;
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            float fp32_accum = 0.0f;
+            Fp22Register whole_k; // FP22_NO_PROMOTION only
+
+            for (std::size_t t = 0; t < num_tiles; ++t) {
+                const std::size_t k_lo = t * tile_k;
+                const std::size_t k_hi = std::min(k, k_lo + tile_k);
+                const double combined_scale =
+                    aq.scale(i, k_lo) * bq.scale(k_lo, j);
+
+                switch (options.accum) {
+                  case AccumMode::FP32: {
+                    double tile_sum = 0.0;
+                    for (std::size_t kk = k_lo; kk < k_hi; ++kk)
+                        tile_sum += araw.at(i, kk) * braw.at(kk, j);
+                    fp32_accum += (float)(tile_sum * combined_scale);
+                    break;
+                  }
+                  case AccumMode::FP22: {
+                    Fp22Register reg;
+                    for (std::size_t kk = k_lo; kk < k_hi;) {
+                        products.clear();
+                        std::size_t lim = std::min(k_hi, kk + group);
+                        for (; kk < lim; ++kk)
+                            products.push_back(araw.at(i, kk) *
+                                               braw.at(kk, j));
+                        reg.add(alignedGroupSum(products));
+                    }
+                    // Promotion: CUDA cores fold in the dequant scales.
+                    fp32_accum += (float)(reg.value() * combined_scale);
+                    break;
+                  }
+                  case AccumMode::FP22_NO_PROMOTION: {
+                    for (std::size_t kk = k_lo; kk < k_hi;) {
+                        products.clear();
+                        std::size_t lim = std::min(k_hi, kk + group);
+                        for (; kk < lim; ++kk)
+                            products.push_back(araw.at(i, kk) *
+                                               braw.at(kk, j));
+                        whole_k.add(alignedGroupSum(products));
+                    }
+                    break;
+                  }
+                }
+            }
+
+            if (options.accum == AccumMode::FP22_NO_PROMOTION) {
+                double s = aq.scale(i, 0) * bq.scale(0, j);
+                c.at(i, j) = whole_k.value() * s;
+            } else {
+                c.at(i, j) = (double)fp32_accum;
+            }
+        }
+    }
+    return c;
+}
+
+} // namespace dsv3::numerics

@@ -1,0 +1,141 @@
+#include "numerics/logfmt.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dsv3::numerics {
+
+LogFmtCodec::LogFmtCodec(int bits, LogFmtRounding rounding,
+                         double max_range_log2)
+    : bits_(bits), rounding_(rounding),
+      maxRangeLn_(max_range_log2 * std::log(2.0))
+{
+    DSV3_ASSERT(bits_ >= 3 && bits_ <= 16,
+                "LogFMT needs >= 2 magnitude codes and <= 16 bits");
+    DSV3_ASSERT(max_range_log2 > 0.0);
+}
+
+std::uint32_t
+LogFmtCodec::magnitudeCodes() const
+{
+    return (1u << (bits_ - 1)) - 1;
+}
+
+double
+LogFmtCodec::decodeMagnitude(const LogFmtTile &tile, std::uint32_t k) const
+{
+    if (k == 0)
+        return 0.0;
+    return std::exp(tile.minLog + tile.step * (double)(k - 1));
+}
+
+LogFmtTile
+LogFmtCodec::encode(std::span<const double> values) const
+{
+    LogFmtTile tile;
+    tile.bits = bits_;
+    tile.codes.resize(values.size(), 0);
+
+    // Tile statistics over non-zero magnitudes.
+    double min_log = 0.0, max_log = 0.0;
+    bool any = false;
+    for (double x : values) {
+        if (x == 0.0 || !std::isfinite(x))
+            continue;
+        double l = std::log(std::fabs(x));
+        if (!any) {
+            min_log = max_log = l;
+            any = true;
+        } else {
+            min_log = std::min(min_log, l);
+            max_log = std::max(max_log, l);
+        }
+    }
+    if (!any)
+        return tile; // all-zero tile: every code stays 0
+
+    // Constrain the dynamic range so it never exceeds ~2^32 (the paper
+    // aligns this with the range of an E5 exponent).
+    min_log = std::max(min_log, max_log - maxRangeLn_);
+
+    const std::uint32_t k_max = magnitudeCodes();
+    const double step = k_max > 1
+        ? (max_log - min_log) / (double)(k_max - 1) : 0.0;
+    tile.minLog = min_log;
+    tile.step = step;
+
+    const std::uint32_t sign_bit = 1u << (bits_ - 1);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        double x = values[i];
+        if (x == 0.0 || !std::isfinite(x)) {
+            tile.codes[i] = 0;
+            continue;
+        }
+        std::uint32_t sign = x < 0.0 ? sign_bit : 0u;
+        double mag = std::fabs(x);
+        double l = std::log(mag);
+
+        std::uint32_t k;
+        if (step == 0.0) {
+            k = 1; // degenerate tile: single magnitude, exact
+        } else {
+            double k_real = (l - min_log) / step + 1.0;
+            if (rounding_ == LogFmtRounding::LOG_SPACE) {
+                long rounded = std::lround(k_real);
+                k = (std::uint32_t)std::clamp<long>(rounded, 0,
+                                                    (long)k_max);
+            } else {
+                // Linear-space rounding: compare the two candidate
+                // decoded values (floor/ceil of the index, where index
+                // 0 means exact zero) against the original magnitude.
+                double fl = std::floor(k_real);
+                long lo_idx = std::clamp<long>((long)fl, 0, (long)k_max);
+                long hi_idx = std::clamp<long>(lo_idx + 1, 0,
+                                               (long)k_max);
+                LogFmtTile probe = tile; // carries minLog/step only
+                double v_lo = decodeMagnitude(probe,
+                                              (std::uint32_t)lo_idx);
+                double v_hi = decodeMagnitude(probe,
+                                              (std::uint32_t)hi_idx);
+                k = std::fabs(mag - v_lo) <= std::fabs(v_hi - mag)
+                    ? (std::uint32_t)lo_idx : (std::uint32_t)hi_idx;
+            }
+        }
+        tile.codes[i] = sign | k;
+    }
+    return tile;
+}
+
+std::vector<double>
+LogFmtCodec::decode(const LogFmtTile &tile) const
+{
+    const std::uint32_t sign_bit = 1u << (tile.bits - 1);
+    const std::uint32_t k_mask = sign_bit - 1;
+    std::vector<double> out(tile.codes.size(), 0.0);
+    for (std::size_t i = 0; i < tile.codes.size(); ++i) {
+        std::uint32_t code = tile.codes[i];
+        double mag = decodeMagnitude(tile, code & k_mask);
+        out[i] = (code & sign_bit) ? -mag : mag;
+    }
+    return out;
+}
+
+std::vector<double>
+LogFmtCodec::roundTrip(std::span<const double> values,
+                       std::size_t tile) const
+{
+    DSV3_ASSERT(tile > 0);
+    std::vector<double> out;
+    out.reserve(values.size());
+    for (std::size_t lo = 0; lo < values.size(); lo += tile) {
+        std::size_t hi = std::min(values.size(), lo + tile);
+        auto encoded = encode(values.subspan(lo, hi - lo));
+        auto decoded = decode(encoded);
+        out.insert(out.end(), decoded.begin(), decoded.end());
+    }
+    return out;
+}
+
+} // namespace dsv3::numerics

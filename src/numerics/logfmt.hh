@@ -1,0 +1,82 @@
+/**
+ * @file
+ * LogFMT-nBit: the logarithmic floating-point communication format the
+ * paper proposes in Sec 3.2.
+ *
+ * Per 1x128 tile of activations: take log(abs(x)) of all non-zero
+ * elements, find [min, max], constrain min >= max - log(2^32) (so the
+ * dynamic range never exceeds an E5-style format), and encode each
+ * element with n bits: a sign bit plus an (n-1)-bit magnitude code K.
+ * K = 0 encodes zero; K in [1, 2^(n-1)-1] encodes
+ * exp(min + Step * (K - 1)) with Step = (max - min) / (2^(n-1) - 2).
+ *
+ * The paper stresses that rounding must happen in the original *linear*
+ * space for the quantization to be unbiased; rounding the code index in
+ * log space systematically shrinks magnitudes (the midpoint in log
+ * space sits below the midpoint in linear space). Both modes are
+ * implemented; the bench quantifies the bias the log-space mode incurs.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dsv3::numerics {
+
+/** Rounding domain for the code-index choice. */
+enum class LogFmtRounding
+{
+    LINEAR_SPACE, //!< unbiased: pick the code whose value is nearest x
+    LOG_SPACE,    //!< biased ablation: round the index k directly
+};
+
+/** One encoded tile: codes plus the tile's log-domain parameters. */
+struct LogFmtTile
+{
+    std::vector<std::uint32_t> codes; //!< sign<<(n-1) | K
+    double minLog = 0.0;              //!< clamped min of log|x|
+    double step = 0.0;                //!< log-domain spacing
+    int bits = 8;                     //!< total bits per element (n)
+};
+
+class LogFmtCodec
+{
+  public:
+    /**
+     * @param bits total bits per element, n >= 3 (sign + (n-1) code)
+     * @param rounding rounding domain (paper default: linear)
+     * @param max_range_log2 dynamic-range clamp in powers of two; the
+     *        paper uses 32 (min >= max - log(2^32), "similar to E5")
+     */
+    explicit LogFmtCodec(int bits,
+                         LogFmtRounding rounding =
+                             LogFmtRounding::LINEAR_SPACE,
+                         double max_range_log2 = 32.0);
+
+    /** Encode one tile (the paper's tile is 128 elements). */
+    LogFmtTile encode(std::span<const double> values) const;
+
+    /** Decode a tile back to doubles. */
+    std::vector<double> decode(const LogFmtTile &tile) const;
+
+    /** Convenience: encode+decode an arbitrary-length vector, tiled. */
+    std::vector<double> roundTrip(std::span<const double> values,
+                                  std::size_t tile = 128) const;
+
+    int bits() const { return bits_; }
+    /** Number of non-zero magnitude codes, 2^(n-1) - 1. */
+    std::uint32_t magnitudeCodes() const;
+
+  private:
+    double decodeMagnitude(const LogFmtTile &tile,
+                           std::uint32_t k) const;
+
+    int bits_;
+    LogFmtRounding rounding_;
+    double maxRangeLn_; // max - min clamp, in natural-log units
+};
+
+} // namespace dsv3::numerics

@@ -1,0 +1,30 @@
+#include "numerics/matrix.hh"
+
+namespace dsv3::numerics {
+
+void
+Matrix::fillNormal(Rng &rng, double mean, double stddev)
+{
+    for (auto &x : data_)
+        x = rng.normal(mean, stddev);
+}
+
+void
+Matrix::fillUniform(Rng &rng, double lo, double hi)
+{
+    for (auto &x : data_)
+        x = rng.uniform(lo, hi);
+}
+
+void
+Matrix::fillActivationLike(Rng &rng, double stddev, double outlier_prob,
+                           double outlier_gain)
+{
+    for (auto &x : data_) {
+        x = rng.normal(0.0, stddev);
+        if (rng.bernoulli(outlier_prob))
+            x *= outlier_gain;
+    }
+}
+
+} // namespace dsv3::numerics

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Minimal dense row-major matrix of doubles used by the numerics
+ * experiments. This is deliberately not a linear-algebra library; it
+ * exists to carry operands through the quantized-GEMM emulation.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace dsv3::numerics {
+
+class Matrix
+{
+  public:
+    Matrix() = default;
+    Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+        : rows_(rows), cols_(cols), data_(rows * cols, fill)
+    {}
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    double &at(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+    double at(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    const std::vector<double> &data() const { return data_; }
+    std::vector<double> &data() { return data_; }
+
+    /** Fill with N(mean, stddev) samples. */
+    void fillNormal(Rng &rng, double mean = 0.0, double stddev = 1.0);
+
+    /** Fill with U[lo, hi) samples. */
+    void fillUniform(Rng &rng, double lo, double hi);
+
+    /**
+     * Fill with an activation-like heavy-tailed distribution: normal
+     * body with a fraction of outliers scaled by @p outlier_gain. LLM
+     * activations have rare large-magnitude channels; this is what
+     * makes per-tensor FP8 scaling lossy and motivates the paper's
+     * fine-grained (1x128 / 128x128) quantization.
+     */
+    void fillActivationLike(Rng &rng, double stddev = 1.0,
+                            double outlier_prob = 0.002,
+                            double outlier_gain = 50.0);
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+} // namespace dsv3::numerics

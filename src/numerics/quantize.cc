@@ -1,0 +1,119 @@
+#include "numerics/quantize.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dsv3::numerics {
+
+const char *
+granularityName(Granularity g)
+{
+    switch (g) {
+      case Granularity::PER_TENSOR:
+        return "per-tensor";
+      case Granularity::TILE_1X128:
+        return "tile 1x128";
+      case Granularity::BLOCK_128X128:
+        return "block 128x128";
+    }
+    return "?";
+}
+
+QuantizedMatrix::QuantizedMatrix(const Matrix &m, const FloatFormat &fmt,
+                                 Granularity granularity, std::size_t tile)
+    : fmt_(&fmt), granularity_(granularity), tile_(tile),
+      rows_(m.rows()), cols_(m.cols())
+{
+    DSV3_ASSERT(tile_ > 0);
+    std::size_t tiles_x = (cols_ + tile_ - 1) / tile_;
+    std::size_t tiles_y = (rows_ + tile_ - 1) / tile_;
+
+    switch (granularity_) {
+      case Granularity::PER_TENSOR:
+        scaleCols_ = 1;
+        scales_.assign(1, 0.0);
+        break;
+      case Granularity::TILE_1X128:
+        scaleCols_ = tiles_x;
+        scales_.assign(rows_ * tiles_x, 0.0);
+        break;
+      case Granularity::BLOCK_128X128:
+        scaleCols_ = tiles_x;
+        scales_.assign(tiles_y * tiles_x, 0.0);
+        break;
+    }
+
+    // Pass 1: per-region amax -> scale = amax / maxFinite.
+    const double max_code = fmt_->maxFinite();
+    std::vector<double> amax(scales_.size(), 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t c = 0; c < cols_; ++c) {
+            std::size_t idx = scaleIndex(r, c);
+            amax[idx] = std::max(amax[idx], std::fabs(m.at(r, c)));
+        }
+    }
+    for (std::size_t i = 0; i < scales_.size(); ++i)
+        scales_[i] = amax[i] > 0.0 ? amax[i] / max_code : 1.0;
+
+    // Pass 2: encode.
+    codes_.resize(rows_ * cols_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t c = 0; c < cols_; ++c) {
+            double s = scales_[scaleIndex(r, c)];
+            codes_[r * cols_ + c] = encode(*fmt_, m.at(r, c) / s);
+        }
+    }
+}
+
+std::size_t
+QuantizedMatrix::scaleIndex(std::size_t r, std::size_t c) const
+{
+    switch (granularity_) {
+      case Granularity::PER_TENSOR:
+        return 0;
+      case Granularity::TILE_1X128:
+        return r * scaleCols_ + c / tile_;
+      case Granularity::BLOCK_128X128:
+        return (r / tile_) * scaleCols_ + c / tile_;
+    }
+    return 0;
+}
+
+double
+QuantizedMatrix::rawValue(std::size_t r, std::size_t c) const
+{
+    return decode(*fmt_, codes_[r * cols_ + c]);
+}
+
+double
+QuantizedMatrix::scale(std::size_t r, std::size_t c) const
+{
+    return scales_[scaleIndex(r, c)];
+}
+
+Matrix
+QuantizedMatrix::dequantize() const
+{
+    Matrix out(rows_, cols_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            out.at(r, c) = value(r, c);
+    return out;
+}
+
+std::size_t
+QuantizedMatrix::codeBytes() const
+{
+    return codes_.size() * (std::size_t)((fmt_->totalBits() + 7) / 8);
+}
+
+Matrix
+fakeQuantize(const Matrix &m, const FloatFormat &fmt,
+             Granularity granularity, std::size_t tile)
+{
+    return QuantizedMatrix(m, fmt, granularity, tile).dequantize();
+}
+
+} // namespace dsv3::numerics

@@ -1,0 +1,50 @@
+#include "pipeline/reliability.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dsv3::pipeline {
+
+ReliabilityReport
+evaluateReliability(const ReliabilityParams &p,
+                    bool hardware_sdc_detection)
+{
+    DSV3_ASSERT(p.gpus > 0);
+    DSV3_ASSERT(p.gpuMtbfHours > 0.0);
+
+    ReliabilityReport out;
+    out.clusterMtbfHours = p.gpuMtbfHours / (double)p.gpus;
+    const double mtbf_sec = out.clusterMtbfHours * 3600.0;
+
+    // Young/Daly: tau* = sqrt(2 * C * MTBF).
+    out.optimalCheckpointSec =
+        std::sqrt(2.0 * p.checkpointCostSec * mtbf_sec);
+    const double tau = out.optimalCheckpointSec;
+
+    // Overheads as fractions of wall-clock time:
+    //  - one checkpoint every tau seconds,
+    //  - on failure (rate 1/MTBF) lose tau/2 of work on average plus
+    //    the restart cost.
+    out.checkpointOverhead = p.checkpointCostSec / tau;
+    out.reworkOverhead = (tau / 2.0) / mtbf_sec;
+    out.restartOverhead = p.restartCostSec / mtbf_sec;
+
+    // Silent corruption: events occur at the cluster SDC rate; each
+    // rolls back the detection latency's worth of work (bounded by
+    // the full run only conceptually; the fraction is rate * delay).
+    const double sdc_rate_per_hour =
+        p.sdcPerGpuPerHour * (double)p.gpus;
+    const double detect_hours = hardware_sdc_detection
+        ? p.hwDetectSeconds / 3600.0 : p.heuristicDetectHours;
+    out.sdcOverhead =
+        std::min(1.0, sdc_rate_per_hour * detect_hours);
+
+    double total = out.checkpointOverhead + out.reworkOverhead +
+                   out.restartOverhead + out.sdcOverhead;
+    out.goodput = std::max(0.0, 1.0 - total);
+    return out;
+}
+
+} // namespace dsv3::pipeline

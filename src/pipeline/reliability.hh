@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Large-scale training reliability model (Sec 6.1).
+ *
+ * The paper notes that interconnect failures, node crashes/ECC
+ * errors, and silent data corruption dominate robustness at scale:
+ * the probability of a single-point failure grows with system size,
+ * and corruption that application-level heuristics only catch late
+ * destroys large amounts of work. This model quantifies both:
+ *
+ *  - checkpoint/restart goodput via the Young/Daly optimal interval
+ *    given a per-GPU MTBF and cluster size;
+ *  - silent-corruption exposure: with only application heuristics,
+ *    corruption is detected after a delay and all work since the
+ *    corrupting step is rolled back; with hardware checksums
+ *    (the paper's suggestion) detection is immediate.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+namespace dsv3::pipeline {
+
+struct ReliabilityParams
+{
+    std::size_t gpus = 2048;
+    double gpuMtbfHours = 50000.0;    //!< per-GPU mean time between
+                                      //!< effective failures
+    double checkpointCostSec = 60.0;  //!< time to write a checkpoint
+    double restartCostSec = 600.0;    //!< detect + reschedule + load
+
+    // Silent data corruption.
+    double sdcPerGpuPerHour = 1e-6;   //!< undetected-by-ECC rate
+    double heuristicDetectHours = 4.0;//!< app-level detection latency
+    double hwDetectSeconds = 0.0;     //!< with hardware checksums
+};
+
+struct ReliabilityReport
+{
+    double clusterMtbfHours = 0.0;
+    double optimalCheckpointSec = 0.0; //!< Young/Daly interval
+    double checkpointOverhead = 0.0;   //!< fraction of time saving
+    double reworkOverhead = 0.0;       //!< fraction lost to replay
+    double restartOverhead = 0.0;      //!< fraction lost to restarts
+    double sdcOverhead = 0.0;          //!< fraction lost to SDC replay
+    double goodput = 0.0;              //!< useful-work fraction
+};
+
+/**
+ * Evaluate training goodput.
+ *
+ * @param hardware_sdc_detection model hardware checksum support
+ *        (immediate SDC detection) instead of delayed heuristics
+ */
+ReliabilityReport evaluateReliability(const ReliabilityParams &params,
+                                      bool hardware_sdc_detection);
+
+} // namespace dsv3::pipeline

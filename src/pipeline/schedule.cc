@@ -1,0 +1,67 @@
+#include "pipeline/schedule.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dsv3::pipeline {
+
+const char *
+scheduleName(Schedule schedule)
+{
+    switch (schedule) {
+      case Schedule::ONE_F_ONE_B:
+        return "1F1B";
+      case Schedule::DUALPIPE:
+        return "DualPipe";
+    }
+    return "?";
+}
+
+PhaseBreakdown
+computeSchedule(const ScheduleParams &params)
+{
+    const std::size_t p = params.stages;
+    const std::size_t m = params.microbatches;
+    DSV3_ASSERT(p >= 1);
+    DSV3_ASSERT(m >= p, "need at least `stages` microbatches to fill "
+                        "the pipeline");
+
+    const double f = params.chunk.f + params.chunk.exposedComm;
+    const double b = params.chunk.b + params.chunk.exposedComm;
+    const double w = params.chunk.w;
+    DSV3_ASSERT(f > 0.0 && b >= 0.0 && w >= 0.0);
+
+    PhaseBreakdown out;
+    // Pipeline fill: the first microbatch's forward must traverse the
+    // other p-1 stages before steady state begins at any one stage.
+    out.warmupF = (double)(p - 1) * f;
+    // Steady phase: each remaining microbatch occupies one f+b+w slot
+    // (the W of microbatch i fills the slot alongside f/b, zero-bubble
+    // style, but still consumes stage time).
+    out.steady = (double)(m - p + 1) * (f + b + w);
+    // Drain: the last microbatch's backward walks back down.
+    out.drainB = (double)(p - 1) * b;
+    // Trailing weight grads that could not be overlapped.
+    out.tailW = (double)(p - 1) * w;
+
+    switch (params.kind) {
+      case Schedule::ONE_F_ONE_B:
+        // Classic 1F1B total is (m + p - 1)(f + b + w); beyond the
+        // fill/drain phases above, interior stages idle for another
+        // (p - 1) full chunk slots.
+        out.bubble = (double)(p - 1) * (f + b + w);
+        break;
+      case Schedule::DUALPIPE:
+        // DualPipe bubble shape: (p/2 - 1) * (F&B + B - 3W).
+        out.bubble = ((double)p / 2.0 - 1.0) *
+                     std::max(0.0, (f + b) + b - 3.0 * w) -
+                     0.0;
+        break;
+    }
+    out.bubble = std::max(0.0, out.bubble);
+    out.optimizer = params.optimizerTime;
+    return out;
+}
+
+} // namespace dsv3::pipeline

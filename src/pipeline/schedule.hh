@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Pipeline-parallel schedule timing.
+ *
+ * Computes the phase decomposition the paper reports in Table 4: the
+ * warmup forward phase (1F), the steady 1F1B phase, the backward drain
+ * (1B), the trailing weight-gradient phase (1W), pipeline bubble, and
+ * optimizer time. Two schedules are modeled:
+ *
+ *  - ONE_F_ONE_B: classic 1F1B; bubble = (p-1) * (f + b + w).
+ *  - DUALPIPE: DeepSeek's bidirectional schedule with split backward
+ *    (B = input grad, W = weight grad) and forward/backward mutual
+ *    overlap; bubble = (p/2 - 1) * (f + b - 3w), the published
+ *    DualPipe bubble shape.
+ *
+ * Chunk times carry an `exposedComm` term: the part of the EP
+ * all-to-all that dual micro-batch overlap fails to hide. This is the
+ * only place the fabric (MPFT vs MRFT) enters the step time, which is
+ * why the two columns of Table 4 come out nearly identical.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+namespace dsv3::pipeline {
+
+enum class Schedule
+{
+    ONE_F_ONE_B,
+    DUALPIPE,
+};
+
+const char *scheduleName(Schedule schedule);
+
+/** Per-microbatch per-stage chunk times (seconds). */
+struct StageTimes
+{
+    double f = 0.0; //!< forward
+    double b = 0.0; //!< backward for inputs
+    double w = 0.0; //!< backward for weights
+    double exposedComm = 0.0; //!< unhidden comm added to f and b
+};
+
+struct ScheduleParams
+{
+    Schedule kind = Schedule::DUALPIPE;
+    std::size_t stages = 16;
+    std::size_t microbatches = 64;
+    StageTimes chunk;
+    double optimizerTime = 0.0;
+};
+
+struct PhaseBreakdown
+{
+    double warmupF = 0.0;  //!< "1F"
+    double steady = 0.0;   //!< "1F1B"
+    double drainB = 0.0;   //!< "1B"
+    double tailW = 0.0;    //!< "1W"
+    double bubble = 0.0;
+    double optimizer = 0.0;
+
+    double total() const
+    {
+        return warmupF + steady + drainB + tailW + bubble + optimizer;
+    }
+    /** Fraction of the step lost to bubble. */
+    double bubbleFraction() const { return bubble / total(); }
+};
+
+/** Phase decomposition for the given schedule. */
+PhaseBreakdown computeSchedule(const ScheduleParams &params);
+
+} // namespace dsv3::pipeline

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * End-to-end training-step model for DeepSeek-V3 on the 2048-GPU H800
+ * cluster (paper Table 4): combines the FLOPs model, the DualPipe
+ * schedule, the fabric's measured all-to-all bandwidth (MPFT or MRFT,
+ * from the collective simulator), and an optimizer-step model into the
+ * table's metrics (tokens/day, time/step, phase decomposition, TFLOPS
+ * and MFU, causal and non-causal).
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "model/config.hh"
+#include "model/hardware.hh"
+#include "net/cluster.hh"
+#include "pipeline/schedule.hh"
+
+namespace dsv3::pipeline {
+
+struct TrainingSetup
+{
+    model::ModelConfig modelConfig;
+    model::NodeSpec node;
+    net::Fabric fabric = net::Fabric::MPFT;
+
+    std::size_t totalGpus = 2048;
+    std::size_t ppStages = 16;
+    std::size_t epWidth = 64;      //!< GPUs per EP group
+    std::size_t seqLen = 4096;
+    std::size_t globalBatchSeqs = 15360;
+    std::size_t microbatches = 73; //!< per step per pipeline
+
+    /**
+     * Achieved fraction of peak for the dense compute chunks
+     * (kernel efficiency, calibrated against the published MFU).
+     */
+    double kernelEfficiency = 0.47;
+    /** Input-grad backward cost relative to forward. */
+    double backwardFactor = 1.76;
+    /** Weight-grad cost relative to forward (GEMM-only, no attention
+     *  score recompute, hence < 1). */
+    double weightGradFactor = 0.42;
+    /** Fraction of EP all-to-all left unhidden by the overlap. */
+    double commExposure = 0.08;
+    /** Fixed optimizer/step overhead beyond modeled transfers. */
+    double optimizerFixed = 0.25;
+
+    Schedule schedule = Schedule::DUALPIPE;
+
+    std::size_t dataParallel() const
+    {
+        return totalGpus / (ppStages * epWidth);
+    }
+    std::size_t tokensPerStep() const
+    {
+        return globalBatchSeqs * seqLen;
+    }
+};
+
+struct TrainingReport
+{
+    PhaseBreakdown phases;
+    double stepSeconds = 0.0;
+    double tokensPerDay = 0.0;       //!< tokens/day across the cluster
+    double allToAllBusBw = 0.0;      //!< measured on the fabric (B/s)
+    double epCommPerChunk = 0.0;     //!< all-to-all time per chunk (s)
+    double tflopsCausal = 0.0;       //!< achieved per GPU
+    double tflopsNonCausal = 0.0;
+    double mfuCausal = 0.0;
+    double mfuNonCausal = 0.0;
+};
+
+/** Simulate one training step configuration. */
+TrainingReport simulateTraining(const TrainingSetup &setup);
+
+} // namespace dsv3::pipeline

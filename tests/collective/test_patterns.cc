@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for collective traffic patterns and bandwidth reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "collective/patterns.hh"
+#include "common/units.hh"
+
+namespace dsv3::collective {
+namespace {
+
+net::Cluster
+cluster(net::Fabric fabric, std::size_t hosts)
+{
+    net::ClusterConfig cc;
+    cc.fabric = fabric;
+    cc.hosts = hosts;
+    return buildCluster(cc);
+}
+
+std::vector<std::size_t>
+allRanks(const net::Cluster &c)
+{
+    std::vector<std::size_t> ranks(c.gpus.size());
+    for (std::size_t i = 0; i < ranks.size(); ++i)
+        ranks[i] = i;
+    return ranks;
+}
+
+TEST(Patterns, AllToAllFlowCount)
+{
+    net::Cluster c = cluster(net::Fabric::MPFT, 2);
+    auto flows = allToAllFlows(c, allRanks(c), 16.0 * kMB);
+    EXPECT_EQ(flows.size(), 16u * 15u);
+}
+
+TEST(Patterns, AllToAllSliceSizes)
+{
+    net::Cluster c = cluster(net::Fabric::MPFT, 2);
+    auto flows = allToAllFlows(c, allRanks(c), 16.0 * kMB);
+    for (const auto &f : flows)
+        EXPECT_DOUBLE_EQ(f.bytes, kMB);
+}
+
+TEST(Patterns, RingFlowCountAndBytes)
+{
+    net::Cluster c = cluster(net::Fabric::MPFT, 2);
+    auto flows = ringFlows(c, allRanks(c), 4.0 * kMB);
+    EXPECT_EQ(flows.size(), 16u);
+    for (const auto &f : flows)
+        EXPECT_DOUBLE_EQ(f.bytes, 15.0 * 4.0 * kMB);
+}
+
+TEST(Patterns, RingIsAClosedCycle)
+{
+    net::Cluster c = cluster(net::Fabric::MPFT, 2);
+    auto ranks = allRanks(c);
+    auto flows = ringFlows(c, ranks, kMB);
+    // Each GPU appears exactly once as src and once as dst.
+    std::vector<int> as_src(c.gpus.size(), 0), as_dst(c.gpus.size(), 0);
+    for (const auto &f : flows) {
+        for (std::size_t r = 0; r < c.gpus.size(); ++r) {
+            if (c.gpus[r] == f.src)
+                ++as_src[r];
+            if (c.gpus[r] == f.dst)
+                ++as_dst[r];
+        }
+    }
+    for (std::size_t r = 0; r < c.gpus.size(); ++r) {
+        EXPECT_EQ(as_src[r], 1);
+        EXPECT_EQ(as_dst[r], 1);
+    }
+}
+
+TEST(Collective, AllToAllBusBwNearNicLimit)
+{
+    // Large message all-to-all across 4 hosts must approach the
+    // 40 GB/s effective NIC bandwidth (Figure 5's level).
+    net::Cluster c = cluster(net::Fabric::MPFT, 4);
+    auto r = runAllToAll(c, allRanks(c), 16.0 * kMB * 32.0,
+                         net::RoutePolicy::ADAPTIVE);
+    EXPECT_GT(r.busBw, 35e9);
+    EXPECT_LT(r.busBw, 60e9);
+}
+
+TEST(Collective, MpftMatchesMrftOnAllToAll)
+{
+    // Figure 5's claim: the two fabrics are nearly identical.
+    double bw[2];
+    int i = 0;
+    for (net::Fabric f : {net::Fabric::MPFT, net::Fabric::MRFT}) {
+        net::Cluster c = cluster(f, 4);
+        bw[i++] = runAllToAll(c, allRanks(c), 64.0 * kMB,
+                              net::RoutePolicy::ADAPTIVE).busBw;
+    }
+    EXPECT_NEAR(bw[0] / bw[1], 1.0, 0.02);
+}
+
+TEST(Collective, LaunchOverheadDominatesSmallSizes)
+{
+    net::Cluster c = cluster(net::Fabric::MPFT, 2);
+    auto ranks = allRanks(c);
+    auto small = runAllToAll(c, ranks, 16.0 * kKB,
+                             net::RoutePolicy::ADAPTIVE);
+    auto large = runAllToAll(c, ranks, 64.0 * kMB,
+                             net::RoutePolicy::ADAPTIVE);
+    // Small size: time ~ launch overhead; busBW far below NIC rate.
+    EXPECT_LT(small.busBw, 5e9);
+    EXPECT_GT(large.busBw, 30e9);
+    EXPECT_NEAR(small.seconds, 15e-6, 10e-6);
+}
+
+TEST(Collective, RingBusBwIntraHostUsesNvlink)
+{
+    // A ring within one host never touches the NICs; busBW tracks
+    // NVLink (160 GB/s effective).
+    net::Cluster c = cluster(net::Fabric::MPFT, 1);
+    auto r = runRing(c, allRanks(c), 64.0 * kMB,
+                     net::RoutePolicy::ADAPTIVE);
+    EXPECT_GT(r.busBw, 100e9);
+}
+
+TEST(Collective, ConcurrentRingsContend)
+{
+    // Two rings sharing the same hosts' NVLink: per-group bandwidth
+    // halves vs a single ring.
+    net::Cluster c = cluster(net::Fabric::MPFT, 1);
+    std::vector<std::size_t> all = allRanks(c);
+    std::vector<std::vector<std::size_t>> one = {all};
+    std::vector<std::vector<std::size_t>> two = {
+        {0, 1, 2, 3, 4, 5, 6, 7},
+        {7, 6, 5, 4, 3, 2, 1, 0},
+    };
+    auto bw_one = runConcurrentRings(c, one, 64.0 * kMB,
+                                     net::RoutePolicy::ADAPTIVE);
+    auto bw_two = runConcurrentRings(c, two, 64.0 * kMB,
+                                     net::RoutePolicy::ADAPTIVE);
+    EXPECT_NEAR(bw_two[0] / bw_one[0], 0.5, 0.1);
+}
+
+TEST(Collective, EcmpNeverBeatsAdaptive)
+{
+    net::Cluster c = cluster(net::Fabric::MRFT, 4);
+    auto ranks = allRanks(c);
+    auto ecmp = runAllToAll(c, ranks, 64.0 * kMB,
+                            net::RoutePolicy::ECMP, 3);
+    auto ar = runAllToAll(c, ranks, 64.0 * kMB,
+                          net::RoutePolicy::ADAPTIVE);
+    EXPECT_LE(ecmp.busBw, ar.busBw * 1.001);
+}
+
+TEST(Collective, BusBwDefinitionConsistent)
+{
+    net::Cluster c = cluster(net::Fabric::MPFT, 2);
+    auto ranks = allRanks(c);
+    auto r = runAllToAll(c, ranks, 16.0 * kMB,
+                         net::RoutePolicy::ADAPTIVE);
+    double n = (double)ranks.size();
+    EXPECT_NEAR(r.busBw, r.algBw * (n - 1.0) / n, 1.0);
+}
+
+/** Scaling sweep: bandwidth stays in the NIC-limited band. */
+class AllToAllScaleTest : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(AllToAllScaleTest, BusBwStaysNicLimited)
+{
+    net::Cluster c = cluster(net::Fabric::MPFT, GetParam());
+    auto r = runAllToAll(c, allRanks(c),
+                         16.0 * kMB * (double)c.gpus.size(),
+                         net::RoutePolicy::ADAPTIVE);
+    EXPECT_GT(r.busBw, 30e9);
+    // Small clusters route a large intra-host fraction over NVLink,
+    // inflating busBW above the NIC line rate.
+    EXPECT_LT(r.busBw, 80e9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Hosts, AllToAllScaleTest,
+                         ::testing::Values(2, 4, 8));
+
+} // namespace
+} // namespace dsv3::collective

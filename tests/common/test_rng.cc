@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the deterministic RNG: reproducibility, distribution
+ * moments, bounded sampling, and hash mixing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hh"
+
+namespace dsv3 {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.nextU64() == b.nextU64();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double x = rng.nextDouble();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, NextDoubleMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BoundedStaysInBound)
+{
+    Rng rng(13);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 12345ull}) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_LT(rng.nextBounded(bound), bound);
+    }
+}
+
+TEST(Rng, BoundedCoversRange)
+{
+    Rng rng(17);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextBounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(19);
+    const int n = 100000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        double x = rng.normal(3.0, 2.0);
+        sum += x;
+        sum_sq += x * x;
+    }
+    double mean = sum / n;
+    double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 3.0, 0.05);
+    EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, GumbelMeanIsEulerGamma)
+{
+    Rng rng(23);
+    const int n = 200000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gumbel();
+    EXPECT_NEAR(sum / n, 0.5772, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(29);
+    const int n = 100000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR((double)hits / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(31);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(4.0);
+    EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Hash, HashU64Deterministic)
+{
+    EXPECT_EQ(hashU64(42), hashU64(42));
+    EXPECT_NE(hashU64(42), hashU64(43));
+}
+
+TEST(Hash, CombineOrderMatters)
+{
+    std::uint64_t a = hashCombine(hashU64(1), 2);
+    std::uint64_t b = hashCombine(hashU64(2), 1);
+    EXPECT_NE(a, b);
+}
+
+TEST(Hash, AvalancheOnLowBits)
+{
+    // Flipping the lowest input bit should flip ~half the output bits.
+    int flipped = __builtin_popcountll(hashU64(100) ^ hashU64(101));
+    EXPECT_GT(flipped, 16);
+    EXPECT_LT(flipped, 48);
+}
+
+} // namespace
+} // namespace dsv3

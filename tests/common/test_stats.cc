@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for RunningStat, percentile, Histogram and fairness metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace dsv3 {
+namespace {
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleValue)
+{
+    RunningStat s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.mean(), 5.0);
+    EXPECT_EQ(s.min(), 5.0);
+    EXPECT_EQ(s.max(), 5.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownSequence)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+    // Sample variance with n-1 denominator: 32 / 7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStat, MatchesTwoPassComputation)
+{
+    std::vector<double> xs;
+    RunningStat s;
+    for (int i = 0; i < 1000; ++i) {
+        double x = std::sin((double)i) * 100.0;
+        xs.push_back(x);
+        s.add(x);
+    }
+    double mean = 0.0;
+    for (double x : xs)
+        mean += x;
+    mean /= (double)xs.size();
+    double var = 0.0;
+    for (double x : xs)
+        var += (x - mean) * (x - mean);
+    var /= (double)(xs.size() - 1);
+    EXPECT_NEAR(s.mean(), mean, 1e-9);
+    EXPECT_NEAR(s.variance(), var, 1e-6);
+}
+
+TEST(Percentile, Endpoints)
+{
+    std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+}
+
+TEST(Percentile, Median)
+{
+    std::vector<double> odd = {1.0, 5.0, 9.0};
+    EXPECT_DOUBLE_EQ(percentile(odd, 50.0), 5.0);
+    std::vector<double> even = {1.0, 3.0, 5.0, 9.0};
+    EXPECT_DOUBLE_EQ(percentile(even, 50.0), 4.0);
+}
+
+TEST(Percentile, SingleElement)
+{
+    std::vector<double> v = {42.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 25.0), 42.0);
+}
+
+TEST(Histogram, BinningAndClamping)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);   // bin 0
+    h.add(9.5);   // bin 9
+    h.add(-5.0);  // clamps to bin 0
+    h.add(25.0);  // clamps to bin 9
+    h.add(5.0);   // bin 5
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(9), 2u);
+    EXPECT_EQ(h.count(5), 1u);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_DOUBLE_EQ(h.fraction(5), 0.2);
+}
+
+TEST(Histogram, BinEdges)
+{
+    Histogram h(10.0, 20.0, 5);
+    EXPECT_DOUBLE_EQ(h.binLo(0), 10.0);
+    EXPECT_DOUBLE_EQ(h.binLo(4), 18.0);
+}
+
+TEST(Fairness, JainPerfectBalance)
+{
+    EXPECT_DOUBLE_EQ(jainFairness({3.0, 3.0, 3.0}), 1.0);
+}
+
+TEST(Fairness, JainWorstCase)
+{
+    // All load on one of n entities -> 1/n.
+    EXPECT_NEAR(jainFairness({4.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+}
+
+TEST(Fairness, JainEmptyAndZero)
+{
+    EXPECT_DOUBLE_EQ(jainFairness({}), 1.0);
+    EXPECT_DOUBLE_EQ(jainFairness({0.0, 0.0}), 1.0);
+}
+
+TEST(Fairness, MaxOverMean)
+{
+    EXPECT_DOUBLE_EQ(maxOverMean({1.0, 1.0, 4.0}), 2.0);
+    EXPECT_DOUBLE_EQ(maxOverMean({2.0, 2.0}), 1.0);
+}
+
+} // namespace
+} // namespace dsv3

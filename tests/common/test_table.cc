@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the ASCII table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/table.hh"
+
+namespace dsv3 {
+namespace {
+
+TEST(Table, RenderContainsTitleHeaderAndCells)
+{
+    Table t("My Title");
+    t.setHeader({"A", "B"});
+    t.addRow({"one", "two"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("My Title"), std::string::npos);
+    EXPECT_NE(out.find("A"), std::string::npos);
+    EXPECT_NE(out.find("one"), std::string::npos);
+    EXPECT_NE(out.find("two"), std::string::npos);
+}
+
+TEST(Table, RowsPaddedToHeaderWidth)
+{
+    Table t;
+    t.setHeader({"A", "B", "C"});
+    t.addRow({"only-one"});
+    EXPECT_EQ(t.rowCount(), 1u);
+    EXPECT_EQ(t.cell(0, 0), "only-one");
+    EXPECT_EQ(t.cell(0, 2), "");
+}
+
+TEST(Table, CsvQuotesCommas)
+{
+    Table t;
+    t.setHeader({"name", "value"});
+    t.addRow({"a,b", "3"});
+    std::string csv = t.renderCsv();
+    EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+    EXPECT_NE(csv.find("name,value"), std::string::npos);
+}
+
+TEST(Table, CsvRowPerLine)
+{
+    Table t;
+    t.setHeader({"x"});
+    t.addRow({"1"});
+    t.addRow({"2"});
+    std::string csv = t.renderCsv();
+    EXPECT_EQ((int)std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST(Table, FormatHelpers)
+{
+    EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::fmt(2.0, 0), "2");
+    EXPECT_EQ(Table::fmtInt(1234567), "1,234,567");
+    EXPECT_EQ(Table::fmtPercent(0.4373), "43.73%");
+    EXPECT_EQ(Table::fmtPercent(0.5, 0), "50%");
+}
+
+TEST(Table, ColumnsAlign)
+{
+    Table t;
+    t.setHeader({"col", "wide-column"});
+    t.addRow({"a-very-long-cell", "x"});
+    std::string out = t.render();
+    // Every rendered line should have the same width.
+    std::size_t first_len = out.find('\n');
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+        std::size_t next = out.find('\n', pos);
+        if (next == std::string::npos)
+            break;
+        EXPECT_EQ(next - pos, first_len);
+        pos = next + 1;
+    }
+}
+
+TEST(Table, EmptyTableRenders)
+{
+    Table t("empty");
+    std::string out = t.render();
+    EXPECT_NE(out.find("empty"), std::string::npos);
+}
+
+} // namespace
+} // namespace dsv3

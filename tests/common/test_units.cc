@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tests for unit conversion and formatting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+
+namespace dsv3 {
+namespace {
+
+TEST(Units, GbpsConversion)
+{
+    EXPECT_DOUBLE_EQ(gbpsToBytesPerSec(400.0), 50e9);
+    EXPECT_DOUBLE_EQ(gbpsToBytesPerSec(8.0), 1e9);
+}
+
+TEST(Units, FormatBytesDecimal)
+{
+    // The paper's KV-cache units: 70,272 bytes == "70.272 KB".
+    EXPECT_EQ(formatBytes(70272.0), "70.272 KB");
+    EXPECT_EQ(formatBytes(516096.0), "516.096 KB");
+}
+
+TEST(Units, FormatBytesRanges)
+{
+    EXPECT_EQ(formatBytes(512.0, 0), "512 B");
+    EXPECT_EQ(formatBytes(2.5e6, 1), "2.5 MB");
+    EXPECT_EQ(formatBytes(3e9, 0), "3 GB");
+    EXPECT_EQ(formatBytes(1.2e12, 1), "1.2 TB");
+}
+
+TEST(Units, FormatRate)
+{
+    EXPECT_EQ(formatRate(50e9, 0), "50 GB/s");
+    EXPECT_EQ(formatRate(42.5e9, 1), "42.5 GB/s");
+}
+
+TEST(Units, FormatTimeUnits)
+{
+    EXPECT_EQ(formatTime(2.5), "2.50 s");
+    EXPECT_EQ(formatTime(0.01486, 2), "14.86 ms");
+    EXPECT_EQ(formatTime(120.96e-6, 2), "120.96 us");
+    EXPECT_EQ(formatTime(5e-9, 0), "5 ns");
+}
+
+TEST(Units, FormatCountSeparators)
+{
+    EXPECT_EQ(formatCount(0), "0");
+    EXPECT_EQ(formatCount(999), "999");
+    EXPECT_EQ(formatCount(1000), "1,000");
+    EXPECT_EQ(formatCount(16384), "16,384");
+    EXPECT_EQ(formatCount(261632), "261,632");
+}
+
+TEST(Units, FormatMillions)
+{
+    EXPECT_EQ(formatMillions(72e6, 0), "$72M");
+    EXPECT_EQ(formatMillions(9.1e6, 1), "$9.1M");
+}
+
+} // namespace
+} // namespace dsv3

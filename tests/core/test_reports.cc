@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Integration tests: the report facade must reproduce the paper's
+ * headline numbers. Each test parses the rendered table cells.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/report.hh"
+
+namespace dsv3::core {
+namespace {
+
+/** Parse the leading double out of a formatted cell ("70.272 KB"). */
+double
+num(const std::string &cell)
+{
+    return std::strtod(cell.c_str(), nullptr);
+}
+
+TEST(Reports, Table1MatchesPaperExactly)
+{
+    Table t = reproduceTable1();
+    ASSERT_EQ(t.rowCount(), 3u);
+    EXPECT_DOUBLE_EQ(num(t.cell(0, 2)), 70.272);
+    EXPECT_DOUBLE_EQ(num(t.cell(1, 2)), 327.680);
+    EXPECT_DOUBLE_EQ(num(t.cell(2, 2)), 516.096);
+    EXPECT_EQ(t.cell(0, 1), "MLA");
+    EXPECT_EQ(t.cell(1, 1), "GQA");
+}
+
+TEST(Reports, Table2MatchesPaperWhereDerivable)
+{
+    Table t = reproduceTable2();
+    ASSERT_EQ(t.rowCount(), 4u);
+    EXPECT_NEAR(num(t.cell(0, 3)), 155.0, 5.0);   // DeepSeek-V2
+    EXPECT_NEAR(num(t.cell(1, 3)), 250.0, 7.0);   // DeepSeek-V3
+    EXPECT_NEAR(num(t.cell(3, 3)), 2448.0, 50.0); // LLaMA-405B
+    // Qwen row: paper says 394, public config derives ~445 (see
+    // EXPERIMENTS.md); pin our value.
+    EXPECT_NEAR(num(t.cell(2, 3)), 445.0, 10.0);
+}
+
+TEST(Reports, Table3MatchesPaperCounts)
+{
+    Table t = reproduceTable3();
+    // Rows: Endpoints, Switches, Links, Cost, Cost/Endpoint.
+    EXPECT_EQ(t.cell(0, 1), "2,048");
+    EXPECT_EQ(t.cell(0, 2), "16,384");
+    EXPECT_EQ(t.cell(0, 3), "65,536");
+    EXPECT_EQ(t.cell(0, 4), "32,928");
+    EXPECT_EQ(t.cell(0, 5), "261,632");
+    EXPECT_EQ(t.cell(1, 1), "96");
+    EXPECT_EQ(t.cell(1, 2), "768");
+    EXPECT_EQ(t.cell(1, 3), "5,120");
+    EXPECT_EQ(t.cell(2, 5), "384,272");
+    // Cost per endpoint (k$): 4.39 / 4.39 / 7.50 / ~4.4 / ~5.8.
+    EXPECT_NEAR(num(t.cell(4, 1)), 4.39, 0.05);
+    EXPECT_NEAR(num(t.cell(4, 2)), 4.39, 0.05);
+    EXPECT_NEAR(num(t.cell(4, 3)), 7.50, 0.1);
+    EXPECT_NEAR(num(t.cell(4, 4)), 4.4, 0.1);
+    EXPECT_NEAR(num(t.cell(4, 5)), 5.8, 0.1);
+}
+
+TEST(Reports, Table5MatchesPaperLatencies)
+{
+    Table t = reproduceTable5();
+    ASSERT_EQ(t.rowCount(), 3u);
+    EXPECT_NEAR(num(t.cell(0, 1)), 3.60, 0.05); // RoCE same leaf
+    EXPECT_NEAR(num(t.cell(0, 2)), 5.60, 0.05); // RoCE cross leaf
+    EXPECT_NEAR(num(t.cell(1, 1)), 2.80, 0.05); // IB same leaf
+    EXPECT_NEAR(num(t.cell(1, 2)), 3.70, 0.05); // IB cross leaf
+    EXPECT_NEAR(num(t.cell(2, 1)), 3.33, 0.05); // NVLink
+}
+
+TEST(Reports, SpeedLimitMatchesPaper)
+{
+    Table t = reproduceSpeedLimit();
+    ASSERT_EQ(t.rowCount(), 2u);
+    EXPECT_NEAR(num(t.cell(0, 2)), 120.96, 0.1); // us per stage
+    EXPECT_NEAR(num(t.cell(0, 4)), 14.76, 0.05); // ms TPOT
+    EXPECT_NEAR(num(t.cell(0, 5)), 67.0, 2.0);   // tokens/s
+    EXPECT_NEAR(num(t.cell(1, 2)), 6.72, 0.05);  // NVL72 us
+    EXPECT_NEAR(num(t.cell(1, 5)), 1200.0, 40.0);
+}
+
+TEST(Reports, MtpShowsPaperSpeedup)
+{
+    Table t = reproduceMtp();
+    // Row with 90% acceptance ends near 1.8x.
+    bool found = false;
+    for (std::size_t r = 0; r < t.rowCount(); ++r) {
+        if (t.cell(r, 0) == "90%") {
+            EXPECT_NEAR(num(t.cell(r, 3)), 1.81, 0.03);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Reports, LocalInferenceShowsMoeAdvantage)
+{
+    Table t = reproduceLocalInference();
+    ASSERT_EQ(t.rowCount(), 3u);
+    double moe_tps = num(t.cell(0, 3));
+    double dense_tps = num(t.cell(1, 3));
+    double kt_tps = num(t.cell(2, 3));
+    EXPECT_GT(moe_tps, 18.0);   // "nearly 20 TPS, or even twice"
+    EXPECT_LT(dense_tps, 10.0); // "single-digit TPS"
+    EXPECT_NEAR(kt_tps, 20.0, 5.0);
+}
+
+TEST(Reports, NodeLimitedRoutingShape)
+{
+    Table t = reproduceNodeLimited();
+    // First row is the unrestricted baseline (limit 8).
+    EXPECT_NEAR(num(t.cell(0, 1)), 5.25, 0.3); // E[M] unrestricted
+    // The limit-4 row: E[M] < 4 and max M == 4.
+    for (std::size_t r = 0; r < t.rowCount(); ++r) {
+        if (t.cell(r, 0) == "4") {
+            EXPECT_LE(num(t.cell(r, 1)), 4.0);
+            EXPECT_DOUBLE_EQ(num(t.cell(r, 2)), 4.0);
+        }
+    }
+}
+
+TEST(Reports, Fp8AccumulationSweepGrowsWithK)
+{
+    Table t = reproduceFp8AccumulationSweep();
+    ASSERT_GE(t.rowCount(), 3u);
+    double first = num(t.cell(0, 2));
+    double last = num(t.cell(t.rowCount() - 1, 2));
+    EXPECT_GT(last, first * 5.0); // no-promotion error grows with K
+    // The promoted column stays flat and small.
+    for (std::size_t r = 0; r < t.rowCount(); ++r)
+        EXPECT_LT(num(t.cell(r, 1)), 0.1);
+}
+
+TEST(Reports, LogFmtBeatsFp8Formats)
+{
+    Table t = reproduceLogFmt();
+    double snr_e4m3 = 0.0, snr_e5m2 = 0.0, snr_log8 = 0.0;
+    for (std::size_t r = 0; r < t.rowCount(); ++r) {
+        if (t.cell(r, 0) == "E4M3")
+            snr_e4m3 = num(t.cell(r, 2));
+        if (t.cell(r, 0) == "E5M2")
+            snr_e5m2 = num(t.cell(r, 2));
+        if (t.cell(r, 0) == "LogFMT-8")
+            snr_log8 = num(t.cell(r, 2));
+    }
+    EXPECT_GT(snr_log8, snr_e4m3);
+    EXPECT_GT(snr_log8, snr_e5m2);
+}
+
+TEST(Reports, OverlapTableShape)
+{
+    Table t = reproduceOverlap();
+    ASSERT_EQ(t.rowCount(), 3u);
+    // Every scenario must speed up and never exceed 2x.
+    for (std::size_t r = 0; r < t.rowCount(); ++r) {
+        double speedup = num(t.cell(r, 5));
+        EXPECT_GT(speedup, 1.0);
+        EXPECT_LE(speedup, 2.0);
+    }
+}
+
+TEST(Reports, Figure6LatencyParityAndMonotonicity)
+{
+    Table t = reproduceFigure6();
+    double prev = 0.0;
+    for (std::size_t r = 0; r < t.rowCount(); ++r) {
+        double mpft = num(t.cell(r, 1));
+        double mrft = num(t.cell(r, 2));
+        EXPECT_NEAR(mpft / mrft, 1.0, 0.05) << "row " << r;
+        EXPECT_GE(mpft, prev); // grows with message size
+        prev = mpft;
+    }
+}
+
+TEST(Reports, Figure8RoutingOrder)
+{
+    Table t = reproduceFigure8();
+    for (std::size_t r = 0; r < t.rowCount(); ++r) {
+        double ecmp = num(t.cell(r, 2));
+        double ar = num(t.cell(r, 3));
+        double stat = num(t.cell(r, 4));
+        EXPECT_LT(ecmp, ar) << "row " << r;
+        EXPECT_LE(stat, ar * 1.001) << "row " << r;
+        EXPECT_GE(stat, ecmp * 0.9) << "row " << r;
+    }
+}
+
+TEST(Reports, CsvExportsParse)
+{
+    // Every fast report renders to CSV with consistent column counts.
+    for (const Table &t :
+         {reproduceTable1(), reproduceTable2(), reproduceTable3(),
+          reproduceTable5(), reproduceSpeedLimit(), reproduceMtp()}) {
+        std::string csv = t.renderCsv();
+        EXPECT_FALSE(csv.empty());
+        EXPECT_NE(csv.find('\n'), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace dsv3::core

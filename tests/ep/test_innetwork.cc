@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the Sec 6.5 in-network computation model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ep/innetwork.hh"
+
+namespace dsv3::ep {
+namespace {
+
+TEST(InNetwork, UnicastScalesWithNodesTouched)
+{
+    InNetworkParams p;
+    p.meanNodesTouched = 4.0;
+    auto r4 = evaluateInNetwork(NetworkCapability::UNICAST, p);
+    p.meanNodesTouched = 2.0;
+    auto r2 = evaluateInNetwork(NetworkCapability::UNICAST, p);
+    EXPECT_NEAR(r4.totalTimePerToken, 2.0 * r2.totalTimePerToken,
+                1e-12);
+}
+
+TEST(InNetwork, MulticastRemovesDispatchFanout)
+{
+    InNetworkParams p;
+    auto uni = evaluateInNetwork(NetworkCapability::UNICAST, p);
+    auto mc = evaluateInNetwork(
+        NetworkCapability::MULTICAST_DISPATCH, p);
+    EXPECT_NEAR(mc.dispatchBytesPerToken,
+                uni.dispatchBytesPerToken / p.meanNodesTouched,
+                1e-9);
+    EXPECT_DOUBLE_EQ(mc.combineBytesPerToken,
+                     uni.combineBytesPerToken);
+}
+
+TEST(InNetwork, ReduceRemovesCombineFanin)
+{
+    InNetworkParams p;
+    auto mc = evaluateInNetwork(
+        NetworkCapability::MULTICAST_DISPATCH, p);
+    auto full = evaluateInNetwork(
+        NetworkCapability::MULTICAST_AND_REDUCE, p);
+    EXPECT_NEAR(full.combineBytesPerToken,
+                mc.combineBytesPerToken / p.meanNodesTouched, 1e-9);
+}
+
+TEST(InNetwork, CapabilityOrderingMonotone)
+{
+    InNetworkParams p;
+    auto a = evaluateInNetwork(NetworkCapability::UNICAST, p);
+    auto b = evaluateInNetwork(
+        NetworkCapability::MULTICAST_DISPATCH, p);
+    auto c = evaluateInNetwork(
+        NetworkCapability::MULTICAST_AND_REDUCE, p);
+    EXPECT_GT(a.totalTimePerToken, b.totalTimePerToken);
+    EXPECT_GT(b.totalTimePerToken, c.totalTimePerToken);
+}
+
+TEST(InNetwork, CompressionStacksMultiplicatively)
+{
+    InNetworkParams p;
+    auto plain = evaluateInNetwork(
+        NetworkCapability::MULTICAST_AND_REDUCE, p);
+    p.compressionFactor = 0.5;
+    auto packed = evaluateInNetwork(
+        NetworkCapability::MULTICAST_AND_REDUCE, p);
+    EXPECT_NEAR(packed.totalTimePerToken,
+                plain.totalTimePerToken / 2.0, 1e-12);
+}
+
+TEST(InNetwork, CombineIsTwiceDispatchBytes)
+{
+    // BF16 combine vs FP8 dispatch at the same fan factor.
+    InNetworkParams p;
+    auto r = evaluateInNetwork(NetworkCapability::UNICAST, p);
+    EXPECT_NEAR(r.combineBytesPerToken / r.dispatchBytesPerToken,
+                2.0, 1e-9);
+}
+
+TEST(InNetwork, Names)
+{
+    EXPECT_STREQ(networkCapabilityName(NetworkCapability::UNICAST),
+                 "unicast (today)");
+}
+
+} // namespace
+} // namespace dsv3::ep

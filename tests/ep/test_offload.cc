@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the Sec 4.4 EP transport cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ep/offload.hh"
+
+namespace dsv3::ep {
+namespace {
+
+TransportParams
+base()
+{
+    TransportParams p;
+    p.computeTime = 100e-6;
+    p.meanNodesTouched = 3.5;
+    p.meanGpusTouched = 7.0;
+    p.ibTimePerNodeCopy = 30e-6;
+    return p;
+}
+
+TEST(Offload, SmForwardingSlowsCompute)
+{
+    auto r = evaluateTransport(CommTransport::SM_FORWARDING, base());
+    // 132/112 compute stretch.
+    EXPECT_NEAR(r.effectiveComputeTime, 100e-6 * 132.0 / 112.0,
+                1e-9);
+    EXPECT_NEAR(r.ibTime, 3.5 * 30e-6, 1e-12);
+}
+
+TEST(Offload, RdmaOnlyKeepsComputeButLosesDedup)
+{
+    auto r = evaluateTransport(CommTransport::RDMA_ONLY, base());
+    EXPECT_DOUBLE_EQ(r.effectiveComputeTime, 100e-6);
+    EXPECT_NEAR(r.ibTime, 7.0 * 30e-6, 1e-12);
+}
+
+TEST(Offload, HardwareOffloadBestOfBoth)
+{
+    auto hw = evaluateTransport(CommTransport::HARDWARE_OFFLOAD,
+                                base());
+    auto sm = evaluateTransport(CommTransport::SM_FORWARDING, base());
+    auto rdma = evaluateTransport(CommTransport::RDMA_ONLY, base());
+    EXPECT_LE(hw.layerTime, sm.layerTime);
+    EXPECT_LE(hw.layerTime, rdma.layerTime);
+    EXPECT_GE(hw.computeEfficiency, sm.computeEfficiency);
+    EXPECT_GE(hw.computeEfficiency, rdma.computeEfficiency);
+}
+
+TEST(Offload, LayerTimeIsMaxOfComputeAndComm)
+{
+    TransportParams p = base();
+    p.ibTimePerNodeCopy = 1e-6; // comm negligible
+    auto r = evaluateTransport(CommTransport::SM_FORWARDING, p);
+    EXPECT_DOUBLE_EQ(r.layerTime, r.effectiveComputeTime);
+
+    p.ibTimePerNodeCopy = 1e-3; // comm dominates
+    r = evaluateTransport(CommTransport::SM_FORWARDING, p);
+    EXPECT_DOUBLE_EQ(r.layerTime, r.ibTime);
+}
+
+TEST(Offload, EfficiencyBounded)
+{
+    for (CommTransport tr :
+         {CommTransport::SM_FORWARDING, CommTransport::RDMA_ONLY,
+          CommTransport::HARDWARE_OFFLOAD}) {
+        auto r = evaluateTransport(tr, base());
+        EXPECT_GT(r.computeEfficiency, 0.0);
+        EXPECT_LE(r.computeEfficiency, 1.0);
+    }
+}
+
+TEST(Offload, RdmaWinsWhenTrafficIsLocal)
+{
+    // With almost-local routing (M ~= GPUs touched ~= 1), the dedup
+    // advantage vanishes and RDMA-only's full-SM compute wins.
+    TransportParams p = base();
+    p.meanNodesTouched = 1.0;
+    p.meanGpusTouched = 1.0;
+    auto sm = evaluateTransport(CommTransport::SM_FORWARDING, p);
+    auto rdma = evaluateTransport(CommTransport::RDMA_ONLY, p);
+    EXPECT_LT(rdma.layerTime, sm.layerTime);
+}
+
+TEST(Offload, Names)
+{
+    EXPECT_STREQ(commTransportName(CommTransport::RDMA_ONLY),
+                 "RDMA only (inference)");
+}
+
+} // namespace
+} // namespace dsv3::ep

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for the Sec 2.3.1 prefill/decode disaggregation model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "inference/disaggregation.hh"
+
+namespace dsv3::inference {
+namespace {
+
+TEST(Disaggregation, DisaggTpotIsClean)
+{
+    ServingWorkload w;
+    auto r = evaluateDisaggregation(w);
+    EXPECT_DOUBLE_EQ(r.disaggTpot, w.decodeTpotSeconds);
+}
+
+TEST(Disaggregation, ColocationInflatesTpot)
+{
+    ServingWorkload w;
+    auto r = evaluateDisaggregation(w);
+    EXPECT_GT(r.colocatedTpot, r.disaggTpot);
+    EXPECT_GT(r.tpotImprovement, 1.0);
+}
+
+TEST(Disaggregation, KvHandoffCostsTtft)
+{
+    ServingWorkload w;
+    auto r = evaluateDisaggregation(w);
+    EXPECT_NEAR(r.disaggTtft - r.colocatedTtft, w.kvTransferSeconds,
+                1e-12);
+}
+
+TEST(Disaggregation, LongerPromptsIncreasePrefillShare)
+{
+    ServingWorkload shorter;
+    shorter.promptTokens = 1024.0;
+    ServingWorkload longer;
+    longer.promptTokens = 16384.0;
+    auto a = evaluateDisaggregation(shorter);
+    auto b = evaluateDisaggregation(longer);
+    EXPECT_GT(b.colocatedDutyCycle, a.colocatedDutyCycle);
+    EXPECT_GT(b.tpotImprovement, a.tpotImprovement);
+}
+
+TEST(Disaggregation, GpuDemandScalesWithLoad)
+{
+    ServingWorkload w;
+    auto base = evaluateDisaggregation(w);
+    w.requestsPerSecond *= 2.0;
+    auto doubled = evaluateDisaggregation(w);
+    EXPECT_NEAR(doubled.prefillGpus, 2.0 * base.prefillGpus, 1e-9);
+    EXPECT_NEAR(doubled.decodeGpus, 2.0 * base.decodeGpus, 1e-9);
+    // TPOT ratios are load-invariant in this model.
+    EXPECT_NEAR(doubled.tpotImprovement, base.tpotImprovement, 1e-9);
+}
+
+TEST(Disaggregation, DutyCycleBounded)
+{
+    ServingWorkload w;
+    auto r = evaluateDisaggregation(w);
+    EXPECT_GT(r.colocatedDutyCycle, 0.0);
+    EXPECT_LT(r.colocatedDutyCycle, 1.0);
+}
+
+TEST(Disaggregation, DecodeOnlyWorkloadNeedsNoPrefillPool)
+{
+    ServingWorkload w;
+    w.promptTokens = 1.0; // negligible prompts
+    auto r = evaluateDisaggregation(w);
+    EXPECT_LT(r.colocatedDutyCycle, 0.01);
+    EXPECT_NEAR(r.tpotImprovement, 1.0, 0.01);
+}
+
+} // namespace
+} // namespace dsv3::inference

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for MTP speculative decoding, decode rooflines, and the dual
+ * micro-batch overlap model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "inference/mtp.hh"
+#include "inference/overlap.hh"
+#include "inference/roofline.hh"
+#include "model/config.hh"
+#include "model/hardware.hh"
+#include "model/params.hh"
+
+namespace dsv3::inference {
+namespace {
+
+TEST(Mtp, PaperSpeedupAt90Percent)
+{
+    // Sec 2.3.3: 80-90% acceptance -> ~1.8x generation TPS.
+    MtpConfig cfg;
+    cfg.acceptanceRate = 0.9;
+    MtpResult r = mtpAnalytic(cfg);
+    EXPECT_NEAR(r.speedup, 1.8, 0.05);
+}
+
+TEST(Mtp, TokensPerStepIsOnePlusAcceptance)
+{
+    MtpConfig cfg;
+    cfg.acceptanceRate = 0.85;
+    EXPECT_NEAR(mtpAnalytic(cfg).meanTokensPerStep, 1.85, 1e-12);
+}
+
+TEST(Mtp, ChainedDraftsGeometric)
+{
+    MtpConfig cfg;
+    cfg.acceptanceRate = 0.5;
+    cfg.draftTokens = 3;
+    // 1 + 0.5 + 0.25 + 0.125 = 1.875.
+    EXPECT_NEAR(mtpAnalytic(cfg).meanTokensPerStep, 1.875, 1e-12);
+}
+
+TEST(Mtp, ZeroAcceptanceIsOverheadOnly)
+{
+    MtpConfig cfg;
+    cfg.acceptanceRate = 0.0;
+    MtpResult r = mtpAnalytic(cfg);
+    EXPECT_DOUBLE_EQ(r.meanTokensPerStep, 1.0);
+    EXPECT_LT(r.speedup, 1.0); // pure overhead
+}
+
+TEST(Mtp, SimulationMatchesAnalytic)
+{
+    MtpConfig cfg;
+    cfg.acceptanceRate = 0.85;
+    Rng rng(42);
+    MtpResult sim = mtpSimulate(cfg, rng, 200000);
+    MtpResult ana = mtpAnalytic(cfg);
+    EXPECT_NEAR(sim.meanTokensPerStep, ana.meanTokensPerStep, 0.01);
+    EXPECT_NEAR(sim.speedup, ana.speedup, 0.01);
+}
+
+TEST(Mtp, SpeedupMonotoneInAcceptance)
+{
+    double prev = 0.0;
+    for (double p : {0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
+        MtpConfig cfg;
+        cfg.acceptanceRate = p;
+        double s = mtpAnalytic(cfg).speedup;
+        EXPECT_GT(s, prev);
+        prev = s;
+    }
+}
+
+TEST(Roofline, DeepSeekV2OnAiPcNearly20Tps)
+{
+    // Sec 2.2.2: MoE on an AI SoC reaches ~20+ TPS.
+    DecodeScenario s;
+    s.modelConfig = model::deepSeekV2();
+    model::GpuSpec soc = model::aiPcSoc();
+    s.memBytesPerSec = soc.hbmBytesPerSec;
+    s.computeFlopsPerSec = soc.fp8Tflops * 1e12;
+    s.weightBytesPerParam = 1.0;
+    DecodeEstimate e = decodeEstimate(s);
+    EXPECT_GT(e.tokensPerSecond, 18.0);
+    EXPECT_LT(e.tokensPerSecond, 40.0);
+    EXPECT_TRUE(e.memoryBound);
+}
+
+TEST(Roofline, Dense72BSingleDigitTps)
+{
+    DecodeScenario s;
+    s.modelConfig = model::qwen25_72B();
+    s.memBytesPerSec = model::aiPcSoc().hbmBytesPerSec;
+    s.weightBytesPerParam = 1.0;
+    DecodeEstimate e = decodeEstimate(s);
+    EXPECT_LT(e.tokensPerSecond, 10.0);
+}
+
+TEST(Roofline, KTransformersNearly20Tps)
+{
+    // Sec 2.2.2: full V3 on a consumer-GPU server at ~20 TPS.
+    double tps = ktransformersTps(
+        model::deepSeekV3(), model::consumerGpu().hbmBytesPerSec,
+        model::ktransformersHostDramBytesPerSec(), 1.0);
+    EXPECT_GT(tps, 15.0);
+    EXPECT_LT(tps, 25.0);
+}
+
+TEST(Roofline, DecodeIsMemoryBoundAtBatch1)
+{
+    DecodeScenario s;
+    s.modelConfig = model::deepSeekV3();
+    model::NodeSpec node = model::h800Node();
+    s.memBytesPerSec = node.gpu.hbmBytesPerSec;
+    s.computeFlopsPerSec = node.gpu.fp8Tflops * 1e12;
+    s.weightBytesPerParam = 1.0;
+    DecodeEstimate e = decodeEstimate(s);
+    // The GEMV regime (Sec 2.1.2): memory time dominates compute.
+    EXPECT_TRUE(e.memoryBound);
+    EXPECT_GT(e.memSecondsPerStep / e.computeSecondsPerStep, 10.0);
+}
+
+TEST(Roofline, BatchingAmortizesWeights)
+{
+    DecodeScenario s;
+    s.modelConfig = model::qwen25_72B();
+    s.memBytesPerSec = 3.35e12;
+    s.weightBytesPerParam = 1.0;
+    s.batch = 1;
+    double tps1 = decodeEstimate(s).tokensPerSecond;
+    s.batch = 32;
+    double tps32 = decodeEstimate(s).tokensPerSecond;
+    EXPECT_GT(tps32, tps1 * 10.0);
+}
+
+TEST(Roofline, MoeBatchActivatesMoreExperts)
+{
+    // Unlike dense models, batching a MoE pulls in more expert
+    // weights, so the amortization is weaker.
+    DecodeScenario moe;
+    moe.modelConfig = model::deepSeekV3();
+    moe.memBytesPerSec = 3.35e12;
+    moe.weightBytesPerParam = 1.0;
+    moe.batch = 1;
+    double w1 = decodeEstimate(moe).weightBytesPerStep;
+    moe.batch = 8;
+    double w8 = decodeEstimate(moe).weightBytesPerStep;
+    EXPECT_GT(w8, w1 * 4.0);
+    // But never more than the full expert pool.
+    moe.batch = 10000;
+    double wmax = decodeEstimate(moe).weightBytesPerStep;
+    model::ParamCounts p = model::countParams(moe.modelConfig);
+    EXPECT_LE(wmax, p.total() * 1.01);
+}
+
+TEST(Roofline, LongContextCostsKvBandwidth)
+{
+    DecodeScenario s;
+    s.modelConfig = model::qwen25_72B();
+    s.memBytesPerSec = 3.35e12;
+    s.context = 4096;
+    double tps_short = decodeEstimate(s).tokensPerSecond;
+    s.context = 131072;
+    double tps_long = decodeEstimate(s).tokensPerSecond;
+    EXPECT_LT(tps_long, tps_short);
+}
+
+TEST(Roofline, MlaShrinksKvPenaltyVsGqa)
+{
+    // At 128k context the KV-read penalty is far smaller for MLA.
+    DecodeScenario mla;
+    mla.modelConfig = model::deepSeekV3();
+    mla.memBytesPerSec = 3.35e12;
+    mla.context = 131072;
+    DecodeScenario gqa = mla;
+    gqa.modelConfig = model::llama31_405B();
+    EXPECT_LT(decodeEstimate(mla).kvBytesPerStep,
+              decodeEstimate(gqa).kvBytesPerStep / 7.0);
+}
+
+TEST(Overlap, PerfectOverlapWhenBalanced)
+{
+    LayerStageTimes st{50e-6, 50e-6, 50e-6, 50e-6};
+    OverlapResult r = dualMicroBatchOverlap(st);
+    EXPECT_DOUBLE_EQ(r.sequentialLayerTime, 200e-6);
+    EXPECT_DOUBLE_EQ(r.overlappedLayerTime, 100e-6);
+    EXPECT_DOUBLE_EQ(r.speedup, 2.0);
+    EXPECT_DOUBLE_EQ(r.gpuUtilization, 1.0);
+}
+
+TEST(Overlap, CommBoundLimitsUtilization)
+{
+    LayerStageTimes st{25e-6, 100e-6, 25e-6, 100e-6};
+    OverlapResult r = dualMicroBatchOverlap(st);
+    EXPECT_DOUBLE_EQ(r.overlappedLayerTime, 200e-6);
+    EXPECT_DOUBLE_EQ(r.gpuUtilization, 0.25);
+}
+
+TEST(Overlap, ComputeBoundHidesAllComm)
+{
+    LayerStageTimes st{200e-6, 10e-6, 200e-6, 10e-6};
+    OverlapResult r = dualMicroBatchOverlap(st);
+    EXPECT_DOUBLE_EQ(r.overlappedLayerTime, 400e-6);
+    EXPECT_DOUBLE_EQ(r.gpuUtilization, 1.0);
+}
+
+TEST(Overlap, SpeedupNeverExceedsTwo)
+{
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        LayerStageTimes st{rng.uniform(1e-6, 1e-4),
+                           rng.uniform(1e-6, 1e-4),
+                           rng.uniform(1e-6, 1e-4),
+                           rng.uniform(1e-6, 1e-4)};
+        OverlapResult r = dualMicroBatchOverlap(st);
+        EXPECT_LE(r.speedup, 2.0 + 1e-12);
+        EXPECT_GE(r.speedup, 1.0);
+    }
+}
+
+} // namespace
+} // namespace dsv3::inference

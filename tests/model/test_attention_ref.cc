@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests for the attention references — most importantly the numerical
+ * equivalence between MLA's cached-latent decode and the explicit
+ * per-head K/V materialization, which is what justifies Table 1's
+ * cache sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "model/attention_ref.hh"
+
+namespace dsv3::model {
+namespace {
+
+std::vector<double>
+randomToken(std::size_t hidden, Rng &rng)
+{
+    std::vector<double> x(hidden);
+    for (auto &v : x)
+        v = rng.normal();
+    return x;
+}
+
+double
+maxAbsDiff(const std::vector<double> &a, const std::vector<double> &b)
+{
+    EXPECT_EQ(a.size(), b.size());
+    double worst = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        worst = std::max(worst, std::fabs(a[i] - b[i]));
+    return worst;
+}
+
+TEST(AttendOne, UniformScoresAverageValues)
+{
+    // Orthogonal query -> all scores equal -> output = mean of V.
+    Matrix keys(2, 2);
+    keys.at(0, 0) = 1.0;
+    keys.at(1, 1) = 1.0;
+    Matrix values(2, 1);
+    values.at(0, 0) = 2.0;
+    values.at(1, 0) = 6.0;
+    std::vector<double> q = {0.0, 0.0};
+    auto out = attendOne(keys, values, q);
+    EXPECT_NEAR(out[0], 4.0, 1e-12);
+}
+
+TEST(AttendOne, SharpQueryPicksNearestKey)
+{
+    Matrix keys(2, 2);
+    keys.at(0, 0) = 1.0;
+    keys.at(1, 1) = 1.0;
+    Matrix values(2, 1);
+    values.at(0, 0) = 2.0;
+    values.at(1, 0) = 6.0;
+    std::vector<double> q = {100.0, 0.0};
+    auto out = attendOne(keys, values, q);
+    EXPECT_NEAR(out[0], 2.0, 1e-9);
+}
+
+TEST(MlaEquivalence, CachedLatentMatchesExplicit)
+{
+    // The paper's core MLA property: caching only (c_kv, k_rope)
+    // computes the same attention as materializing all K/V heads.
+    const std::size_t hidden = 64;
+    MlaReference cached(hidden, 4, 16, 8, 12, 10, 99);
+    MlaReference explicit_ref(hidden, 4, 16, 8, 12, 10, 99);
+    Rng rng(1);
+    for (int t = 0; t < 12; ++t) {
+        auto x = randomToken(hidden, rng);
+        auto a = cached.decode(x);
+        auto b = explicit_ref.decodeExplicit(x, /*append=*/true);
+        EXPECT_LT(maxAbsDiff(a, b), 1e-9) << "token " << t;
+    }
+}
+
+TEST(MlaEquivalence, SameObjectBothPaths)
+{
+    const std::size_t hidden = 32;
+    MlaReference mla(hidden, 2, 8, 4, 6, 5, 7);
+    Rng rng(2);
+    for (int t = 0; t < 5; ++t)
+        mla.decode(randomToken(hidden, rng));
+    // Query the existing history through both paths (no append).
+    auto x = randomToken(hidden, rng);
+    // decode() appends; so compare explicit first, then a fresh
+    // object for the cached path.
+    auto explicit_out = mla.decodeExplicit(x, /*append=*/false);
+    MlaReference replay(hidden, 2, 8, 4, 6, 5, 7);
+    Rng rng2(2);
+    std::vector<double> last;
+    for (int t = 0; t < 5; ++t)
+        replay.decode(randomToken(hidden, rng2));
+    // Not directly comparable (decode appends x) -- instead verify the
+    // explicit no-append result is finite and sized correctly.
+    EXPECT_EQ(explicit_out.size(), hidden);
+    for (double v : explicit_out)
+        EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(MlaCache, BytesMatchTable1Formula)
+{
+    // DeepSeek-V3 shape: rank 512 + rope 64 at BF16 = 1152 B per
+    // token per layer; heads do not matter.
+    MlaReference mla(128, 8, 512, 64, 128, 128, 3);
+    Rng rng(3);
+    for (int t = 0; t < 3; ++t)
+        mla.decode(randomToken(128, rng));
+    EXPECT_EQ(mla.cacheBytes(2), (512u + 64u) * 3u * 2u);
+}
+
+TEST(MlaCache, CompressionRatioVsExplicit)
+{
+    // With V3-like dims the latent cache is far smaller than per-head
+    // K/V: heads*(nope+rope+v) vs (rank+rope).
+    MlaReference mla(256, 128, 512, 64, 128, 128, 4);
+    Rng rng(4);
+    mla.decode(randomToken(256, rng));
+    double ratio = (double)mla.explicitCacheBytes() /
+                   (double)mla.cacheBytes();
+    // 128*(128+64+128) / (512+64) = 40960/576 ~= 71x.
+    EXPECT_NEAR(ratio, 71.1, 0.5);
+}
+
+TEST(GqaCache, BytesMatchClosedForm)
+{
+    GqaReference gqa(64, 8, 2, 16, 5);
+    Rng rng(5);
+    for (int t = 0; t < 4; ++t)
+        gqa.decode(randomToken(64, rng));
+    // 2 (K+V) * kvHeads * headDim * tokens * bytes.
+    EXPECT_EQ(gqa.cacheBytes(2), 2u * 2u * 16u * 4u * 2u);
+}
+
+TEST(GqaReference, OutputsFiniteAndSized)
+{
+    GqaReference gqa(48, 6, 3, 8, 6);
+    Rng rng(6);
+    for (int t = 0; t < 6; ++t) {
+        auto out = gqa.decode(randomToken(48, rng));
+        EXPECT_EQ(out.size(), 48u);
+        for (double v : out)
+            EXPECT_TRUE(std::isfinite(v));
+    }
+}
+
+TEST(GqaReference, MqaIsSingleKvHead)
+{
+    GqaReference mqa(32, 4, 1, 8, 7);
+    Rng rng(7);
+    mqa.decode(randomToken(32, rng));
+    EXPECT_EQ(mqa.cacheBytes(2), 2u * 1u * 8u * 1u * 2u);
+}
+
+TEST(GqaReference, AttentionIsHistoryDependent)
+{
+    GqaReference gqa(32, 4, 4, 8, 8);
+    Rng rng(8);
+    auto x = randomToken(32, rng);
+    auto first = gqa.decode(x);
+    gqa.decode(randomToken(32, rng));
+    auto third = gqa.decode(x); // same token, longer history
+    EXPECT_GT(maxAbsDiff(first, third), 1e-9);
+}
+
+/** Equivalence must hold across MLA shapes. */
+struct MlaShape
+{
+    std::size_t hidden, heads, rank, rope, nope, vdim;
+};
+
+class MlaShapeTest : public ::testing::TestWithParam<MlaShape>
+{};
+
+TEST_P(MlaShapeTest, CachedMatchesExplicit)
+{
+    MlaShape s = GetParam();
+    MlaReference cached(s.hidden, s.heads, s.rank, s.rope, s.nope,
+                        s.vdim, 11);
+    MlaReference explicit_ref(s.hidden, s.heads, s.rank, s.rope,
+                              s.nope, s.vdim, 11);
+    Rng rng(12);
+    for (int t = 0; t < 6; ++t) {
+        auto x = randomToken(s.hidden, rng);
+        EXPECT_LT(maxAbsDiff(cached.decode(x),
+                             explicit_ref.decodeExplicit(x, true)),
+                  1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MlaShapeTest,
+    ::testing::Values(MlaShape{32, 1, 8, 4, 8, 8},
+                      MlaShape{64, 4, 16, 8, 12, 10},
+                      MlaShape{96, 8, 24, 6, 16, 12},
+                      MlaShape{128, 2, 32, 16, 24, 24}));
+
+} // namespace
+} // namespace dsv3::model

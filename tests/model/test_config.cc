@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for model/hardware configuration presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/config.hh"
+#include "model/hardware.hh"
+
+namespace dsv3::model {
+namespace {
+
+TEST(Config, DeepSeekV3Preset)
+{
+    ModelConfig cfg = deepSeekV3();
+    EXPECT_EQ(cfg.hidden, 7168u);
+    EXPECT_EQ(cfg.layers, 61u);
+    EXPECT_EQ(cfg.attn.kind, AttentionKind::MLA);
+    EXPECT_EQ(cfg.attn.kvLoraRank, 512u);
+    EXPECT_EQ(cfg.attn.qkRopeHeadDim, 64u);
+    ASSERT_TRUE(cfg.moe.has_value());
+    EXPECT_EQ(cfg.moe->routedExperts, 256u);
+    EXPECT_EQ(cfg.moe->topK, 8u);
+    EXPECT_EQ(cfg.moe->groups, 8u);
+    EXPECT_EQ(cfg.moe->topKGroups, 4u);
+    EXPECT_EQ(cfg.moe->sharedExperts, 1u);
+}
+
+TEST(Config, DeepSeekV2Preset)
+{
+    ModelConfig cfg = deepSeekV2();
+    EXPECT_EQ(cfg.hidden, 5120u);
+    EXPECT_EQ(cfg.layers, 60u);
+    ASSERT_TRUE(cfg.moe.has_value());
+    EXPECT_EQ(cfg.moe->routedExperts, 160u);
+    EXPECT_EQ(cfg.moe->topK, 6u);
+    EXPECT_EQ(cfg.moe->sharedExperts, 2u);
+}
+
+TEST(Config, DensePresetsHaveNoMoe)
+{
+    EXPECT_FALSE(qwen25_72B().moe.has_value());
+    EXPECT_FALSE(llama31_405B().moe.has_value());
+    EXPECT_FALSE(dense7B().moe.has_value());
+}
+
+TEST(Config, QkDimPerAttentionKind)
+{
+    AttentionConfig mla = deepSeekV3().attn;
+    EXPECT_EQ(mla.qkDim(), 192u); // 128 nope + 64 rope
+    AttentionConfig gqa = qwen25_72B().attn;
+    EXPECT_EQ(gqa.qkDim(), 128u);
+}
+
+TEST(Config, AttentionKindNames)
+{
+    EXPECT_STREQ(attentionKindName(AttentionKind::MLA), "MLA");
+    EXPECT_STREQ(attentionKindName(AttentionKind::GQA), "GQA");
+    EXPECT_STREQ(attentionKindName(AttentionKind::MQA), "MQA");
+    EXPECT_STREQ(attentionKindName(AttentionKind::MHA), "MHA");
+}
+
+TEST(Hardware, H800MatchesPaperNumbers)
+{
+    NodeSpec node = h800Node();
+    EXPECT_EQ(node.gpusPerNode, 8u);
+    EXPECT_EQ(node.nicsPerNode, 8u);
+    EXPECT_DOUBLE_EQ(node.nicGbps, 400.0);
+    // 400 Gbps -> 50 GB/s raw; 40 GB/s effective per Sec 4.3.
+    EXPECT_DOUBLE_EQ(node.nicPeakBytesPerSec(), 50e9);
+    EXPECT_DOUBLE_EQ(node.nicEffGBs, 40.0);
+    // NVLink: 200 GB/s of which ~160 achievable (Sec 4.3).
+    EXPECT_DOUBLE_EQ(node.gpu.nvlinkPeakGBs, 200.0);
+    EXPECT_DOUBLE_EQ(node.gpu.nvlinkEffGBs, 160.0);
+}
+
+TEST(Hardware, BandwidthRatioIsFourToOne)
+{
+    // "The bandwidth disparity ... is approximately 4:1" (Sec 4.3).
+    NodeSpec node = h800Node();
+    EXPECT_NEAR(node.gpu.nvlinkEffGBs / node.nicEffGBs, 4.0, 0.01);
+}
+
+TEST(Hardware, H100HasFullNvlink)
+{
+    EXPECT_GT(h100Node().gpu.nvlinkPeakGBs,
+              h800Node().gpu.nvlinkPeakGBs);
+}
+
+TEST(Hardware, Nvl72Preset)
+{
+    NodeSpec node = gb200Nvl72Node();
+    EXPECT_EQ(node.gpusPerNode, 72u);
+    EXPECT_DOUBLE_EQ(node.gpu.nvlinkPeakGBs, 900.0);
+}
+
+TEST(Hardware, MfuBaselineConsistent)
+{
+    // Achieved 432 TFLOPS at 43.73% MFU implies ~989 TFLOPS peak.
+    NodeSpec node = h800Node();
+    EXPECT_NEAR(432.0 / 0.4373, node.gpu.bf16Tflops, 10.0);
+}
+
+} // namespace
+} // namespace dsv3::model

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the FLOPs model, anchored to Table 2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/config.hh"
+#include "model/flops.hh"
+
+namespace dsv3::model {
+namespace {
+
+TEST(Flops, Table2DeepSeekV3)
+{
+    // Paper: 250 GFLOPS/token.
+    EXPECT_NEAR(trainingGflopsPerToken(deepSeekV3(), 4096), 250.0,
+                250.0 * 0.03);
+}
+
+TEST(Flops, Table2DeepSeekV2)
+{
+    // Paper: 155 GFLOPS/token.
+    EXPECT_NEAR(trainingGflopsPerToken(deepSeekV2(), 4096), 155.0,
+                155.0 * 0.03);
+}
+
+TEST(Flops, Table2Llama405B)
+{
+    // Paper: 2448 GFLOPS/token; the 6N-based model lands within 2%.
+    EXPECT_NEAR(trainingGflopsPerToken(llama31_405B(), 4096), 2448.0,
+                2448.0 * 0.02);
+}
+
+TEST(Flops, Table2Qwen72BUpperBand)
+{
+    // Paper reports 394; the publicly documented Qwen2.5-72B config
+    // (hidden 8192, inter 29568, 80 layers) yields ~445 under any
+    // standard 6N accounting. Pin our value so regressions surface,
+    // and document the paper delta in EXPERIMENTS.md.
+    EXPECT_NEAR(trainingGflopsPerToken(qwen25_72B(), 4096), 445.0,
+                445.0 * 0.03);
+}
+
+TEST(Flops, MoeOrderOfMagnitudeCheaperThanDense)
+{
+    double moe = trainingGflopsPerToken(deepSeekV3(), 4096);
+    double dense = trainingGflopsPerToken(llama31_405B(), 4096);
+    EXPECT_GT(dense / moe, 9.0);
+}
+
+TEST(Flops, BackwardIsTwiceForward)
+{
+    auto fl = flopsPerToken(deepSeekV3(), 4096);
+    EXPECT_DOUBLE_EQ(fl.backward(), 2.0 * fl.forward());
+    EXPECT_DOUBLE_EQ(fl.training(), 3.0 * fl.forward());
+}
+
+TEST(Flops, NonCausalAttentionDoublesScoreTerm)
+{
+    auto causal = flopsPerToken(deepSeekV3(), 4096, true);
+    auto full = flopsPerToken(deepSeekV3(), 4096, false);
+    EXPECT_DOUBLE_EQ(full.attentionForward,
+                     2.0 * causal.attentionForward);
+    EXPECT_DOUBLE_EQ(full.linearForward, causal.linearForward);
+}
+
+TEST(Flops, AttentionGrowsWithSequence)
+{
+    auto short_seq = flopsPerToken(deepSeekV3(), 4096);
+    auto long_seq = flopsPerToken(deepSeekV3(), 8192);
+    EXPECT_DOUBLE_EQ(long_seq.attentionForward,
+                     2.0 * short_seq.attentionForward);
+    EXPECT_DOUBLE_EQ(long_seq.linearForward,
+                     short_seq.linearForward);
+}
+
+TEST(Flops, DecodeFlopsGrowWithContext)
+{
+    double short_ctx = decodeFlopsPerToken(deepSeekV3(), 1024);
+    double long_ctx = decodeFlopsPerToken(deepSeekV3(), 65536);
+    EXPECT_GT(long_ctx, short_ctx);
+    // The linear term is context-independent.
+    auto fl = flopsPerToken(deepSeekV3(), 4096);
+    EXPECT_GT(short_ctx, fl.linearForward);
+}
+
+TEST(Flops, LinearTermMatches6NRule)
+{
+    // linearForward == 2 * matmul-active params; training == 6N+attn.
+    ModelConfig cfg = qwen25_72B();
+    auto fl = flopsPerToken(cfg, 4096);
+    auto p = countParams(cfg);
+    EXPECT_DOUBLE_EQ(fl.linearForward,
+                     2.0 * p.matmulActivePerToken(cfg));
+}
+
+} // namespace
+} // namespace dsv3::model

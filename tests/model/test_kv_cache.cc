@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the KV-cache model, including the exact Table 1 numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/config.hh"
+#include "model/kv_cache.hh"
+
+namespace dsv3::model {
+namespace {
+
+TEST(KvCache, Table1DeepSeekV3Exact)
+{
+    // Paper Table 1: 70.272 KB per token.
+    EXPECT_DOUBLE_EQ(kvCacheBytesPerToken(deepSeekV3()), 70272.0);
+}
+
+TEST(KvCache, Table1Qwen72BExact)
+{
+    // Paper Table 1: 327.680 KB per token.
+    EXPECT_DOUBLE_EQ(kvCacheBytesPerToken(qwen25_72B()), 327680.0);
+}
+
+TEST(KvCache, Table1Llama405BExact)
+{
+    // Paper Table 1: 516.096 KB per token.
+    EXPECT_DOUBLE_EQ(kvCacheBytesPerToken(llama31_405B()), 516096.0);
+}
+
+TEST(KvCache, Table1Multipliers)
+{
+    double mla = kvCacheBytesPerToken(deepSeekV3());
+    EXPECT_NEAR(kvCacheBytesPerToken(qwen25_72B()) / mla, 4.66, 0.01);
+    EXPECT_NEAR(kvCacheBytesPerToken(llama31_405B()) / mla, 7.34,
+                0.01);
+}
+
+TEST(KvCache, MlaFormula)
+{
+    ModelConfig cfg = deepSeekV3();
+    // (kvLoraRank + ropeDim) * layers * 2 bytes.
+    EXPECT_DOUBLE_EQ(kvCacheBytesPerToken(cfg),
+                     (512.0 + 64.0) * 61.0 * 2.0);
+}
+
+TEST(KvCache, GqaScalesWithKvHeads)
+{
+    ModelConfig cfg = qwen25_72B();
+    double base = kvCacheBytesPerToken(cfg);
+    cfg.attn.kvHeads = 16;
+    EXPECT_DOUBLE_EQ(kvCacheBytesPerToken(cfg), base * 2.0);
+}
+
+TEST(KvCache, MqaUsesOneHead)
+{
+    ModelConfig cfg = qwen25_72B();
+    cfg.attn.kind = AttentionKind::MQA;
+    // One K head (128) + one V head (128) per layer, BF16.
+    EXPECT_DOUBLE_EQ(kvCacheBytesPerToken(cfg),
+                     (128.0 + 128.0) * 80.0 * 2.0);
+}
+
+TEST(KvCache, MhaIsKvHeadsTimesMqa)
+{
+    ModelConfig cfg = dense7B(); // MHA with 32 heads
+    ModelConfig mqa = cfg;
+    mqa.attn.kind = AttentionKind::MQA;
+    EXPECT_DOUBLE_EQ(kvCacheBytesPerToken(cfg),
+                     32.0 * kvCacheBytesPerToken(mqa));
+}
+
+TEST(KvCache, Fp8HalvesBytes)
+{
+    ModelConfig cfg = deepSeekV3();
+    EXPECT_DOUBLE_EQ(kvCacheBytesPerToken(cfg, 1),
+                     kvCacheBytesPerToken(cfg, 2) / 2.0);
+}
+
+TEST(KvCache, ContextScalesLinearly)
+{
+    ModelConfig cfg = deepSeekV3();
+    EXPECT_DOUBLE_EQ(kvCacheBytes(cfg, 1000),
+                     1000.0 * kvCacheBytesPerToken(cfg));
+}
+
+TEST(KvCache, MaxContextTokens)
+{
+    ModelConfig cfg = deepSeekV3();
+    // 70,272 B/token in a 70.272 MB budget -> exactly 1000 tokens.
+    EXPECT_EQ(maxContextTokens(cfg, 70.272e6), 1000u);
+}
+
+TEST(KvCache, MlaVsGqaAdvantageGrowsWithHeads)
+{
+    // MLA cache size is independent of head count; GQA's grows.
+    ModelConfig mla = deepSeekV3();
+    double before = kvCacheBytesPerToken(mla);
+    mla.attn.heads = 256;
+    mla.attn.kvHeads = 256;
+    EXPECT_DOUBLE_EQ(kvCacheBytesPerToken(mla), before);
+}
+
+} // namespace
+} // namespace dsv3::model

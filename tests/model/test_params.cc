@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for parameter counting: presets must reproduce the published
+ * total/activated sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/config.hh"
+#include "model/params.hh"
+
+namespace dsv3::model {
+namespace {
+
+TEST(Params, DeepSeekV3Total671B)
+{
+    ParamCounts p = countParams(deepSeekV3());
+    EXPECT_NEAR(p.total() / 1e9, 671.0, 5.0);
+}
+
+TEST(Params, DeepSeekV3Active37B)
+{
+    ModelConfig cfg = deepSeekV3();
+    ParamCounts p = countParams(cfg);
+    EXPECT_NEAR(p.activePerToken(cfg) / 1e9, 37.0, 1.0);
+}
+
+TEST(Params, DeepSeekV2Total236B)
+{
+    ParamCounts p = countParams(deepSeekV2());
+    EXPECT_NEAR(p.total() / 1e9, 236.0, 3.0);
+}
+
+TEST(Params, DeepSeekV2Active21B)
+{
+    ModelConfig cfg = deepSeekV2();
+    ParamCounts p = countParams(cfg);
+    EXPECT_NEAR(p.activePerToken(cfg) / 1e9, 21.0, 0.7);
+}
+
+TEST(Params, Qwen72BTotal)
+{
+    ParamCounts p = countParams(qwen25_72B());
+    EXPECT_NEAR(p.total() / 1e9, 72.7, 1.5);
+}
+
+TEST(Params, Llama405BTotal)
+{
+    ParamCounts p = countParams(llama31_405B());
+    EXPECT_NEAR(p.total() / 1e9, 405.0, 4.0);
+}
+
+TEST(Params, DenseModelFullyActive)
+{
+    ModelConfig cfg = qwen25_72B();
+    ParamCounts p = countParams(cfg);
+    EXPECT_DOUBLE_EQ(p.total(), p.activePerToken(cfg));
+    EXPECT_DOUBLE_EQ(p.moeRouted, 0.0);
+    EXPECT_DOUBLE_EQ(p.gate, 0.0);
+}
+
+TEST(Params, MoeRoutedDominatesV3)
+{
+    ParamCounts p = countParams(deepSeekV3());
+    EXPECT_GT(p.moeRouted / p.total(), 0.9);
+}
+
+TEST(Params, ActiveScalesWithTopK)
+{
+    ModelConfig cfg = deepSeekV3();
+    ParamCounts p = countParams(cfg);
+    double base = p.activePerToken(cfg);
+    cfg.moe->topK = 16;
+    double doubled = p.activePerToken(cfg);
+    // Doubling topK adds exactly one more 8-expert slice.
+    double slice = p.moeRouted * 8.0 / 256.0;
+    EXPECT_NEAR(doubled - base, slice, 1e6);
+}
+
+TEST(Params, MatmulActiveExcludesEmbedding)
+{
+    ModelConfig cfg = deepSeekV3();
+    ParamCounts p = countParams(cfg);
+    EXPECT_NEAR(p.activePerToken(cfg) - p.matmulActivePerToken(cfg),
+                p.embedding + p.norms, 1.0);
+}
+
+TEST(Params, TiedEmbeddingsDropLmHead)
+{
+    ModelConfig cfg = dense7B();
+    ParamCounts untied = countParams(cfg);
+    cfg.tiedEmbeddings = true;
+    ParamCounts tied = countParams(cfg);
+    EXPECT_DOUBLE_EQ(untied.total() - tied.total(), untied.lmHead);
+    EXPECT_DOUBLE_EQ(tied.lmHead, 0.0);
+}
+
+TEST(Params, MlaAttentionSmallerThanMhaEquivalent)
+{
+    // MLA's low-rank projections use fewer parameters than full MHA
+    // with the same head count at DeepSeek-V3 scale.
+    ModelConfig mla = deepSeekV3();
+    ModelConfig mha = mla;
+    mha.attn.kind = AttentionKind::MHA;
+    mha.attn.headDim = 128;
+    mha.attn.vHeadDim = 128;
+    mha.attn.kvHeads = mha.attn.heads;
+    EXPECT_LT(countParams(mla).attention, countParams(mha).attention);
+}
+
+TEST(Params, Dense7BIsAbout7B)
+{
+    ParamCounts p = countParams(dense7B());
+    EXPECT_NEAR(p.total() / 1e9, 7.0, 1.0);
+}
+
+TEST(Params, MoeLayerAccounting)
+{
+    ModelConfig cfg = deepSeekV3();
+    EXPECT_EQ(cfg.moeLayers(), 58u);
+    EXPECT_EQ(cfg.denseFfnLayers(), 3u);
+    ModelConfig dense = qwen25_72B();
+    EXPECT_EQ(dense.moeLayers(), 0u);
+    EXPECT_EQ(dense.denseFfnLayers(), 80u);
+}
+
+} // namespace
+} // namespace dsv3::model

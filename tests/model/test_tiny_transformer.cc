@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the small-model precision-validation pipeline (Sec 2.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "model/tiny_transformer.hh"
+#include "numerics/error.hh"
+
+namespace dsv3::model {
+namespace {
+
+TinyTransformerConfig
+smallCfg()
+{
+    TinyTransformerConfig cfg;
+    cfg.hidden = 32;
+    cfg.layers = 2;
+    cfg.heads = 2;
+    cfg.headDim = 8;
+    cfg.experts = 4;
+    cfg.topK = 2;
+    cfg.moeIntermediate = 16;
+    return cfg;
+}
+
+Matrix
+randomInputs(std::size_t tokens, std::size_t hidden,
+             std::uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix m(tokens, hidden);
+    m.fillNormal(rng);
+    return m;
+}
+
+TEST(TinyTransformer, DeterministicForward)
+{
+    TinyTransformer a(smallCfg(), 5), b(smallCfg(), 5);
+    Matrix x = randomInputs(8, 32, 1);
+    Matrix ya = a.forward(x, Precision::FP64);
+    Matrix yb = b.forward(x, Precision::FP64);
+    for (std::size_t i = 0; i < ya.data().size(); ++i)
+        EXPECT_DOUBLE_EQ(ya.data()[i], yb.data()[i]);
+}
+
+TEST(TinyTransformer, OutputShapeMatchesInput)
+{
+    TinyTransformer model(smallCfg(), 5);
+    Matrix x = randomInputs(12, 32, 2);
+    Matrix y = model.forward(x, Precision::FP64);
+    EXPECT_EQ(y.rows(), 12u);
+    EXPECT_EQ(y.cols(), 32u);
+    for (double v : y.data())
+        EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(TinyTransformer, CausalityEarlyTokensUnaffected)
+{
+    // Changing a later token must not change earlier outputs.
+    TinyTransformer model(smallCfg(), 5);
+    Matrix x = randomInputs(8, 32, 3);
+    Matrix y1 = model.forward(x, Precision::FP64);
+    x.at(7, 0) += 10.0;
+    Matrix y2 = model.forward(x, Precision::FP64);
+    for (std::size_t t = 0; t < 7; ++t)
+        for (std::size_t c = 0; c < 32; ++c)
+            EXPECT_DOUBLE_EQ(y1.at(t, c), y2.at(t, c))
+                << "token " << t;
+    // The changed token's own output does move.
+    double diff = 0.0;
+    for (std::size_t c = 0; c < 32; ++c)
+        diff += std::fabs(y1.at(7, c) - y2.at(7, c));
+    EXPECT_GT(diff, 1e-6);
+}
+
+TEST(TinyTransformer, PrecisionErrorOrdering)
+{
+    TinyTransformer model(smallCfg(), 6);
+    Matrix x = randomInputs(16, 32, 4);
+    Matrix ref = model.forward(x, Precision::FP64);
+    double bf16 = numerics::relL2Error(
+        model.forward(x, Precision::BF16), ref);
+    double fp8 = numerics::relL2Error(
+        model.forward(x, Precision::FP8_FINE), ref);
+    EXPECT_GT(bf16, 0.0);
+    EXPECT_GT(fp8, bf16); // FP8 noisier than BF16
+    EXPECT_LT(fp8, 0.25); // but bounded
+}
+
+TEST(TinyTransformer, ValidationLossBelowOnePercent)
+{
+    // The Sec 2.4 headline: model-level loss divergence for the
+    // fine-grained FP8 recipe stays in the fraction-of-a-percent
+    // regime (the paper reports < 0.25% after training adaptation).
+    auto v = validatePrecision(TinyTransformerConfig{}, 32, 7);
+    EXPECT_LT(v.fp8FineLossDiff, 0.01);
+    EXPECT_LT(v.bf16LossDiff, v.fp8FineLossDiff);
+}
+
+TEST(TinyTransformer, LossDiffFarBelowElementError)
+{
+    // Zero-mean quantization noise cancels in the scalar loss.
+    auto v = validatePrecision(TinyTransformerConfig{}, 32, 11);
+    EXPECT_LT(v.fp8FineLossDiff, v.fp8FineError / 5.0);
+}
+
+TEST(TinyTransformer, PrecisionNames)
+{
+    EXPECT_STREQ(precisionName(Precision::FP8_FINE),
+                 "FP8 fine-grained");
+    EXPECT_STREQ(precisionName(Precision::BF16), "BF16");
+}
+
+/** Seed sweep: the validation conclusion must be seed-robust. */
+class ValidationSeedTest
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(ValidationSeedTest, FineGrainedLossBounded)
+{
+    auto v = validatePrecision(TinyTransformerConfig{}, 24,
+                               GetParam());
+    EXPECT_LT(v.fp8FineLossDiff, 0.015) << "seed " << GetParam();
+    EXPECT_GT(v.fp8FineError, v.bf16Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValidationSeedTest,
+                         ::testing::Values(3, 7, 11, 13, 42));
+
+} // namespace
+} // namespace dsv3::model

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the EPLB expert load balancer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hh"
+#include "moe/eplb.hh"
+
+namespace dsv3::moe {
+namespace {
+
+TEST(Eplb, UniformLoadNoReplicasNeeded)
+{
+    std::vector<double> load(16, 1.0);
+    auto r = balanceExperts(load, 4, 4); // exactly one slot each
+    for (auto c : r.replicaCount)
+        EXPECT_EQ(c, 1u);
+    EXPECT_NEAR(r.imbalanceAfter, 1.0, 1e-9);
+}
+
+TEST(Eplb, EverySlotFilledEveryExpertPlaced)
+{
+    Rng rng(1);
+    std::vector<double> load(64);
+    for (auto &l : load)
+        l = rng.uniform(0.5, 4.0);
+    auto r = balanceExperts(load, 16, 5);
+
+    std::size_t total_slots = 0;
+    std::set<std::uint32_t> experts_seen;
+    for (const auto &gpu : r.gpuSlots) {
+        EXPECT_LE(gpu.size(), 5u);
+        total_slots += gpu.size();
+        experts_seen.insert(gpu.begin(), gpu.end());
+    }
+    EXPECT_EQ(total_slots, 80u); // all slots used
+    EXPECT_EQ(experts_seen.size(), 64u);
+}
+
+TEST(Eplb, ReplicaCountsMatchPlacement)
+{
+    Rng rng(2);
+    std::vector<double> load(32);
+    for (auto &l : load)
+        l = rng.uniform(0.1, 10.0);
+    auto r = balanceExperts(load, 8, 6);
+    std::vector<std::uint32_t> seen(32, 0);
+    for (const auto &gpu : r.gpuSlots)
+        for (auto e : gpu)
+            ++seen[e];
+    for (std::size_t e = 0; e < 32; ++e)
+        EXPECT_EQ(seen[e], r.replicaCount[e]) << "expert " << e;
+}
+
+TEST(Eplb, HotExpertGetsReplicas)
+{
+    std::vector<double> load(16, 1.0);
+    load[5] = 100.0;
+    auto r = balanceExperts(load, 4, 5); // 4 spare slots
+    EXPECT_GE(r.replicaCount[5], 4u);
+}
+
+TEST(Eplb, ImbalanceNeverWorsens)
+{
+    Rng rng(3);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<double> load(64);
+        for (auto &l : load)
+            l = rng.exponential(1.0);
+        auto r = balanceExperts(load, 16, 6);
+        EXPECT_LE(r.imbalanceAfter, r.imbalanceBefore * 1.001)
+            << "trial " << trial;
+    }
+}
+
+TEST(Eplb, SkewedLoadBalancesWell)
+{
+    Rng rng(4);
+    std::vector<double> load(256);
+    for (auto &l : load)
+        l = rng.exponential(1.0) + 0.05;
+    auto r = balanceExperts(load, 64, 5);
+    EXPECT_GT(r.imbalanceBefore, 1.3);
+    EXPECT_LT(r.imbalanceAfter, 1.15);
+}
+
+TEST(Eplb, ReplicasOnDistinctGpusWhenPossible)
+{
+    // 6 experts on 4 GPUs x 2 slots: 2 spares both go to the hot
+    // expert, giving it 3 replicas -- fewer than the 4 GPUs, so each
+    // replica can live on its own GPU.
+    std::vector<double> load(6, 1.0);
+    load[0] = 10.0;
+    auto r = balanceExperts(load, 4, 2);
+    // Count GPUs hosting expert 0 more than once.
+    for (const auto &gpu : r.gpuSlots) {
+        std::size_t copies =
+            (std::size_t)std::count(gpu.begin(), gpu.end(), 0u);
+        EXPECT_LE(copies, 1u);
+    }
+}
+
+TEST(Eplb, GpuLoadAccountsSplitLoad)
+{
+    std::vector<double> load = {8.0, 1.0};
+    auto r = balanceExperts(load, 2, 2);
+    // Expert 0 gets the 2 spare slots... 4 slots total: expert 0
+    // replicated 3x (8/3 each), expert 1 once.
+    double total = 0.0;
+    for (double g : r.gpuLoad)
+        total += g;
+    EXPECT_NEAR(total, 9.0, 1e-9);
+}
+
+TEST(EplbDeath, RejectsTooFewSlots)
+{
+    std::vector<double> load(16, 1.0);
+    EXPECT_DEATH(balanceExperts(load, 2, 4), "slot");
+}
+
+/** Property: balancing with more spare slots never hurts. */
+class EplbSlotsTest : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(EplbSlotsTest, MoreSlotsMonotonicallyBetter)
+{
+    Rng rng(10);
+    std::vector<double> load(64);
+    for (auto &l : load)
+        l = rng.exponential(1.0) + 0.01;
+    auto fewer = balanceExperts(load, 16, 4);
+    auto more = balanceExperts(load, 16, GetParam());
+    EXPECT_LE(more.imbalanceAfter, fewer.imbalanceAfter * 1.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Slots, EplbSlotsTest,
+                         ::testing::Values(5, 6, 8));
+
+} // namespace
+} // namespace dsv3::moe

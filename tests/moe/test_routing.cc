@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for expert placement, routing statistics and token synthesis.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "moe/gate.hh"
+#include "moe/placement.hh"
+#include "moe/routing_stats.hh"
+#include "moe/token_gen.hh"
+
+namespace dsv3::moe {
+namespace {
+
+TEST(Placement, V3DeploymentLayout)
+{
+    // 256 experts over 8 nodes x 8 GPUs: 32/node, 4/GPU (Sec 4.3).
+    ExpertPlacement p(256, 8, 8);
+    EXPECT_EQ(p.expertsPerNode(), 32u);
+    EXPECT_EQ(p.expertsPerGpu(), 4u);
+    EXPECT_EQ(p.node(0), 0u);
+    EXPECT_EQ(p.node(31), 0u);
+    EXPECT_EQ(p.node(32), 1u);
+    EXPECT_EQ(p.node(255), 7u);
+    EXPECT_EQ(p.gpu(0), 0u);
+    EXPECT_EQ(p.gpu(4), 1u);
+    EXPECT_EQ(p.gpu(255), 63u);
+}
+
+TEST(Placement, GpuNodeConsistency)
+{
+    ExpertPlacement p(256, 8, 8);
+    for (std::uint32_t e = 0; e < 256; ++e)
+        EXPECT_EQ(p.gpu(e) / 8, p.node(e));
+}
+
+TEST(PlacementDeath, RejectsUnevenSplit)
+{
+    EXPECT_DEATH(ExpertPlacement(100, 8, 8), "");
+}
+
+TEST(RoutingStats, CountsNodesTouched)
+{
+    ExpertPlacement p(256, 8, 8);
+    RoutingStats stats(p);
+    RoutingDecision d;
+    d.experts = {0, 1, 32, 64};   // nodes 0, 0, 1, 2 -> M = 3
+    d.weights = {0.25, 0.25, 0.25, 0.25};
+    stats.add(d);
+    EXPECT_EQ(stats.tokens(), 1u);
+    EXPECT_DOUBLE_EQ(stats.meanNodesTouched(), 3.0);
+    EXPECT_EQ(stats.maxNodesTouched(), 3u);
+    EXPECT_DOUBLE_EQ(stats.nodesTouchedFraction(3), 1.0);
+    EXPECT_DOUBLE_EQ(stats.nodesTouchedFraction(2), 0.0);
+}
+
+TEST(RoutingStats, ExpertLoadAccumulates)
+{
+    ExpertPlacement p(16, 2, 2);
+    RoutingStats stats(p);
+    RoutingDecision d;
+    d.experts = {3, 3};
+    stats.add(d);
+    stats.add(d);
+    EXPECT_DOUBLE_EQ(stats.expertLoad()[3], 4.0);
+}
+
+TEST(RoutingStats, GpuLoadAggregatesExperts)
+{
+    ExpertPlacement p(16, 2, 2); // 4 experts/GPU
+    RoutingStats stats(p);
+    RoutingDecision d;
+    d.experts = {0, 1, 4};  // GPUs 0, 0, 1
+    stats.add(d);
+    auto load = stats.gpuLoad();
+    EXPECT_DOUBLE_EQ(load[0], 2.0);
+    EXPECT_DOUBLE_EQ(load[1], 1.0);
+    EXPECT_DOUBLE_EQ(load[2], 0.0);
+}
+
+TEST(RoutingStats, IbDedupFactor)
+{
+    ExpertPlacement p(256, 8, 8);
+    RoutingStats stats(p);
+    RoutingDecision d;
+    d.experts = {0, 1, 2, 3, 4, 5, 6, 7}; // all node 0 -> M = 1
+    stats.add(d);
+    EXPECT_DOUBLE_EQ(stats.ibDedupFactor(8), 1.0 / 8.0);
+}
+
+TEST(RoutingStats, NodeLimitedReducesMeanM)
+{
+    ExpertPlacement p(256, 8, 8);
+    GateConfig open;
+    open.experts = 256;
+    open.topK = 8;
+    open.groups = 8;
+    open.topKGroups = 8;
+    GateConfig limited = open;
+    limited.topKGroups = 4;
+    TopKGate g_open(open), g_limited(limited);
+    RoutingStats s_open(p), s_limited(p);
+    TokenScoreGenerator gen(256, 0.3, 11);
+    for (int t = 0; t < 2000; ++t) {
+        auto logits = gen.next();
+        s_open.add(g_open.route(logits));
+        s_limited.add(g_limited.route(logits));
+    }
+    // Unrestricted top-8 over 8 uniform nodes: E[M] ~ 5.25.
+    EXPECT_NEAR(s_open.meanNodesTouched(), 5.25, 0.3);
+    EXPECT_LE(s_limited.maxNodesTouched(), 4u);
+    EXPECT_LT(s_limited.meanNodesTouched(),
+              s_open.meanNodesTouched());
+}
+
+TEST(RoutingStats, BalancedGateBalancedLoad)
+{
+    ExpertPlacement p(64, 4, 4);
+    GateConfig cfg;
+    cfg.experts = 64;
+    cfg.topK = 4;
+    TopKGate gate(cfg);
+    RoutingStats stats(p);
+    TokenScoreGenerator gen(64, 0.0, 5); // zero skew
+    for (int t = 0; t < 8000; ++t)
+        stats.add(gate.route(gen.next()));
+    EXPECT_LT(stats.expertImbalance(), 1.25);
+}
+
+TEST(RoutingStats, SkewedGateImbalancedLoad)
+{
+    ExpertPlacement p(64, 4, 4);
+    GateConfig cfg;
+    cfg.experts = 64;
+    cfg.topK = 4;
+    TopKGate gate(cfg);
+    RoutingStats stats(p);
+    TokenScoreGenerator gen(64, 2.0, 5); // strong popularity skew
+    for (int t = 0; t < 8000; ++t)
+        stats.add(gate.route(gen.next()));
+    EXPECT_GT(stats.expertImbalance(), 2.0);
+}
+
+TEST(TokenGen, DeterministicForSeed)
+{
+    TokenScoreGenerator a(32, 0.5, 9), b(32, 0.5, 9);
+    for (int t = 0; t < 10; ++t)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(TokenGen, ZeroSkewUniformBase)
+{
+    TokenScoreGenerator gen(32, 0.0, 1);
+    for (double b : gen.baseLogits())
+        EXPECT_DOUBLE_EQ(b, 0.0);
+}
+
+TEST(TokenGen, SkewWidensBaseSpread)
+{
+    TokenScoreGenerator narrow(256, 0.1, 3);
+    TokenScoreGenerator wide(256, 2.0, 3);
+    auto spread = [](const std::vector<double> &v) {
+        double mn = v[0], mx = v[0];
+        for (double x : v) {
+            mn = std::min(mn, x);
+            mx = std::max(mx, x);
+        }
+        return mx - mn;
+    };
+    EXPECT_LT(spread(narrow.baseLogits()), spread(wide.baseLogits()));
+}
+
+} // namespace
+} // namespace dsv3::moe

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the MPFT/MRFT cluster builders and the latency model
+ * (Table 5 calibration).
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/cluster.hh"
+
+namespace dsv3::net {
+namespace {
+
+ClusterConfig
+smallConfig(Fabric fabric, std::size_t hosts)
+{
+    ClusterConfig cc;
+    cc.fabric = fabric;
+    cc.hosts = hosts;
+    return cc;
+}
+
+TEST(Cluster, GpuCountAndIndexing)
+{
+    Cluster c = buildCluster(smallConfig(Fabric::MPFT, 4));
+    EXPECT_EQ(c.gpus.size(), 32u);
+    EXPECT_EQ(c.nvswitches.size(), 4u);
+    EXPECT_EQ(c.hostOf(0), 0u);
+    EXPECT_EQ(c.hostOf(31), 3u);
+    EXPECT_EQ(c.planeOf(9), 1u);
+    EXPECT_EQ(c.gpu(2, 5), c.gpus[21]);
+}
+
+TEST(Cluster, IntraHostConnectivityViaNvswitch)
+{
+    Cluster c = buildCluster(smallConfig(Fabric::MPFT, 2));
+    auto paths = shortestPaths(c.graph, c.gpu(0, 0), c.gpu(0, 5));
+    ASSERT_FALSE(paths.empty());
+    EXPECT_EQ(paths[0].size(), 2u); // gpu -> nvsw -> gpu
+}
+
+TEST(Cluster, SamePlaneCrossHostGoesViaLeaf)
+{
+    Cluster c = buildCluster(smallConfig(Fabric::MPFT, 2));
+    auto paths = shortestPaths(c.graph, c.gpu(0, 3), c.gpu(1, 3));
+    ASSERT_FALSE(paths.empty());
+    EXPECT_EQ(paths[0].size(), 2u); // gpu -> leaf3 -> gpu
+}
+
+TEST(Cluster, MpftCrossPlaneNeedsNvlinkForwarding)
+{
+    // In MPFT, planes are isolated: a cross-plane cross-host path
+    // must traverse an NVSwitch (PXN-style forwarding).
+    Cluster c = buildCluster(smallConfig(Fabric::MPFT, 2));
+    auto paths = shortestPaths(c.graph, c.gpu(0, 0), c.gpu(1, 5));
+    ASSERT_FALSE(paths.empty());
+    for (const auto &p : paths) {
+        bool via_nvswitch = false;
+        for (EdgeId e : p) {
+            NodeKind kind = c.graph.node(c.graph.edge(e).to).kind;
+            via_nvswitch |= kind == NodeKind::NVSWITCH;
+        }
+        EXPECT_TRUE(via_nvswitch);
+        EXPECT_EQ(p.size(), 4u);
+    }
+}
+
+TEST(Cluster, MrftCrossPlaneCanUseSpines)
+{
+    Cluster c = buildCluster(smallConfig(Fabric::MRFT, 2));
+    auto paths = shortestPaths(c.graph, c.gpu(0, 0), c.gpu(1, 5));
+    ASSERT_FALSE(paths.empty());
+    bool any_spine_path = false;
+    for (const auto &p : paths) {
+        bool via_spine = false;
+        for (EdgeId e : p) {
+            NodeKind kind = c.graph.node(c.graph.edge(e).to).kind;
+            via_spine |= kind == NodeKind::SPINE;
+        }
+        any_spine_path |= via_spine;
+    }
+    EXPECT_TRUE(any_spine_path);
+}
+
+TEST(Cluster, MpftHasNoSpinesAtSmallScale)
+{
+    Cluster c = buildCluster(smallConfig(Fabric::MPFT, 4));
+    EXPECT_TRUE(c.graph.nodesOfKind(NodeKind::SPINE).empty());
+    Cluster m = buildCluster(smallConfig(Fabric::MRFT, 4));
+    EXPECT_FALSE(m.graph.nodesOfKind(NodeKind::SPINE).empty());
+}
+
+TEST(Cluster, OneLeafPerPlane)
+{
+    Cluster c = buildCluster(smallConfig(Fabric::MPFT, 4));
+    EXPECT_EQ(c.graph.nodesOfKind(NodeKind::LEAF).size(), 8u);
+}
+
+TEST(ClusterDeath, PlanesMustMatchGpus)
+{
+    ClusterConfig cc;
+    cc.gpusPerHost = 8;
+    cc.planes = 4;
+    EXPECT_DEATH(buildCluster(cc), "planes");
+}
+
+TEST(Latency, SingleRailSameLeafIbCalibration)
+{
+    // Table 5 IB: same-leaf 2.8 us with the documented parameters.
+    LinkSpec nic{50e9, 0.15e-6};
+    Cluster c = buildSingleRail(64, 32, 16, nic, nic, 0.3e-6, 2.2e-6);
+    EXPECT_NEAR(endToEndLatency(c, 0, 1, 64.0), 2.8e-6, 0.02e-6);
+}
+
+TEST(Latency, SingleRailCrossLeafIbCalibration)
+{
+    // Table 5 IB: cross-leaf 3.7 us (adds two switches + two links).
+    LinkSpec nic{50e9, 0.15e-6};
+    Cluster c = buildSingleRail(64, 32, 16, nic, nic, 0.3e-6, 2.2e-6);
+    EXPECT_NEAR(endToEndLatency(c, 0, 63, 64.0), 3.7e-6, 0.02e-6);
+}
+
+TEST(Latency, RoceSlowerThanIb)
+{
+    LinkSpec ib{50e9, 0.15e-6};
+    LinkSpec roce{50e9, 0.25e-6};
+    Cluster c_ib = buildSingleRail(64, 32, 16, ib, ib, 0.3e-6,
+                                   2.2e-6);
+    Cluster c_roce = buildSingleRail(64, 32, 16, roce, roce, 0.75e-6,
+                                     2.35e-6);
+    EXPECT_LT(endToEndLatency(c_ib, 0, 63, 64.0),
+              endToEndLatency(c_roce, 0, 63, 64.0));
+}
+
+TEST(Latency, GrowsWithMessageSize)
+{
+    LinkSpec nic{50e9, 0.15e-6};
+    Cluster c = buildSingleRail(4, 4, 1, nic, nic, 0.3e-6, 2.2e-6);
+    double small = endToEndLatency(c, 0, 1, 64.0);
+    double big = endToEndLatency(c, 0, 1, 1e6);
+    EXPECT_NEAR(big - small, (1e6 - 64.0) / 50e9, 1e-9);
+}
+
+TEST(Latency, ZeroForSelf)
+{
+    Cluster c = buildCluster(smallConfig(Fabric::MPFT, 1));
+    EXPECT_DOUBLE_EQ(endToEndLatency(c, 3, 3, 64.0), 0.0);
+}
+
+TEST(Cluster, FabricNames)
+{
+    EXPECT_STREQ(fabricName(Fabric::MPFT), "MPFT");
+    EXPECT_STREQ(fabricName(Fabric::MRFT), "MRFT");
+}
+
+/** Larger clusters keep per-plane regular structure. */
+class ClusterScaleTest : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(ClusterScaleTest, EveryGpuReachesEveryGpu)
+{
+    Cluster c = buildCluster(smallConfig(Fabric::MPFT, GetParam()));
+    // Spot-check reachability from GPU 0 to a sample of others.
+    for (std::size_t r = 1; r < c.gpus.size();
+         r += c.gpus.size() / 7 + 1) {
+        auto paths = shortestPaths(c.graph, c.gpus[0], c.gpus[r]);
+        EXPECT_FALSE(paths.empty()) << "rank " << r;
+        EXPECT_LE(paths[0].size(), 4u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Hosts, ClusterScaleTest,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+} // namespace
+} // namespace dsv3::net

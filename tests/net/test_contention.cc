@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the Sec 4.5 PCIe contention model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/contention.hh"
+
+namespace dsv3::net {
+namespace {
+
+ContentionScenario
+base()
+{
+    ContentionScenario s;
+    s.pcieBytesPerSec = 64e9;
+    s.epBytesPerSec = 40e9;
+    s.epBytes = 40e6;
+    s.kvBytes = 320e6;
+    return s;
+}
+
+TEST(Contention, FairShareSlowsEp)
+{
+    auto r = evaluateContention(PcieArbitration::FAIR_SHARE, base());
+    // EP demand (40 GB/s) exceeds the fair half (32 GB/s).
+    EXPECT_GT(r.epSlowdown, 1.2);
+}
+
+TEST(Contention, PrioritySavesEp)
+{
+    auto r = evaluateContention(PcieArbitration::EP_PRIORITY, base());
+    EXPECT_NEAR(r.epSlowdown, 1.0, 1e-9);
+    // KV still finishes, later than uncontended.
+    EXPECT_GT(r.kvTime, 320e6 / 64e9);
+}
+
+TEST(Contention, IoDieDecouplesStreams)
+{
+    auto r = evaluateContention(PcieArbitration::IO_DIE, base());
+    EXPECT_NEAR(r.epTime, 40e6 / 40e9, 1e-12);
+    EXPECT_NEAR(r.kvTime, 320e6 / 64e9, 1e-12);
+    EXPECT_NEAR(r.epSlowdown, 1.0, 1e-9);
+}
+
+TEST(Contention, NoKvTrafficNoSlowdown)
+{
+    ContentionScenario s = base();
+    s.kvBytes = 0.0;
+    for (PcieArbitration a :
+         {PcieArbitration::FAIR_SHARE, PcieArbitration::EP_PRIORITY,
+          PcieArbitration::IO_DIE}) {
+        auto r = evaluateContention(a, s);
+        EXPECT_NEAR(r.epSlowdown, 1.0, 1e-9);
+    }
+}
+
+TEST(Contention, SmallEpDemandUnaffectedByFairShare)
+{
+    ContentionScenario s = base();
+    s.epBytesPerSec = 20e9; // below the 32 GB/s fair half
+    auto r = evaluateContention(PcieArbitration::FAIR_SHARE, s);
+    EXPECT_NEAR(r.epSlowdown, 1.0, 1e-9);
+}
+
+TEST(Contention, KvFinishFasterAfterEpDone)
+{
+    // Once EP completes, KV ramps to full PCIe bandwidth; total KV
+    // time is below what the shared rate alone would predict.
+    auto fair = evaluateContention(PcieArbitration::FAIR_SHARE,
+                                   base());
+    double kv_shared_only = 320e6 / (64e9 - 32e9);
+    EXPECT_LT(fair.kvTime, kv_shared_only);
+}
+
+TEST(Contention, OrderingOfPolicies)
+{
+    auto fair = evaluateContention(PcieArbitration::FAIR_SHARE,
+                                   base());
+    auto prio = evaluateContention(PcieArbitration::EP_PRIORITY,
+                                   base());
+    auto iodie = evaluateContention(PcieArbitration::IO_DIE, base());
+    EXPECT_GE(fair.epTime, prio.epTime);
+    EXPECT_GE(prio.epTime, iodie.epTime - 1e-12);
+    // I/O die gives KV the whole PCIe link: fastest KV.
+    EXPECT_LE(iodie.kvTime, fair.kvTime);
+    EXPECT_LE(iodie.kvTime, prio.kvTime);
+}
+
+TEST(ContentionDeath, RejectsZeroEp)
+{
+    ContentionScenario s = base();
+    s.epBytes = 0.0;
+    EXPECT_DEATH(
+        evaluateContention(PcieArbitration::FAIR_SHARE, s), "");
+}
+
+} // namespace
+} // namespace dsv3::net

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the Table 3 topology counts and cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/cost.hh"
+
+namespace dsv3::net {
+namespace {
+
+TEST(Cost, Ft2PaperCounts)
+{
+    TopologyCounts tc = countFatTree2(64, 2048);
+    EXPECT_EQ(tc.endpoints, 2048u);
+    EXPECT_EQ(tc.switches, 96u);
+    EXPECT_EQ(tc.links, 2048u);
+}
+
+TEST(Cost, MpftPaperCounts)
+{
+    TopologyCounts tc = countMultiPlaneFatTree(64, 8, 16384);
+    EXPECT_EQ(tc.endpoints, 16384u);
+    EXPECT_EQ(tc.switches, 768u);
+    EXPECT_EQ(tc.links, 16384u);
+}
+
+TEST(Cost, Ft3PaperCounts)
+{
+    TopologyCounts tc = countFatTree3(64, 65536);
+    EXPECT_EQ(tc.endpoints, 65536u);
+    EXPECT_EQ(tc.switches, 5120u);
+    EXPECT_EQ(tc.links, 131072u);
+}
+
+TEST(Cost, SlimFlyPaperCounts)
+{
+    TopologyCounts tc = countSlimFly(28);
+    EXPECT_EQ(tc.endpoints, 32928u);
+    EXPECT_EQ(tc.switches, 1568u);
+    EXPECT_EQ(tc.links, 32928u);
+}
+
+TEST(Cost, DragonflyPaperCounts)
+{
+    TopologyCounts tc = countDragonfly(16, 32, 16, 511);
+    EXPECT_EQ(tc.endpoints, 261632u);
+    EXPECT_EQ(tc.switches, 16352u);
+    EXPECT_EQ(tc.links, 384272u);
+}
+
+TEST(Cost, PaperCostPerEndpoint)
+{
+    // Table 3 cost/endpoint in k$: 4.39, 4.39, 7.5, 4.4, 5.8.
+    EXPECT_NEAR(costPerEndpoint(countFatTree2(64, 2048)) / 1e3, 4.39,
+                0.05);
+    EXPECT_NEAR(
+        costPerEndpoint(countMultiPlaneFatTree(64, 8, 16384)) / 1e3,
+        4.39, 0.05);
+    EXPECT_NEAR(costPerEndpoint(countFatTree3(64, 65536)) / 1e3, 7.5,
+                0.1);
+    EXPECT_NEAR(costPerEndpoint(countSlimFly(28)) / 1e3, 4.4, 0.1);
+    EXPECT_NEAR(costPerEndpoint(countDragonfly(16, 32, 16, 511)) / 1e3,
+                5.8, 0.1);
+}
+
+TEST(Cost, PaperTotalCosts)
+{
+    // Table 3 totals in M$: 9, 72, 491, 146, 1522 (within ~2%).
+    EXPECT_NEAR(totalCost(countFatTree2(64, 2048)) / 1e6, 9.0, 0.3);
+    EXPECT_NEAR(totalCost(countMultiPlaneFatTree(64, 8, 16384)) / 1e6,
+                72.0, 1.5);
+    EXPECT_NEAR(totalCost(countFatTree3(64, 65536)) / 1e6, 491.0,
+                10.0);
+    EXPECT_NEAR(totalCost(countSlimFly(28)) / 1e6, 146.0, 3.0);
+    EXPECT_NEAR(totalCost(countDragonfly(16, 32, 16, 511)) / 1e6,
+                1522.0, 30.0);
+}
+
+TEST(Cost, MpftIsEightIndependentFt2)
+{
+    TopologyCounts ft2 = countFatTree2(64, 2048);
+    TopologyCounts mpft = countMultiPlaneFatTree(64, 8, 16384);
+    EXPECT_EQ(mpft.switches, 8 * ft2.switches);
+    EXPECT_EQ(mpft.links, 8 * ft2.links);
+    EXPECT_DOUBLE_EQ(costPerEndpoint(mpft), costPerEndpoint(ft2));
+}
+
+TEST(Cost, Ft2MaxScale)
+{
+    // radix 64 FT2 tops out at 64*32 = 2048 endpoints.
+    EXPECT_NO_THROW(countFatTree2(64, 2048));
+    EXPECT_DEATH(countFatTree2(64, 2049), "tops out");
+}
+
+TEST(Cost, Ft3CheaperPerPortAtSmallerScale)
+{
+    // FT3 pays 5 ports + 2 optical cables per endpoint regardless of
+    // fill; FT2 always wins on cost per endpoint.
+    EXPECT_LT(costPerEndpoint(countFatTree2(64, 1024)),
+              costPerEndpoint(countFatTree3(64, 1024)));
+}
+
+TEST(Cost, SlimFlyDeltaHandling)
+{
+    // q = 4w + delta: q=5 (delta 1) -> k' = 7; q=7 (delta -1) -> 11.
+    EXPECT_EQ(countSlimFly(5).links, 2u * 25u * 7u / 2u);
+    EXPECT_EQ(countSlimFly(7).links, 2u * 49u * 11u / 2u);
+    EXPECT_DEATH(countSlimFly(6), "delta");
+}
+
+TEST(Cost, PortsPerEndpointShape)
+{
+    // FT2: 3 ports/endpoint; FT3: 5 ports/endpoint; SF: 3.
+    EXPECT_DOUBLE_EQ(countFatTree2(64, 2048).portsPerEndpoint(), 3.0);
+    EXPECT_DOUBLE_EQ(countFatTree3(64, 65536).portsPerEndpoint(), 5.0);
+    EXPECT_DOUBLE_EQ(countSlimFly(28).portsPerEndpoint(), 3.0);
+}
+
+TEST(Cost, PartialFt2Rounding)
+{
+    // 100 endpoints on radix-32 switches: down = 16, so 7 leaves and
+    // ceil(7/2) = 4 spines; links = leaves * down.
+    TopologyCounts tc = countFatTree2(32, 100);
+    EXPECT_EQ(tc.switches, 7u + 4u);
+    EXPECT_EQ(tc.links, 7u * 16u);
+}
+
+} // namespace
+} // namespace dsv3::net

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the capacity graph and shortest-path enumeration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/graph.hh"
+
+namespace dsv3::net {
+namespace {
+
+/** Diamond: s -> {a, b} -> t, two equal-cost paths. */
+Graph
+diamond(double cap_top = 10.0, double cap_bottom = 10.0)
+{
+    Graph g;
+    NodeId s = g.addNode(NodeKind::GPU, "s");
+    NodeId a = g.addNode(NodeKind::LEAF, "a");
+    NodeId b = g.addNode(NodeKind::LEAF, "b");
+    NodeId t = g.addNode(NodeKind::GPU, "t");
+    g.addEdge(s, a, cap_top, 1e-6);
+    g.addEdge(a, t, cap_top, 1e-6);
+    g.addEdge(s, b, cap_bottom, 1e-6);
+    g.addEdge(b, t, cap_bottom, 1e-6);
+    return g;
+}
+
+TEST(Graph, NodeAndEdgeBookkeeping)
+{
+    Graph g;
+    NodeId a = g.addNode(NodeKind::GPU, "a", 2, 3);
+    NodeId b = g.addNode(NodeKind::LEAF, "b");
+    EdgeId e = g.addEdge(a, b, 5.0, 1e-6);
+    EXPECT_EQ(g.nodeCount(), 2u);
+    EXPECT_EQ(g.edgeCount(), 1u);
+    EXPECT_EQ(g.node(a).plane, 2);
+    EXPECT_EQ(g.node(a).host, 3);
+    EXPECT_EQ(g.edge(e).from, a);
+    EXPECT_EQ(g.edge(e).to, b);
+    EXPECT_EQ(g.outEdges(a).size(), 1u);
+    EXPECT_TRUE(g.outEdges(b).empty());
+}
+
+TEST(Graph, DuplexAddsBothDirections)
+{
+    Graph g;
+    NodeId a = g.addNode(NodeKind::GPU, "a");
+    NodeId b = g.addNode(NodeKind::GPU, "b");
+    g.addDuplex(a, b, 5.0, 1e-6);
+    EXPECT_EQ(g.edgeCount(), 2u);
+    EXPECT_EQ(g.outEdges(a).size(), 1u);
+    EXPECT_EQ(g.outEdges(b).size(), 1u);
+}
+
+TEST(Graph, NodesOfKind)
+{
+    Graph g = diamond();
+    EXPECT_EQ(g.nodesOfKind(NodeKind::GPU).size(), 2u);
+    EXPECT_EQ(g.nodesOfKind(NodeKind::LEAF).size(), 2u);
+    EXPECT_TRUE(g.nodesOfKind(NodeKind::SPINE).empty());
+}
+
+TEST(ShortestPaths, FindsAllEqualCostPaths)
+{
+    Graph g = diamond();
+    auto paths = shortestPaths(g, 0, 3);
+    EXPECT_EQ(paths.size(), 2u);
+    for (const auto &p : paths)
+        EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(ShortestPaths, PrefersShorterOverLonger)
+{
+    // Diamond plus a direct s->t edge: only the 1-hop path returns.
+    Graph g = diamond();
+    g.addEdge(0, 3, 1.0, 1e-6);
+    auto paths = shortestPaths(g, 0, 3);
+    ASSERT_EQ(paths.size(), 1u);
+    EXPECT_EQ(paths[0].size(), 1u);
+}
+
+TEST(ShortestPaths, SelfPathIsEmpty)
+{
+    Graph g = diamond();
+    auto paths = shortestPaths(g, 1, 1);
+    ASSERT_EQ(paths.size(), 1u);
+    EXPECT_TRUE(paths[0].empty());
+}
+
+TEST(ShortestPaths, UnreachableReturnsEmpty)
+{
+    Graph g;
+    g.addNode(NodeKind::GPU, "a");
+    g.addNode(NodeKind::GPU, "b");
+    EXPECT_TRUE(shortestPaths(g, 0, 1).empty());
+}
+
+TEST(ShortestPaths, PathsAreValidChains)
+{
+    Graph g = diamond();
+    for (const auto &p : shortestPaths(g, 0, 3)) {
+        NodeId at = 0;
+        for (EdgeId e : p) {
+            EXPECT_EQ(g.edge(e).from, at);
+            at = g.edge(e).to;
+        }
+        EXPECT_EQ(at, 3u);
+    }
+}
+
+TEST(ShortestPaths, MaxPathsBounds)
+{
+    // Wide diamond: 6 middle nodes -> 6 equal paths, capped at 4.
+    Graph g;
+    NodeId s = g.addNode(NodeKind::GPU, "s");
+    NodeId t = g.addNode(NodeKind::GPU, "t");
+    for (int i = 0; i < 6; ++i) {
+        NodeId m = g.addNode(NodeKind::SPINE, "m");
+        g.addEdge(s, m, 1.0, 1e-6);
+        g.addEdge(m, t, 1.0, 1e-6);
+    }
+    EXPECT_EQ(shortestPaths(g, s, t).size(), 6u);
+    EXPECT_EQ(shortestPaths(g, s, t, 4).size(), 4u);
+}
+
+TEST(PathMetrics, LatencyAndCapacity)
+{
+    Graph g;
+    NodeId a = g.addNode(NodeKind::GPU, "a");
+    NodeId b = g.addNode(NodeKind::LEAF, "b");
+    NodeId c = g.addNode(NodeKind::GPU, "c");
+    EdgeId e1 = g.addEdge(a, b, 10.0, 1e-6);
+    EdgeId e2 = g.addEdge(b, c, 4.0, 2e-6);
+    Path p = {e1, e2};
+    EXPECT_DOUBLE_EQ(pathLatency(g, p), 3e-6);
+    EXPECT_DOUBLE_EQ(pathCapacity(g, p), 4.0);
+}
+
+TEST(Graph, KindNames)
+{
+    EXPECT_STREQ(nodeKindName(NodeKind::GPU), "gpu");
+    EXPECT_STREQ(nodeKindName(NodeKind::NVSWITCH), "nvswitch");
+    EXPECT_STREQ(nodeKindName(NodeKind::LEAF), "leaf");
+    EXPECT_STREQ(nodeKindName(NodeKind::SPINE), "spine");
+    EXPECT_STREQ(nodeKindName(NodeKind::CORE), "core");
+}
+
+} // namespace
+} // namespace dsv3::net

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the Sec 6.4 ordering model and Sec 5.2.2 incast model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/incast.hh"
+#include "net/ordering.hh"
+
+namespace dsv3::net {
+namespace {
+
+// Ordering ---------------------------------------------------------------
+
+TEST(Ordering, FenceAddsFullRtt)
+{
+    OrderingParams p;
+    auto fence = evaluateOrdering(OrderingMechanism::SENDER_FENCE, p);
+    auto rar = evaluateOrdering(OrderingMechanism::RAR_HARDWARE, p);
+    EXPECT_NEAR(fence.perMessageSeconds - rar.perMessageSeconds,
+                p.rttSeconds / 2.0, 1e-12);
+}
+
+TEST(Ordering, FenceThroughputLatencyBound)
+{
+    OrderingParams p;
+    p.concurrentStreams = 1;
+    auto r = evaluateOrdering(OrderingMechanism::SENDER_FENCE, p);
+    // One message per (serialize + RTT).
+    double expected = 1.0 / (p.messageBytes / p.wireBytesPerSec +
+                             p.rttSeconds);
+    EXPECT_NEAR(r.messagesPerSecond, expected, 1.0);
+    EXPECT_LT(r.wireUtilization, 0.05);
+}
+
+TEST(Ordering, PipelinedMechanismsSaturateWire)
+{
+    OrderingParams p;
+    for (auto m : {OrderingMechanism::RECEIVER_BUFFER,
+                   OrderingMechanism::RAR_HARDWARE}) {
+        auto r = evaluateOrdering(m, p);
+        EXPECT_NEAR(r.wireUtilization, 1.0, 1e-9);
+    }
+}
+
+TEST(Ordering, ManyStreamsRecoverFenceThroughput)
+{
+    // IBGDA's point: many GPU threads hide the per-message stall.
+    OrderingParams p;
+    p.concurrentStreams = 64;
+    auto r = evaluateOrdering(OrderingMechanism::SENDER_FENCE, p);
+    EXPECT_NEAR(r.wireUtilization, 1.0, 1e-9);
+}
+
+TEST(Ordering, RarBeatsReorderBufferOnLatency)
+{
+    OrderingParams p;
+    auto buf =
+        evaluateOrdering(OrderingMechanism::RECEIVER_BUFFER, p);
+    auto rar = evaluateOrdering(OrderingMechanism::RAR_HARDWARE, p);
+    EXPECT_LT(rar.perMessageSeconds, buf.perMessageSeconds);
+}
+
+TEST(Ordering, SmallMessagesHurtFenceMost)
+{
+    OrderingParams small;
+    small.messageBytes = 256.0;
+    OrderingParams large;
+    large.messageBytes = 1 << 20;
+    auto s = evaluateOrdering(OrderingMechanism::SENDER_FENCE, small);
+    auto l = evaluateOrdering(OrderingMechanism::SENDER_FENCE, large);
+    EXPECT_LT(s.wireUtilization, l.wireUtilization);
+}
+
+// Incast ------------------------------------------------------------------
+
+TEST(Incast, SharedQueueBlocksVictimBehindBurst)
+{
+    IncastScenario s;
+    auto r = evaluateIncast(QueueDiscipline::SHARED_QUEUE, s);
+    EXPECT_GE(r.victimSeconds, r.burstSeconds);
+    EXPECT_GT(r.victimInflation, 100.0);
+}
+
+TEST(Incast, VoqIsolatesVictim)
+{
+    IncastScenario s;
+    auto shared = evaluateIncast(QueueDiscipline::SHARED_QUEUE, s);
+    auto voq = evaluateIncast(QueueDiscipline::VOQ, s);
+    EXPECT_LT(voq.victimSeconds, shared.victimSeconds / 10.0);
+}
+
+TEST(Incast, CcFurtherImproves)
+{
+    IncastScenario s;
+    auto voq = evaluateIncast(QueueDiscipline::VOQ, s);
+    auto cc = evaluateIncast(QueueDiscipline::VOQ_WITH_CC, s);
+    EXPECT_LE(cc.victimSeconds, voq.victimSeconds);
+}
+
+TEST(Incast, InflationGrowsWithBurstSize)
+{
+    IncastScenario small;
+    small.burstBytesPerSender = 1e6;
+    IncastScenario big;
+    big.burstBytesPerSender = 16e6;
+    auto a = evaluateIncast(QueueDiscipline::SHARED_QUEUE, small);
+    auto b = evaluateIncast(QueueDiscipline::SHARED_QUEUE, big);
+    EXPECT_GT(b.victimInflation, a.victimInflation);
+}
+
+TEST(Incast, VoqVictimBoundedByFairShare)
+{
+    IncastScenario s;
+    auto r = evaluateIncast(QueueDiscipline::VOQ, s);
+    // Worst case: victim at 1/(N+1) of line rate the whole way.
+    double bound = s.victimBytes /
+                   (s.portBytesPerSec / (double)(s.incastSenders + 1));
+    EXPECT_LE(r.victimSeconds, bound + 1e-12);
+}
+
+TEST(Incast, NoSendersNoInflation)
+{
+    IncastScenario s;
+    s.incastSenders = 1;
+    s.burstBytesPerSender = 0.0;
+    auto r = evaluateIncast(QueueDiscipline::SHARED_QUEUE, s);
+    EXPECT_NEAR(r.victimInflation, 1.0, 0.01);
+}
+
+} // namespace
+} // namespace dsv3::net

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Structural tests for the Slim Fly (MMS) and Dragonfly builders.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/dragonfly.hh"
+#include "net/slimfly.hh"
+
+namespace dsv3::net {
+namespace {
+
+TEST(Primes, IsPrime)
+{
+    EXPECT_TRUE(isPrime(2));
+    EXPECT_TRUE(isPrime(5));
+    EXPECT_TRUE(isPrime(13));
+    EXPECT_TRUE(isPrime(29));
+    EXPECT_FALSE(isPrime(1));
+    EXPECT_FALSE(isPrime(9));
+    EXPECT_FALSE(isPrime(28));
+}
+
+TEST(Primes, PrimitiveRootGeneratesGroup)
+{
+    for (std::size_t q : {5ull, 13ull, 17ull, 29ull}) {
+        std::size_t g = primitiveRoot(q);
+        std::set<std::size_t> seen;
+        std::size_t acc = 1;
+        for (std::size_t i = 0; i < q - 1; ++i) {
+            seen.insert(acc);
+            acc = acc * g % q;
+        }
+        EXPECT_EQ(seen.size(), q - 1) << "q=" << q;
+    }
+}
+
+TEST(SlimFly, SwitchCountIs2Q2)
+{
+    Graph g = buildSlimFly(5, 0);
+    EXPECT_EQ(g.nodesOfKind(NodeKind::LEAF).size(), 50u);
+}
+
+TEST(SlimFly, NetworkDegreeIsUniform)
+{
+    // MMS with q=5, delta=1: k' = (3*5-1)/2 = 7 on every switch.
+    Graph g = buildSlimFly(5, 0);
+    for (NodeId sw : g.nodesOfKind(NodeKind::LEAF))
+        EXPECT_EQ(g.outEdges(sw).size(), 7u) << "switch " << sw;
+}
+
+TEST(SlimFly, DiameterIsTwo)
+{
+    Graph g = buildSlimFly(5, 0);
+    auto switches = g.nodesOfKind(NodeKind::LEAF);
+    EXPECT_EQ(graphDiameter(g, switches), 2u);
+}
+
+TEST(SlimFly, Q13DegreeAndDiameter)
+{
+    Graph g = buildSlimFly(13, 0);
+    auto switches = g.nodesOfKind(NodeKind::LEAF);
+    EXPECT_EQ(switches.size(), 338u);
+    for (NodeId sw : switches)
+        EXPECT_EQ(g.outEdges(sw).size(), 19u); // (3*13-1)/2
+    EXPECT_EQ(graphDiameter(g, switches), 2u);
+}
+
+TEST(SlimFly, EndpointsAttached)
+{
+    Graph g = buildSlimFly(5, 3);
+    EXPECT_EQ(g.nodesOfKind(NodeKind::GPU).size(), 150u);
+    // Endpoint-to-endpoint worst case: 2 switch hops + 2 host links.
+    auto gpus = g.nodesOfKind(NodeKind::GPU);
+    EXPECT_LE(hopDistance(g, gpus.front(), gpus.back()), 4u);
+}
+
+TEST(SlimFlyDeath, RejectsNonPrime)
+{
+    EXPECT_DEATH(buildSlimFly(28, 1), "prime");
+}
+
+TEST(SlimFlyDeath, RejectsWrongResidue)
+{
+    EXPECT_DEATH(buildSlimFly(7, 1), "4w");
+}
+
+TEST(Dragonfly, BalancedGroupCount)
+{
+    DragonflyParams p;
+    p.a = 4;
+    p.h = 2;
+    EXPECT_EQ(p.balancedGroups(), 9u);
+}
+
+TEST(Dragonfly, SwitchDegreeUniform)
+{
+    DragonflyParams p;
+    p.p = 2;
+    p.a = 4;
+    p.h = 2;
+    Graph g = buildDragonfly(p);
+    // Per switch: (a-1) local + h global + p endpoints = 3+2+2 = 7.
+    for (NodeId sw : g.nodesOfKind(NodeKind::LEAF))
+        EXPECT_EQ(g.outEdges(sw).size(), 7u);
+}
+
+TEST(Dragonfly, NodeCounts)
+{
+    DragonflyParams p;
+    p.p = 2;
+    p.a = 4;
+    p.h = 2;
+    Graph g = buildDragonfly(p);
+    EXPECT_EQ(g.nodesOfKind(NodeKind::LEAF).size(), 36u); // 9 * 4
+    EXPECT_EQ(g.nodesOfKind(NodeKind::GPU).size(), 72u);  // * p
+}
+
+TEST(Dragonfly, DiameterAtMostThree)
+{
+    DragonflyParams p;
+    p.p = 1;
+    p.a = 4;
+    p.h = 2;
+    Graph g = buildDragonfly(p);
+    auto switches = g.nodesOfKind(NodeKind::LEAF);
+    EXPECT_LE(graphDiameter(g, switches), 3u);
+}
+
+TEST(Dragonfly, EveryGroupPairConnected)
+{
+    DragonflyParams p;
+    p.p = 1;
+    p.a = 3;
+    p.h = 2;
+    Graph g = buildDragonfly(p); // 7 groups
+    // Count global links: g*a*h/2 = 7*3*2/2 = 21 duplex pairs; each
+    // of the 21 group pairs gets exactly one.
+    std::set<std::pair<int, int>> pairs;
+    for (EdgeId e = 0; e < g.edgeCount(); ++e) {
+        const Edge &edge = g.edge(e);
+        int ga = g.node(edge.from).plane;
+        int gb = g.node(edge.to).plane;
+        if (ga >= 0 && gb >= 0 && ga != gb)
+            pairs.insert({std::min(ga, gb), std::max(ga, gb)});
+    }
+    EXPECT_EQ(pairs.size(), 21u);
+}
+
+} // namespace
+} // namespace dsv3::net

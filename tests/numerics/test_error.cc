@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the error metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "numerics/error.hh"
+
+namespace dsv3::numerics {
+namespace {
+
+TEST(ErrorMetrics, ZeroErrorWhenIdentical)
+{
+    std::vector<double> v = {1.0, -2.0, 3.0};
+    EXPECT_DOUBLE_EQ(relL2Error(v, v), 0.0);
+    EXPECT_DOUBLE_EQ(rmse(v, v), 0.0);
+    EXPECT_DOUBLE_EQ(maxRelError(v, v), 0.0);
+    EXPECT_DOUBLE_EQ(meanSignedError(v, v), 0.0);
+    EXPECT_TRUE(std::isinf(snrDb(v, v)));
+}
+
+TEST(ErrorMetrics, RelL2KnownValue)
+{
+    std::vector<double> ref = {3.0, 4.0};      // ||ref|| = 5
+    std::vector<double> approx = {3.0, 4.5};   // err = 0.5
+    EXPECT_DOUBLE_EQ(relL2Error(approx, ref), 0.1);
+}
+
+TEST(ErrorMetrics, RmseKnownValue)
+{
+    std::vector<double> ref = {0.0, 0.0};
+    std::vector<double> approx = {3.0, 4.0};
+    EXPECT_DOUBLE_EQ(rmse(approx, ref), std::sqrt(12.5));
+}
+
+TEST(ErrorMetrics, MaxRelErrorPicksWorst)
+{
+    std::vector<double> ref = {10.0, 1.0};
+    std::vector<double> approx = {10.1, 1.5};
+    EXPECT_DOUBLE_EQ(maxRelError(approx, ref), 0.5);
+}
+
+TEST(ErrorMetrics, SnrDbKnownValue)
+{
+    std::vector<double> ref = {10.0};
+    std::vector<double> approx = {11.0}; // err^2/ref^2 = 0.01
+    EXPECT_NEAR(snrDb(approx, ref), 20.0, 1e-9);
+}
+
+TEST(ErrorMetrics, MeanSignedErrorDetectsBias)
+{
+    std::vector<double> ref = {1.0, 2.0, 3.0};
+    std::vector<double> low = {0.9, 1.9, 2.9};
+    EXPECT_NEAR(meanSignedError(low, ref), -0.1, 1e-12);
+}
+
+TEST(ErrorMetrics, RelMagnitudeBiasIgnoresSign)
+{
+    std::vector<double> ref = {1.0, -1.0};
+    std::vector<double> approx = {1.1, -1.1};
+    EXPECT_NEAR(relMagnitudeBias(approx, ref), 0.1, 1e-12);
+}
+
+TEST(ErrorMetrics, RelMagnitudeBiasSkipsZeros)
+{
+    std::vector<double> ref = {0.0, 2.0};
+    std::vector<double> approx = {5.0, 2.2};
+    EXPECT_NEAR(relMagnitudeBias(approx, ref), 0.1, 1e-12);
+}
+
+TEST(ErrorMetrics, ZeroReferenceInfiniteRelError)
+{
+    std::vector<double> ref = {0.0};
+    std::vector<double> approx = {1.0};
+    EXPECT_TRUE(std::isinf(relL2Error(approx, ref)));
+}
+
+TEST(ErrorMetricsDeath, SizeMismatchRejected)
+{
+    std::vector<double> a = {1.0};
+    std::vector<double> b = {1.0, 2.0};
+    EXPECT_DEATH((void)relL2Error(a, b), "");
+}
+
+} // namespace
+} // namespace dsv3::numerics

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the Hopper FP22 accumulation-path emulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hh"
+#include "numerics/fp22.hh"
+
+namespace dsv3::numerics {
+namespace {
+
+TEST(AlignedGroupSum, ExactForSmallAlignedValues)
+{
+    // Values sharing an exponent and few mantissa bits sum exactly.
+    std::vector<double> products = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(alignedGroupSum(products), 10.0);
+}
+
+TEST(AlignedGroupSum, EmptyAndZeros)
+{
+    EXPECT_DOUBLE_EQ(alignedGroupSum({}), 0.0);
+    std::vector<double> zeros = {0.0, 0.0};
+    EXPECT_DOUBLE_EQ(alignedGroupSum(zeros), 0.0);
+}
+
+TEST(AlignedGroupSum, SmallAddendTruncatedAgainstLargeMax)
+{
+    // With a max product of ~2^13 scale, an addend below one retained
+    // fraction quantum vanishes entirely.
+    std::vector<double> products = {8192.0, 0.4};
+    // quantum = 2^(14-13) = 2; 0.4 truncates to 0.
+    EXPECT_DOUBLE_EQ(alignedGroupSum(products, 13), 8192.0);
+}
+
+TEST(AlignedGroupSum, TruncationIsTowardZero)
+{
+    // Negative small values also truncate toward zero (not -inf).
+    std::vector<double> products = {8192.0, -0.4};
+    EXPECT_DOUBLE_EQ(alignedGroupSum(products, 13), 8192.0);
+}
+
+TEST(AlignedGroupSum, MoreFractionBitsKeepMore)
+{
+    std::vector<double> products = {8192.0, 0.4};
+    // With 16 fraction bits the quantum is 0.25: 0.4 -> 0.25.
+    EXPECT_DOUBLE_EQ(alignedGroupSum(products, 16), 8192.25);
+}
+
+TEST(AlignedGroupSum, ErrorBoundedByGroupQuantum)
+{
+    Rng rng(3);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<double> products(32);
+        double exact = 0.0;
+        double max_mag = 0.0;
+        for (auto &p : products) {
+            p = rng.normal();
+            exact += p;
+            max_mag = std::max(max_mag, std::fabs(p));
+        }
+        double approx = alignedGroupSum(products);
+        int e;
+        std::frexp(max_mag, &e);
+        double quantum = std::ldexp(1.0, e - 13);
+        // Each of the 32 addends truncates by < quantum.
+        EXPECT_LE(std::fabs(approx - exact), 32.0 * quantum);
+    }
+}
+
+TEST(Fp22Register, StoresTruncatedValues)
+{
+    Fp22Register reg;
+    reg.add(1.0);
+    EXPECT_DOUBLE_EQ(reg.value(), 1.0);
+    // Adding a tiny value is lost to FP22 truncation.
+    reg.add(1e-8);
+    EXPECT_DOUBLE_EQ(reg.value(), 1.0);
+}
+
+TEST(Fp22Register, ResetClears)
+{
+    Fp22Register reg;
+    reg.add(5.0);
+    reg.reset();
+    EXPECT_DOUBLE_EQ(reg.value(), 0.0);
+}
+
+TEST(TensorCoreAccumulator, Fp32ModeIsExactSum)
+{
+    TensorCoreAccumulator acc(AccumMode::FP32);
+    double exact = 0.0;
+    Rng rng(4);
+    for (int i = 0; i < 1000; ++i) {
+        double p = rng.normal();
+        exact += p;
+        acc.addProduct(p);
+    }
+    EXPECT_DOUBLE_EQ(acc.result(), exact);
+}
+
+TEST(TensorCoreAccumulator, PromotionReducesLongKError)
+{
+    // The promotion path must beat the raw FP22 path on long
+    // reductions; this is the paper's Sec 3.1 argument.
+    Rng rng(5);
+    const int k = 32768;
+    std::vector<double> products(k);
+    double exact = 0.0;
+    for (auto &p : products) {
+        p = rng.normal() * 0.01;
+        exact += p;
+    }
+    TensorCoreAccumulator promoted(AccumMode::FP22);
+    TensorCoreAccumulator raw(AccumMode::FP22_NO_PROMOTION);
+    for (double p : products) {
+        promoted.addProduct(p);
+        raw.addProduct(p);
+    }
+    double err_promoted = std::fabs(promoted.result() - exact);
+    double err_raw = std::fabs(raw.result() - exact);
+    EXPECT_LT(err_promoted, err_raw);
+}
+
+TEST(TensorCoreAccumulator, FlushHandlesPartialGroups)
+{
+    // 33 products = one full group of 32 plus a trailing single.
+    TensorCoreAccumulator acc(AccumMode::FP22);
+    for (int i = 0; i < 33; ++i)
+        acc.addProduct(1.0);
+    EXPECT_DOUBLE_EQ(acc.result(), 33.0);
+}
+
+TEST(TensorCoreAccumulator, ResetReusable)
+{
+    TensorCoreAccumulator acc(AccumMode::FP22);
+    acc.addProduct(2.0);
+    acc.reset();
+    acc.addProduct(3.0);
+    EXPECT_DOUBLE_EQ(acc.result(), 3.0);
+}
+
+TEST(TensorCoreAccumulator, ModeNames)
+{
+    EXPECT_STREQ(accumModeName(AccumMode::FP32), "FP32");
+    EXPECT_STREQ(accumModeName(AccumMode::FP22), "FP22+promote");
+}
+
+/** Accumulation error growth: sweep K, raw FP22 error must grow. */
+class Fp22ErrorGrowthTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(Fp22ErrorGrowthTest, RawErrorExceedsPromotedAtScale)
+{
+    const int k = GetParam();
+    Rng rng(100 + k);
+    TensorCoreAccumulator promoted(AccumMode::FP22);
+    TensorCoreAccumulator raw(AccumMode::FP22_NO_PROMOTION);
+    double exact = 0.0;
+    for (int i = 0; i < k; ++i) {
+        double p = rng.normal() * 0.02;
+        exact += p;
+        promoted.addProduct(p);
+        raw.addProduct(p);
+    }
+    // Promoted error stays near FP32 rounding; raw drifts.
+    double scale = std::max(std::fabs(exact), 1.0);
+    EXPECT_LT(std::fabs(promoted.result() - exact) / scale, 2e-3)
+        << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Fp22ErrorGrowthTest,
+                         ::testing::Values(4096, 16384, 65536));
+
+} // namespace
+} // namespace dsv3::numerics

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests for the LogFMT-nBit codec.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hh"
+#include "numerics/error.hh"
+#include "numerics/logfmt.hh"
+#include "numerics/minifloat.hh"
+#include "numerics/quantize.hh"
+
+namespace dsv3::numerics {
+namespace {
+
+std::vector<double>
+randomActivations(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> out(n);
+    for (auto &x : out)
+        x = rng.normal();
+    return out;
+}
+
+TEST(LogFmt, ZeroTileStaysZero)
+{
+    LogFmtCodec codec(8);
+    std::vector<double> zeros(128, 0.0);
+    auto tile = codec.encode(zeros);
+    auto back = codec.decode(tile);
+    for (double v : back)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(LogFmt, ZeroElementsWithinTilePreserved)
+{
+    LogFmtCodec codec(8);
+    std::vector<double> data = {1.0, 0.0, -2.0, 0.0, 3.0};
+    auto back = codec.decode(codec.encode(data));
+    EXPECT_DOUBLE_EQ(back[1], 0.0);
+    EXPECT_DOUBLE_EQ(back[3], 0.0);
+}
+
+TEST(LogFmt, MinAndMaxExact)
+{
+    // The tile's min and max magnitudes map onto the first and last
+    // codes exactly (paper: min -> S.0..01, max -> S.1..11).
+    LogFmtCodec codec(8);
+    std::vector<double> data = {0.25, -7.5, 1.0, 3.0};
+    auto back = codec.decode(codec.encode(data));
+    EXPECT_NEAR(back[0], 0.25, 1e-12);
+    EXPECT_NEAR(back[1], -7.5, 1e-12);
+}
+
+TEST(LogFmt, SignsPreserved)
+{
+    LogFmtCodec codec(8);
+    auto data = randomActivations(128, 1);
+    auto back = codec.decode(codec.encode(data));
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        if (back[i] != 0.0) {
+            EXPECT_EQ(std::signbit(back[i]), std::signbit(data[i]));
+        }
+    }
+}
+
+TEST(LogFmt, SingleMagnitudeTileIsExact)
+{
+    LogFmtCodec codec(8);
+    std::vector<double> data = {2.5, -2.5, 2.5};
+    auto back = codec.decode(codec.encode(data));
+    EXPECT_NEAR(back[0], 2.5, 1e-12);
+    EXPECT_NEAR(back[1], -2.5, 1e-12);
+}
+
+TEST(LogFmt, LogSpaceErrorBoundedByHalfStep)
+{
+    LogFmtCodec codec(8);
+    auto data = randomActivations(128, 2);
+    auto tile = codec.encode(data);
+    auto back = codec.decode(tile);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        if (data[i] == 0.0 || back[i] == 0.0)
+            continue;
+        double log_err = std::fabs(std::log(std::fabs(back[i])) -
+                                   std::log(std::fabs(data[i])));
+        // Linear-space rounding may pick the other neighbor, but
+        // never more than one full step away.
+        EXPECT_LE(log_err, tile.step * 1.0 + 1e-9);
+    }
+}
+
+TEST(LogFmt, DynamicRangeClamped)
+{
+    // A tile spanning more than 2^32 in magnitude clamps its min.
+    LogFmtCodec codec(8);
+    std::vector<double> data = {1e10, 1e-10};
+    auto tile = codec.encode(data);
+    double range = tile.step * (double)(codec.magnitudeCodes() - 1);
+    EXPECT_LE(range, 32.0 * std::log(2.0) + 1e-9);
+}
+
+TEST(LogFmt, TinyValuesMayRoundToZero)
+{
+    LogFmtCodec codec(8);
+    // The 1e-30 value lies far below the clamped min; linear-space
+    // rounding sends it to the nearest representable, which is 0.
+    std::vector<double> data = {1.0, 1e-30};
+    auto back = codec.decode(codec.encode(data));
+    EXPECT_DOUBLE_EQ(back[1], 0.0);
+}
+
+TEST(LogFmt, MoreBitsMoreAccuracy)
+{
+    auto data = randomActivations(4096, 3);
+    double prev_err = 1e9;
+    for (int bits : {6, 8, 10, 12}) {
+        LogFmtCodec codec(bits);
+        auto back = codec.roundTrip(data);
+        double err = relL2Error(back, data);
+        EXPECT_LT(err, prev_err) << bits << " bits";
+        prev_err = err;
+    }
+}
+
+TEST(LogFmt, Beats8BitFloatFormats)
+{
+    // The paper's core claim: at the same 8 bits, LogFMT achieves
+    // better accuracy than E4M3 and E5M2 on activations.
+    Rng rng(4);
+    const std::size_t n = 1 << 14;
+    Matrix m(1, n);
+    m.fillActivationLike(rng, 1.0, 0.002, 20.0);
+
+    LogFmtCodec codec(8);
+    auto log_back = codec.roundTrip(m.data());
+    double log_err = relL2Error(log_back, m.data());
+
+    for (const FloatFormat *fmt : {&kE4M3, &kE5M2}) {
+        Matrix deq = fakeQuantize(m, *fmt, Granularity::TILE_1X128);
+        EXPECT_LT(log_err, relL2Error(deq.data(), m.data()))
+            << "vs " << fmt->name;
+    }
+}
+
+TEST(LogFmt, TenBitsNearBf16)
+{
+    // LogFMT-10 approaches BF16 quality (paper: "similar to the BF16
+    // combine stage"): within ~3x in L2 error on activations.
+    Rng rng(5);
+    const std::size_t n = 1 << 14;
+    Matrix m(1, n);
+    m.fillActivationLike(rng, 1.0, 0.002, 20.0);
+    LogFmtCodec codec(10);
+    double log_err = relL2Error(codec.roundTrip(m.data()), m.data());
+    Matrix bf16 = fakeQuantize(m, kBF16, Granularity::TILE_1X128);
+    double bf16_err = relL2Error(bf16.data(), m.data());
+    EXPECT_LT(log_err, bf16_err * 3.0);
+}
+
+TEST(LogFmt, LinearRoundingLessBiasedThanLogRounding)
+{
+    // Sec 3.2: rounding must happen in linear space for unbiased
+    // quantization. The additive magnitude bias (what dot products
+    // and gradients see in expectation) must be smaller for
+    // linear-space rounding; log-space rounding inflates magnitudes.
+    auto data = randomActivations(1 << 16, 6);
+    LogFmtCodec linear(8, LogFmtRounding::LINEAR_SPACE);
+    LogFmtCodec logsp(8, LogFmtRounding::LOG_SPACE);
+    double bias_linear = std::fabs(
+        additiveMagnitudeBias(linear.roundTrip(data), data));
+    double bias_log = std::fabs(
+        additiveMagnitudeBias(logsp.roundTrip(data), data));
+    EXPECT_LT(bias_linear, bias_log);
+}
+
+TEST(LogFmt, CodesFitInBitBudget)
+{
+    LogFmtCodec codec(8);
+    auto data = randomActivations(128, 7);
+    auto tile = codec.encode(data);
+    for (std::uint32_t code : tile.codes)
+        EXPECT_LT(code, 256u);
+}
+
+TEST(LogFmt, RoundTripTilesIndependently)
+{
+    // Splitting into tiles must not change per-tile results.
+    LogFmtCodec codec(8);
+    auto data = randomActivations(256, 8);
+    auto all = codec.roundTrip(data, 128);
+    std::vector<double> first(data.begin(), data.begin() + 128);
+    auto tile0 = codec.decode(codec.encode(first));
+    for (std::size_t i = 0; i < 128; ++i)
+        EXPECT_DOUBLE_EQ(all[i], tile0[i]);
+}
+
+TEST(LogFmtDeath, RejectsTooFewBits)
+{
+    EXPECT_DEATH(LogFmtCodec(2), "LogFMT");
+}
+
+/** Parameterized: bit-width sweep keeps error under format bound. */
+class LogFmtBitsTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(LogFmtBitsTest, RelErrorScalesWithStep)
+{
+    int bits = GetParam();
+    auto data = randomActivations(1 << 13, 50 + bits);
+    LogFmtCodec codec(bits);
+    auto back = codec.roundTrip(data);
+    // Worst-case relative error ~ exp(step/2) - 1 per element; allow
+    // slack for values rounding to zero at the bottom of the range.
+    double err = relL2Error(back, data);
+    double expected_step =
+        32.0 * std::log(2.0) / (double)((1 << (bits - 1)) - 2);
+    EXPECT_LT(err, expected_step);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, LogFmtBitsTest,
+                         ::testing::Values(6, 8, 10, 12, 14));
+
+} // namespace
+} // namespace dsv3::numerics

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the pipeline schedule model and the Table 4 training
+ * simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/config.hh"
+#include "model/hardware.hh"
+#include "pipeline/schedule.hh"
+#include "pipeline/training.hh"
+
+namespace dsv3::pipeline {
+namespace {
+
+ScheduleParams
+baseParams()
+{
+    ScheduleParams p;
+    p.kind = Schedule::DUALPIPE;
+    p.stages = 16;
+    p.microbatches = 73;
+    p.chunk.f = 0.0753;
+    p.chunk.b = 0.1327;
+    p.chunk.w = 0.032;
+    p.optimizerTime = 0.29;
+    return p;
+}
+
+TEST(Schedule, PhaseDecompositionShape)
+{
+    PhaseBreakdown pb = computeSchedule(baseParams());
+    // Calibrated to the Table 4 MPFT column.
+    EXPECT_NEAR(pb.warmupF, 1.13, 0.01);
+    EXPECT_NEAR(pb.drainB, 1.99, 0.01);
+    EXPECT_NEAR(pb.tailW, 0.48, 0.01);
+    EXPECT_NEAR(pb.steady, 13.92, 0.05);
+    EXPECT_NEAR(pb.optimizer, 0.29, 0.001);
+    EXPECT_NEAR(pb.total(), 19.9, 0.6);
+}
+
+TEST(Schedule, DualPipeBubbleSmallerThan1F1B)
+{
+    ScheduleParams dual = baseParams();
+    ScheduleParams classic = baseParams();
+    classic.kind = Schedule::ONE_F_ONE_B;
+    EXPECT_LT(computeSchedule(dual).bubble,
+              computeSchedule(classic).bubble);
+}
+
+TEST(Schedule, BubbleFractionShrinksWithMicrobatches)
+{
+    ScheduleParams few = baseParams();
+    few.microbatches = 20;
+    ScheduleParams many = baseParams();
+    many.microbatches = 200;
+    EXPECT_GT(computeSchedule(few).bubbleFraction(),
+              computeSchedule(many).bubbleFraction());
+}
+
+TEST(Schedule, ExposedCommStretchesEveryPhase)
+{
+    ScheduleParams quiet = baseParams();
+    ScheduleParams noisy = baseParams();
+    noisy.chunk.exposedComm = 0.01;
+    PhaseBreakdown a = computeSchedule(quiet);
+    PhaseBreakdown b = computeSchedule(noisy);
+    EXPECT_GT(b.warmupF, a.warmupF);
+    EXPECT_GT(b.steady, a.steady);
+    EXPECT_GT(b.total(), a.total());
+}
+
+TEST(Schedule, SingleStageHasNoBubble)
+{
+    ScheduleParams p = baseParams();
+    p.stages = 1;
+    p.microbatches = 8;
+    PhaseBreakdown pb = computeSchedule(p);
+    EXPECT_DOUBLE_EQ(pb.warmupF, 0.0);
+    EXPECT_DOUBLE_EQ(pb.bubble, 0.0);
+}
+
+TEST(Schedule, WorkConservation)
+{
+    // Total time must be at least the serial compute of the
+    // microbatches on one stage.
+    ScheduleParams p = baseParams();
+    PhaseBreakdown pb = computeSchedule(p);
+    double serial = (double)p.microbatches *
+                    (p.chunk.f + p.chunk.b + p.chunk.w);
+    EXPECT_GE(pb.total(), serial * 0.9);
+}
+
+TEST(ScheduleDeath, NeedsEnoughMicrobatches)
+{
+    ScheduleParams p = baseParams();
+    p.microbatches = 8; // < stages
+    EXPECT_DEATH(computeSchedule(p), "microbatches");
+}
+
+TEST(Schedule, Names)
+{
+    EXPECT_STREQ(scheduleName(Schedule::DUALPIPE), "DualPipe");
+    EXPECT_STREQ(scheduleName(Schedule::ONE_F_ONE_B), "1F1B");
+}
+
+TrainingSetup
+v3Setup(net::Fabric fabric)
+{
+    TrainingSetup s;
+    s.modelConfig = model::deepSeekV3();
+    s.node = model::h800Node();
+    s.fabric = fabric;
+    return s;
+}
+
+TEST(Training, Table4StepTime)
+{
+    TrainingReport r = simulateTraining(v3Setup(net::Fabric::MPFT));
+    // Paper: 19.926 s/step; within 3%.
+    EXPECT_NEAR(r.stepSeconds, 19.926, 19.926 * 0.03);
+}
+
+TEST(Training, Table4TokensPerDay)
+{
+    TrainingReport r = simulateTraining(v3Setup(net::Fabric::MPFT));
+    // Paper: 272.80 B tokens/day; within 3%.
+    EXPECT_NEAR(r.tokensPerDay / 1e9, 272.8, 272.8 * 0.03);
+}
+
+TEST(Training, Table4Mfu)
+{
+    TrainingReport r = simulateTraining(v3Setup(net::Fabric::MPFT));
+    // Paper: 43.73% non-causal, 38.94% causal.
+    EXPECT_NEAR(r.mfuNonCausal, 0.4373, 0.015);
+    EXPECT_NEAR(r.mfuCausal, 0.3894, 0.015);
+    EXPECT_GT(r.mfuNonCausal, r.mfuCausal);
+}
+
+TEST(Training, Table4Tflops)
+{
+    TrainingReport r = simulateTraining(v3Setup(net::Fabric::MPFT));
+    EXPECT_NEAR(r.tflopsNonCausal, 432.0, 15.0);
+    EXPECT_NEAR(r.tflopsCausal, 385.0, 15.0);
+}
+
+TEST(Training, MpftMatchesMrft)
+{
+    TrainingReport mpft = simulateTraining(v3Setup(net::Fabric::MPFT));
+    TrainingReport mrft = simulateTraining(v3Setup(net::Fabric::MRFT));
+    // The paper's headline: the fabrics perform identically.
+    EXPECT_NEAR(mpft.stepSeconds / mrft.stepSeconds, 1.0, 0.01);
+    EXPECT_NEAR(mpft.tokensPerDay / mrft.tokensPerDay, 1.0, 0.01);
+}
+
+TEST(Training, FabricBusBwMeasured)
+{
+    TrainingReport r = simulateTraining(v3Setup(net::Fabric::MPFT));
+    EXPECT_GT(r.allToAllBusBw, 30e9);
+    EXPECT_LT(r.allToAllBusBw, 60e9);
+    EXPECT_GT(r.epCommPerChunk, 0.0);
+}
+
+TEST(Training, SlowerNicHurtsStepTime)
+{
+    TrainingSetup fast = v3Setup(net::Fabric::MPFT);
+    TrainingSetup slow = fast;
+    slow.node.nicEffGBs = 10.0;
+    EXPECT_GT(simulateTraining(slow).stepSeconds,
+              simulateTraining(fast).stepSeconds);
+}
+
+TEST(Training, PhaseSumEqualsStep)
+{
+    TrainingReport r = simulateTraining(v3Setup(net::Fabric::MPFT));
+    double sum = r.phases.warmupF + r.phases.steady + r.phases.drainB +
+                 r.phases.tailW + r.phases.bubble + r.phases.optimizer;
+    EXPECT_NEAR(sum, r.stepSeconds, 1e-9);
+}
+
+TEST(TrainingDeath, GpusMustFactor)
+{
+    TrainingSetup s = v3Setup(net::Fabric::MPFT);
+    s.totalGpus = 1000; // not divisible by 16 * 64
+    EXPECT_DEATH(simulateTraining(s), "factor");
+}
+
+} // namespace
+} // namespace dsv3::pipeline

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the Sec 6.1 reliability/goodput model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pipeline/reliability.hh"
+
+namespace dsv3::pipeline {
+namespace {
+
+TEST(Reliability, ClusterMtbfScalesInversely)
+{
+    ReliabilityParams p;
+    p.gpus = 2048;
+    auto small = evaluateReliability(p, true);
+    p.gpus = 4096;
+    auto big = evaluateReliability(p, true);
+    EXPECT_NEAR(small.clusterMtbfHours / big.clusterMtbfHours, 2.0,
+                1e-9);
+}
+
+TEST(Reliability, YoungDalyInterval)
+{
+    ReliabilityParams p;
+    p.gpus = 2048;
+    p.gpuMtbfHours = 50000.0;
+    p.checkpointCostSec = 60.0;
+    auto r = evaluateReliability(p, true);
+    double mtbf_sec = 50000.0 / 2048.0 * 3600.0;
+    EXPECT_NEAR(r.optimalCheckpointSec,
+                std::sqrt(2.0 * 60.0 * mtbf_sec), 1e-6);
+}
+
+TEST(Reliability, GoodputDecreasesWithScale)
+{
+    ReliabilityParams p;
+    double prev = 1.0;
+    for (std::size_t gpus : {1024, 4096, 16384, 65536}) {
+        p.gpus = gpus;
+        double g = evaluateReliability(p, true).goodput;
+        EXPECT_LT(g, prev);
+        prev = g;
+    }
+}
+
+TEST(Reliability, HardwareSdcDetectionHelps)
+{
+    ReliabilityParams p;
+    p.gpus = 65536;
+    auto heuristic = evaluateReliability(p, false);
+    auto hw = evaluateReliability(p, true);
+    EXPECT_GT(hw.goodput, heuristic.goodput);
+    EXPECT_LT(hw.sdcOverhead, heuristic.sdcOverhead);
+}
+
+TEST(Reliability, SdcOverheadScalesWithRateAndDelay)
+{
+    ReliabilityParams p;
+    p.gpus = 8192;
+    auto base = evaluateReliability(p, false);
+    p.heuristicDetectHours *= 2.0;
+    auto slower = evaluateReliability(p, false);
+    EXPECT_NEAR(slower.sdcOverhead, 2.0 * base.sdcOverhead, 1e-9);
+}
+
+TEST(Reliability, GoodputAtPaperScaleIsHigh)
+{
+    // The 2048-GPU deployment should lose only a few percent.
+    ReliabilityParams p;
+    p.gpus = 2048;
+    auto r = evaluateReliability(p, true);
+    EXPECT_GT(r.goodput, 0.90);
+}
+
+TEST(Reliability, CheaperCheckpointsRaiseGoodput)
+{
+    ReliabilityParams p;
+    p.gpus = 16384;
+    auto slow = evaluateReliability(p, true);
+    p.checkpointCostSec = 5.0; // e.g. 3FS-backed async checkpoints
+    auto fast = evaluateReliability(p, true);
+    EXPECT_GT(fast.goodput, slow.goodput);
+    EXPECT_LT(fast.optimalCheckpointSec, slow.optimalCheckpointSec);
+}
+
+TEST(Reliability, OverheadsSumToComplement)
+{
+    ReliabilityParams p;
+    p.gpus = 4096;
+    auto r = evaluateReliability(p, false);
+    EXPECT_NEAR(r.goodput + r.checkpointOverhead + r.reworkOverhead +
+                    r.restartOverhead + r.sdcOverhead,
+                1.0, 1e-9);
+}
+
+TEST(Reliability, GoodputNeverNegative)
+{
+    ReliabilityParams p;
+    p.gpus = 1 << 20; // absurd scale
+    auto r = evaluateReliability(p, false);
+    EXPECT_GE(r.goodput, 0.0);
+}
+
+} // namespace
+} // namespace dsv3::pipeline
