@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_alltoall"
+  "../bench/bench_fig5_alltoall.pdb"
+  "CMakeFiles/bench_fig5_alltoall.dir/bench_fig5_alltoall.cc.o"
+  "CMakeFiles/bench_fig5_alltoall.dir/bench_fig5_alltoall.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_alltoall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

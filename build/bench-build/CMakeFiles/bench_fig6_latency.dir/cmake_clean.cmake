@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_latency"
+  "../bench/bench_fig6_latency.pdb"
+  "CMakeFiles/bench_fig6_latency.dir/bench_fig6_latency.cc.o"
+  "CMakeFiles/bench_fig6_latency.dir/bench_fig6_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_deepep"
+  "../bench/bench_fig7_deepep.pdb"
+  "CMakeFiles/bench_fig7_deepep.dir/bench_fig7_deepep.cc.o"
+  "CMakeFiles/bench_fig7_deepep.dir/bench_fig7_deepep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_deepep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

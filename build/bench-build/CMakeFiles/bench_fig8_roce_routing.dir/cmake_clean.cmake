@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_roce_routing"
+  "../bench/bench_fig8_roce_routing.pdb"
+  "CMakeFiles/bench_fig8_roce_routing.dir/bench_fig8_roce_routing.cc.o"
+  "CMakeFiles/bench_fig8_roce_routing.dir/bench_fig8_roce_routing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_roce_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec21_kv_survey"
+  "../bench/bench_sec21_kv_survey.pdb"
+  "CMakeFiles/bench_sec21_kv_survey.dir/bench_sec21_kv_survey.cc.o"
+  "CMakeFiles/bench_sec21_kv_survey.dir/bench_sec21_kv_survey.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec21_kv_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

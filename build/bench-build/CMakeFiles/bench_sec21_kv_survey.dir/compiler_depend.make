@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_sec21_kv_survey.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec222_local_inference"
+  "../bench/bench_sec222_local_inference.pdb"
+  "CMakeFiles/bench_sec222_local_inference.dir/bench_sec222_local_inference.cc.o"
+  "CMakeFiles/bench_sec222_local_inference.dir/bench_sec222_local_inference.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec222_local_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_sec222_local_inference.
+# This may be replaced when dependencies are built.

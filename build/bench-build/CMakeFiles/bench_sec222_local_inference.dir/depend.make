@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec222_local_inference.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec232_speedlimit"
+  "../bench/bench_sec232_speedlimit.pdb"
+  "CMakeFiles/bench_sec232_speedlimit.dir/bench_sec232_speedlimit.cc.o"
+  "CMakeFiles/bench_sec232_speedlimit.dir/bench_sec232_speedlimit.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec232_speedlimit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec233_mtp"
+  "../bench/bench_sec233_mtp.pdb"
+  "CMakeFiles/bench_sec233_mtp.dir/bench_sec233_mtp.cc.o"
+  "CMakeFiles/bench_sec233_mtp.dir/bench_sec233_mtp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec233_mtp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

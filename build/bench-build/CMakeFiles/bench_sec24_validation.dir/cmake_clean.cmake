@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec24_validation"
+  "../bench/bench_sec24_validation.pdb"
+  "CMakeFiles/bench_sec24_validation.dir/bench_sec24_validation.cc.o"
+  "CMakeFiles/bench_sec24_validation.dir/bench_sec24_validation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec24_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec31_fp8gemm"
+  "../bench/bench_sec31_fp8gemm.pdb"
+  "CMakeFiles/bench_sec31_fp8gemm.dir/bench_sec31_fp8gemm.cc.o"
+  "CMakeFiles/bench_sec31_fp8gemm.dir/bench_sec31_fp8gemm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec31_fp8gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_sec31_fp8gemm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec32_logfmt"
+  "../bench/bench_sec32_logfmt.pdb"
+  "CMakeFiles/bench_sec32_logfmt.dir/bench_sec32_logfmt.cc.o"
+  "CMakeFiles/bench_sec32_logfmt.dir/bench_sec32_logfmt.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec32_logfmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

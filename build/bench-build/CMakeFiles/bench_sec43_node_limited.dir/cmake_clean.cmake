@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec43_node_limited"
+  "../bench/bench_sec43_node_limited.pdb"
+  "CMakeFiles/bench_sec43_node_limited.dir/bench_sec43_node_limited.cc.o"
+  "CMakeFiles/bench_sec43_node_limited.dir/bench_sec43_node_limited.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec43_node_limited.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

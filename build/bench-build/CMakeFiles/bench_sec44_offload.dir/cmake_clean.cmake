@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec44_offload"
+  "../bench/bench_sec44_offload.pdb"
+  "CMakeFiles/bench_sec44_offload.dir/bench_sec44_offload.cc.o"
+  "CMakeFiles/bench_sec44_offload.dir/bench_sec44_offload.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec44_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

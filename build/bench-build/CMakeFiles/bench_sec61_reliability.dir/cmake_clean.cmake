@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec61_reliability"
+  "../bench/bench_sec61_reliability.pdb"
+  "CMakeFiles/bench_sec61_reliability.dir/bench_sec61_reliability.cc.o"
+  "CMakeFiles/bench_sec61_reliability.dir/bench_sec61_reliability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec61_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

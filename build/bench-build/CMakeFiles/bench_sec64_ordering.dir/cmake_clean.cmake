@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec64_ordering"
+  "../bench/bench_sec64_ordering.pdb"
+  "CMakeFiles/bench_sec64_ordering.dir/bench_sec64_ordering.cc.o"
+  "CMakeFiles/bench_sec64_ordering.dir/bench_sec64_ordering.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec64_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec64_ordering.
+# This may be replaced when dependencies are built.

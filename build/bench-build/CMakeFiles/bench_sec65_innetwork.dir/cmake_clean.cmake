@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec65_innetwork"
+  "../bench/bench_sec65_innetwork.pdb"
+  "CMakeFiles/bench_sec65_innetwork.dir/bench_sec65_innetwork.cc.o"
+  "CMakeFiles/bench_sec65_innetwork.dir/bench_sec65_innetwork.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec65_innetwork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_kvcache"
+  "../bench/bench_table1_kvcache.pdb"
+  "CMakeFiles/bench_table1_kvcache.dir/bench_table1_kvcache.cc.o"
+  "CMakeFiles/bench_table1_kvcache.dir/bench_table1_kvcache.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_kvcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_topology"
+  "../bench/bench_table3_topology.pdb"
+  "CMakeFiles/bench_table3_topology.dir/bench_table3_topology.cc.o"
+  "CMakeFiles/bench_table3_topology.dir/bench_table3_topology.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_training"
+  "../bench/bench_table4_training.pdb"
+  "CMakeFiles/bench_table4_training.dir/bench_table4_training.cc.o"
+  "CMakeFiles/bench_table4_training.dir/bench_table4_training.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

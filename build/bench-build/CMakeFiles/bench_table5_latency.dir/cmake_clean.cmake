@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_latency"
+  "../bench/bench_table5_latency.pdb"
+  "CMakeFiles/bench_table5_latency.dir/bench_table5_latency.cc.o"
+  "CMakeFiles/bench_table5_latency.dir/bench_table5_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_planner.dir/cluster_planner.cpp.o"
+  "CMakeFiles/cluster_planner.dir/cluster_planner.cpp.o.d"
+  "cluster_planner"
+  "cluster_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_speed.dir/inference_speed.cpp.o"
+  "CMakeFiles/inference_speed.dir/inference_speed.cpp.o.d"
+  "inference_speed"
+  "inference_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

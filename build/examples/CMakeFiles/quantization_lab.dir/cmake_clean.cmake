@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantization_lab.dir/quantization_lab.cpp.o"
+  "CMakeFiles/quantization_lab.dir/quantization_lab.cpp.o.d"
+  "quantization_lab"
+  "quantization_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantization_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

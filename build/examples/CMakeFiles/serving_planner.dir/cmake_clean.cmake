@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_planner.dir/serving_planner.cpp.o"
+  "CMakeFiles/serving_planner.dir/serving_planner.cpp.o.d"
+  "serving_planner"
+  "serving_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

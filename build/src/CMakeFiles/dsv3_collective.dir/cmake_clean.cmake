@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsv3_collective.dir/collective/patterns.cc.o"
+  "CMakeFiles/dsv3_collective.dir/collective/patterns.cc.o.d"
+  "libdsv3_collective.a"
+  "libdsv3_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsv3_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

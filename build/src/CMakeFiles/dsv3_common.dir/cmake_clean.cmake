@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsv3_common.dir/common/logging.cc.o"
+  "CMakeFiles/dsv3_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/dsv3_common.dir/common/rng.cc.o"
+  "CMakeFiles/dsv3_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/dsv3_common.dir/common/stats.cc.o"
+  "CMakeFiles/dsv3_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/dsv3_common.dir/common/table.cc.o"
+  "CMakeFiles/dsv3_common.dir/common/table.cc.o.d"
+  "CMakeFiles/dsv3_common.dir/common/units.cc.o"
+  "CMakeFiles/dsv3_common.dir/common/units.cc.o.d"
+  "libdsv3_common.a"
+  "libdsv3_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsv3_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

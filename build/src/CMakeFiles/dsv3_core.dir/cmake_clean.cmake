@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsv3_core.dir/core/report_extensions.cc.o"
+  "CMakeFiles/dsv3_core.dir/core/report_extensions.cc.o.d"
+  "CMakeFiles/dsv3_core.dir/core/report_model.cc.o"
+  "CMakeFiles/dsv3_core.dir/core/report_model.cc.o.d"
+  "CMakeFiles/dsv3_core.dir/core/report_net.cc.o"
+  "CMakeFiles/dsv3_core.dir/core/report_net.cc.o.d"
+  "CMakeFiles/dsv3_core.dir/core/report_numerics.cc.o"
+  "CMakeFiles/dsv3_core.dir/core/report_numerics.cc.o.d"
+  "CMakeFiles/dsv3_core.dir/core/report_training.cc.o"
+  "CMakeFiles/dsv3_core.dir/core/report_training.cc.o.d"
+  "libdsv3_core.a"
+  "libdsv3_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsv3_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

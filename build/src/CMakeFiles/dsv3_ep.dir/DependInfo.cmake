@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ep/deepep.cc" "src/CMakeFiles/dsv3_ep.dir/ep/deepep.cc.o" "gcc" "src/CMakeFiles/dsv3_ep.dir/ep/deepep.cc.o.d"
+  "/root/repo/src/ep/innetwork.cc" "src/CMakeFiles/dsv3_ep.dir/ep/innetwork.cc.o" "gcc" "src/CMakeFiles/dsv3_ep.dir/ep/innetwork.cc.o.d"
+  "/root/repo/src/ep/offload.cc" "src/CMakeFiles/dsv3_ep.dir/ep/offload.cc.o" "gcc" "src/CMakeFiles/dsv3_ep.dir/ep/offload.cc.o.d"
+  "/root/repo/src/ep/speed_limit.cc" "src/CMakeFiles/dsv3_ep.dir/ep/speed_limit.cc.o" "gcc" "src/CMakeFiles/dsv3_ep.dir/ep/speed_limit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dsv3_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_moe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

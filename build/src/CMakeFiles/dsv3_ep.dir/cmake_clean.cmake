@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsv3_ep.dir/ep/deepep.cc.o"
+  "CMakeFiles/dsv3_ep.dir/ep/deepep.cc.o.d"
+  "CMakeFiles/dsv3_ep.dir/ep/innetwork.cc.o"
+  "CMakeFiles/dsv3_ep.dir/ep/innetwork.cc.o.d"
+  "CMakeFiles/dsv3_ep.dir/ep/offload.cc.o"
+  "CMakeFiles/dsv3_ep.dir/ep/offload.cc.o.d"
+  "CMakeFiles/dsv3_ep.dir/ep/speed_limit.cc.o"
+  "CMakeFiles/dsv3_ep.dir/ep/speed_limit.cc.o.d"
+  "libdsv3_ep.a"
+  "libdsv3_ep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsv3_ep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdsv3_ep.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dsv3_ep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/inference/disaggregation.cc" "src/CMakeFiles/dsv3_inference.dir/inference/disaggregation.cc.o" "gcc" "src/CMakeFiles/dsv3_inference.dir/inference/disaggregation.cc.o.d"
+  "/root/repo/src/inference/mtp.cc" "src/CMakeFiles/dsv3_inference.dir/inference/mtp.cc.o" "gcc" "src/CMakeFiles/dsv3_inference.dir/inference/mtp.cc.o.d"
+  "/root/repo/src/inference/overlap.cc" "src/CMakeFiles/dsv3_inference.dir/inference/overlap.cc.o" "gcc" "src/CMakeFiles/dsv3_inference.dir/inference/overlap.cc.o.d"
+  "/root/repo/src/inference/roofline.cc" "src/CMakeFiles/dsv3_inference.dir/inference/roofline.cc.o" "gcc" "src/CMakeFiles/dsv3_inference.dir/inference/roofline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dsv3_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_ep.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_moe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsv3_inference.dir/inference/disaggregation.cc.o"
+  "CMakeFiles/dsv3_inference.dir/inference/disaggregation.cc.o.d"
+  "CMakeFiles/dsv3_inference.dir/inference/mtp.cc.o"
+  "CMakeFiles/dsv3_inference.dir/inference/mtp.cc.o.d"
+  "CMakeFiles/dsv3_inference.dir/inference/overlap.cc.o"
+  "CMakeFiles/dsv3_inference.dir/inference/overlap.cc.o.d"
+  "CMakeFiles/dsv3_inference.dir/inference/roofline.cc.o"
+  "CMakeFiles/dsv3_inference.dir/inference/roofline.cc.o.d"
+  "libdsv3_inference.a"
+  "libdsv3_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsv3_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

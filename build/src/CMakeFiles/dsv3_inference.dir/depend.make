@@ -1,0 +1,2 @@
+# Empty dependencies file for dsv3_inference.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/attention_ref.cc" "src/CMakeFiles/dsv3_model.dir/model/attention_ref.cc.o" "gcc" "src/CMakeFiles/dsv3_model.dir/model/attention_ref.cc.o.d"
+  "/root/repo/src/model/config.cc" "src/CMakeFiles/dsv3_model.dir/model/config.cc.o" "gcc" "src/CMakeFiles/dsv3_model.dir/model/config.cc.o.d"
+  "/root/repo/src/model/flops.cc" "src/CMakeFiles/dsv3_model.dir/model/flops.cc.o" "gcc" "src/CMakeFiles/dsv3_model.dir/model/flops.cc.o.d"
+  "/root/repo/src/model/hardware.cc" "src/CMakeFiles/dsv3_model.dir/model/hardware.cc.o" "gcc" "src/CMakeFiles/dsv3_model.dir/model/hardware.cc.o.d"
+  "/root/repo/src/model/kv_cache.cc" "src/CMakeFiles/dsv3_model.dir/model/kv_cache.cc.o" "gcc" "src/CMakeFiles/dsv3_model.dir/model/kv_cache.cc.o.d"
+  "/root/repo/src/model/params.cc" "src/CMakeFiles/dsv3_model.dir/model/params.cc.o" "gcc" "src/CMakeFiles/dsv3_model.dir/model/params.cc.o.d"
+  "/root/repo/src/model/tiny_transformer.cc" "src/CMakeFiles/dsv3_model.dir/model/tiny_transformer.cc.o" "gcc" "src/CMakeFiles/dsv3_model.dir/model/tiny_transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dsv3_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_moe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

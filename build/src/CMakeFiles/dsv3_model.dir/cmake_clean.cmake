@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsv3_model.dir/model/attention_ref.cc.o"
+  "CMakeFiles/dsv3_model.dir/model/attention_ref.cc.o.d"
+  "CMakeFiles/dsv3_model.dir/model/config.cc.o"
+  "CMakeFiles/dsv3_model.dir/model/config.cc.o.d"
+  "CMakeFiles/dsv3_model.dir/model/flops.cc.o"
+  "CMakeFiles/dsv3_model.dir/model/flops.cc.o.d"
+  "CMakeFiles/dsv3_model.dir/model/hardware.cc.o"
+  "CMakeFiles/dsv3_model.dir/model/hardware.cc.o.d"
+  "CMakeFiles/dsv3_model.dir/model/kv_cache.cc.o"
+  "CMakeFiles/dsv3_model.dir/model/kv_cache.cc.o.d"
+  "CMakeFiles/dsv3_model.dir/model/params.cc.o"
+  "CMakeFiles/dsv3_model.dir/model/params.cc.o.d"
+  "CMakeFiles/dsv3_model.dir/model/tiny_transformer.cc.o"
+  "CMakeFiles/dsv3_model.dir/model/tiny_transformer.cc.o.d"
+  "libdsv3_model.a"
+  "libdsv3_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsv3_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

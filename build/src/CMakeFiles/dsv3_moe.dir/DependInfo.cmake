@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/moe/bias_balancer.cc" "src/CMakeFiles/dsv3_moe.dir/moe/bias_balancer.cc.o" "gcc" "src/CMakeFiles/dsv3_moe.dir/moe/bias_balancer.cc.o.d"
+  "/root/repo/src/moe/eplb.cc" "src/CMakeFiles/dsv3_moe.dir/moe/eplb.cc.o" "gcc" "src/CMakeFiles/dsv3_moe.dir/moe/eplb.cc.o.d"
+  "/root/repo/src/moe/gate.cc" "src/CMakeFiles/dsv3_moe.dir/moe/gate.cc.o" "gcc" "src/CMakeFiles/dsv3_moe.dir/moe/gate.cc.o.d"
+  "/root/repo/src/moe/placement.cc" "src/CMakeFiles/dsv3_moe.dir/moe/placement.cc.o" "gcc" "src/CMakeFiles/dsv3_moe.dir/moe/placement.cc.o.d"
+  "/root/repo/src/moe/routing_stats.cc" "src/CMakeFiles/dsv3_moe.dir/moe/routing_stats.cc.o" "gcc" "src/CMakeFiles/dsv3_moe.dir/moe/routing_stats.cc.o.d"
+  "/root/repo/src/moe/token_gen.cc" "src/CMakeFiles/dsv3_moe.dir/moe/token_gen.cc.o" "gcc" "src/CMakeFiles/dsv3_moe.dir/moe/token_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dsv3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

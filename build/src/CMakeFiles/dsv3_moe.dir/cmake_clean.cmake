@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsv3_moe.dir/moe/bias_balancer.cc.o"
+  "CMakeFiles/dsv3_moe.dir/moe/bias_balancer.cc.o.d"
+  "CMakeFiles/dsv3_moe.dir/moe/eplb.cc.o"
+  "CMakeFiles/dsv3_moe.dir/moe/eplb.cc.o.d"
+  "CMakeFiles/dsv3_moe.dir/moe/gate.cc.o"
+  "CMakeFiles/dsv3_moe.dir/moe/gate.cc.o.d"
+  "CMakeFiles/dsv3_moe.dir/moe/placement.cc.o"
+  "CMakeFiles/dsv3_moe.dir/moe/placement.cc.o.d"
+  "CMakeFiles/dsv3_moe.dir/moe/routing_stats.cc.o"
+  "CMakeFiles/dsv3_moe.dir/moe/routing_stats.cc.o.d"
+  "CMakeFiles/dsv3_moe.dir/moe/token_gen.cc.o"
+  "CMakeFiles/dsv3_moe.dir/moe/token_gen.cc.o.d"
+  "libdsv3_moe.a"
+  "libdsv3_moe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsv3_moe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/cluster.cc" "src/CMakeFiles/dsv3_net.dir/net/cluster.cc.o" "gcc" "src/CMakeFiles/dsv3_net.dir/net/cluster.cc.o.d"
+  "/root/repo/src/net/contention.cc" "src/CMakeFiles/dsv3_net.dir/net/contention.cc.o" "gcc" "src/CMakeFiles/dsv3_net.dir/net/contention.cc.o.d"
+  "/root/repo/src/net/cost.cc" "src/CMakeFiles/dsv3_net.dir/net/cost.cc.o" "gcc" "src/CMakeFiles/dsv3_net.dir/net/cost.cc.o.d"
+  "/root/repo/src/net/dragonfly.cc" "src/CMakeFiles/dsv3_net.dir/net/dragonfly.cc.o" "gcc" "src/CMakeFiles/dsv3_net.dir/net/dragonfly.cc.o.d"
+  "/root/repo/src/net/flow.cc" "src/CMakeFiles/dsv3_net.dir/net/flow.cc.o" "gcc" "src/CMakeFiles/dsv3_net.dir/net/flow.cc.o.d"
+  "/root/repo/src/net/graph.cc" "src/CMakeFiles/dsv3_net.dir/net/graph.cc.o" "gcc" "src/CMakeFiles/dsv3_net.dir/net/graph.cc.o.d"
+  "/root/repo/src/net/incast.cc" "src/CMakeFiles/dsv3_net.dir/net/incast.cc.o" "gcc" "src/CMakeFiles/dsv3_net.dir/net/incast.cc.o.d"
+  "/root/repo/src/net/ordering.cc" "src/CMakeFiles/dsv3_net.dir/net/ordering.cc.o" "gcc" "src/CMakeFiles/dsv3_net.dir/net/ordering.cc.o.d"
+  "/root/repo/src/net/slimfly.cc" "src/CMakeFiles/dsv3_net.dir/net/slimfly.cc.o" "gcc" "src/CMakeFiles/dsv3_net.dir/net/slimfly.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dsv3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsv3_net.dir/net/cluster.cc.o"
+  "CMakeFiles/dsv3_net.dir/net/cluster.cc.o.d"
+  "CMakeFiles/dsv3_net.dir/net/contention.cc.o"
+  "CMakeFiles/dsv3_net.dir/net/contention.cc.o.d"
+  "CMakeFiles/dsv3_net.dir/net/cost.cc.o"
+  "CMakeFiles/dsv3_net.dir/net/cost.cc.o.d"
+  "CMakeFiles/dsv3_net.dir/net/dragonfly.cc.o"
+  "CMakeFiles/dsv3_net.dir/net/dragonfly.cc.o.d"
+  "CMakeFiles/dsv3_net.dir/net/flow.cc.o"
+  "CMakeFiles/dsv3_net.dir/net/flow.cc.o.d"
+  "CMakeFiles/dsv3_net.dir/net/graph.cc.o"
+  "CMakeFiles/dsv3_net.dir/net/graph.cc.o.d"
+  "CMakeFiles/dsv3_net.dir/net/incast.cc.o"
+  "CMakeFiles/dsv3_net.dir/net/incast.cc.o.d"
+  "CMakeFiles/dsv3_net.dir/net/ordering.cc.o"
+  "CMakeFiles/dsv3_net.dir/net/ordering.cc.o.d"
+  "CMakeFiles/dsv3_net.dir/net/slimfly.cc.o"
+  "CMakeFiles/dsv3_net.dir/net/slimfly.cc.o.d"
+  "libdsv3_net.a"
+  "libdsv3_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsv3_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numerics/error.cc" "src/CMakeFiles/dsv3_numerics.dir/numerics/error.cc.o" "gcc" "src/CMakeFiles/dsv3_numerics.dir/numerics/error.cc.o.d"
+  "/root/repo/src/numerics/fp22.cc" "src/CMakeFiles/dsv3_numerics.dir/numerics/fp22.cc.o" "gcc" "src/CMakeFiles/dsv3_numerics.dir/numerics/fp22.cc.o.d"
+  "/root/repo/src/numerics/gemm.cc" "src/CMakeFiles/dsv3_numerics.dir/numerics/gemm.cc.o" "gcc" "src/CMakeFiles/dsv3_numerics.dir/numerics/gemm.cc.o.d"
+  "/root/repo/src/numerics/logfmt.cc" "src/CMakeFiles/dsv3_numerics.dir/numerics/logfmt.cc.o" "gcc" "src/CMakeFiles/dsv3_numerics.dir/numerics/logfmt.cc.o.d"
+  "/root/repo/src/numerics/matrix.cc" "src/CMakeFiles/dsv3_numerics.dir/numerics/matrix.cc.o" "gcc" "src/CMakeFiles/dsv3_numerics.dir/numerics/matrix.cc.o.d"
+  "/root/repo/src/numerics/minifloat.cc" "src/CMakeFiles/dsv3_numerics.dir/numerics/minifloat.cc.o" "gcc" "src/CMakeFiles/dsv3_numerics.dir/numerics/minifloat.cc.o.d"
+  "/root/repo/src/numerics/quantize.cc" "src/CMakeFiles/dsv3_numerics.dir/numerics/quantize.cc.o" "gcc" "src/CMakeFiles/dsv3_numerics.dir/numerics/quantize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dsv3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsv3_numerics.dir/numerics/error.cc.o"
+  "CMakeFiles/dsv3_numerics.dir/numerics/error.cc.o.d"
+  "CMakeFiles/dsv3_numerics.dir/numerics/fp22.cc.o"
+  "CMakeFiles/dsv3_numerics.dir/numerics/fp22.cc.o.d"
+  "CMakeFiles/dsv3_numerics.dir/numerics/gemm.cc.o"
+  "CMakeFiles/dsv3_numerics.dir/numerics/gemm.cc.o.d"
+  "CMakeFiles/dsv3_numerics.dir/numerics/logfmt.cc.o"
+  "CMakeFiles/dsv3_numerics.dir/numerics/logfmt.cc.o.d"
+  "CMakeFiles/dsv3_numerics.dir/numerics/matrix.cc.o"
+  "CMakeFiles/dsv3_numerics.dir/numerics/matrix.cc.o.d"
+  "CMakeFiles/dsv3_numerics.dir/numerics/minifloat.cc.o"
+  "CMakeFiles/dsv3_numerics.dir/numerics/minifloat.cc.o.d"
+  "CMakeFiles/dsv3_numerics.dir/numerics/quantize.cc.o"
+  "CMakeFiles/dsv3_numerics.dir/numerics/quantize.cc.o.d"
+  "libdsv3_numerics.a"
+  "libdsv3_numerics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsv3_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

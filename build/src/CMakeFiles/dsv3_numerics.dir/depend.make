@@ -1,0 +1,2 @@
+# Empty dependencies file for dsv3_numerics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/reliability.cc" "src/CMakeFiles/dsv3_pipeline.dir/pipeline/reliability.cc.o" "gcc" "src/CMakeFiles/dsv3_pipeline.dir/pipeline/reliability.cc.o.d"
+  "/root/repo/src/pipeline/schedule.cc" "src/CMakeFiles/dsv3_pipeline.dir/pipeline/schedule.cc.o" "gcc" "src/CMakeFiles/dsv3_pipeline.dir/pipeline/schedule.cc.o.d"
+  "/root/repo/src/pipeline/training.cc" "src/CMakeFiles/dsv3_pipeline.dir/pipeline/training.cc.o" "gcc" "src/CMakeFiles/dsv3_pipeline.dir/pipeline/training.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dsv3_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_moe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

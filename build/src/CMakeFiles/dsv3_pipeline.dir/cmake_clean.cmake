@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsv3_pipeline.dir/pipeline/reliability.cc.o"
+  "CMakeFiles/dsv3_pipeline.dir/pipeline/reliability.cc.o.d"
+  "CMakeFiles/dsv3_pipeline.dir/pipeline/schedule.cc.o"
+  "CMakeFiles/dsv3_pipeline.dir/pipeline/schedule.cc.o.d"
+  "CMakeFiles/dsv3_pipeline.dir/pipeline/training.cc.o"
+  "CMakeFiles/dsv3_pipeline.dir/pipeline/training.cc.o.d"
+  "libdsv3_pipeline.a"
+  "libdsv3_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsv3_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

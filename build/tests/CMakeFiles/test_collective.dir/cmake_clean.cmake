@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collective.dir/collective/test_patterns.cc.o"
+  "CMakeFiles/test_collective.dir/collective/test_patterns.cc.o.d"
+  "test_collective"
+  "test_collective.pdb"
+  "test_collective[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

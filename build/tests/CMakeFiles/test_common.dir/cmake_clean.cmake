@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/test_rng.cc.o"
+  "CMakeFiles/test_common.dir/common/test_rng.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_stats.cc.o"
+  "CMakeFiles/test_common.dir/common/test_stats.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_table.cc.o"
+  "CMakeFiles/test_common.dir/common/test_table.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_units.cc.o"
+  "CMakeFiles/test_common.dir/common/test_units.cc.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

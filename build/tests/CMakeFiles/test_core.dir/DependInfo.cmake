@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_extensions.cc" "tests/CMakeFiles/test_core.dir/core/test_extensions.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_extensions.cc.o.d"
+  "/root/repo/tests/core/test_reports.cc" "tests/CMakeFiles/test_core.dir/core/test_reports.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_reports.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dsv3_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_inference.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_ep.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_moe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

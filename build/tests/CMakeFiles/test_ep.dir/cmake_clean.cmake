@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ep.dir/ep/test_ep.cc.o"
+  "CMakeFiles/test_ep.dir/ep/test_ep.cc.o.d"
+  "CMakeFiles/test_ep.dir/ep/test_innetwork.cc.o"
+  "CMakeFiles/test_ep.dir/ep/test_innetwork.cc.o.d"
+  "CMakeFiles/test_ep.dir/ep/test_offload.cc.o"
+  "CMakeFiles/test_ep.dir/ep/test_offload.cc.o.d"
+  "test_ep"
+  "test_ep.pdb"
+  "test_ep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

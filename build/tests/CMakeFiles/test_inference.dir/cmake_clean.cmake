@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inference.dir/inference/test_disaggregation.cc.o"
+  "CMakeFiles/test_inference.dir/inference/test_disaggregation.cc.o.d"
+  "CMakeFiles/test_inference.dir/inference/test_inference.cc.o"
+  "CMakeFiles/test_inference.dir/inference/test_inference.cc.o.d"
+  "test_inference"
+  "test_inference.pdb"
+  "test_inference[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model.dir/model/test_attention_ref.cc.o"
+  "CMakeFiles/test_model.dir/model/test_attention_ref.cc.o.d"
+  "CMakeFiles/test_model.dir/model/test_config.cc.o"
+  "CMakeFiles/test_model.dir/model/test_config.cc.o.d"
+  "CMakeFiles/test_model.dir/model/test_flops.cc.o"
+  "CMakeFiles/test_model.dir/model/test_flops.cc.o.d"
+  "CMakeFiles/test_model.dir/model/test_kv_cache.cc.o"
+  "CMakeFiles/test_model.dir/model/test_kv_cache.cc.o.d"
+  "CMakeFiles/test_model.dir/model/test_params.cc.o"
+  "CMakeFiles/test_model.dir/model/test_params.cc.o.d"
+  "CMakeFiles/test_model.dir/model/test_tiny_transformer.cc.o"
+  "CMakeFiles/test_model.dir/model/test_tiny_transformer.cc.o.d"
+  "test_model"
+  "test_model.pdb"
+  "test_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

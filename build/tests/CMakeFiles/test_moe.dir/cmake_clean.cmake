@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_moe.dir/moe/test_bias_balancer.cc.o"
+  "CMakeFiles/test_moe.dir/moe/test_bias_balancer.cc.o.d"
+  "CMakeFiles/test_moe.dir/moe/test_eplb.cc.o"
+  "CMakeFiles/test_moe.dir/moe/test_eplb.cc.o.d"
+  "CMakeFiles/test_moe.dir/moe/test_gate.cc.o"
+  "CMakeFiles/test_moe.dir/moe/test_gate.cc.o.d"
+  "CMakeFiles/test_moe.dir/moe/test_routing.cc.o"
+  "CMakeFiles/test_moe.dir/moe/test_routing.cc.o.d"
+  "test_moe"
+  "test_moe.pdb"
+  "test_moe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_moe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/test_cluster.cc.o"
+  "CMakeFiles/test_net.dir/net/test_cluster.cc.o.d"
+  "CMakeFiles/test_net.dir/net/test_contention.cc.o"
+  "CMakeFiles/test_net.dir/net/test_contention.cc.o.d"
+  "CMakeFiles/test_net.dir/net/test_cost.cc.o"
+  "CMakeFiles/test_net.dir/net/test_cost.cc.o.d"
+  "CMakeFiles/test_net.dir/net/test_flow.cc.o"
+  "CMakeFiles/test_net.dir/net/test_flow.cc.o.d"
+  "CMakeFiles/test_net.dir/net/test_graph.cc.o"
+  "CMakeFiles/test_net.dir/net/test_graph.cc.o.d"
+  "CMakeFiles/test_net.dir/net/test_ordering_incast.cc.o"
+  "CMakeFiles/test_net.dir/net/test_ordering_incast.cc.o.d"
+  "CMakeFiles/test_net.dir/net/test_slimfly_dragonfly.cc.o"
+  "CMakeFiles/test_net.dir/net/test_slimfly_dragonfly.cc.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

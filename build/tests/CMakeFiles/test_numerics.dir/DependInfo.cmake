@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/numerics/test_error.cc" "tests/CMakeFiles/test_numerics.dir/numerics/test_error.cc.o" "gcc" "tests/CMakeFiles/test_numerics.dir/numerics/test_error.cc.o.d"
+  "/root/repo/tests/numerics/test_fp22.cc" "tests/CMakeFiles/test_numerics.dir/numerics/test_fp22.cc.o" "gcc" "tests/CMakeFiles/test_numerics.dir/numerics/test_fp22.cc.o.d"
+  "/root/repo/tests/numerics/test_gemm.cc" "tests/CMakeFiles/test_numerics.dir/numerics/test_gemm.cc.o" "gcc" "tests/CMakeFiles/test_numerics.dir/numerics/test_gemm.cc.o.d"
+  "/root/repo/tests/numerics/test_logfmt.cc" "tests/CMakeFiles/test_numerics.dir/numerics/test_logfmt.cc.o" "gcc" "tests/CMakeFiles/test_numerics.dir/numerics/test_logfmt.cc.o.d"
+  "/root/repo/tests/numerics/test_minifloat.cc" "tests/CMakeFiles/test_numerics.dir/numerics/test_minifloat.cc.o" "gcc" "tests/CMakeFiles/test_numerics.dir/numerics/test_minifloat.cc.o.d"
+  "/root/repo/tests/numerics/test_quantize.cc" "tests/CMakeFiles/test_numerics.dir/numerics/test_quantize.cc.o" "gcc" "tests/CMakeFiles/test_numerics.dir/numerics/test_quantize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dsv3_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_inference.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_ep.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_moe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dsv3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

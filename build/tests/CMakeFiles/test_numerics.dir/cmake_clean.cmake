@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numerics.dir/numerics/test_error.cc.o"
+  "CMakeFiles/test_numerics.dir/numerics/test_error.cc.o.d"
+  "CMakeFiles/test_numerics.dir/numerics/test_fp22.cc.o"
+  "CMakeFiles/test_numerics.dir/numerics/test_fp22.cc.o.d"
+  "CMakeFiles/test_numerics.dir/numerics/test_gemm.cc.o"
+  "CMakeFiles/test_numerics.dir/numerics/test_gemm.cc.o.d"
+  "CMakeFiles/test_numerics.dir/numerics/test_logfmt.cc.o"
+  "CMakeFiles/test_numerics.dir/numerics/test_logfmt.cc.o.d"
+  "CMakeFiles/test_numerics.dir/numerics/test_minifloat.cc.o"
+  "CMakeFiles/test_numerics.dir/numerics/test_minifloat.cc.o.d"
+  "CMakeFiles/test_numerics.dir/numerics/test_quantize.cc.o"
+  "CMakeFiles/test_numerics.dir/numerics/test_quantize.cc.o.d"
+  "test_numerics"
+  "test_numerics.pdb"
+  "test_numerics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
