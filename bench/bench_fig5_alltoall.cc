@@ -36,7 +36,40 @@ BM_AllToAllSim(benchmark::State &state)
     }
     state.counters["gpus"] = (double)ranks.size();
 }
-BENCHMARK(BM_AllToAllSim)->Arg(4)->Arg(8)->Arg(16);
+// 32 hosts = 256 GPUs: the largest point, sized to show the
+// incremental FlowSimEngine's scaling headroom over a full rebuild.
+BENCHMARK(BM_AllToAllSim)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_FlowSolver(benchmark::State &state)
+{
+    // Isolates the max-min solver epoch loop (paths pre-assigned) from
+    // path enumeration, the other big cost in BM_AllToAllSim.
+    dsv3::net::ClusterConfig cc;
+    cc.fabric = dsv3::net::Fabric::MPFT;
+    cc.hosts = (std::size_t)state.range(0);
+    auto c = buildCluster(cc);
+    std::vector<std::size_t> ranks(c.gpus.size());
+    for (std::size_t i = 0; i < ranks.size(); ++i)
+        ranks[i] = i;
+    auto flows = dsv3::collective::allToAllFlows(
+        c, ranks, 16.0 * dsv3::kMB * (double)ranks.size());
+    // Stagger sizes so completions spread over many epochs.
+    for (std::size_t i = 0; i < flows.size(); ++i)
+        flows[i].bytes *= 1.0 + (double)(i % 7) / 7.0;
+    assignPaths(c.graph, flows, dsv3::net::RoutePolicy::ADAPTIVE, 1);
+    for (auto _ : state) {
+        auto r = dsv3::net::simulateFlows(c.graph, flows);
+        benchmark::DoNotOptimize(r.makespan);
+        state.counters["epochs"] = (double)r.epochs;
+        state.counters["iters"] = (double)r.solverIterations;
+    }
+    state.counters["flows"] = (double)flows.size();
+}
+// Staggered sizes give ~one completion epoch per flow, so cost grows
+// with flows x epochs for any epoch-based solver; keep the sweep to
+// sizes where a single simulation stays sub-second.
+BENCHMARK(BM_FlowSolver)->Arg(4)->Arg(8);
 
 } // namespace
 

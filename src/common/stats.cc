@@ -64,12 +64,21 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 void
 Histogram::add(double x)
 {
-    double span = hi_ - lo_;
-    auto bin = (std::ptrdiff_t)((x - lo_) / span * (double)counts_.size());
-    bin = std::clamp<std::ptrdiff_t>(bin, 0,
-                                     (std::ptrdiff_t)counts_.size() - 1);
-    ++counts_[(std::size_t)bin];
     ++total_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    double span = hi_ - lo_;
+    auto bin = (std::size_t)((x - lo_) / span * (double)counts_.size());
+    // In-range samples can still land one past the end through
+    // floating-point rounding at x just below hi.
+    bin = std::min(bin, counts_.size() - 1);
+    ++counts_[bin];
 }
 
 double

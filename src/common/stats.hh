@@ -48,8 +48,9 @@ class RunningStat
 double percentile(const std::vector<double> &sorted_values, double p);
 
 /**
- * Fixed-width histogram over [lo, hi); samples outside the range clamp
- * to the first/last bin.
+ * Fixed-width histogram over [lo, hi). Samples outside the range are
+ * counted separately as underflow/overflow rather than silently
+ * clamped into the edge bins (clamping skewed tail fractions).
  */
 class Histogram
 {
@@ -60,10 +61,14 @@ class Histogram
 
     std::size_t binCount() const { return counts_.size(); }
     std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+    /** All samples ever added, including out-of-range ones. */
     std::size_t total() const { return total_; }
+    /** Samples below lo / at-or-above hi. */
+    std::size_t underflow() const { return underflow_; }
+    std::size_t overflow() const { return overflow_; }
     /** Lower edge of a bin. */
     double binLo(std::size_t bin) const;
-    /** Fraction of samples in a bin; 0 when empty. */
+    /** Fraction of all samples in a bin; 0 when empty. */
     double fraction(std::size_t bin) const;
 
   private:
@@ -71,6 +76,8 @@ class Histogram
     double hi_;
     std::vector<std::size_t> counts_;
     std::size_t total_ = 0;
+    std::size_t underflow_ = 0;
+    std::size_t overflow_ = 0;
 };
 
 /** Jain's fairness index: 1.0 = perfectly balanced. */

@@ -1,0 +1,124 @@
+#include "common/thread_pool.hh"
+
+#include <atomic>
+#include <exception>
+
+namespace dsv3 {
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> fn)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(std::move(fn));
+    }
+    cv_.notify_one();
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (stop_ && queue_.empty())
+                return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+void
+parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    ThreadPool &pool = ThreadPool::global();
+    std::size_t helpers = std::min(pool.threadCount(), n - 1);
+    if (helpers == 0) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    // Completion is tracked per iteration, not per helper: a helper
+    // that only gets scheduled after the loop already drained (e.g. a
+    // nested parallelFor on a saturated pool) finds no work and exits
+    // without ever touching fn, so the caller never deadlocks waiting
+    // on it.
+    struct Shared
+    {
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> completed{0};
+        std::exception_ptr error;
+        std::mutex mu;
+        std::condition_variable done;
+    };
+    auto shared = std::make_shared<Shared>();
+
+    auto body = [n, &fn, shared] {
+        for (;;) {
+            std::size_t i = shared->next.fetch_add(1);
+            if (i >= n)
+                break;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(shared->mu);
+                if (!shared->error)
+                    shared->error = std::current_exception();
+            }
+            if (shared->completed.fetch_add(1) + 1 == n) {
+                std::lock_guard<std::mutex> lock(shared->mu);
+                shared->done.notify_all();
+            }
+        }
+    };
+
+    for (std::size_t h = 0; h < helpers; ++h)
+        pool.submit(body);
+    body(); // the caller works too: guarantees progress when nested
+    {
+        std::unique_lock<std::mutex> lock(shared->mu);
+        shared->done.wait(
+            lock, [&] { return shared->completed.load() == n; });
+        if (shared->error)
+            std::rethrow_exception(shared->error);
+    }
+}
+
+} // namespace dsv3

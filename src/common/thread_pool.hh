@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal fixed-size thread pool plus a blocking parallelFor() used to
+ * fan independent parameter-sweep points (bench tables, seed sweeps)
+ * across cores.
+ *
+ * The caller's thread always participates in parallelFor(), so the
+ * helper makes progress even when every worker is busy (including the
+ * nested case of a task itself calling parallelFor()).
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dsv3 {
+
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; 0 = hardware concurrency. */
+    explicit ThreadPool(std::size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    std::size_t threadCount() const { return workers_.size(); }
+
+    /** Enqueue a task for any worker. */
+    void submit(std::function<void()> fn);
+
+    /** Process-wide pool, created on first use. */
+    static ThreadPool &global();
+
+  private:
+    void workerLoop();
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    bool stop_ = false;
+};
+
+/**
+ * Run fn(0) .. fn(n-1) across the global pool and the calling thread;
+ * returns when all iterations finished. Iterations must be
+ * independent. The first exception thrown by any iteration is
+ * rethrown on the caller.
+ */
+void parallelFor(std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace dsv3

@@ -10,6 +10,7 @@
 #include "collective/patterns.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
+#include "common/thread_pool.hh"
 #include "common/units.hh"
 #include "net/cluster.hh"
 #include "net/cost.hh"
@@ -140,21 +141,25 @@ reproduceFigure5()
 {
     Table t("Figure 5: NCCL all-to-all busBW, MPFT vs MRFT");
     t.setHeader({"GPUs", "MPFT busBW/GPU", "MRFT busBW/GPU", "Delta"});
-    for (std::size_t gpus : {32, 64, 96, 128}) {
-        double bw[2];
-        int idx = 0;
-        for (Fabric f : {Fabric::MPFT, Fabric::MRFT}) {
-            Cluster c = buildCluster(h800ClusterConfig(f, gpus / 8));
-            auto ranks = allRanks(c);
-            auto r = collective::runAllToAll(
-                c, ranks, 16.0 * kMB * (double)ranks.size(),
-                RoutePolicy::ADAPTIVE);
-            bw[idx++] = r.busBw;
-        }
-        t.addRow({Table::fmtInt(gpus), formatRate(bw[0], 1),
-                  formatRate(bw[1], 1),
-                  Table::fmtPercent((bw[0] - bw[1]) /
-                                        bw[1], 2)});
+    const std::vector<std::size_t> sizes = {32, 64, 96, 128};
+    // Every (gpus, fabric) point is an independent simulation: fan
+    // them across the pool and emit rows in order afterwards.
+    std::vector<double> bw(sizes.size() * 2);
+    parallelFor(bw.size(), [&](std::size_t i) {
+        std::size_t gpus = sizes[i / 2];
+        Fabric f = i % 2 == 0 ? Fabric::MPFT : Fabric::MRFT;
+        Cluster c = buildCluster(h800ClusterConfig(f, gpus / 8));
+        auto ranks = allRanks(c);
+        auto r = collective::runAllToAll(
+            c, ranks, 16.0 * kMB * (double)ranks.size(),
+            RoutePolicy::ADAPTIVE);
+        bw[i] = r.busBw;
+    });
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+        double mpft = bw[s * 2], mrft = bw[s * 2 + 1];
+        t.addRow({Table::fmtInt(sizes[s]), formatRate(mpft, 1),
+                  formatRate(mrft, 1),
+                  Table::fmtPercent((mpft - mrft) / mrft, 2)});
     }
     return t;
 }
@@ -204,29 +209,37 @@ reproduceFigure8()
     for (std::size_t h = hosts; h > 1; --h)
         std::swap(perm[h - 1], perm[shuffle_rng.nextBounded(h)]);
 
-    for (std::size_t tp : {4, 8, 16}) {
-        std::size_t num_groups = hosts / tp;
-        std::vector<std::vector<std::size_t>> groups(num_groups);
+    const std::vector<std::size_t> tps = {4, 8, 16};
+    const RoutePolicy policies[] = {RoutePolicy::ECMP,
+                                    RoutePolicy::ADAPTIVE,
+                                    RoutePolicy::STATIC};
+    // Each (tp, policy) cell simulates its seeds independently of
+    // every other cell: fan the grid across the pool.
+    std::vector<double> mean_bw(tps.size() * 3);
+    parallelFor(mean_bw.size(), [&](std::size_t i) {
+        std::size_t tp = tps[i / 3];
+        RoutePolicy policy = policies[i % 3];
+        std::vector<std::vector<std::size_t>> groups(hosts / tp);
         for (std::size_t h = 0; h < hosts; ++h)
             groups[h / tp].push_back(perm[h]);
 
-        auto run = [&](RoutePolicy policy) {
-            RunningStat stat;
-            // ECMP depends on the hash seed; average several.
-            std::size_t seeds = policy == RoutePolicy::ECMP ? 8 : 1;
-            for (std::size_t s = 0; s < seeds; ++s) {
-                Cluster c = roceRail(hosts, 8, 8);
-                auto bws = collective::runConcurrentRings(
-                    c, groups, 32.0 * kMB, policy, s);
-                for (double bw : bws)
-                    stat.add(bw);
-            }
-            return stat.mean();
-        };
-        double ecmp = run(RoutePolicy::ECMP);
-        double ar = run(RoutePolicy::ADAPTIVE);
-        double stat = run(RoutePolicy::STATIC);
-        t.addRow({Table::fmtInt(tp), Table::fmtInt(num_groups),
+        RunningStat stat;
+        // ECMP depends on the hash seed; average several.
+        std::size_t seeds = policy == RoutePolicy::ECMP ? 8 : 1;
+        for (std::size_t s = 0; s < seeds; ++s) {
+            Cluster c = roceRail(hosts, 8, 8);
+            auto bws = collective::runConcurrentRings(
+                c, groups, 32.0 * kMB, policy, s);
+            for (double bw : bws)
+                stat.add(bw);
+        }
+        mean_bw[i] = stat.mean();
+    });
+    for (std::size_t r = 0; r < tps.size(); ++r) {
+        double ecmp = mean_bw[r * 3];
+        double ar = mean_bw[r * 3 + 1];
+        double stat = mean_bw[r * 3 + 2];
+        t.addRow({Table::fmtInt(tps[r]), Table::fmtInt(hosts / tps[r]),
                   formatRate(ecmp, 1), formatRate(ar, 1),
                   formatRate(stat, 1),
                   Table::fmtPercent(ecmp / ar, 0)});

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <queue>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -101,196 +102,270 @@ assignPaths(const Graph &graph, std::vector<Flow> &flows,
     }
 }
 
-namespace {
-
-/** One schedulable unit: a (flow, path) pair. */
-struct Subflow
+FlowSimEngine::FlowSimEngine(const Graph &graph,
+                             const std::vector<Flow> &flows)
+    : graph_(graph), flows_(flows)
 {
-    std::size_t flow;
-    const Path *path;
-    double rate = 0.0;
-    bool frozen = false;
-};
+    const std::size_t n = flows.size();
+    flow_subflows_.resize(n);
+    alive_.assign(n, true);
+    local_.assign(n, false);
+    rates_.assign(n, 0.0);
+    active_flows_ = n;
 
-/**
- * Progressive water-filling over the active subflows.
- * @param residual per-edge residual capacity (modified)
- */
-void
-waterFill(const Graph &graph, std::vector<Subflow> &subflows,
-          std::vector<double> residual)
-{
-    std::vector<std::uint32_t> active_on_edge(graph.edgeCount(), 0);
-    std::size_t unfrozen = 0;
-    for (auto &sf : subflows) {
-        if (sf.frozen)
-            continue;
-        ++unfrozen;
-        for (EdgeId e : *sf.path)
-            ++active_on_edge[e];
-    }
+    edge_subflows_.resize(graph.edgeCount());
+    active_on_edge_.assign(graph.edgeCount(), 0);
+    residual_.assign(graph.edgeCount(), 0.0);
+    scratch_active_.assign(graph.edgeCount(), 0);
+    touch_stamp_.assign(graph.edgeCount(), 0);
 
-    std::vector<bool> done(subflows.size(), false);
-    while (unfrozen > 0) {
-        // Bottleneck edge: smallest fair share among loaded edges.
-        double best_share = std::numeric_limits<double>::infinity();
-        EdgeId best_edge = 0;
-        bool found = false;
-        for (EdgeId e = 0; e < graph.edgeCount(); ++e) {
-            if (active_on_edge[e] == 0)
-                continue;
-            double share = residual[e] / (double)active_on_edge[e];
-            if (share < best_share) {
-                best_share = share;
-                best_edge = e;
-                found = true;
+    for (std::size_t i = 0; i < n; ++i) {
+        DSV3_ASSERT(!flows[i].paths.empty(),
+                    "call assignPaths() before maxMinRates()");
+        bool local = true;
+        for (const Path &p : flows[i].paths) {
+            if (p.empty())
+                continue; // src == dst: local, infinite rate
+            local = false;
+            auto s = (std::uint32_t)subflows_.size();
+            subflows_.push_back({(std::uint32_t)i, &p});
+            flow_subflows_[i].push_back(s);
+            for (EdgeId e : p) {
+                if (edge_subflows_[e].empty())
+                    used_edges_.push_back(e);
+                edge_subflows_[e].push_back(s);
+                ++active_on_edge_[e];
             }
         }
-        DSV3_ASSERT(found, "active subflow crosses no edge");
-
-        // Freeze every unfrozen subflow crossing the bottleneck.
-        for (std::size_t i = 0; i < subflows.size(); ++i) {
-            Subflow &sf = subflows[i];
-            if (sf.frozen || done[i])
-                continue;
-            bool crosses = false;
-            for (EdgeId e : *sf.path) {
-                if (e == best_edge) {
-                    crosses = true;
-                    break;
-                }
-            }
-            if (!crosses)
-                continue;
-            sf.rate = best_share;
-            done[i] = true;
-            --unfrozen;
-            for (EdgeId e : *sf.path) {
-                residual[e] -= best_share;
-                if (residual[e] < 0.0)
-                    residual[e] = 0.0;
-                --active_on_edge[e];
-            }
-        }
-        // The bottleneck edge must now be drained of active subflows.
-        DSV3_ASSERT(active_on_edge[best_edge] == 0);
+        local_[i] = local;
     }
-    for (std::size_t i = 0; i < subflows.size(); ++i)
-        if (done[i])
-            subflows[i].frozen = true;
+    std::sort(used_edges_.begin(), used_edges_.end());
+
+    active_subflows_ = subflows_.size();
+    sub_rate_.assign(subflows_.size(), 0.0);
+    frozen_stamp_.assign(subflows_.size(), 0);
 }
 
-} // namespace
+void
+FlowSimEngine::removeFlow(std::size_t flow)
+{
+    DSV3_ASSERT(flow < flows_.size());
+    if (!alive_[flow])
+        return;
+    alive_[flow] = false;
+    --active_flows_;
+    for (std::uint32_t s : flow_subflows_[flow]) {
+        for (EdgeId e : *subflows_[s].path)
+            --active_on_edge_[e];
+        --active_subflows_;
+    }
+}
+
+const std::vector<double> &
+FlowSimEngine::solve()
+{
+    ++solve_stamp_;
+    std::fill(rates_.begin(), rates_.end(), 0.0);
+    for (std::size_t i = 0; i < flows_.size(); ++i) {
+        if (alive_[i] && local_[i])
+            rates_[i] = std::numeric_limits<double>::infinity();
+    }
+
+    // Heap of bottleneck candidates keyed by (fair share, edge id):
+    // pops in exactly the order a full-edge rescan picking the
+    // smallest share (lowest edge id on ties) would select. Every
+    // share change pushes a fresh entry, so each live edge's exact
+    // current share is always present; entries that no longer match
+    // the recomputed share are stale duplicates and get dropped on
+    // pop (lazy deletion).
+    using Cand = std::pair<double, EdgeId>;
+    std::priority_queue<Cand, std::vector<Cand>, std::greater<Cand>>
+        heap;
+    // Edges drained by removeFlow() never refill: compact them out of
+    // used_edges_ (ascending order preserved) while seeding the heap.
+    std::size_t used_out = 0;
+    for (EdgeId e : used_edges_) {
+        if (active_on_edge_[e] == 0)
+            continue;
+        used_edges_[used_out++] = e;
+        residual_[e] = graph_.edge(e).capacity;
+        scratch_active_[e] = active_on_edge_[e];
+        heap.push({residual_[e] / (double)scratch_active_[e], e});
+    }
+    used_edges_.resize(used_out);
+
+    std::vector<EdgeId> touched;
+    std::size_t unfrozen = active_subflows_;
+    while (unfrozen > 0) {
+        double best_share;
+        EdgeId best_edge;
+        for (;;) {
+            DSV3_ASSERT(!heap.empty(),
+                        "active subflow crosses no edge");
+            auto [share, e] = heap.top();
+            heap.pop();
+            if (scratch_active_[e] == 0)
+                continue; // drained since it was pushed
+            double cur = residual_[e] / (double)scratch_active_[e];
+            if (cur != share)
+                continue; // stale: a fresher entry exists
+            best_share = share;
+            best_edge = e;
+            break;
+        }
+        ++iterations_;
+
+        // Freeze every unfrozen subflow crossing the bottleneck, in
+        // subflow-id order (the order the full rescan froze them in,
+        // preserving the floating-point update sequence). Subflows of
+        // retired flows never come back: compact them out of the edge
+        // list as it is scanned (stable, so the order survives).
+        touched.clear();
+        auto &on_edge = edge_subflows_[best_edge];
+        std::size_t w = 0;
+        for (std::uint32_t s : on_edge) {
+            const Subflow &sf = subflows_[s];
+            if (!alive_[sf.flow])
+                continue;
+            on_edge[w++] = s;
+            if (frozen_stamp_[s] == solve_stamp_)
+                continue;
+            sub_rate_[s] = best_share;
+            frozen_stamp_[s] = solve_stamp_;
+            --unfrozen;
+            for (EdgeId e : *sf.path) {
+                residual_[e] -= best_share;
+                if (residual_[e] < 0.0)
+                    residual_[e] = 0.0;
+                --scratch_active_[e];
+                touched.push_back(e);
+            }
+        }
+        on_edge.resize(w);
+        // The bottleneck edge must now be drained of active subflows.
+        DSV3_ASSERT(scratch_active_[best_edge] == 0);
+        // Refresh each touched edge's heap entry once, however many
+        // frozen subflows crossed it this round.
+        ++touch_round_;
+        for (EdgeId e : touched) {
+            if (touch_stamp_[e] == touch_round_ ||
+                scratch_active_[e] == 0)
+                continue;
+            touch_stamp_[e] = touch_round_;
+            heap.push({residual_[e] / (double)scratch_active_[e], e});
+        }
+    }
+
+    // Sum per-flow in subflow-id order, matching the reference
+    // accumulation order bit for bit.
+    for (std::size_t i = 0; i < flows_.size(); ++i) {
+        if (!alive_[i])
+            continue;
+        for (std::uint32_t s : flow_subflows_[i])
+            rates_[i] += sub_rate_[s];
+    }
+    return rates_;
+}
+
+FlowSimResult
+FlowSimEngine::run()
+{
+    const std::size_t n = flows_.size();
+    FlowSimResult result;
+    result.finishTimes.assign(n, 0.0);
+    result.rates.assign(n, 0.0);
+
+    std::vector<double> remaining(n, 0.0);
+    std::vector<std::size_t> active;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!alive_[i])
+            continue;
+        remaining[i] = flows_[i].bytes;
+        // Zero-byte flows are already done; local flows (src == dst,
+        // infinite rate) finish instantly. Retiring both up front
+        // keeps infinite rates out of the epoch loop, where
+        // `remaining -= inf * 0` would manufacture a NaN.
+        if (remaining[i] <= 0.0 || local_[i]) {
+            if (local_[i] && remaining[i] > 0.0)
+                result.rates[i] =
+                    std::numeric_limits<double>::infinity();
+            removeFlow(i);
+            continue;
+        }
+        active.push_back(i);
+    }
+
+    // Finish threshold relative to each flow's size: an absolute
+    // cutoff (the old 1e-6 B) silently finished sub-microbyte flows a
+    // whole epoch early.
+    constexpr double kFinishEps = 1e-9;
+
+    double now = 0.0;
+    bool first_epoch = true;
+    while (!active.empty()) {
+        const std::vector<double> &rates = solve();
+        ++result.epochs;
+
+        if (first_epoch) {
+            first_epoch = false;
+            std::vector<double> edge_load(graph_.edgeCount(), 0.0);
+            for (std::size_t i : active) {
+                result.rates[i] = rates[i];
+                const Flow &f = flows_[i];
+                for (std::size_t p = 0; p < f.paths.size(); ++p) {
+                    // Approximation: per-path share follows weights.
+                    double r = rates[i] * f.weights[p];
+                    for (EdgeId e : f.paths[p])
+                        edge_load[e] += r;
+                }
+            }
+            for (EdgeId e = 0; e < graph_.edgeCount(); ++e) {
+                result.peakUtilization =
+                    std::max(result.peakUtilization,
+                             edge_load[e] / graph_.edge(e).capacity);
+            }
+        }
+
+        // Advance to the next completion.
+        double dt = std::numeric_limits<double>::infinity();
+        for (std::size_t i : active) {
+            if (rates[i] <= 0.0)
+                continue;
+            dt = std::min(dt, remaining[i] / rates[i]);
+        }
+        DSV3_ASSERT(std::isfinite(dt), "deadlocked flows");
+        now += dt;
+
+        std::size_t out = 0;
+        for (std::size_t i : active) {
+            remaining[i] -= rates[i] * dt;
+            if (remaining[i] <= flows_[i].bytes * kFinishEps) {
+                remaining[i] = 0.0;
+                result.finishTimes[i] = now;
+                removeFlow(i);
+            } else {
+                active[out++] = i;
+            }
+        }
+        active.resize(out);
+    }
+    result.makespan = now;
+    result.solverIterations = iterations_;
+    return result;
+}
 
 std::vector<double>
 maxMinRates(const Graph &graph, const std::vector<Flow> &flows)
 {
-    std::vector<Subflow> subflows;
-    for (std::size_t i = 0; i < flows.size(); ++i) {
-        DSV3_ASSERT(!flows[i].paths.empty(),
-                    "call assignPaths() before maxMinRates()");
-        for (const Path &p : flows[i].paths) {
-            if (p.empty())
-                continue; // src == dst: local, infinite rate
-            subflows.push_back({i, &p, 0.0, false});
-        }
-    }
-    std::vector<double> residual(graph.edgeCount());
-    for (EdgeId e = 0; e < graph.edgeCount(); ++e)
-        residual[e] = graph.edge(e).capacity;
-    waterFill(graph, subflows, std::move(residual));
-
-    std::vector<double> rates(flows.size(), 0.0);
-    for (const Subflow &sf : subflows)
-        rates[sf.flow] += sf.rate;
-    // Flows whose every path was empty (src == dst) get infinite rate.
-    for (std::size_t i = 0; i < flows.size(); ++i) {
-        bool local = true;
-        for (const Path &p : flows[i].paths)
-            if (!p.empty())
-                local = false;
-        if (local)
-            rates[i] = std::numeric_limits<double>::infinity();
-    }
-    return rates;
+    FlowSimEngine engine(graph, flows);
+    return engine.solve();
 }
 
 FlowSimResult
 simulateFlows(const Graph &graph, const std::vector<Flow> &flows)
 {
-    FlowSimResult result;
-    result.finishTimes.assign(flows.size(), 0.0);
-
-    std::vector<double> remaining(flows.size());
-    std::vector<bool> finished(flows.size(), false);
-    std::size_t left = 0;
-    for (std::size_t i = 0; i < flows.size(); ++i) {
-        remaining[i] = flows[i].bytes;
-        if (remaining[i] <= 0.0) {
-            finished[i] = true;
-            continue;
-        }
-        ++left;
-    }
-
-    double now = 0.0;
-    bool first_epoch = true;
-    while (left > 0) {
-        // Rates for the currently unfinished set.
-        std::vector<Flow> active;
-        std::vector<std::size_t> index;
-        for (std::size_t i = 0; i < flows.size(); ++i) {
-            if (!finished[i]) {
-                active.push_back(flows[i]);
-                index.push_back(i);
-            }
-        }
-        std::vector<double> rates = maxMinRates(graph, active);
-
-        if (first_epoch) {
-            result.rates.assign(flows.size(), 0.0);
-            std::vector<double> edge_load(graph.edgeCount(), 0.0);
-            for (std::size_t a = 0; a < active.size(); ++a) {
-                result.rates[index[a]] = rates[a];
-                const Flow &f = active[a];
-                for (std::size_t p = 0; p < f.paths.size(); ++p) {
-                    // Approximation: per-path share follows weights.
-                    double r = rates[a] * f.weights[p];
-                    for (EdgeId e : f.paths[p])
-                        edge_load[e] += r;
-                }
-            }
-            for (EdgeId e = 0; e < graph.edgeCount(); ++e) {
-                result.peakUtilization =
-                    std::max(result.peakUtilization,
-                             edge_load[e] / graph.edge(e).capacity);
-            }
-            first_epoch = false;
-        }
-
-        // Advance to the next completion.
-        double dt = std::numeric_limits<double>::infinity();
-        for (std::size_t a = 0; a < active.size(); ++a) {
-            if (rates[a] <= 0.0)
-                continue;
-            dt = std::min(dt, remaining[index[a]] / rates[a]);
-        }
-        DSV3_ASSERT(std::isfinite(dt), "deadlocked flows");
-        now += dt;
-        const double eps = 1e-6; // bytes
-        for (std::size_t a = 0; a < active.size(); ++a) {
-            std::size_t i = index[a];
-            remaining[i] -= rates[a] * dt;
-            if (std::isinf(rates[a]) || remaining[i] <= eps) {
-                remaining[i] = 0.0;
-                finished[i] = true;
-                result.finishTimes[i] = now;
-                --left;
-            }
-        }
-    }
-    result.makespan = now;
-    return result;
+    FlowSimEngine engine(graph, flows);
+    return engine.run();
 }
 
 } // namespace dsv3::net

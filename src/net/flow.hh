@@ -17,6 +17,12 @@
  * directed link capacities; completion uses an event loop that re-fills
  * whenever a flow finishes, so mixed-size flow sets are timed exactly
  * under the fluid model.
+ *
+ * The solver lives in FlowSimEngine, which keeps the subflow set and
+ * the edge->subflow indices alive across completion epochs so a
+ * finished flow is retired in O(paths) instead of rebuilding the whole
+ * active set. maxMinRates()/simulateFlows() are thin wrappers over a
+ * throwaway engine.
  */
 
 #pragma once
@@ -67,6 +73,94 @@ struct FlowSimResult
     double makespan = 0.0;           //!< last completion
     /** Peak utilization (rate/capacity) over all edges, first epoch. */
     double peakUtilization = 0.0;
+    /** Completion epochs the event loop stepped through. */
+    std::size_t epochs = 0;
+    /** Total bottleneck-freeze iterations across all solves. */
+    std::uint64_t solverIterations = 0;
+};
+
+/**
+ * Incremental max-min fair solver over a fixed flow set.
+ *
+ * The engine is built once from a graph and a routed flow set (call
+ * assignPaths() first). It indexes every (flow, path) subflow by the
+ * edges it crosses, and keeps per-edge active-subflow counts up to
+ * date as flows are retired with removeFlow(). Each solve() water-fills
+ * only the live subflows, finding successive bottleneck edges with a
+ * lazy min-heap keyed by fair share instead of rescanning every edge
+ * per iteration. Rates are bit-identical to the classic full rescan:
+ * the heap pops (share, edge) in the same (smallest share, smallest
+ * edge id) order the linear scan selects, and subflows freeze in the
+ * same construction order, so the floating-point operation sequence is
+ * unchanged.
+ *
+ * The graph and flow vector must outlive the engine; the flows' path
+ * sets must not change while the engine is alive.
+ */
+class FlowSimEngine
+{
+  public:
+    FlowSimEngine(const Graph &graph, const std::vector<Flow> &flows);
+
+    /**
+     * Max-min rates for the currently active flows. Active local flows
+     * (src == dst, every path empty) get infinity; retired flows get 0.
+     * The reference stays valid until the next solve().
+     */
+    const std::vector<double> &solve();
+
+    /** Retire a flow, releasing its subflows in O(total path length). */
+    void removeFlow(std::size_t flow);
+
+    bool flowActive(std::size_t flow) const { return alive_[flow]; }
+    std::size_t activeFlows() const { return active_flows_; }
+    std::size_t subflowCount() const { return subflows_.size(); }
+    std::uint64_t solverIterations() const { return iterations_; }
+
+    /**
+     * Fluid-model completion times for all still-active flows:
+     * repeatedly solve, advance to the next completion, retire the
+     * finished flows. Consumes the engine's active set.
+     */
+    FlowSimResult run();
+
+  private:
+    struct Subflow
+    {
+        std::uint32_t flow;
+        const Path *path;
+    };
+
+    const Graph &graph_;
+    const std::vector<Flow> &flows_;
+
+    std::vector<Subflow> subflows_;
+    /** flow -> its subflow ids (ascending). */
+    std::vector<std::vector<std::uint32_t>> flow_subflows_;
+    /** edge -> subflow ids crossing it (ascending). */
+    std::vector<std::vector<std::uint32_t>> edge_subflows_;
+    /** Edges crossed by at least one subflow, ascending. */
+    std::vector<EdgeId> used_edges_;
+    /** Live-subflow count per edge, kept current by removeFlow(). */
+    std::vector<std::uint32_t> active_on_edge_;
+
+    std::vector<bool> alive_;      //!< per flow
+    std::vector<bool> local_;      //!< per flow: every path empty
+    std::size_t active_flows_ = 0;
+    std::size_t active_subflows_ = 0;
+    std::uint64_t iterations_ = 0;
+
+    std::vector<double> rates_;    //!< per flow, filled by solve()
+
+    // Scratch reused across solves (sized once).
+    std::vector<double> residual_;
+    std::vector<double> sub_rate_;             //!< per subflow
+    std::vector<std::uint32_t> scratch_active_;
+    std::vector<std::uint32_t> frozen_stamp_;  //!< per subflow
+    std::uint32_t solve_stamp_ = 0;
+    /** Dedups heap refreshes per freeze round (one push per edge). */
+    std::vector<std::uint32_t> touch_stamp_;
+    std::uint32_t touch_round_ = 0;
 };
 
 /**

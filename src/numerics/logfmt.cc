@@ -81,18 +81,23 @@ LogFmtCodec::encode(std::span<const double> values) const
         if (step == 0.0) {
             k = 1; // degenerate tile: single magnitude, exact
         } else {
+            // Values below the constrained range (min_log was raised
+            // to max_log - maxRangeLn_) have k_real < 1 and would
+            // otherwise round to code 0 == exact zero. They saturate
+            // to code 1, the smallest representable magnitude, like
+            // an E5 format clamping to its minimum subnormal.
             double k_real = (l - min_log) / step + 1.0;
             if (rounding_ == LogFmtRounding::LOG_SPACE) {
                 long rounded = std::lround(k_real);
-                k = (std::uint32_t)std::clamp<long>(rounded, 0,
+                k = (std::uint32_t)std::clamp<long>(rounded, 1,
                                                     (long)k_max);
             } else {
                 // Linear-space rounding: compare the two candidate
                 // decoded values (floor/ceil of the index, where index
                 // 0 means exact zero) against the original magnitude.
                 double fl = std::floor(k_real);
-                long lo_idx = std::clamp<long>((long)fl, 0, (long)k_max);
-                long hi_idx = std::clamp<long>(lo_idx + 1, 0,
+                long lo_idx = std::clamp<long>((long)fl, 1, (long)k_max);
+                long hi_idx = std::clamp<long>(lo_idx + 1, 1,
                                                (long)k_max);
                 LogFmtTile probe = tile; // carries minLog/step only
                 double v_lo = decodeMagnitude(probe,

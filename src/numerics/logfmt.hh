@@ -9,6 +9,9 @@
  * element with n bits: a sign bit plus an (n-1)-bit magnitude code K.
  * K = 0 encodes zero; K in [1, 2^(n-1)-1] encodes
  * exp(min + Step * (K - 1)) with Step = (max - min) / (2^(n-1) - 2).
+ * Nonzero values that fall below the constrained range saturate to
+ * K = 1 (the smallest representable magnitude) rather than flushing
+ * to exact zero, mirroring how an E5 exponent clamps at its minimum.
  *
  * The paper stresses that rounding must happen in the original *linear*
  * space for the quantization to be unbiased; rounding the code index in

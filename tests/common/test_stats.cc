@@ -87,19 +87,45 @@ TEST(Percentile, SingleElement)
     EXPECT_DOUBLE_EQ(percentile(v, 25.0), 42.0);
 }
 
-TEST(Histogram, BinningAndClamping)
+TEST(Histogram, BinningAndOutOfRangeTracking)
 {
     Histogram h(0.0, 10.0, 10);
     h.add(0.5);   // bin 0
     h.add(9.5);   // bin 9
-    h.add(-5.0);  // clamps to bin 0
-    h.add(25.0);  // clamps to bin 9
+    h.add(-5.0);  // underflow, not bin 0
+    h.add(25.0);  // overflow, not bin 9
     h.add(5.0);   // bin 5
-    EXPECT_EQ(h.count(0), 2u);
-    EXPECT_EQ(h.count(9), 2u);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(9), 1u);
     EXPECT_EQ(h.count(5), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
     EXPECT_EQ(h.total(), 5u);
     EXPECT_DOUBLE_EQ(h.fraction(5), 0.2);
+}
+
+TEST(Histogram, TailBinsNotSkewedByOutliers)
+{
+    // Regression: out-of-range samples used to clamp into the edge
+    // bins, inflating the tail fractions they are meant to measure.
+    Histogram h(0.0, 1.0, 4);
+    h.add(0.99); // genuine tail sample, bin 3
+    for (int i = 0; i < 9; ++i)
+        h.add(2.0); // outliers
+    EXPECT_EQ(h.count(3), 1u);
+    EXPECT_EQ(h.overflow(), 9u);
+    EXPECT_DOUBLE_EQ(h.fraction(3), 0.1);
+}
+
+TEST(Histogram, UpperEdgeIsExclusive)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(10.0); // == hi: outside the half-open range
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.count(9), 0u);
+    h.add(0.0); // == lo: inside
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.underflow(), 0u);
 }
 
 TEST(Histogram, BinEdges)

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the thread pool and parallelFor helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+namespace dsv3 {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    for (int i = 0; i < 16; ++i) {
+        pool.submit([&] {
+            if (ran.fetch_add(1) + 1 == 16) {
+                std::lock_guard<std::mutex> lock(mu);
+                cv.notify_all();
+            }
+        });
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return ran.load() == 16; });
+    EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    const std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    parallelFor(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelFor, ZeroAndOneIterations)
+{
+    int calls = 0;
+    parallelFor(0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    parallelFor(1, [&](std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, NestedDoesNotDeadlock)
+{
+    std::atomic<int> inner{0};
+    parallelFor(4, [&](std::size_t) {
+        parallelFor(4, [&](std::size_t) { inner.fetch_add(1); });
+    });
+    EXPECT_EQ(inner.load(), 16);
+}
+
+TEST(ParallelFor, PropagatesException)
+{
+    EXPECT_THROW(
+        parallelFor(8,
+                    [&](std::size_t i) {
+                        if (i == 3)
+                            throw std::runtime_error("boom");
+                    }),
+        std::runtime_error);
+}
+
+TEST(ParallelFor, ResultsIndependentOfScheduling)
+{
+    // Sum via per-index slots: identical no matter which thread runs
+    // which index.
+    const std::size_t n = 64;
+    std::vector<double> out(n, 0.0);
+    parallelFor(n, [&](std::size_t i) { out[i] = (double)(i * i); });
+    double sum = 0.0;
+    for (double v : out)
+        sum += v;
+    EXPECT_DOUBLE_EQ(sum, (double)((n - 1) * n * (2 * n - 1)) / 6.0);
+}
+
+} // namespace
+} // namespace dsv3

@@ -191,6 +191,55 @@ TEST(Simulate, LocalFlowInfinitelyFast)
     EXPECT_DOUBLE_EQ(sim.makespan, 0.0);
 }
 
+TEST(Simulate, LocalFlowsMixedWithNetworkFlows)
+{
+    // Regression: a local (infinite-rate) flow in the active set made
+    // the first epoch advance by dt == 0, and `remaining -= inf * 0`
+    // produced a NaN that only an isinf() check rescued. Local flows
+    // now finish up front; network flows must be timed as if the
+    // locals were never there.
+    Graph g;
+    NodeId a = g.addNode(NodeKind::GPU, "a");
+    NodeId b = g.addNode(NodeKind::GPU, "b");
+    g.addEdge(a, b, 10.0, 1e-6);
+    std::vector<Flow> flows = {
+        {a, a, 100.0, 0, {}, {}}, // local
+        {a, b, 20.0, 1, {}, {}},  // network: 2 s at 10 B/s
+        {b, b, 1.0, 2, {}, {}},   // local
+    };
+    assignPaths(g, flows, RoutePolicy::ECMP);
+    auto sim = simulateFlows(g, flows);
+    EXPECT_DOUBLE_EQ(sim.finishTimes[0], 0.0);
+    EXPECT_DOUBLE_EQ(sim.finishTimes[2], 0.0);
+    EXPECT_TRUE(std::isinf(sim.rates[0]));
+    EXPECT_NEAR(sim.finishTimes[1], 2.0, 1e-9);
+    EXPECT_NEAR(sim.makespan, 2.0, 1e-9);
+    for (double t : sim.finishTimes)
+        EXPECT_TRUE(std::isfinite(t));
+}
+
+TEST(Simulate, SubMicrobyteFlowsTimedExactly)
+{
+    // Regression: the old absolute finish threshold (1e-6 B) declared
+    // sub-microbyte flows done a whole epoch early. The threshold is
+    // now relative to each flow's size.
+    Graph g;
+    NodeId a = g.addNode(NodeKind::GPU, "a");
+    NodeId b = g.addNode(NodeKind::GPU, "b");
+    g.addEdge(a, b, 1.0, 1e-6);
+    std::vector<Flow> flows = {
+        {a, b, 1e-9, 0, {}, {}},
+        {a, b, 3e-9, 1, {}, {}},
+    };
+    assignPaths(g, flows, RoutePolicy::ECMP);
+    auto sim = simulateFlows(g, flows);
+    // Shared 1 B/s link: both at 0.5 B/s until flow 0 finishes at
+    // 2e-9 s; flow 1's remaining 2e-9 B then drains at 1 B/s.
+    EXPECT_NEAR(sim.finishTimes[0], 2e-9, 1e-15);
+    EXPECT_NEAR(sim.finishTimes[1], 4e-9, 1e-15);
+    EXPECT_EQ(sim.epochs, 2u);
+}
+
 TEST(Simulate, ConservationOfWork)
 {
     // Total bytes / aggregate capacity lower-bounds the makespan.

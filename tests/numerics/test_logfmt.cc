@@ -105,14 +105,29 @@ TEST(LogFmt, DynamicRangeClamped)
     EXPECT_LE(range, 32.0 * std::log(2.0) + 1e-9);
 }
 
-TEST(LogFmt, TinyValuesMayRoundToZero)
+TEST(LogFmt, TinyValuesSaturateToSmallestCode)
 {
+    // Regression: values below the clamped dynamic range used to round
+    // to code 0 and decode to exact zero. They must saturate to the
+    // smallest representable magnitude (code 1 == min of the clamped
+    // range, here 2^-32) with their sign intact, matching the E5-range
+    // clamping semantics.
     LogFmtCodec codec(8);
-    // The 1e-30 value lies far below the clamped min; linear-space
-    // rounding sends it to the nearest representable, which is 0.
+    std::vector<double> data = {1.0, 1e-30, -1e-30};
+    auto back = codec.decode(codec.encode(data));
+    EXPECT_GT(back[1], 0.0);
+    EXPECT_NEAR(back[1], std::pow(2.0, -32.0), 1e-21);
+    EXPECT_LT(back[2], 0.0);
+    EXPECT_DOUBLE_EQ(back[2], -back[1]);
+}
+
+TEST(LogFmt, TinyValuesSaturateInLogSpaceRoundingToo)
+{
+    LogFmtCodec codec(8, LogFmtRounding::LOG_SPACE);
     std::vector<double> data = {1.0, 1e-30};
     auto back = codec.decode(codec.encode(data));
-    EXPECT_DOUBLE_EQ(back[1], 0.0);
+    EXPECT_GT(back[1], 0.0);
+    EXPECT_NEAR(back[1], std::pow(2.0, -32.0), 1e-21);
 }
 
 TEST(LogFmt, MoreBitsMoreAccuracy)
