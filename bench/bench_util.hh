@@ -6,41 +6,121 @@
  * its main() first prints the reproduction table(s) (the deliverable),
  * then runs the registered google-benchmark microbenchmarks that time
  * the underlying kernels.
+ *
+ * Observability flags (parsed before google-benchmark sees argv):
+ *
+ *   --json=<path>   write a dsv3-bench-report/v1 JSON document with
+ *                   the printed tables plus the stats-registry
+ *                   snapshot (see obs/report.hh)
+ *   --trace=<path>  enable trace collection and write the run's spans
+ *                   as Chrome trace-event JSON (see obs/trace.hh)
+ *
+ * Both default off; without them a bench run is byte-identical to the
+ * pre-observability output.
  */
 
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <functional>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "common/table.hh"
+#include "obs/registry.hh"
+#include "obs/report.hh"
+#include "obs/trace.hh"
 
 namespace dsv3::bench {
 
-/** Print a reproduction table to stdout. */
+/** Tables printed so far this run, in print order (for --json). */
+inline std::vector<Table> &
+printedTables()
+{
+    static std::vector<Table> tables;
+    return tables;
+}
+
+/** Print a reproduction table to stdout (and record it for --json). */
 inline void
 printTable(const Table &table)
 {
     std::fputs(table.render().c_str(), stdout);
     std::fputs("\n", stdout);
+    printedTables().push_back(table);
 }
+
+namespace detail {
+
+/**
+ * Pop `--<flag>=<path>` out of argv (so google-benchmark never sees
+ * it); returns the path or "" when absent.
+ */
+inline std::string
+extractPathFlag(int &argc, char **argv, const char *flag)
+{
+    std::string prefix = std::string("--") + flag + "=";
+    std::string path;
+    int w = 1;
+    for (int r = 1; r < argc; ++r) {
+        if (std::strncmp(argv[r], prefix.c_str(), prefix.size()) == 0)
+            path = argv[r] + prefix.size();
+        else
+            argv[w++] = argv[r];
+    }
+    argc = w;
+    return path;
+}
+
+inline std::string
+benchName(const char *argv0)
+{
+    std::string name = argv0 ? argv0 : "bench";
+    std::size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos)
+        name = name.substr(slash + 1);
+    return name;
+}
+
+} // namespace detail
 
 /**
  * Standard bench main body: print the reproduction tables, then run
- * the microbenchmarks.
+ * the microbenchmarks, then write any requested --json/--trace files.
  */
 inline int
 runBench(int argc, char **argv,
          const std::function<void()> &print_tables)
 {
+    const std::string json_path =
+        detail::extractPathFlag(argc, argv, "json");
+    const std::string trace_path =
+        detail::extractPathFlag(argc, argv, "trace");
+    if (!trace_path.empty())
+        obs::setTraceEnabled(true);
+
     print_tables();
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+
+    if (!json_path.empty()) {
+        obs::writeBenchReport(json_path, detail::benchName(argv[0]),
+                              printedTables(),
+                              obs::Registry::global());
+        std::fprintf(stderr, "wrote bench report: %s\n",
+                     json_path.c_str());
+    }
+    if (!trace_path.empty()) {
+        obs::writeChromeTrace(trace_path);
+        std::fprintf(stderr, "wrote chrome trace: %s (%zu events)\n",
+                     trace_path.c_str(), obs::traceEventCount());
+    }
     return 0;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace dsv3::collective {
 
@@ -75,6 +76,7 @@ runAllToAll(const net::Cluster &cluster,
             double launch_overhead)
 {
     const std::size_t n = ranks.size();
+    DSV3_TRACE_SPAN("collective.alltoall.run", "ranks", n);
     double t = launch_overhead +
                simulateMakespan(
                    cluster, allToAllFlows(cluster, ranks,
@@ -95,6 +97,7 @@ runRing(const net::Cluster &cluster,
         double launch_overhead)
 {
     const std::size_t n = ranks.size();
+    DSV3_TRACE_SPAN("collective.ring.run", "ranks", n);
     double t = launch_overhead +
                simulateMakespan(
                    cluster, ringFlows(cluster, ranks, bytes_per_rank),

@@ -11,6 +11,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdlib>
 #include <sstream>
 #include <string>
@@ -52,6 +53,24 @@ concat(Args &&...args)
 
 #define DSV3_WARN(...) \
     ::dsv3::warnImpl(__FILE__, __LINE__, ::dsv3::detail::concat(__VA_ARGS__))
+
+/**
+ * Warn at most once per call site (thread-safe), so a warning inside a
+ * sweep or epoch loop cannot flood stderr. The first thread to reach
+ * the site wins; later hits are counted nowhere -- use a stats counter
+ * alongside if the repeat count matters.
+ */
+#define DSV3_WARN_ONCE(...)                                                \
+    do {                                                                   \
+        static std::atomic<bool> dsv3_warned_once_{false};                 \
+        if (!dsv3_warned_once_.exchange(true,                              \
+                                        std::memory_order_relaxed)) {      \
+            ::dsv3::warnImpl(__FILE__, __LINE__,                           \
+                ::dsv3::detail::concat(__VA_ARGS__,                        \
+                                       " (further warnings from this "     \
+                                       "site suppressed)"));               \
+        }                                                                  \
+    } while (0)
 
 /** Invariant check: active in all build types (cheap conditions only). */
 #define DSV3_ASSERT(cond, ...)                                             \

@@ -33,6 +33,13 @@ Table::cell(std::size_t row, std::size_t col) const
     return rows_[row][col];
 }
 
+const std::vector<std::string> &
+Table::row(std::size_t r) const
+{
+    DSV3_ASSERT(r < rows_.size());
+    return rows_[r];
+}
+
 std::string
 Table::render() const
 {

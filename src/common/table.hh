@@ -32,6 +32,12 @@ class Table
     /** Cell accessor (row-major, excludes header). */
     const std::string &cell(std::size_t row, std::size_t col) const;
 
+    /** Header cells (empty when no header was set). */
+    const std::vector<std::string> &header() const { return header_; }
+
+    /** One data row's cells. */
+    const std::vector<std::string> &row(std::size_t r) const;
+
     /** Render with box-drawing rules and a title banner. */
     std::string render() const;
 

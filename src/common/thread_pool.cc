@@ -1,9 +1,54 @@
 #include "common/thread_pool.hh"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 
+#include "common/logging.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
+
 namespace dsv3 {
+
+namespace {
+
+/** Stats handles created once; see DESIGN.md "Observability". */
+struct PoolStats
+{
+    obs::Counter &tasksRun =
+        obs::Registry::global().counter("common.pool.tasks_run");
+    obs::Counter &tasksFailed =
+        obs::Registry::global().counter("common.pool.tasks_failed");
+    obs::Counter &parallelForCalls =
+        obs::Registry::global().counter(
+            "common.pool.parallel_for_calls");
+    obs::Counter &iterations =
+        obs::Registry::global().counter("common.pool.iterations");
+    obs::Counter &errorsRethrown =
+        obs::Registry::global().counter(
+            "common.pool.errors_rethrown");
+    obs::Counter &errorsSwallowed =
+        obs::Registry::global().counter(
+            "common.pool.errors_swallowed");
+    obs::Gauge &queueHighWater = obs::Registry::global().gauge(
+        "common.pool.queue_depth_highwater");
+    obs::Gauge &threads =
+        obs::Registry::global().gauge("common.pool.threads");
+    obs::Gauge &busySeconds =
+        obs::Registry::global().gauge("common.pool.busy_seconds");
+    obs::Distribution &taskSeconds =
+        obs::Registry::global().distribution(
+            "common.pool.task_seconds", 0.0, 1.0, 20);
+};
+
+PoolStats &
+poolStats()
+{
+    static PoolStats *stats = new PoolStats();
+    return *stats;
+}
+
+} // namespace
 
 ThreadPool::ThreadPool(std::size_t threads)
 {
@@ -15,6 +60,7 @@ ThreadPool::ThreadPool(std::size_t threads)
     workers_.reserve(threads);
     for (std::size_t i = 0; i < threads; ++i)
         workers_.emplace_back([this] { workerLoop(); });
+    poolStats().threads.max((double)threads);
 }
 
 ThreadPool::~ThreadPool()
@@ -31,10 +77,13 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::submit(std::function<void()> fn)
 {
+    std::size_t depth;
     {
         std::lock_guard<std::mutex> lock(mu_);
         queue_.push_back(std::move(fn));
+        depth = queue_.size();
     }
+    poolStats().queueHighWater.max((double)depth);
     cv_.notify_one();
 }
 
@@ -48,17 +97,46 @@ ThreadPool::global()
 void
 ThreadPool::workerLoop()
 {
+    PoolStats &stats = poolStats();
+    // Per-worker busy time, flushed on exit; avoids one atomic RMW per
+    // task on the shared gauge.
+    double busy = 0.0;
     for (;;) {
         std::function<void()> task;
         {
             std::unique_lock<std::mutex> lock(mu_);
             cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-            if (stop_ && queue_.empty())
+            if (stop_ && queue_.empty()) {
+                stats.busySeconds.add(busy);
                 return;
+            }
             task = std::move(queue_.front());
             queue_.pop_front();
         }
-        task();
+        const bool timed = obs::statsEnabled();
+        auto start = timed ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point();
+        {
+            DSV3_TRACE_SPAN("common.pool.task");
+            try {
+                task();
+            } catch (...) {
+                // A bare submit() has no caller to rethrow to; count
+                // and carry on rather than std::terminate the process.
+                stats.tasksFailed.inc();
+                DSV3_WARN_ONCE(
+                    "exception escaped a ThreadPool task; "
+                    "swallowed (see common.pool.tasks_failed)");
+            }
+        }
+        stats.tasksRun.inc();
+        if (timed) {
+            double dt = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+            busy += dt;
+            stats.taskSeconds.add(dt);
+        }
     }
 }
 
@@ -67,9 +145,16 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
 {
     if (n == 0)
         return;
+    PoolStats &stats = poolStats();
+    stats.parallelForCalls.inc();
+    stats.iterations.inc(n);
+    DSV3_TRACE_SPAN("common.pool.parallel_for", "n", n);
+
     ThreadPool &pool = ThreadPool::global();
     std::size_t helpers = std::min(pool.threadCount(), n - 1);
     if (helpers == 0) {
+        // Serial fallback still propagates the first exception -- it
+        // simply reaches the caller directly.
         for (std::size_t i = 0; i < n; ++i)
             fn(i);
         return;
@@ -85,6 +170,7 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
         std::atomic<std::size_t> next{0};
         std::atomic<std::size_t> completed{0};
         std::exception_ptr error;
+        std::atomic<std::size_t> swallowed{0};
         std::mutex mu;
         std::condition_variable done;
     };
@@ -99,8 +185,14 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
                 fn(i);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(shared->mu);
-                if (!shared->error)
+                if (!shared->error) {
                     shared->error = std::current_exception();
+                } else {
+                    // Only the first failure can be rethrown; count
+                    // the rest so they are not silently lost.
+                    shared->swallowed.fetch_add(
+                        1, std::memory_order_relaxed);
+                }
             }
             if (shared->completed.fetch_add(1) + 1 == n) {
                 std::lock_guard<std::mutex> lock(shared->mu);
@@ -116,8 +208,19 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
         std::unique_lock<std::mutex> lock(shared->mu);
         shared->done.wait(
             lock, [&] { return shared->completed.load() == n; });
-        if (shared->error)
+        std::size_t swallowed =
+            shared->swallowed.load(std::memory_order_relaxed);
+        if (swallowed > 0) {
+            stats.errorsSwallowed.inc(swallowed);
+            DSV3_WARN_ONCE("parallelFor swallowed ", swallowed,
+                           " additional iteration failure(s) beyond "
+                           "the one rethrown (see "
+                           "common.pool.errors_swallowed)");
+        }
+        if (shared->error) {
+            stats.errorsRethrown.inc();
             std::rethrow_exception(shared->error);
+        }
     }
 }
 

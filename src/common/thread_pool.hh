@@ -7,6 +7,11 @@
  * The caller's thread always participates in parallelFor(), so the
  * helper makes progress even when every worker is busy (including the
  * nested case of a task itself calling parallelFor()).
+ *
+ * The pool reports itself to the stats registry under "common.pool.*"
+ * (tasks run, queue-depth high water, per-worker busy time, failure
+ * accounting) and brackets each task with a "common.pool.task" trace
+ * span; see DESIGN.md "Observability".
  */
 
 #pragma once
@@ -53,7 +58,8 @@ class ThreadPool
  * Run fn(0) .. fn(n-1) across the global pool and the calling thread;
  * returns when all iterations finished. Iterations must be
  * independent. The first exception thrown by any iteration is
- * rethrown on the caller.
+ * rethrown on the caller; later failures are counted as
+ * "common.pool.errors_swallowed" and warned about once.
  */
 void parallelFor(std::size_t n,
                  const std::function<void(std::size_t)> &fn);

@@ -7,6 +7,7 @@
 #include "moe/placement.hh"
 #include "moe/token_gen.hh"
 #include "net/flow.hh"
+#include "obs/trace.hh"
 
 namespace dsv3::ep {
 
@@ -78,6 +79,8 @@ PhaseResult
 timePhase(const net::Cluster &cluster, const TrafficCounts &tc,
           double bytes_per_token, bool reverse)
 {
+    DSV3_TRACE_SPAN(reverse ? "ep.deepep.combine"
+                            : "ep.deepep.dispatch");
     const std::size_t gpus = cluster.gpus.size();
     const std::size_t per_host = cluster.config.gpusPerHost;
 
@@ -155,6 +158,8 @@ simulateDeepEp(const net::Cluster &cluster, const EpWorkload &w)
 {
     DSV3_ASSERT(w.gate.experts % cluster.gpus.size() == 0,
                 "experts must divide evenly over GPUs");
+    DSV3_TRACE_SPAN("ep.deepep.simulate", "tokens_per_gpu",
+                    w.tokensPerGpu, "experts", w.gate.experts);
     TrafficCounts tc = routeAllTokens(cluster, w);
 
     const double dispatch_bytes =

@@ -5,6 +5,8 @@
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 
 namespace dsv3::moe {
 
@@ -13,6 +15,8 @@ balanceExperts(const std::vector<double> &expert_load, std::size_t gpus,
                std::size_t slots_per_gpu)
 {
     const std::size_t experts = expert_load.size();
+    DSV3_TRACE_SPAN("moe.eplb.balance", "experts", experts, "gpus",
+                    gpus, "slots_per_gpu", slots_per_gpu);
     const std::size_t slots = gpus * slots_per_gpu;
     DSV3_ASSERT(experts > 0 && gpus > 0 && slots_per_gpu > 0);
     DSV3_ASSERT(slots >= experts,
@@ -95,6 +99,20 @@ balanceExperts(const std::vector<double> &expert_load, std::size_t gpus,
         out.gpuLoad[target] += rep.load;
     }
     out.imbalanceAfter = maxOverMean(out.gpuLoad);
+
+    // Per-expert replica fan-out and the achieved balance, for the
+    // registry's picture of expert-parallel load (Sec 4.3 / EPLB).
+    obs::Registry &reg = obs::Registry::global();
+    static obs::Counter &runs = reg.counter("moe.eplb.runs");
+    static obs::Gauge &before = reg.gauge("moe.eplb.imbalance_before");
+    static obs::Gauge &after = reg.gauge("moe.eplb.imbalance_after");
+    static obs::Distribution &replica_dist =
+        reg.distribution("moe.eplb.replica_count", 0.0, 16.0, 16);
+    runs.inc();
+    before.set(out.imbalanceBefore);
+    after.set(out.imbalanceAfter);
+    for (std::uint32_t r : out.replicaCount)
+        replica_dist.add((double)r);
     return out;
 }
 

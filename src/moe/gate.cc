@@ -5,8 +5,29 @@
 #include <numeric>
 
 #include "common/logging.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 
 namespace dsv3::moe {
+
+namespace {
+
+struct GateStats
+{
+    obs::Counter &tokensRouted =
+        obs::Registry::global().counter("moe.gate.tokens_routed");
+    obs::Counter &expertsSelected = obs::Registry::global().counter(
+        "moe.gate.experts_selected");
+};
+
+GateStats &
+gateStats()
+{
+    static GateStats *stats = new GateStats();
+    return *stats;
+}
+
+} // namespace
 
 TopKGate::TopKGate(const GateConfig &cfg) : cfg_(cfg)
 {
@@ -44,6 +65,7 @@ RoutingDecision
 TopKGate::route(std::span<const double> logits) const
 {
     DSV3_ASSERT(logits.size() == cfg_.experts);
+    DSV3_TRACE_SPAN("moe.gate.route");
 
     // Logits -> affinity scores.
     std::vector<double> scores(logits.size());
@@ -102,6 +124,10 @@ TopKGate::route(std::span<const double> logits) const
     DSV3_ASSERT(denom > 0.0);
     for (std::size_t i = 0; i < out.experts.size(); ++i)
         out.weights[i] = scores[out.experts[i]] / denom;
+
+    GateStats &stats = gateStats();
+    stats.tokensRouted.inc();
+    stats.expertsSelected.inc(out.experts.size());
     return out;
 }
 

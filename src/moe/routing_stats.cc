@@ -4,8 +4,23 @@
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "obs/registry.hh"
 
 namespace dsv3::moe {
+
+namespace {
+
+/** Per-token M = distinct nodes touched; integral values in [0, 16). */
+obs::Distribution &
+nodesTouchedDist()
+{
+    static obs::Distribution *dist =
+        &obs::Registry::global().distribution(
+            "moe.routing.nodes_touched", 0.0, 16.0, 16);
+    return *dist;
+}
+
+} // namespace
 
 RoutingStats::RoutingStats(const ExpertPlacement &placement)
     : placement_(placement),
@@ -34,6 +49,7 @@ RoutingStats::add(const RoutingDecision &decision)
     DSV3_ASSERT(m < nodesTouchedHist_.size());
     ++nodesTouchedHist_[m];
     sumNodesTouched_ += (double)m;
+    nodesTouchedDist().add((double)m);
 }
 
 double

@@ -8,8 +8,49 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 
 namespace dsv3::net {
+
+namespace {
+
+/**
+ * Registry handles for the flow engine, created once. Hot loops
+ * accumulate into locals and flush here at solve()/run() granularity
+ * so the instrumented path costs nothing measurable.
+ */
+struct FlowStats
+{
+    obs::Counter &enginesBuilt =
+        obs::Registry::global().counter("net.flow.engines_built");
+    obs::Counter &solves =
+        obs::Registry::global().counter("net.flow.solves");
+    obs::Counter &solverIterations = obs::Registry::global().counter(
+        "net.flow.solver_iterations");
+    obs::Counter &heapPops =
+        obs::Registry::global().counter("net.flow.heap_pops");
+    obs::Counter &heapStalePops =
+        obs::Registry::global().counter("net.flow.heap_stale_pops");
+    obs::Counter &epochs =
+        obs::Registry::global().counter("net.flow.epochs");
+    obs::Counter &flowsRetired =
+        obs::Registry::global().counter("net.flow.flows_retired");
+    obs::Gauge &peakUtilization =
+        obs::Registry::global().gauge("net.flow.peak_utilization");
+    obs::Distribution &epochActiveFlows =
+        obs::Registry::global().distribution(
+            "net.flow.epoch_active_flows", 0.0, 4096.0, 32);
+};
+
+FlowStats &
+flowStats()
+{
+    static FlowStats *stats = new FlowStats();
+    return *stats;
+}
+
+} // namespace
 
 const char *
 routePolicyName(RoutePolicy policy)
@@ -106,6 +147,8 @@ FlowSimEngine::FlowSimEngine(const Graph &graph,
                              const std::vector<Flow> &flows)
     : graph_(graph), flows_(flows)
 {
+    DSV3_TRACE_SPAN("net.flow.build", "flows", flows.size());
+    flowStats().enginesBuilt.inc();
     const std::size_t n = flows.size();
     flow_subflows_.resize(n);
     alive_.assign(n, true);
@@ -159,11 +202,18 @@ FlowSimEngine::removeFlow(std::size_t flow)
             --active_on_edge_[e];
         --active_subflows_;
     }
+    flowStats().flowsRetired.inc();
 }
 
 const std::vector<double> &
 FlowSimEngine::solve()
 {
+    DSV3_TRACE_SPAN("net.flow.solve", "active_subflows",
+                    active_subflows_);
+    // Local tallies, flushed to the registry once per solve.
+    std::uint64_t pops = 0;
+    std::uint64_t stale_pops = 0;
+    const std::uint64_t iters_before = iterations_;
     ++solve_stamp_;
     std::fill(rates_.begin(), rates_.end(), 0.0);
     for (std::size_t i = 0; i < flows_.size(); ++i) {
@@ -204,11 +254,16 @@ FlowSimEngine::solve()
                         "active subflow crosses no edge");
             auto [share, e] = heap.top();
             heap.pop();
-            if (scratch_active_[e] == 0)
+            ++pops;
+            if (scratch_active_[e] == 0) {
+                ++stale_pops;
                 continue; // drained since it was pushed
+            }
             double cur = residual_[e] / (double)scratch_active_[e];
-            if (cur != share)
+            if (cur != share) {
+                ++stale_pops;
                 continue; // stale: a fresher entry exists
+            }
             best_share = share;
             best_edge = e;
             break;
@@ -264,12 +319,19 @@ FlowSimEngine::solve()
         for (std::uint32_t s : flow_subflows_[i])
             rates_[i] += sub_rate_[s];
     }
+
+    FlowStats &stats = flowStats();
+    stats.solves.inc();
+    stats.solverIterations.inc(iterations_ - iters_before);
+    stats.heapPops.inc(pops);
+    stats.heapStalePops.inc(stale_pops);
     return rates_;
 }
 
 FlowSimResult
 FlowSimEngine::run()
 {
+    DSV3_TRACE_SPAN("net.flow.run", "flows", flows_.size());
     const std::size_t n = flows_.size();
     FlowSimResult result;
     result.finishTimes.assign(n, 0.0);
@@ -300,9 +362,11 @@ FlowSimEngine::run()
     // whole epoch early.
     constexpr double kFinishEps = 1e-9;
 
+    FlowStats &stats = flowStats();
     double now = 0.0;
     bool first_epoch = true;
     while (!active.empty()) {
+        stats.epochActiveFlows.add((double)active.size());
         const std::vector<double> &rates = solve();
         ++result.epochs;
 
@@ -351,6 +415,10 @@ FlowSimEngine::run()
     }
     result.makespan = now;
     result.solverIterations = iterations_;
+    // FlowSimResult keeps its hand-carried public fields (callers rely
+    // on them); the registry gets the same quantities under net.flow.*.
+    stats.epochs.inc(result.epochs);
+    stats.peakUtilization.max(result.peakUtilization);
     return result;
 }
 

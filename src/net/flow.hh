@@ -23,6 +23,10 @@
  * finished flow is retired in O(paths) instead of rebuilding the whole
  * active set. maxMinRates()/simulateFlows() are thin wrappers over a
  * throwaway engine.
+ *
+ * The engine reports itself under "net.flow.*" in the stats registry
+ * (solver iterations, heap pops, epochs, retired flows) and brackets
+ * build/solve/run with trace spans; see DESIGN.md "Observability".
  */
 
 #pragma once

@@ -3,8 +3,31 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 
 namespace dsv3::numerics {
+
+namespace {
+
+struct GemmStats
+{
+    obs::Counter &calls =
+        obs::Registry::global().counter("numerics.gemm.calls");
+    obs::Counter &tiles =
+        obs::Registry::global().counter("numerics.gemm.tiles");
+    obs::Counter &elements =
+        obs::Registry::global().counter("numerics.gemm.elements");
+};
+
+GemmStats &
+gemmStats()
+{
+    static GemmStats *stats = new GemmStats();
+    return *stats;
+}
+
+} // namespace
 
 Matrix
 gemmRef(const Matrix &a, const Matrix &b)
@@ -55,6 +78,7 @@ gemmQuantized(const Matrix &a, const Matrix &b, const GemmOptions &options)
 {
     DSV3_ASSERT(a.cols() == b.rows());
     const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+    DSV3_TRACE_SPAN("numerics.gemm.quantized", "m", m, "n", n, "k", k);
     const std::size_t tile_k = options.tileK;
     const std::size_t group = options.groupSize;
 
@@ -141,6 +165,11 @@ gemmQuantized(const Matrix &a, const Matrix &b, const GemmOptions &options)
             }
         }
     }
+
+    GemmStats &stats = gemmStats();
+    stats.calls.inc();
+    stats.tiles.inc((std::uint64_t)(m * n * num_tiles));
+    stats.elements.inc((std::uint64_t)(m * n));
     return c;
 }
 

@@ -4,8 +4,28 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "obs/registry.hh"
 
 namespace dsv3::numerics {
+
+namespace {
+
+struct LogFmtStats
+{
+    obs::Counter &values =
+        obs::Registry::global().counter("numerics.logfmt.values");
+    obs::Counter &belowRange = obs::Registry::global().counter(
+        "numerics.logfmt.below_range");
+};
+
+LogFmtStats &
+logFmtStats()
+{
+    static LogFmtStats *stats = new LogFmtStats();
+    return *stats;
+}
+
+} // namespace
 
 LogFmtCodec::LogFmtCodec(int bits, LogFmtRounding rounding,
                          double max_range_log2)
@@ -67,6 +87,7 @@ LogFmtCodec::encode(std::span<const double> values) const
     tile.step = step;
 
     const std::uint32_t sign_bit = 1u << (bits_ - 1);
+    std::uint64_t below_range = 0;
     for (std::size_t i = 0; i < values.size(); ++i) {
         double x = values[i];
         if (x == 0.0 || !std::isfinite(x)) {
@@ -87,6 +108,8 @@ LogFmtCodec::encode(std::span<const double> values) const
             // to code 1, the smallest representable magnitude, like
             // an E5 format clamping to its minimum subnormal.
             double k_real = (l - min_log) / step + 1.0;
+            if (k_real < 1.0)
+                ++below_range;
             if (rounding_ == LogFmtRounding::LOG_SPACE) {
                 long rounded = std::lround(k_real);
                 k = (std::uint32_t)std::clamp<long>(rounded, 1,
@@ -110,6 +133,9 @@ LogFmtCodec::encode(std::span<const double> values) const
         }
         tile.codes[i] = sign | k;
     }
+    LogFmtStats &stats = logFmtStats();
+    stats.values.inc(values.size());
+    stats.belowRange.inc(below_range);
     return tile;
 }
 

@@ -4,8 +4,31 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 
 namespace dsv3::numerics {
+
+namespace {
+
+struct QuantizeStats
+{
+    obs::Counter &values =
+        obs::Registry::global().counter("numerics.quantize.values");
+    obs::Counter &saturated = obs::Registry::global().counter(
+        "numerics.quantize.saturated");
+    obs::Counter &flushedToZero = obs::Registry::global().counter(
+        "numerics.quantize.flushed_to_zero");
+};
+
+QuantizeStats &
+quantizeStats()
+{
+    static QuantizeStats *stats = new QuantizeStats();
+    return *stats;
+}
+
+} // namespace
 
 const char *
 granularityName(Granularity g)
@@ -57,14 +80,31 @@ QuantizedMatrix::QuantizedMatrix(const Matrix &m, const FloatFormat &fmt,
     for (std::size_t i = 0; i < scales_.size(); ++i)
         scales_[i] = amax[i] > 0.0 ? amax[i] / max_code : 1.0;
 
-    // Pass 2: encode.
+    // Pass 2: encode. Saturation (|x/s| beyond the format's largest
+    // finite) and underflow-to-zero events are tallied -- amax scaling
+    // makes saturation rare by construction, so a nonzero count flags
+    // a scale-selection bug or an adversarial input distribution.
+    DSV3_TRACE_SPAN("numerics.quantize.encode", "rows", rows_, "cols",
+                    cols_, "fmt", fmt_->name);
+    const double fmt_max = fmt_->maxFinite();
+    std::uint64_t saturated = 0, flushed = 0;
     codes_.resize(rows_ * cols_);
     for (std::size_t r = 0; r < rows_; ++r) {
         for (std::size_t c = 0; c < cols_; ++c) {
             double s = scales_[scaleIndex(r, c)];
-            codes_[r * cols_ + c] = encode(*fmt_, m.at(r, c) / s);
+            double scaled = m.at(r, c) / s;
+            std::uint32_t code = encode(*fmt_, scaled);
+            codes_[r * cols_ + c] = code;
+            if (std::fabs(scaled) > fmt_max)
+                ++saturated;
+            else if (scaled != 0.0 && decode(*fmt_, code) == 0.0)
+                ++flushed;
         }
     }
+    QuantizeStats &stats = quantizeStats();
+    stats.values.inc((std::uint64_t)(rows_ * cols_));
+    stats.saturated.inc(saturated);
+    stats.flushedToZero.inc(flushed);
 }
 
 std::size_t

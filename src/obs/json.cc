@@ -1,0 +1,388 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dsv3::obs {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += (char)c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    // JSON has no inf/nan tokens; clamp them to null-ish sentinels the
+    // parser accepts as plain values.
+    if (std::isnan(v))
+        return "null";
+    if (std::isinf(v))
+        return v > 0 ? "1e308" : "-1e308";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+bool
+JsonValue::boolean() const
+{
+    return kind_ == Kind::BOOL && bool_;
+}
+
+double
+JsonValue::number() const
+{
+    return kind_ == Kind::NUMBER ? num_ : 0.0;
+}
+
+const std::string &
+JsonValue::str() const
+{
+    return str_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::array() const
+{
+    return arr_;
+}
+
+const std::map<std::string, JsonValue> &
+JsonValue::object() const
+{
+    return obj_;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::OBJECT)
+        return nullptr;
+    auto it = obj_.find(key);
+    return it == obj_.end() ? nullptr : &it->second;
+}
+
+JsonValue
+JsonValue::makeNull()
+{
+    return JsonValue();
+}
+
+JsonValue
+JsonValue::makeBool(bool b)
+{
+    JsonValue v;
+    v.kind_ = Kind::BOOL;
+    v.bool_ = b;
+    return v;
+}
+
+JsonValue
+JsonValue::makeNumber(double d)
+{
+    JsonValue v;
+    v.kind_ = Kind::NUMBER;
+    v.num_ = d;
+    return v;
+}
+
+JsonValue
+JsonValue::makeString(std::string s)
+{
+    JsonValue v;
+    v.kind_ = Kind::STRING;
+    v.str_ = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> a)
+{
+    JsonValue v;
+    v.kind_ = Kind::ARRAY;
+    v.arr_ = std::move(a);
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject(std::map<std::string, JsonValue> o)
+{
+    JsonValue v;
+    v.kind_ = Kind::OBJECT;
+    v.obj_ = std::move(o);
+    return v;
+}
+
+namespace {
+
+struct Parser
+{
+    const char *p;
+    const char *end;
+    std::string error;
+
+    bool fail(const std::string &msg)
+    {
+        if (error.empty())
+            error = msg;
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' ||
+                           *p == '\r'))
+            ++p;
+    }
+
+    bool literal(const char *lit)
+    {
+        const char *q = lit;
+        const char *save = p;
+        while (*q) {
+            if (p >= end || *p != *q) {
+                p = save;
+                return false;
+            }
+            ++p;
+            ++q;
+        }
+        return true;
+    }
+
+    bool parseString(std::string *out)
+    {
+        if (p >= end || *p != '"')
+            return fail("expected string");
+        ++p;
+        out->clear();
+        while (p < end && *p != '"') {
+            char c = *p++;
+            if (c == '\\') {
+                if (p >= end)
+                    return fail("truncated escape");
+                char e = *p++;
+                switch (e) {
+                  case '"':
+                    *out += '"';
+                    break;
+                  case '\\':
+                    *out += '\\';
+                    break;
+                  case '/':
+                    *out += '/';
+                    break;
+                  case 'b':
+                    *out += '\b';
+                    break;
+                  case 'f':
+                    *out += '\f';
+                    break;
+                  case 'n':
+                    *out += '\n';
+                    break;
+                  case 'r':
+                    *out += '\r';
+                    break;
+                  case 't':
+                    *out += '\t';
+                    break;
+                  case 'u': {
+                    if (end - p < 4)
+                        return fail("truncated \\u escape");
+                    unsigned v = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = *p++;
+                        v <<= 4;
+                        if (h >= '0' && h <= '9')
+                            v |= (unsigned)(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            v |= (unsigned)(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            v |= (unsigned)(h - 'A' + 10);
+                        else
+                            return fail("bad \\u escape");
+                    }
+                    // Encode as UTF-8 (surrogate pairs not recombined;
+                    // fine for the ASCII-dominated files we emit).
+                    if (v < 0x80) {
+                        *out += (char)v;
+                    } else if (v < 0x800) {
+                        *out += (char)(0xC0 | (v >> 6));
+                        *out += (char)(0x80 | (v & 0x3F));
+                    } else {
+                        *out += (char)(0xE0 | (v >> 12));
+                        *out += (char)(0x80 | ((v >> 6) & 0x3F));
+                        *out += (char)(0x80 | (v & 0x3F));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("bad escape");
+                }
+            } else {
+                *out += c;
+            }
+        }
+        if (p >= end)
+            return fail("unterminated string");
+        ++p; // closing quote
+        return true;
+    }
+
+    bool parseValue(JsonValue *out)
+    {
+        skipWs();
+        if (p >= end)
+            return fail("unexpected end of input");
+        if (*p == '{') {
+            ++p;
+            std::map<std::string, JsonValue> obj;
+            skipWs();
+            if (p < end && *p == '}') {
+                ++p;
+                *out = JsonValue::makeObject(std::move(obj));
+                return true;
+            }
+            for (;;) {
+                skipWs();
+                std::string key;
+                if (!parseString(&key))
+                    return false;
+                skipWs();
+                if (p >= end || *p != ':')
+                    return fail("expected ':'");
+                ++p;
+                JsonValue v;
+                if (!parseValue(&v))
+                    return false;
+                obj.emplace(std::move(key), std::move(v));
+                skipWs();
+                if (p < end && *p == ',') {
+                    ++p;
+                    continue;
+                }
+                if (p < end && *p == '}') {
+                    ++p;
+                    break;
+                }
+                return fail("expected ',' or '}'");
+            }
+            *out = JsonValue::makeObject(std::move(obj));
+            return true;
+        }
+        if (*p == '[') {
+            ++p;
+            std::vector<JsonValue> arr;
+            skipWs();
+            if (p < end && *p == ']') {
+                ++p;
+                *out = JsonValue::makeArray(std::move(arr));
+                return true;
+            }
+            for (;;) {
+                JsonValue v;
+                if (!parseValue(&v))
+                    return false;
+                arr.push_back(std::move(v));
+                skipWs();
+                if (p < end && *p == ',') {
+                    ++p;
+                    continue;
+                }
+                if (p < end && *p == ']') {
+                    ++p;
+                    break;
+                }
+                return fail("expected ',' or ']'");
+            }
+            *out = JsonValue::makeArray(std::move(arr));
+            return true;
+        }
+        if (*p == '"') {
+            std::string s;
+            if (!parseString(&s))
+                return false;
+            *out = JsonValue::makeString(std::move(s));
+            return true;
+        }
+        if (literal("true")) {
+            *out = JsonValue::makeBool(true);
+            return true;
+        }
+        if (literal("false")) {
+            *out = JsonValue::makeBool(false);
+            return true;
+        }
+        if (literal("null")) {
+            *out = JsonValue::makeNull();
+            return true;
+        }
+        // Number.
+        char *num_end = nullptr;
+        double v = std::strtod(p, &num_end);
+        if (num_end == p || num_end > end)
+            return fail("bad token");
+        p = num_end;
+        *out = JsonValue::makeNumber(v);
+        return true;
+    }
+};
+
+} // namespace
+
+bool
+parseJson(const std::string &text, JsonValue *out, std::string *error)
+{
+    Parser parser{text.data(), text.data() + text.size(), {}};
+    JsonValue v;
+    bool ok = parser.parseValue(&v);
+    if (ok) {
+        parser.skipWs();
+        if (parser.p != parser.end)
+            ok = parser.fail("trailing garbage");
+    }
+    if (!ok) {
+        if (error)
+            *error = parser.error;
+        return false;
+    }
+    if (out)
+        *out = std::move(v);
+    return true;
+}
+
+} // namespace dsv3::obs

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Minimal JSON toolkit for the observability layer.
+ *
+ * Writing: escape helpers plus number formatting that round-trips
+ * doubles exactly (%.17g) so registry snapshots can be parsed back
+ * losslessly. Reading: a small recursive-descent parser into a DOM
+ * (JsonValue) used by tests and by the CI artifact validation to prove
+ * that trace/report files are well-formed. Deliberately tiny: no
+ * comments, no trailing commas, UTF-8 passed through untouched.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dsv3::obs {
+
+/** Escape a string for embedding inside JSON double quotes. */
+std::string jsonEscape(const std::string &s);
+
+/** Format a double so that parsing it back yields the same bits. */
+std::string jsonNumber(double v);
+
+/** Parsed JSON value. Numbers are kept as doubles (like JavaScript). */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        NUL,
+        BOOL,
+        NUMBER,
+        STRING,
+        ARRAY,
+        OBJECT,
+    };
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::NUL; }
+
+    bool boolean() const;
+    double number() const;
+    const std::string &str() const;
+    const std::vector<JsonValue> &array() const;
+    const std::map<std::string, JsonValue> &object() const;
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    // Construction (used by the parser).
+    static JsonValue makeNull();
+    static JsonValue makeBool(bool b);
+    static JsonValue makeNumber(double v);
+    static JsonValue makeString(std::string s);
+    static JsonValue makeArray(std::vector<JsonValue> a);
+    static JsonValue makeObject(std::map<std::string, JsonValue> o);
+
+  private:
+    Kind kind_ = Kind::NUL;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<JsonValue> arr_;
+    std::map<std::string, JsonValue> obj_;
+};
+
+/**
+ * Parse @p text as one JSON document. Returns true on success; on
+ * failure @p error (if non-null) describes the first problem.
+ */
+bool parseJson(const std::string &text, JsonValue *out,
+               std::string *error = nullptr);
+
+} // namespace dsv3::obs

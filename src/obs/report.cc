@@ -1,0 +1,69 @@
+#include "obs/report.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+#include "obs/registry.hh"
+
+namespace dsv3::obs {
+
+namespace {
+
+void
+appendStringArray(std::ostringstream &os,
+                  const std::vector<std::string> &cells)
+{
+    os << "[";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            os << ",";
+        os << "\"" << jsonEscape(cells[i]) << "\"";
+    }
+    os << "]";
+}
+
+} // namespace
+
+std::string
+benchReportJson(const std::string &bench_name,
+                const std::vector<Table> &tables,
+                const Registry &registry)
+{
+    std::ostringstream os;
+    os << "{\"schema\":\"dsv3-bench-report/v1\",\"bench\":\""
+       << jsonEscape(bench_name) << "\",\"tables\":[";
+    for (std::size_t t = 0; t < tables.size(); ++t) {
+        const Table &table = tables[t];
+        if (t)
+            os << ",";
+        os << "{\"title\":\"" << jsonEscape(table.title())
+           << "\",\"header\":";
+        appendStringArray(os, table.header());
+        os << ",\"rows\":[";
+        for (std::size_t r = 0; r < table.rowCount(); ++r) {
+            if (r)
+                os << ",";
+            appendStringArray(os, table.row(r));
+        }
+        os << "]}";
+    }
+    os << "],\"stats\":" << registry.snapshotJson() << "}";
+    return os.str();
+}
+
+void
+writeBenchReport(const std::string &path, const std::string &bench_name,
+                 const std::vector<Table> &tables,
+                 const Registry &registry)
+{
+    std::string json = benchReportJson(bench_name, tables, registry);
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        DSV3_FATAL("cannot open report output '", path, "'");
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+}
+
+} // namespace dsv3::obs

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Machine-readable bench run reports.
+ *
+ * Every bench binary can emit one JSON document per run (via
+ * --json=<path>) with a stable schema, so CI can archive a perf/
+ * accuracy trajectory (the BENCH_*.json series) instead of scraping
+ * human tables:
+ *
+ *   {
+ *     "schema": "dsv3-bench-report/v1",
+ *     "bench": "bench_fig5_alltoall",
+ *     "tables": [
+ *       {"title": "...", "header": ["...", ...],
+ *        "rows": [["...", ...], ...], ...}
+ *     ],
+ *     "stats": { "<dotted.name>": {"kind": ..., ...}, ... }
+ *   }
+ *
+ * "tables" carries the exact cell strings the run printed (the
+ * reproduction deliverable); "stats" is Registry::snapshotJson() (the
+ * run's internal counters). New top-level keys may be added; existing
+ * keys keep their meaning (schema version bumps on breaking change).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+
+namespace dsv3::obs {
+
+class Registry;
+
+/** Render the report document (see schema above). */
+std::string benchReportJson(const std::string &bench_name,
+                            const std::vector<Table> &tables,
+                            const Registry &registry);
+
+/** Write benchReportJson() to @p path (fatal on I/O error). */
+void writeBenchReport(const std::string &path,
+                      const std::string &bench_name,
+                      const std::vector<Table> &tables,
+                      const Registry &registry);
+
+} // namespace dsv3::obs

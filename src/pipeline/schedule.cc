@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 
 namespace dsv3::pipeline {
 
@@ -23,6 +25,9 @@ computeSchedule(const ScheduleParams &params)
 {
     const std::size_t p = params.stages;
     const std::size_t m = params.microbatches;
+    DSV3_TRACE_SPAN("pipeline.schedule.compute", "schedule",
+                    scheduleName(params.kind), "stages", p,
+                    "microbatches", m);
     DSV3_ASSERT(p >= 1);
     DSV3_ASSERT(m >= p, "need at least `stages` microbatches to fill "
                         "the pipeline");
@@ -61,6 +66,19 @@ computeSchedule(const ScheduleParams &params)
     }
     out.bubble = std::max(0.0, out.bubble);
     out.optimizer = params.optimizerTime;
+
+    obs::Registry &reg = obs::Registry::global();
+    static obs::Counter &calls = reg.counter("pipeline.schedule.calls");
+    static obs::Gauge &bubble_s =
+        reg.gauge("pipeline.schedule.bubble_seconds");
+    static obs::Gauge &bubble_frac =
+        reg.gauge("pipeline.schedule.bubble_fraction");
+    static obs::Gauge &bubble_per_stage =
+        reg.gauge("pipeline.schedule.bubble_per_stage_seconds");
+    calls.inc();
+    bubble_s.set(out.bubble);
+    bubble_frac.set(out.bubbleFraction());
+    bubble_per_stage.set(out.bubble / (double)p);
     return out;
 }
 

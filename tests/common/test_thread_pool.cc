@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/thread_pool.hh"
+#include "obs/registry.hh"
 
 namespace dsv3 {
 namespace {
@@ -72,6 +73,67 @@ TEST(ParallelFor, PropagatesException)
                             throw std::runtime_error("boom");
                     }),
         std::runtime_error);
+}
+
+TEST(ParallelFor, PropagatesFirstExceptionAndCountsRest)
+{
+    obs::Counter &rethrown = obs::Registry::global().counter(
+        "common.pool.errors_rethrown");
+    obs::Counter &swallowed = obs::Registry::global().counter(
+        "common.pool.errors_swallowed");
+    const std::uint64_t rethrown0 = rethrown.value();
+    const std::uint64_t swallowed0 = swallowed.value();
+
+    // Every iteration throws: exactly one is rethrown, the other n-1
+    // are swallowed-but-counted.
+    const std::size_t n = 16;
+    EXPECT_THROW(parallelFor(n,
+                             [&](std::size_t) {
+                                 throw std::runtime_error("boom");
+                             }),
+                 std::runtime_error);
+    EXPECT_EQ(rethrown.value(), rethrown0 + 1);
+    EXPECT_EQ(swallowed.value(), swallowed0 + n - 1);
+}
+
+TEST(ThreadPool, SubmittedTaskExceptionDoesNotTerminate)
+{
+    obs::Counter &failed = obs::Registry::global().counter(
+        "common.pool.tasks_failed");
+    const std::uint64_t failed0 = failed.value();
+
+    // One worker, so the throwing task fully finishes (and bumps the
+    // counter) before the follow-up task can run.
+    ThreadPool pool(1);
+    std::atomic<int> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    pool.submit([] { throw std::runtime_error("escaped"); });
+    // A follow-up task still runs: the worker survived the throw.
+    pool.submit([&] {
+        done.store(1);
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+    });
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done.load() == 1; });
+    EXPECT_EQ(failed.value(), failed0 + 1);
+}
+
+TEST(ThreadPool, RegistersRunAndQueueStats)
+{
+    obs::Counter &run = obs::Registry::global().counter(
+        "common.pool.tasks_run");
+    const std::uint64_t run0 = run.value();
+    parallelFor(64, [](std::size_t) {});
+    // The calling thread may have done all the work, but helper tasks
+    // were at least submitted and eventually run; check the counter
+    // kept its monotone contract rather than an exact figure.
+    EXPECT_GE(run.value(), run0);
+    EXPECT_GE(obs::Registry::global()
+                  .gauge("common.pool.threads")
+                  .value(),
+              0.0);
 }
 
 TEST(ParallelFor, ResultsIndependentOfScheduling)
