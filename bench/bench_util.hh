@@ -85,6 +85,38 @@ benchName(const char *argv0)
     return name;
 }
 
+/**
+ * Console reporter that additionally records every per-iteration run
+ * as an obs::BenchTiming, so --json reports can embed the timings
+ * (the BENCH_*.json perf baselines compare against these).
+ */
+class RecordingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.run_type != Run::RT_Iteration || run.error_occurred)
+                continue;
+            obs::BenchTiming t;
+            t.name = run.benchmark_name();
+            t.iterations = (std::uint64_t)run.iterations;
+            double iters =
+                run.iterations > 0 ? (double)run.iterations : 1.0;
+            t.realSecondsPerIter = run.real_accumulated_time / iters;
+            t.cpuSecondsPerIter = run.cpu_accumulated_time / iters;
+            auto it = run.counters.find("items_per_second");
+            if (it != run.counters.end())
+                t.itemsPerSecond = it->second.value;
+            timings.push_back(std::move(t));
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    std::vector<obs::BenchTiming> timings;
+};
+
 } // namespace detail
 
 /**
@@ -106,13 +138,15 @@ runBench(int argc, char **argv,
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
-    benchmark::RunSpecifiedBenchmarks();
+    detail::RecordingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
 
     if (!json_path.empty()) {
         obs::writeBenchReport(json_path, detail::benchName(argv[0]),
                               printedTables(),
-                              obs::Registry::global());
+                              obs::Registry::global(),
+                              reporter.timings);
         std::fprintf(stderr, "wrote bench report: %s\n",
                      json_path.c_str());
     }

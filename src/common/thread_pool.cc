@@ -48,7 +48,21 @@ poolStats()
     return *stats;
 }
 
+std::atomic<std::size_t> g_parallelForWidth{0};
+
 } // namespace
+
+void
+setParallelForWidth(std::size_t width)
+{
+    g_parallelForWidth.store(width, std::memory_order_relaxed);
+}
+
+std::size_t
+parallelForWidth()
+{
+    return g_parallelForWidth.load(std::memory_order_relaxed);
+}
 
 ThreadPool::ThreadPool(std::size_t threads)
 {
@@ -152,6 +166,10 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
 
     ThreadPool &pool = ThreadPool::global();
     std::size_t helpers = std::min(pool.threadCount(), n - 1);
+    const std::size_t width =
+        g_parallelForWidth.load(std::memory_order_relaxed);
+    if (width > 0)
+        helpers = std::min(helpers, width - 1);
     if (helpers == 0) {
         // Serial fallback still propagates the first exception -- it
         // simply reaches the caller directly.

@@ -64,4 +64,17 @@ class ThreadPool
 void parallelFor(std::size_t n,
                  const std::function<void(std::size_t)> &fn);
 
+/**
+ * Cap how many threads (the caller included) parallelFor may use:
+ * 1 forces serial execution, 0 restores the default (caller plus all
+ * pool workers). The kernels it drives are byte-identical at any
+ * width, so this exists for tests that assert exactly that, and for
+ * benchmarks that want a fixed width. Not a synchronization point --
+ * set it only while no parallelFor is in flight.
+ */
+void setParallelForWidth(std::size_t width);
+
+/** Current parallelFor width cap; 0 means uncapped. */
+std::size_t parallelForWidth();
+
 } // namespace dsv3

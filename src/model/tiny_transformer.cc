@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
 #include "numerics/error.hh"
 
 namespace dsv3::model {
@@ -122,10 +123,12 @@ TinyTransformer::attention(const Matrix &x, const LayerWeights &w,
     Matrix v = runGemm(x, w.wv, precision);
 
     // Causal softmax attention per head, in FP64 (the production
-    // recipe keeps attention cores above FP8; see Figure 1).
+    // recipe keeps attention cores above FP8; see Figure 1). Heads
+    // touch disjoint column ranges of every matrix involved, so they
+    // fan out across the pool without changing any result bit.
     Matrix concat(tokens, cfg_.heads * hd);
     const double scale = 1.0 / std::sqrt((double)hd);
-    for (std::size_t h = 0; h < cfg_.heads; ++h) {
+    parallelFor(cfg_.heads, [&](std::size_t h) {
         for (std::size_t t = 0; t < tokens; ++t) {
             // Scores over history [0, t].
             std::vector<double> scores(t + 1, 0.0);
@@ -149,7 +152,7 @@ TinyTransformer::attention(const Matrix &x, const LayerWeights &w,
                 concat.at(t, h * hd + c) = acc / denom;
             }
         }
-    }
+    });
     return runGemm(concat, w.wo, precision);
 }
 

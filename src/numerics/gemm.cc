@@ -1,8 +1,11 @@
 #include "numerics/gemm.hh"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "numerics/kernels.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
 
@@ -27,10 +30,255 @@ gemmStats()
     return *stats;
 }
 
+/** Output rows per parallelFor task. */
+constexpr std::size_t kRowBlock = 8;
+
+/**
+ * Return @p src (rows x cols, row-major) transposed, so a GEMM's B
+ * operand becomes k-major: out[j * rows + kk] = src[kk * cols + j].
+ * Blocked to keep both streams cache-resident.
+ */
+std::vector<double>
+transposed(const double *src, std::size_t rows, std::size_t cols)
+{
+    constexpr std::size_t B = 32;
+    std::vector<double> out(rows * cols);
+    for (std::size_t r0 = 0; r0 < rows; r0 += B) {
+        const std::size_t r1 = std::min(rows, r0 + B);
+        for (std::size_t c0 = 0; c0 < cols; c0 += B) {
+            const std::size_t c1 = std::min(cols, c0 + B);
+            for (std::size_t r = r0; r < r1; ++r)
+                for (std::size_t c = c0; c < c1; ++c)
+                    out[c * rows + r] = src[r * cols + c];
+        }
+    }
+    return out;
+}
+
+/** Run fn(i_lo, i_hi) over kRowBlock-row slices of [0, m) in parallel. */
+void
+forRowBlocks(std::size_t m,
+             const std::function<void(std::size_t, std::size_t)> &fn)
+{
+    const std::size_t blocks = (m + kRowBlock - 1) / kRowBlock;
+    parallelFor(blocks, [&](std::size_t blk) {
+        const std::size_t i_lo = blk * kRowBlock;
+        fn(i_lo, std::min(m, i_lo + kRowBlock));
+    });
+}
+
 } // namespace
 
 Matrix
 gemmRef(const Matrix &a, const Matrix &b)
+{
+    DSV3_ASSERT(a.cols() == b.rows());
+    const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+    Matrix c(m, n);
+    // Same per-(i, j) sequential k reduction as gemmRefScalar -- only
+    // the B layout and the row partitioning change, so the result is
+    // byte-identical at any thread count.
+    const std::vector<double> bt = transposed(b.data().data(), k, n);
+    const double *ad = a.data().data();
+    double *cd = c.data().data();
+    forRowBlocks(m, [&](std::size_t i_lo, std::size_t i_hi) {
+        for (std::size_t i = i_lo; i < i_hi; ++i) {
+            const double *arow = ad + i * k;
+            for (std::size_t j = 0; j < n; ++j) {
+                const double *brow = bt.data() + j * k;
+                double acc = 0.0;
+                for (std::size_t kk = 0; kk < k; ++kk)
+                    acc += arow[kk] * brow[kk];
+                cd[i * n + j] = acc;
+            }
+        }
+    });
+    return c;
+}
+
+Matrix
+gemmBf16(const Matrix &a, const Matrix &b)
+{
+    DSV3_ASSERT(a.cols() == b.rows());
+    const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+
+    // Pre-quantize operands to BF16 in bulk, then pack B k-major.
+    std::vector<double> aq(m * k), bq(k * n);
+    quantizeSpan(kBF16, a.data(), aq.data());
+    quantizeSpan(kBF16, b.data(), bq.data());
+    const std::vector<double> bt = transposed(bq.data(), k, n);
+
+    Matrix c(m, n);
+    double *cd = c.data().data();
+    forRowBlocks(m, [&](std::size_t i_lo, std::size_t i_hi) {
+        for (std::size_t i = i_lo; i < i_hi; ++i) {
+            const double *arow = aq.data() + i * k;
+            for (std::size_t j = 0; j < n; ++j) {
+                const double *brow = bt.data() + j * k;
+                float acc = 0.0f;
+                for (std::size_t kk = 0; kk < k; ++kk)
+                    acc += (float)(arow[kk] * brow[kk]);
+                cd[i * n + j] = (double)acc;
+            }
+        }
+    });
+    return c;
+}
+
+Matrix
+gemmQuantized(const Matrix &a, const Matrix &b, const GemmOptions &options)
+{
+    DSV3_ASSERT(a.cols() == b.rows());
+    const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+    DSV3_TRACE_SPAN("numerics.gemm.quantized", "m", m, "n", n, "k", k);
+    const std::size_t tile_k = options.tileK;
+    const std::size_t group = options.groupSize;
+
+    const Granularity ga = options.fineGrained ? Granularity::TILE_1X128
+                                               : Granularity::PER_TENSOR;
+    const Granularity gb = options.fineGrained
+        ? Granularity::BLOCK_128X128 : Granularity::PER_TENSOR;
+    if (options.accum == AccumMode::FP22_NO_PROMOTION) {
+        DSV3_ASSERT(!options.fineGrained,
+                    "FP22-only accumulation cannot fold fine-grained "
+                    "scales (no promotion step exists)");
+    }
+
+    QuantizedMatrix aq(a, *options.fmt, ga, tile_k);
+    QuantizedMatrix bq(b, *options.fmt, gb, tile_k);
+
+    // Decode the raw (unscaled) operand values once in bulk (a LUT
+    // gather for FP8 formats), then pack B k-major so both inner-loop
+    // streams are contiguous.
+    std::vector<double> araw(m * k), btmp(k * n);
+    aq.decodeRawInto(araw.data());
+    bq.decodeRawInto(btmp.data());
+    const std::vector<double> bt = transposed(btmp.data(), k, n);
+    btmp.clear();
+    btmp.shrink_to_fit();
+
+    // Hoist the scale grids out of the inner loops: ascale is (row x
+    // tile), bscale_t is (col x tile) to match the packed B.
+    const std::size_t num_tiles = (k + tile_k - 1) / tile_k;
+    std::vector<double> ascale(m * num_tiles), bscale_t(n * num_tiles);
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t t = 0; t < num_tiles; ++t)
+            ascale[i * num_tiles + t] = aq.scale(i, t * tile_k);
+    for (std::size_t j = 0; j < n; ++j)
+        for (std::size_t t = 0; t < num_tiles; ++t)
+            bscale_t[j * num_tiles + t] = bq.scale(t * tile_k, j);
+
+    Matrix c(m, n);
+    double *cd = c.data().data();
+
+    // The AccumMode switch is hoisted to once per row block; each arm
+    // keeps the scalar reference's exact operation order per output
+    // cell (tile-major, sequential k inside the tile, products grouped
+    // per `group` for the tensor-core model), so results are
+    // byte-identical to gemmQuantizedRef at any thread count.
+    forRowBlocks(m, [&](std::size_t i_lo, std::size_t i_hi) {
+        // Tensor-core product group; the instruction width is 32 on
+        // real hardware, so the stack buffer covers every sane config.
+        double stack_buf[64];
+        std::vector<double> heap_buf;
+        double *pbuf = stack_buf;
+        if (group > 64) {
+            heap_buf.resize(group);
+            pbuf = heap_buf.data();
+        }
+
+        switch (options.accum) {
+          case AccumMode::FP32:
+            for (std::size_t i = i_lo; i < i_hi; ++i) {
+                const double *arow = araw.data() + i * k;
+                const double *as = ascale.data() + i * num_tiles;
+                for (std::size_t j = 0; j < n; ++j) {
+                    const double *brow = bt.data() + j * k;
+                    const double *bs = bscale_t.data() + j * num_tiles;
+                    float fp32_accum = 0.0f;
+                    for (std::size_t t = 0; t < num_tiles; ++t) {
+                        const std::size_t k_lo = t * tile_k;
+                        const std::size_t k_hi =
+                            std::min(k, k_lo + tile_k);
+                        const double combined_scale = as[t] * bs[t];
+                        double tile_sum = 0.0;
+                        for (std::size_t kk = k_lo; kk < k_hi; ++kk)
+                            tile_sum += arow[kk] * brow[kk];
+                        fp32_accum += (float)(tile_sum * combined_scale);
+                    }
+                    cd[i * n + j] = (double)fp32_accum;
+                }
+            }
+            break;
+
+          case AccumMode::FP22:
+            for (std::size_t i = i_lo; i < i_hi; ++i) {
+                const double *arow = araw.data() + i * k;
+                const double *as = ascale.data() + i * num_tiles;
+                for (std::size_t j = 0; j < n; ++j) {
+                    const double *brow = bt.data() + j * k;
+                    const double *bs = bscale_t.data() + j * num_tiles;
+                    float fp32_accum = 0.0f;
+                    for (std::size_t t = 0; t < num_tiles; ++t) {
+                        const std::size_t k_lo = t * tile_k;
+                        const std::size_t k_hi =
+                            std::min(k, k_lo + tile_k);
+                        const double combined_scale = as[t] * bs[t];
+                        Fp22Register reg;
+                        for (std::size_t kk = k_lo; kk < k_hi;) {
+                            const std::size_t lim =
+                                std::min(k_hi, kk + group);
+                            std::size_t cnt = 0;
+                            for (; kk < lim; ++kk)
+                                pbuf[cnt++] = arow[kk] * brow[kk];
+                            reg.add(alignedGroupSum({pbuf, cnt}));
+                        }
+                        // Promotion: CUDA cores fold the dequant scales.
+                        fp32_accum +=
+                            (float)(reg.value() * combined_scale);
+                    }
+                    cd[i * n + j] = (double)fp32_accum;
+                }
+            }
+            break;
+
+          case AccumMode::FP22_NO_PROMOTION:
+            for (std::size_t i = i_lo; i < i_hi; ++i) {
+                const double *arow = araw.data() + i * k;
+                const double *as = ascale.data() + i * num_tiles;
+                for (std::size_t j = 0; j < n; ++j) {
+                    const double *brow = bt.data() + j * k;
+                    const double *bs = bscale_t.data() + j * num_tiles;
+                    Fp22Register whole_k;
+                    for (std::size_t kk = 0; kk < k;) {
+                        const std::size_t k_hi = std::min(
+                            k, (kk / tile_k) * tile_k + tile_k);
+                        const std::size_t lim =
+                            std::min(k_hi, kk + group);
+                        std::size_t cnt = 0;
+                        for (; kk < lim; ++kk)
+                            pbuf[cnt++] = arow[kk] * brow[kk];
+                        whole_k.add(alignedGroupSum({pbuf, cnt}));
+                    }
+                    cd[i * n + j] = whole_k.value() * (as[0] * bs[0]);
+                }
+            }
+            break;
+        }
+    });
+
+    GemmStats &stats = gemmStats();
+    stats.calls.inc();
+    stats.tiles.inc((std::uint64_t)(m * n * num_tiles));
+    stats.elements.inc((std::uint64_t)(m * n));
+    return c;
+}
+
+// Scalar reference oracles (original implementations, stats/trace
+// free). ---------------------------------------------------------------
+
+Matrix
+gemmRefScalar(const Matrix &a, const Matrix &b)
 {
     DSV3_ASSERT(a.cols() == b.rows());
     std::size_t m = a.rows(), k = a.cols(), n = b.cols();
@@ -47,19 +295,19 @@ gemmRef(const Matrix &a, const Matrix &b)
 }
 
 Matrix
-gemmBf16(const Matrix &a, const Matrix &b)
+gemmBf16Ref(const Matrix &a, const Matrix &b)
 {
     DSV3_ASSERT(a.cols() == b.rows());
     std::size_t m = a.rows(), k = a.cols(), n = b.cols();
 
-    // Pre-quantize operands to BF16 once.
+    // Pre-quantize operands to BF16 once, via the reference codec.
     Matrix aq(m, k), bq(k, n);
     for (std::size_t i = 0; i < m; ++i)
         for (std::size_t kk = 0; kk < k; ++kk)
-            aq.at(i, kk) = quantize(kBF16, a.at(i, kk));
+            aq.at(i, kk) = quantizeRef(kBF16, a.at(i, kk));
     for (std::size_t kk = 0; kk < k; ++kk)
         for (std::size_t j = 0; j < n; ++j)
-            bq.at(kk, j) = quantize(kBF16, b.at(kk, j));
+            bq.at(kk, j) = quantizeRef(kBF16, b.at(kk, j));
 
     Matrix c(m, n);
     for (std::size_t i = 0; i < m; ++i) {
@@ -74,11 +322,11 @@ gemmBf16(const Matrix &a, const Matrix &b)
 }
 
 Matrix
-gemmQuantized(const Matrix &a, const Matrix &b, const GemmOptions &options)
+gemmQuantizedRef(const Matrix &a, const Matrix &b,
+                 const GemmOptions &options)
 {
     DSV3_ASSERT(a.cols() == b.rows());
     const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-    DSV3_TRACE_SPAN("numerics.gemm.quantized", "m", m, "n", n, "k", k);
     const std::size_t tile_k = options.tileK;
     const std::size_t group = options.groupSize;
 
@@ -165,11 +413,6 @@ gemmQuantized(const Matrix &a, const Matrix &b, const GemmOptions &options)
             }
         }
     }
-
-    GemmStats &stats = gemmStats();
-    stats.calls.inc();
-    stats.tiles.inc((std::uint64_t)(m * n * num_tiles));
-    stats.elements.inc((std::uint64_t)(m * n));
     return c;
 }
 

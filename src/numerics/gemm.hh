@@ -55,4 +55,14 @@ Matrix gemmBf16(const Matrix &a, const Matrix &b);
 Matrix gemmQuantized(const Matrix &a, const Matrix &b,
                      const GemmOptions &options);
 
+// Scalar reference implementations: the original unblocked,
+// single-threaded triple loops, kept verbatim (and stats/trace-free)
+// as the oracles the packed + parallel kernels above are golden-tested
+// against. gemmRef/gemmBf16/gemmQuantized must return byte-identical
+// matrices to these at every thread width.
+Matrix gemmRefScalar(const Matrix &a, const Matrix &b);
+Matrix gemmBf16Ref(const Matrix &a, const Matrix &b);
+Matrix gemmQuantizedRef(const Matrix &a, const Matrix &b,
+                        const GemmOptions &options);
+
 } // namespace dsv3::numerics

@@ -25,6 +25,57 @@ logFmtStats()
     return *stats;
 }
 
+/** Magnitude of code @p k under the tile's log-domain parameters. */
+inline double
+magnitudeAt(double min_log, double step, std::uint32_t k)
+{
+    if (k == 0)
+        return 0.0;
+    return std::exp(min_log + step * (double)(k - 1));
+}
+
+/**
+ * Lazily memoized magnitudeAt() over one tile's code space: each
+ * distinct code costs one exp() no matter how many elements map to
+ * it. 0.0 doubles as the "not computed yet" sentinel -- a magnitude
+ * that genuinely underflows to 0.0 is just recomputed each time,
+ * which changes nothing.
+ *
+ * Tiles are ~128 elements, so for wide formats the table would cost
+ * more to clear than the exp() calls it saves; past kCacheLimit
+ * entries the cache turns itself off and computes directly.
+ */
+class MagnitudeCache
+{
+  public:
+    static constexpr std::uint32_t kCacheLimit = 4096;
+
+    /** Re-target the cache at a tile's parameters (storage reused). */
+    void reset(double min_log, double step, std::uint32_t k_max)
+    {
+        minLog_ = min_log;
+        step_ = step;
+        cache_.assign(k_max + 1 <= kCacheLimit ? k_max + 1 : 0, 0.0);
+    }
+
+    double operator()(std::uint32_t k)
+    {
+        if (cache_.empty())
+            return magnitudeAt(minLog_, step_, k);
+        double v = cache_[k];
+        if (v == 0.0) {
+            v = magnitudeAt(minLog_, step_, k);
+            cache_[k] = v;
+        }
+        return v;
+    }
+
+  private:
+    double minLog_ = 0.0;
+    double step_ = 0.0;
+    std::vector<double> cache_;
+};
+
 } // namespace
 
 LogFmtCodec::LogFmtCodec(int bits, LogFmtRounding rounding,
@@ -46,25 +97,49 @@ LogFmtCodec::magnitudeCodes() const
 double
 LogFmtCodec::decodeMagnitude(const LogFmtTile &tile, std::uint32_t k) const
 {
-    if (k == 0)
-        return 0.0;
-    return std::exp(tile.minLog + tile.step * (double)(k - 1));
+    return magnitudeAt(tile.minLog, tile.step, k);
 }
 
 LogFmtTile
 LogFmtCodec::encode(std::span<const double> values) const
 {
     LogFmtTile tile;
-    tile.bits = bits_;
-    tile.codes.resize(values.size(), 0);
+    encodeInto(values, tile);
+    return tile;
+}
 
-    // Tile statistics over non-zero magnitudes.
+namespace {
+
+/**
+ * encodeInto() body. @p mag_at and @p logs are caller-provided scratch
+ * so tiled loops (roundTrip) reuse their storage across tiles; mag_at
+ * is left re-targeted at this tile's parameters, which lets a
+ * following decode of the same tile reuse every magnitude already
+ * computed here.
+ */
+void
+encodeImpl(std::span<const double> values, int bits,
+           LogFmtRounding rounding, double max_range_ln,
+           LogFmtTile &tile, MagnitudeCache &mag_at,
+           std::vector<double> &logs)
+{
+    tile.bits = bits;
+    tile.minLog = 0.0;
+    tile.step = 0.0;
+    tile.codes.assign(values.size(), 0);
+
+    // Tile statistics over non-zero magnitudes. The log of every
+    // usable element is kept so the encode pass below does not have
+    // to take it a second time.
+    logs.resize(values.size());
     double min_log = 0.0, max_log = 0.0;
     bool any = false;
-    for (double x : values) {
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        double x = values[i];
         if (x == 0.0 || !std::isfinite(x))
             continue;
         double l = std::log(std::fabs(x));
+        logs[i] = l;
         if (!any) {
             min_log = max_log = l;
             any = true;
@@ -73,30 +148,29 @@ LogFmtCodec::encode(std::span<const double> values) const
             max_log = std::max(max_log, l);
         }
     }
-    if (!any)
-        return tile; // all-zero tile: every code stays 0
+    const std::uint32_t k_max = (1u << (bits - 1)) - 1;
+    if (!any) {
+        mag_at.reset(0.0, 0.0, k_max);
+        return; // all-zero tile: every code stays 0
+    }
 
     // Constrain the dynamic range so it never exceeds ~2^32 (the paper
     // aligns this with the range of an E5 exponent).
-    min_log = std::max(min_log, max_log - maxRangeLn_);
+    min_log = std::max(min_log, max_log - max_range_ln);
 
-    const std::uint32_t k_max = magnitudeCodes();
     const double step = k_max > 1
         ? (max_log - min_log) / (double)(k_max - 1) : 0.0;
     tile.minLog = min_log;
     tile.step = step;
 
-    const std::uint32_t sign_bit = 1u << (bits_ - 1);
+    const std::uint32_t sign_bit = 1u << (bits - 1);
+    mag_at.reset(min_log, step, k_max);
     std::uint64_t below_range = 0;
     for (std::size_t i = 0; i < values.size(); ++i) {
         double x = values[i];
-        if (x == 0.0 || !std::isfinite(x)) {
-            tile.codes[i] = 0;
-            continue;
-        }
+        if (x == 0.0 || !std::isfinite(x))
+            continue; // code already 0
         std::uint32_t sign = x < 0.0 ? sign_bit : 0u;
-        double mag = std::fabs(x);
-        double l = std::log(mag);
 
         std::uint32_t k;
         if (step == 0.0) {
@@ -107,10 +181,10 @@ LogFmtCodec::encode(std::span<const double> values) const
             // otherwise round to code 0 == exact zero. They saturate
             // to code 1, the smallest representable magnitude, like
             // an E5 format clamping to its minimum subnormal.
-            double k_real = (l - min_log) / step + 1.0;
+            double k_real = (logs[i] - min_log) / step + 1.0;
             if (k_real < 1.0)
                 ++below_range;
-            if (rounding_ == LogFmtRounding::LOG_SPACE) {
+            if (rounding == LogFmtRounding::LOG_SPACE) {
                 long rounded = std::lround(k_real);
                 k = (std::uint32_t)std::clamp<long>(rounded, 1,
                                                     (long)k_max);
@@ -122,11 +196,9 @@ LogFmtCodec::encode(std::span<const double> values) const
                 long lo_idx = std::clamp<long>((long)fl, 1, (long)k_max);
                 long hi_idx = std::clamp<long>(lo_idx + 1, 1,
                                                (long)k_max);
-                LogFmtTile probe = tile; // carries minLog/step only
-                double v_lo = decodeMagnitude(probe,
-                                              (std::uint32_t)lo_idx);
-                double v_hi = decodeMagnitude(probe,
-                                              (std::uint32_t)hi_idx);
+                double mag = std::fabs(x);
+                double v_lo = mag_at((std::uint32_t)lo_idx);
+                double v_hi = mag_at((std::uint32_t)hi_idx);
                 k = std::fabs(mag - v_lo) <= std::fabs(v_hi - mag)
                     ? (std::uint32_t)lo_idx : (std::uint32_t)hi_idx;
             }
@@ -136,21 +208,48 @@ LogFmtCodec::encode(std::span<const double> values) const
     LogFmtStats &stats = logFmtStats();
     stats.values.inc(values.size());
     stats.belowRange.inc(below_range);
-    return tile;
+}
+
+/** decodeInto() body; @p mag_at must match the tile's parameters. */
+void
+decodeImpl(const LogFmtTile &tile, double *out, MagnitudeCache &mag_at)
+{
+    const std::uint32_t sign_bit = 1u << (tile.bits - 1);
+    const std::uint32_t k_mask = sign_bit - 1;
+    for (std::size_t i = 0; i < tile.codes.size(); ++i) {
+        std::uint32_t code = tile.codes[i];
+        double mag = mag_at(code & k_mask);
+        out[i] = (code & sign_bit) ? -mag : mag;
+    }
+}
+
+} // namespace
+
+void
+LogFmtCodec::encodeInto(std::span<const double> values,
+                        LogFmtTile &tile) const
+{
+    MagnitudeCache mag_at;
+    std::vector<double> logs;
+    encodeImpl(values, bits_, rounding_, maxRangeLn_, tile, mag_at,
+               logs);
 }
 
 std::vector<double>
 LogFmtCodec::decode(const LogFmtTile &tile) const
 {
-    const std::uint32_t sign_bit = 1u << (tile.bits - 1);
-    const std::uint32_t k_mask = sign_bit - 1;
     std::vector<double> out(tile.codes.size(), 0.0);
-    for (std::size_t i = 0; i < tile.codes.size(); ++i) {
-        std::uint32_t code = tile.codes[i];
-        double mag = decodeMagnitude(tile, code & k_mask);
-        out[i] = (code & sign_bit) ? -mag : mag;
-    }
+    decodeInto(tile, out.data());
     return out;
+}
+
+void
+LogFmtCodec::decodeInto(const LogFmtTile &tile, double *out) const
+{
+    MagnitudeCache mag_at;
+    mag_at.reset(tile.minLog, tile.step,
+                 (1u << (tile.bits - 1)) - 1);
+    decodeImpl(tile, out, mag_at);
 }
 
 std::vector<double>
@@ -158,13 +257,17 @@ LogFmtCodec::roundTrip(std::span<const double> values,
                        std::size_t tile) const
 {
     DSV3_ASSERT(tile > 0);
-    std::vector<double> out;
-    out.reserve(values.size());
+    std::vector<double> out(values.size(), 0.0);
+    LogFmtTile scratch;
+    MagnitudeCache mag_at;
+    std::vector<double> logs;
     for (std::size_t lo = 0; lo < values.size(); lo += tile) {
         std::size_t hi = std::min(values.size(), lo + tile);
-        auto encoded = encode(values.subspan(lo, hi - lo));
-        auto decoded = decode(encoded);
-        out.insert(out.end(), decoded.begin(), decoded.end());
+        // encodeImpl leaves mag_at targeted at this tile, so the
+        // decode reuses every magnitude the encode already computed.
+        encodeImpl(values.subspan(lo, hi - lo), bits_, rounding_,
+                   maxRangeLn_, scratch, mag_at, logs);
+        decodeImpl(scratch, out.data() + lo, mag_at);
     }
     return out;
 }

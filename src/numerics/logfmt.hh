@@ -62,8 +62,19 @@ class LogFmtCodec
     /** Encode one tile (the paper's tile is 128 elements). */
     LogFmtTile encode(std::span<const double> values) const;
 
+    /**
+     * Encode into an existing tile, reusing its codes storage.
+     * Equivalent to encode(); lets tiled loops avoid a heap
+     * allocation per tile.
+     */
+    void encodeInto(std::span<const double> values,
+                    LogFmtTile &tile) const;
+
     /** Decode a tile back to doubles. */
     std::vector<double> decode(const LogFmtTile &tile) const;
+
+    /** Decode into @p out (must hold tile.codes.size() doubles). */
+    void decodeInto(const LogFmtTile &tile, double *out) const;
 
     /** Convenience: encode+decode an arbitrary-length vector, tiled. */
     std::vector<double> roundTrip(std::span<const double> values,

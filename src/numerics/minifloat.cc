@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "numerics/kernels.hh"
 
 namespace dsv3::numerics {
 
@@ -47,7 +48,7 @@ const FloatFormat kFP22 = {"FP22", 8, 13, 127, false};
 namespace {
 
 double
-quantizeImpl(const FloatFormat &fmt, double x, bool truncate)
+quantizeRefImpl(const FloatFormat &fmt, double x, bool truncate)
 {
     if (std::isnan(x))
         return x;
@@ -81,19 +82,19 @@ quantizeImpl(const FloatFormat &fmt, double x, bool truncate)
 } // namespace
 
 double
-quantize(const FloatFormat &fmt, double x)
+quantizeRef(const FloatFormat &fmt, double x)
 {
-    return quantizeImpl(fmt, x, false);
+    return quantizeRefImpl(fmt, x, false);
 }
 
 double
-quantizeTruncate(const FloatFormat &fmt, double x)
+quantizeTruncateRef(const FloatFormat &fmt, double x)
 {
-    return quantizeImpl(fmt, x, true);
+    return quantizeRefImpl(fmt, x, true);
 }
 
 std::uint32_t
-encode(const FloatFormat &fmt, double x)
+encodeRef(const FloatFormat &fmt, double x)
 {
     const std::uint32_t exp_mask = (1u << fmt.ebits) - 1;
     const std::uint32_t mant_mask = (1u << fmt.mbits) - 1;
@@ -109,7 +110,7 @@ encode(const FloatFormat &fmt, double x)
         return (sign << shift_sign) | (exp_mask << shift_exp) | mant;
     }
 
-    double qx = quantize(fmt, x);
+    double qx = quantizeRef(fmt, x);
     if (std::isinf(qx)) {
         DSV3_ASSERT(!fmt.finiteOnly);
         return (sign << shift_sign) | (exp_mask << shift_exp);
@@ -124,14 +125,19 @@ encode(const FloatFormat &fmt, double x)
     e -= 1;
     std::uint32_t exp_field;
     std::uint32_t mant;
+    // qx is already quantized, so the scaled mantissas below are exact
+    // integers; nearbyint (ties-to-even) is used anyway so this path
+    // can never disagree with quantizeRef's rounding. (The original
+    // lround here rounded ties away from zero -- harmless on exact
+    // integers, but a latent divergence.)
     if (e >= emin) {
         exp_field = (std::uint32_t)(e + fmt.bias);
         double frac = mag / std::ldexp(1.0, e) - 1.0; // in [0, 1)
-        mant = (std::uint32_t)std::lround(frac * std::ldexp(1.0,
-                                                            fmt.mbits));
+        mant = (std::uint32_t)std::nearbyint(frac *
+                                             std::ldexp(1.0, fmt.mbits));
     } else {
         exp_field = 0;
-        mant = (std::uint32_t)std::lround(
+        mant = (std::uint32_t)std::nearbyint(
             mag / std::ldexp(1.0, emin - fmt.mbits));
     }
     DSV3_ASSERT(exp_field <= exp_mask);
@@ -140,7 +146,7 @@ encode(const FloatFormat &fmt, double x)
 }
 
 double
-decode(const FloatFormat &fmt, std::uint32_t code)
+decodeRef(const FloatFormat &fmt, std::uint32_t code)
 {
     const std::uint32_t exp_mask = (1u << fmt.ebits) - 1;
     const std::uint32_t mant_mask = (1u << fmt.mbits) - 1;
@@ -168,6 +174,32 @@ decode(const FloatFormat &fmt, std::uint32_t code)
     }
     double frac = 1.0 + (double)mant * std::ldexp(1.0, -fmt.mbits);
     return s * frac * std::ldexp(1.0, (int)exp_field - fmt.bias);
+}
+
+// Public API: dispatch to the fast kernels (see kernels.hh). ------------
+
+double
+quantize(const FloatFormat &fmt, double x)
+{
+    return quantizeFast(formatKernels(fmt), x);
+}
+
+double
+quantizeTruncate(const FloatFormat &fmt, double x)
+{
+    return quantizeTruncateFast(formatKernels(fmt), x);
+}
+
+std::uint32_t
+encode(const FloatFormat &fmt, double x)
+{
+    return encodeFast(formatKernels(fmt), x);
+}
+
+double
+decode(const FloatFormat &fmt, std::uint32_t code)
+{
+    return decodeFast(formatKernels(fmt), code);
 }
 
 bool

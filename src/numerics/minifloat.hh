@@ -75,6 +75,27 @@ std::uint32_t encode(const FloatFormat &fmt, double x);
 /** Decode a bit pattern into a double. */
 double decode(const FloatFormat &fmt, std::uint32_t code);
 
+// Scalar reference codec. ------------------------------------------------
+//
+// The original frexp/ldexp/nearbyint implementations, kept verbatim as
+// the oracle the fast kernels (kernels.hh) are tested against: the
+// golden bit-exactness suite asserts encode()/quantize()/decode()
+// match these for every input. Call sites should use the fast public
+// functions above; these exist for verification and as readable
+// documentation of the codec's semantics.
+
+/** Reference for quantize(): frexp/nearbyint scalar path. */
+double quantizeRef(const FloatFormat &fmt, double x);
+
+/** Reference for quantizeTruncate(). */
+double quantizeTruncateRef(const FloatFormat &fmt, double x);
+
+/** Reference for encode(). Rounds ties-to-even, like quantizeRef(). */
+std::uint32_t encodeRef(const FloatFormat &fmt, double x);
+
+/** Reference for decode(). */
+double decodeRef(const FloatFormat &fmt, std::uint32_t code);
+
 /** True when the code is NaN in this format. */
 bool isNan(const FloatFormat &fmt, std::uint32_t code);
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "numerics/kernels.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
 
@@ -68,43 +69,71 @@ QuantizedMatrix::QuantizedMatrix(const Matrix &m, const FloatFormat &fmt,
         break;
     }
 
-    // Pass 1: per-region amax -> scale = amax / maxFinite.
+    // Pass 1: per-region amax -> scale = amax / maxFinite. Each row is
+    // walked tile-run by tile-run so the scale index is computed once
+    // per run instead of once per element; within a region elements
+    // are visited in the same order as before.
     const double max_code = fmt_->maxFinite();
     std::vector<double> amax(scales_.size(), 0.0);
+    const double *data = m.data().data();
     for (std::size_t r = 0; r < rows_; ++r) {
-        for (std::size_t c = 0; c < cols_; ++c) {
-            std::size_t idx = scaleIndex(r, c);
-            amax[idx] = std::max(amax[idx], std::fabs(m.at(r, c)));
+        const double *row = data + r * cols_;
+        for (std::size_t c_lo = 0; c_lo < cols_; c_lo += tile_) {
+            const std::size_t c_hi = std::min(cols_, c_lo + tile_);
+            double &a = amax[scaleIndex(r, c_lo)];
+            double run = a;
+            for (std::size_t c = c_lo; c < c_hi; ++c)
+                run = std::max(run, std::fabs(row[c]));
+            a = run;
         }
     }
     for (std::size_t i = 0; i < scales_.size(); ++i)
         scales_[i] = amax[i] > 0.0 ? amax[i] / max_code : 1.0;
 
-    // Pass 2: encode. Saturation (|x/s| beyond the format's largest
-    // finite) and underflow-to-zero events are tallied -- amax scaling
-    // makes saturation rare by construction, so a nonzero count flags
-    // a scale-selection bug or an adversarial input distribution.
+    // Pass 2: encode through the bit-classification kernel, one scale
+    // lookup per tile run. Saturation (|x/s| beyond the format's
+    // largest finite) and underflow-to-zero events are tallied --
+    // amax scaling makes saturation rare by construction, so a
+    // nonzero count flags a scale-selection bug or an adversarial
+    // input distribution. A flushed element is recognisable from its
+    // code alone (all magnitude bits zero), so the tally costs no
+    // decode; with stats gated off it is skipped entirely.
     DSV3_TRACE_SPAN("numerics.quantize.encode", "rows", rows_, "cols",
                     cols_, "fmt", fmt_->name);
+    const FormatKernels &kern = formatKernels(*fmt_);
     const double fmt_max = fmt_->maxFinite();
+    const std::uint32_t mag_mask = (1u << kern.signShift) - 1;
+    const bool tally = obs::statsEnabled();
     std::uint64_t saturated = 0, flushed = 0;
     codes_.resize(rows_ * cols_);
     for (std::size_t r = 0; r < rows_; ++r) {
-        for (std::size_t c = 0; c < cols_; ++c) {
-            double s = scales_[scaleIndex(r, c)];
-            double scaled = m.at(r, c) / s;
-            std::uint32_t code = encode(*fmt_, scaled);
-            codes_[r * cols_ + c] = code;
-            if (std::fabs(scaled) > fmt_max)
-                ++saturated;
-            else if (scaled != 0.0 && decode(*fmt_, code) == 0.0)
-                ++flushed;
+        const double *row = data + r * cols_;
+        std::uint32_t *crow = codes_.data() + r * cols_;
+        for (std::size_t c_lo = 0; c_lo < cols_; c_lo += tile_) {
+            const std::size_t c_hi = std::min(cols_, c_lo + tile_);
+            const double s = scales_[scaleIndex(r, c_lo)];
+            if (tally) {
+                for (std::size_t c = c_lo; c < c_hi; ++c) {
+                    const double scaled = row[c] / s;
+                    const std::uint32_t code = encodeFast(kern, scaled);
+                    crow[c] = code;
+                    if (std::fabs(scaled) > fmt_max)
+                        ++saturated;
+                    else if (scaled != 0.0 && (code & mag_mask) == 0)
+                        ++flushed;
+                }
+            } else {
+                for (std::size_t c = c_lo; c < c_hi; ++c)
+                    crow[c] = encodeFast(kern, row[c] / s);
+            }
         }
     }
-    QuantizeStats &stats = quantizeStats();
-    stats.values.inc((std::uint64_t)(rows_ * cols_));
-    stats.saturated.inc(saturated);
-    stats.flushedToZero.inc(flushed);
+    if (tally) {
+        QuantizeStats &stats = quantizeStats();
+        stats.values.inc((std::uint64_t)(rows_ * cols_));
+        stats.saturated.inc(saturated);
+        stats.flushedToZero.inc(flushed);
+    }
 }
 
 std::size_t
@@ -133,13 +162,30 @@ QuantizedMatrix::scale(std::size_t r, std::size_t c) const
     return scales_[scaleIndex(r, c)];
 }
 
+void
+QuantizedMatrix::decodeRawInto(double *out) const
+{
+    decodeSpan(*fmt_, codes_, out);
+}
+
 Matrix
 QuantizedMatrix::dequantize() const
 {
+    // Bulk-decode all codes (a LUT gather for <= 16-bit formats), then
+    // apply scales run by run. rawValue * scale matches the
+    // element-wise value() exactly.
     Matrix out(rows_, cols_);
-    for (std::size_t r = 0; r < rows_; ++r)
-        for (std::size_t c = 0; c < cols_; ++c)
-            out.at(r, c) = value(r, c);
+    double *o = out.data().data();
+    decodeSpan(*fmt_, codes_, o);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double *row = o + r * cols_;
+        for (std::size_t c_lo = 0; c_lo < cols_; c_lo += tile_) {
+            const std::size_t c_hi = std::min(cols_, c_lo + tile_);
+            const double s = scales_[scaleIndex(r, c_lo)];
+            for (std::size_t c = c_lo; c < c_hi; ++c)
+                row[c] *= s;
+        }
+    }
     return out;
 }
 

@@ -58,11 +58,20 @@ class QuantizedMatrix
     /** Reconstruct the dense dequantized matrix. */
     Matrix dequantize() const;
 
+    /** Decode all raw (unscaled) values into @p out (rows*cols). */
+    void decodeRawInto(double *out) const;
+
     /** Bytes needed to store codes (excludes scales). */
     std::size_t codeBytes() const;
 
     /** Number of scale entries. */
     std::size_t scaleCount() const { return scales_.size(); }
+
+    /** Stored codes, row-major (for golden tests / bulk decode). */
+    const std::vector<std::uint32_t> &codes() const { return codes_; }
+
+    /** Scale grid in scaleIndex() order (for golden tests). */
+    const std::vector<double> &scaleGrid() const { return scales_; }
 
   private:
     std::size_t scaleIndex(std::size_t r, std::size_t c) const;

@@ -29,7 +29,8 @@ appendStringArray(std::ostringstream &os,
 std::string
 benchReportJson(const std::string &bench_name,
                 const std::vector<Table> &tables,
-                const Registry &registry)
+                const Registry &registry,
+                const std::vector<BenchTiming> &benchmarks)
 {
     std::ostringstream os;
     os << "{\"schema\":\"dsv3-bench-report/v1\",\"bench\":\""
@@ -49,16 +50,36 @@ benchReportJson(const std::string &bench_name,
         }
         os << "]}";
     }
-    os << "],\"stats\":" << registry.snapshotJson() << "}";
+    os << "],\"stats\":" << registry.snapshotJson();
+    if (!benchmarks.empty()) {
+        os << ",\"benchmarks\":[";
+        for (std::size_t i = 0; i < benchmarks.size(); ++i) {
+            const BenchTiming &b = benchmarks[i];
+            if (i)
+                os << ",";
+            os << "{\"name\":\"" << jsonEscape(b.name)
+               << "\",\"iterations\":" << b.iterations
+               << ",\"real_seconds_per_iter\":"
+               << jsonNumber(b.realSecondsPerIter)
+               << ",\"cpu_seconds_per_iter\":"
+               << jsonNumber(b.cpuSecondsPerIter)
+               << ",\"items_per_second\":"
+               << jsonNumber(b.itemsPerSecond) << "}";
+        }
+        os << "]";
+    }
+    os << "}";
     return os.str();
 }
 
 void
 writeBenchReport(const std::string &path, const std::string &bench_name,
                  const std::vector<Table> &tables,
-                 const Registry &registry)
+                 const Registry &registry,
+                 const std::vector<BenchTiming> &benchmarks)
 {
-    std::string json = benchReportJson(bench_name, tables, registry);
+    std::string json =
+        benchReportJson(bench_name, tables, registry, benchmarks);
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f)
         DSV3_FATAL("cannot open report output '", path, "'");

@@ -19,12 +19,24 @@
  *
  * "tables" carries the exact cell strings the run printed (the
  * reproduction deliverable); "stats" is Registry::snapshotJson() (the
- * run's internal counters). New top-level keys may be added; existing
- * keys keep their meaning (schema version bumps on breaking change).
+ * run's internal counters). When microbenchmark timings were captured
+ * the document additionally carries
+ *
+ *   "benchmarks": [
+ *     {"name": "BM_GemmQuantized/1024/1", "iterations": 100,
+ *      "real_seconds_per_iter": 1.2e-3,
+ *      "cpu_seconds_per_iter": 1.2e-3,
+ *      "items_per_second": 2.1e8}, ...
+ *   ]
+ *
+ * which is what the committed BENCH_*.json perf baselines compare
+ * against. New top-level keys may be added; existing keys keep their
+ * meaning (schema version bumps on breaking change).
  */
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -34,15 +46,28 @@ namespace dsv3::obs {
 
 class Registry;
 
+/** One captured microbenchmark measurement (per-iteration times). */
+struct BenchTiming
+{
+    std::string name;            //!< benchmark name incl. args
+    std::uint64_t iterations = 0;
+    double realSecondsPerIter = 0.0;
+    double cpuSecondsPerIter = 0.0;
+    double itemsPerSecond = 0.0; //!< 0 when the bench reports none
+};
+
 /** Render the report document (see schema above). */
 std::string benchReportJson(const std::string &bench_name,
                             const std::vector<Table> &tables,
-                            const Registry &registry);
+                            const Registry &registry,
+                            const std::vector<BenchTiming> &benchmarks =
+                                {});
 
 /** Write benchReportJson() to @p path (fatal on I/O error). */
 void writeBenchReport(const std::string &path,
                       const std::string &bench_name,
                       const std::vector<Table> &tables,
-                      const Registry &registry);
+                      const Registry &registry,
+                      const std::vector<BenchTiming> &benchmarks = {});
 
 } // namespace dsv3::obs
