@@ -25,7 +25,7 @@ BM_CountTopologies(benchmark::State &state)
     for (auto _ : state) {
         benchmark::DoNotOptimize(dsv3::net::countFatTree2(64, 2048));
         benchmark::DoNotOptimize(
-            dsv3::net::countMultiPlaneFatTree(64, 8, 16384));
+            *dsv3::net::countMultiPlaneFatTree(64, 8, 16384));
         benchmark::DoNotOptimize(dsv3::net::countFatTree3(64, 65536));
         benchmark::DoNotOptimize(dsv3::net::countSlimFly(28));
         benchmark::DoNotOptimize(

@@ -48,8 +48,8 @@ main(int argc, char **argv)
     };
     if (gpus <= 2048)
         add(net::countFatTree2(64, gpus));
-    if (gpus % 8 == 0)
-        add(net::countMultiPlaneFatTree(64, 8, gpus));
+    if (auto mpft = net::countMultiPlaneFatTree(64, 8, gpus))
+        add(*mpft);
     add(net::countFatTree3(64, gpus));
     std::fputs(sizing.render().c_str(), stdout);
 

@@ -27,7 +27,7 @@ reproduceTable3()
 
     std::vector<TopologyCounts> tops = {
         countFatTree2(64, 2048),
-        countMultiPlaneFatTree(64, 8, 16384),
+        *countMultiPlaneFatTree(64, 8, 16384),
         countFatTree3(64, 65536),
         countSlimFly(28),
         countDragonfly(16, 32, 16, 511),

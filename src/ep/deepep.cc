@@ -4,12 +4,34 @@
 #include <map>
 
 #include "common/logging.hh"
+#include "common/rng.hh"
 #include "moe/placement.hh"
 #include "moe/token_gen.hh"
 #include "net/flow.hh"
 #include "obs/trace.hh"
 
 namespace dsv3::ep {
+
+std::size_t
+chooseRelayRank(const net::Cluster &cluster, std::size_t dst_host,
+                std::size_t src_plane, const std::vector<bool> *dead)
+{
+    const std::size_t per_host = cluster.config.gpusPerHost;
+    auto usable = [&](std::size_t r) {
+        return r < cluster.gpus.size() &&
+               cluster.hostOf(r) == dst_host &&
+               (!dead || dead->empty() || !(*dead)[r]);
+    };
+    // k == 0 is DeepEP's same-plane choice; higher k walks the other
+    // planes of the destination host in plane-affine order.
+    for (std::size_t k = 0; k < per_host; ++k) {
+        std::size_t r =
+            dst_host * per_host + (src_plane + k) % per_host;
+        if (usable(r))
+            return r;
+    }
+    return kNoRelay;
+}
 
 namespace {
 
@@ -23,10 +45,12 @@ struct TrafficCounts
     double sumNodesTouched = 0.0;
     double sumGpusTouched = 0.0;
     double tokens = 0.0;
+    double droppedDeliveries = 0.0;
 };
 
 TrafficCounts
-routeAllTokens(const net::Cluster &cluster, const EpWorkload &w)
+routeAllTokens(const net::Cluster &cluster, const EpWorkload &w,
+               const std::vector<bool> *dead)
 {
     const std::size_t gpus = cluster.gpus.size();
     const std::size_t hosts = cluster.config.hosts;
@@ -38,7 +62,10 @@ routeAllTokens(const net::Cluster &cluster, const EpWorkload &w)
     tc.interHostCopies.assign(gpus, std::vector<double>(hosts, 0.0));
     tc.deliveries.assign(gpus, std::vector<double>(gpus, 0.0));
 
+    const bool masking = dead && !dead->empty();
     for (std::size_t src = 0; src < gpus; ++src) {
+        if (masking && (*dead)[src])
+            continue; // crashed rank: emits no tokens
         moe::TokenScoreGenerator gen(w.gate.experts, w.popularitySkew,
                                      w.seed + src);
         for (std::size_t t = 0; t < w.tokensPerGpu; ++t) {
@@ -54,6 +81,23 @@ routeAllTokens(const net::Cluster &cluster, const EpWorkload &w)
             };
             dedup(dst_hosts);
             dedup(dst_gpus);
+            if (masking) {
+                // Deliveries to crashed expert hosts are lost; hosts
+                // with no surviving delivery get no IB copy either.
+                std::vector<std::uint32_t> live;
+                for (std::uint32_t g : dst_gpus) {
+                    if ((*dead)[g])
+                        tc.droppedDeliveries += 1.0;
+                    else
+                        live.push_back(g);
+                }
+                dst_gpus = std::move(live);
+                dst_hosts.clear();
+                for (std::uint32_t g : dst_gpus)
+                    dst_hosts.push_back(
+                        (std::uint32_t)cluster.hostOf(g));
+                dedup(dst_hosts);
+            }
             tc.sumNodesTouched += (double)dst_hosts.size();
             tc.sumGpusTouched += (double)dst_gpus.size();
             tc.tokens += 1.0;
@@ -71,18 +115,24 @@ routeAllTokens(const net::Cluster &cluster, const EpWorkload &w)
 /** One phase (dispatch or combine) timed via the fluid model. */
 struct PhaseResult
 {
-    double seconds;
-    double worstNicBytes;
+    double seconds = 0.0;
+    double worstNicBytes = 0.0;
+    double retrySeconds = 0.0;
+    std::size_t relayFallbacks = 0;
+    std::size_t stalled = 0;
 };
 
 PhaseResult
 timePhase(const net::Cluster &cluster, const TrafficCounts &tc,
-          double bytes_per_token, bool reverse)
+          double bytes_per_token, bool reverse,
+          const EpFaultModel &fm)
 {
     DSV3_TRACE_SPAN(reverse ? "ep.deepep.combine"
                             : "ep.deepep.dispatch");
     const std::size_t gpus = cluster.gpus.size();
     const std::size_t per_host = cluster.config.gpusPerHost;
+
+    PhaseResult out;
 
     // Aggregate flows keyed by (graph src, graph dst).
     std::map<std::pair<net::NodeId, net::NodeId>, double> agg;
@@ -101,12 +151,21 @@ timePhase(const net::Cluster &cluster, const TrafficCounts &tc,
         const std::size_t src_host = cluster.hostOf(src);
         const std::size_t src_plane = cluster.planeOf(src);
 
-        // Inter-host copies: src -> same-plane relay on dst host.
+        // Inter-host copies: src -> same-plane relay on dst host
+        // (validated; falls back cross-plane when that GPU is dead
+        // or absent on a short host).
         for (std::size_t h = 0; h < cluster.config.hosts; ++h) {
             double copies = tc.interHostCopies[src][h];
             if (copies <= 0.0)
                 continue;
-            std::size_t relay = h * per_host + src_plane;
+            std::size_t relay =
+                chooseRelayRank(cluster, h, src_plane, fm.deadRanks);
+            if (relay == kNoRelay) {
+                ++out.stalled; // no live GPU on the destination host
+                continue;
+            }
+            if (relay != h * per_host + src_plane)
+                ++out.relayFallbacks;
             double bytes = copies * bytes_per_token;
             add(src, relay, bytes);
             nic_bytes[reverse ? relay : src] += bytes;
@@ -141,11 +200,46 @@ timePhase(const net::Cluster &cluster, const TrafficCounts &tc,
         f.qp = qp++;
         flows.push_back(f);
     }
-    assignPaths(cluster.graph, flows, net::RoutePolicy::ADAPTIVE);
+    std::vector<std::size_t> unrouted;
+    assignPaths(cluster.graph, flows, net::RoutePolicy::ADAPTIVE, 0,
+                &unrouted);
+    if (!unrouted.empty()) {
+        // Faults partitioned these transfers: account and drop them
+        // so the fluid loop doesn't deadlock on rate-0 flows.
+        out.stalled += unrouted.size();
+        for (auto it = unrouted.rbegin(); it != unrouted.rend(); ++it)
+            flows.erase(flows.begin() + (std::ptrdiff_t)*it);
+    }
+
+    // Timeout/retry economics on degraded links: each transfer whose
+    // worst path link is below its built bandwidth retries with
+    // exponential backoff; concurrent transfers overlap, so the phase
+    // pays the worst transfer's penalty.
+    if (cluster.faultStateActive()) {
+        for (const net::Flow &f : flows) {
+            double worst = 1.0;
+            for (const net::Path &p : f.paths)
+                for (net::EdgeId e : p)
+                    worst = std::min(
+                        worst, cluster.graph.edge(e).capacity /
+                                   cluster.baseCapacity[e]);
+            if (worst >= fm.degradedThreshold)
+                continue;
+            Rng rng(hashCombine(fm.seed, f.qp));
+            double penalty = 0.0, timeout = fm.timeoutSec;
+            for (std::size_t r = 0; r < fm.maxRetries; ++r) {
+                if (rng.bernoulli(worst))
+                    break; // attempt got through
+                penalty += timeout;
+                timeout *= fm.backoff;
+            }
+            out.retrySeconds = std::max(out.retrySeconds, penalty);
+        }
+    }
+
     net::FlowSimResult sim = simulateFlows(cluster.graph, flows);
 
-    PhaseResult out;
-    out.seconds = sim.makespan;
+    out.seconds = sim.makespan + out.retrySeconds;
     out.worstNicBytes =
         *std::max_element(nic_bytes.begin(), nic_bytes.end());
     return out;
@@ -156,11 +250,20 @@ timePhase(const net::Cluster &cluster, const TrafficCounts &tc,
 EpResult
 simulateDeepEp(const net::Cluster &cluster, const EpWorkload &w)
 {
+    return simulateDeepEp(cluster, w, EpFaultModel{});
+}
+
+EpResult
+simulateDeepEp(const net::Cluster &cluster, const EpWorkload &w,
+               const EpFaultModel &fm)
+{
     DSV3_ASSERT(w.gate.experts % cluster.gpus.size() == 0,
                 "experts must divide evenly over GPUs");
+    if (fm.deadRanks && !fm.deadRanks->empty())
+        DSV3_ASSERT(fm.deadRanks->size() == cluster.gpus.size());
     DSV3_TRACE_SPAN("ep.deepep.simulate", "tokens_per_gpu",
                     w.tokensPerGpu, "experts", w.gate.experts);
-    TrafficCounts tc = routeAllTokens(cluster, w);
+    TrafficCounts tc = routeAllTokens(cluster, w, fm.deadRanks);
 
     const double dispatch_bytes =
         (double)w.hidden *
@@ -169,13 +272,18 @@ simulateDeepEp(const net::Cluster &cluster, const EpWorkload &w)
         (double)w.hidden * w.combineBytesPerElem;
 
     PhaseResult dispatch = timePhase(cluster, tc, dispatch_bytes,
-                                     /*reverse=*/false);
+                                     /*reverse=*/false, fm);
     PhaseResult combine = timePhase(cluster, tc, combine_bytes,
-                                    /*reverse=*/true);
+                                    /*reverse=*/true, fm);
 
     EpResult out;
     out.dispatchSeconds = dispatch.seconds;
     out.combineSeconds = combine.seconds;
+    out.dispatchRetrySeconds = dispatch.retrySeconds;
+    out.combineRetrySeconds = combine.retrySeconds;
+    out.droppedDeliveries = tc.droppedDeliveries;
+    out.relayFallbacks = dispatch.relayFallbacks + combine.relayFallbacks;
+    out.stalledTransfers = dispatch.stalled + combine.stalled;
     out.dispatchNicBytesPerGpu = dispatch.worstNicBytes;
     out.combineNicBytesPerGpu = combine.worstNicBytes;
     out.dispatchGBsPerGpu = dispatch.seconds > 0.0

@@ -15,11 +15,21 @@
  *
  * Both segments of a relayed transfer run concurrently in the fluid
  * model, matching the steady-state pipelining of the real kernels.
+ *
+ * Fault degradation (Sec 6.1): an optional EpFaultModel marks crashed
+ * ranks and adds timeout/retry economics on degraded links. Dead
+ * source ranks emit no tokens; deliveries to dead expert GPUs are
+ * dropped (and counted); inter-host copies whose same-plane relay GPU
+ * is dead fall back to a live sibling on another plane of the
+ * destination host, which pushes the traffic cross-plane. Transfers
+ * crossing links below full bandwidth pay a deterministic
+ * exponential-backoff retry penalty per phase.
  */
 
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "moe/gate.hh"
 #include "net/cluster.hh"
@@ -39,6 +49,38 @@ struct EpWorkload
     std::uint64_t seed = 42;
 };
 
+/** Fault state and timeout/retry knobs for a degraded round. */
+struct EpFaultModel
+{
+    /** Per-rank crash mask (nullptr / empty: all ranks alive). Sized
+     *  to cluster.gpus.size(); FaultInjector::deadRanks() plugs in. */
+    const std::vector<bool> *deadRanks = nullptr;
+
+    double timeoutSec = 2e-3;  //!< first retransmission timeout
+    double backoff = 2.0;      //!< timeout multiplier per retry
+    std::size_t maxRetries = 3;
+    /** Transfers whose worst path link is below this fraction of its
+     *  built bandwidth run the retry lottery. */
+    double degradedThreshold = 0.99;
+    std::uint64_t seed = 1234; //!< retry lottery stream
+};
+
+/** chooseRelayRank(): no live GPU on the destination host. */
+constexpr std::size_t kNoRelay = (std::size_t)-1;
+
+/**
+ * Pick the rank that receives inter-host IB traffic for @p dst_host
+ * from a sender whose NIC lives on @p src_plane. Prefers the
+ * same-plane GPU (DeepEP's scheme); validates it exists on that host
+ * (heterogeneous per-host GPU counts) and is alive, else falls back
+ * to the nearest live plane on the destination host (cross-plane
+ * relay). Returns kNoRelay when the host has no live GPU at all.
+ */
+std::size_t chooseRelayRank(const net::Cluster &cluster,
+                            std::size_t dst_host,
+                            std::size_t src_plane,
+                            const std::vector<bool> *dead = nullptr);
+
 struct EpResult
 {
     double dispatchSeconds = 0.0;
@@ -52,6 +94,16 @@ struct EpResult
     double meanNodesTouched = 0.0;
     /** Mean distinct destination GPUs per token. */
     double meanGpusTouched = 0.0;
+
+    // Degradation accounting (zero on a healthy round):
+    double dispatchRetrySeconds = 0.0; //!< included in dispatchSeconds
+    double combineRetrySeconds = 0.0;  //!< included in combineSeconds
+    /** Token deliveries lost because the expert's GPU is dead. */
+    double droppedDeliveries = 0.0;
+    /** Inter-host copies relayed through a different plane's GPU. */
+    std::size_t relayFallbacks = 0;
+    /** Aggregated transfers with no surviving route (partitioned). */
+    std::size_t stalledTransfers = 0;
 };
 
 /**
@@ -60,5 +112,12 @@ struct EpResult
  */
 EpResult simulateDeepEp(const net::Cluster &cluster,
                         const EpWorkload &workload);
+
+/** Degraded round: @p fault marks dead ranks and retry economics.
+ *  With a default-constructed model this is byte-identical to the
+ *  two-argument overload. */
+EpResult simulateDeepEp(const net::Cluster &cluster,
+                        const EpWorkload &workload,
+                        const EpFaultModel &fault);
 
 } // namespace dsv3::ep

@@ -1,0 +1,108 @@
+#include "fault/failover.hh"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
+
+namespace dsv3::fault {
+
+bool
+flowBroken(const net::Graph &graph, const net::Flow &flow)
+{
+    for (const net::Path &p : flow.paths)
+        for (net::EdgeId e : p)
+            if (graph.edge(e).capacity <= 0.0)
+                return true;
+    return false;
+}
+
+FailoverResult
+failoverReroute(const net::Cluster &cluster,
+                std::vector<net::Flow> &flows,
+                net::FlowSimEngine &engine, net::RoutePolicy policy,
+                std::uint64_t seed)
+{
+    DSV3_TRACE_SPAN("fault.failover", "flows", flows.size());
+    static obs::Counter &c_rerouted =
+        obs::Registry::global().counter("fault.failover.rerouted");
+    static obs::Counter &c_stalled =
+        obs::Registry::global().counter("fault.failover.stalled");
+
+    const net::Graph &graph = cluster.graph;
+    FailoverResult res;
+
+    std::vector<std::size_t> broken;
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+        if (!engine.flowActive(i))
+            continue;
+        ++res.checked;
+        if (flowBroken(graph, flows[i]))
+            broken.push_back(i);
+    }
+    if (broken.empty())
+        return res;
+
+    // Release the engine's references to the old Path objects before
+    // touching flows[i].paths: detachFlow() reads them.
+    for (std::size_t i : broken)
+        engine.detachFlow(i);
+
+    std::map<std::pair<net::NodeId, net::NodeId>,
+             std::vector<net::Path>> cache;
+    for (std::size_t i : broken) {
+        net::Flow &flow = flows[i];
+        auto key = std::make_pair(flow.src, flow.dst);
+        auto it = cache.find(key);
+        if (it == cache.end()) {
+            auto found = net::shortestPaths(graph, flow.src, flow.dst);
+            std::sort(found.begin(), found.end());
+            it = cache.emplace(key, std::move(found)).first;
+        }
+        const std::vector<net::Path> &paths = it->second;
+
+        flow.paths.clear();
+        flow.weights.clear();
+        if (paths.empty()) {
+            // Partitioned: no route survives the faults. Retire it so
+            // the completion loop doesn't deadlock on a rate-0 flow.
+            engine.removeFlow(i);
+            res.stalled.push_back(i);
+            c_stalled.inc();
+            continue;
+        }
+
+        switch (policy) {
+          case net::RoutePolicy::ECMP: {
+            std::uint64_t h = hashCombine(seed, flow.src);
+            h = hashCombine(h, flow.dst);
+            h = hashCombine(h, flow.qp);
+            flow.paths.push_back(paths[h % paths.size()]);
+            flow.weights.push_back(1.0);
+            break;
+          }
+          case net::RoutePolicy::ADAPTIVE: {
+            double w = 1.0 / (double)paths.size();
+            for (const net::Path &p : paths) {
+                flow.paths.push_back(p);
+                flow.weights.push_back(w);
+            }
+            break;
+          }
+          case net::RoutePolicy::STATIC:
+            flow.paths.push_back(paths[0]);
+            flow.weights.push_back(1.0);
+            break;
+        }
+        engine.attachFlow(i);
+        ++res.rerouted;
+        c_rerouted.inc();
+    }
+    return res;
+}
+
+} // namespace dsv3::fault

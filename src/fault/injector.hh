@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fault injection: replaying a FaultSchedule against a Cluster.
+ *
+ * The injector owns the mapping from schedule events to topology
+ * mutation (Cluster::setLinkUp / degradeLink / setNodeUp / setPlaneUp)
+ * and tracks the non-topology fault state the higher layers consume:
+ * which ranks are crashed (DeepEP relay fallback, EPLB expert
+ * masking) and how many SDC events have occurred. A topology epoch
+ * counter lets consumers (failover, caches) cheaply detect that the
+ * edge set changed since they last looked.
+ *
+ * Applying a schedule's repair events in order returns the cluster to
+ * its built state byte-identically -- the zero-fault golden tests pin
+ * this.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "fault/schedule.hh"
+#include "net/cluster.hh"
+
+namespace dsv3::fault {
+
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(net::Cluster &cluster);
+
+    /** Apply one event immediately (ignores ev.time). */
+    void apply(const FaultEvent &ev);
+
+    /**
+     * Apply all not-yet-applied schedule events with time <= @p t.
+     * Keeps a cursor, so repeated calls with increasing t stream the
+     * schedule. Returns the number of events applied.
+     */
+    std::size_t advanceTo(const FaultSchedule &schedule, double t);
+
+    /** Bumped by every event that changes the edge set / capacities
+     *  (i.e. everything but SDC). */
+    std::uint64_t topologyEpoch() const { return topology_epoch_; }
+
+    const net::Cluster &cluster() const { return cluster_; }
+
+    bool rankDead(std::size_t rank) const { return rank_dead_[rank]; }
+    const std::vector<bool> &deadRanks() const { return rank_dead_; }
+
+    std::size_t ranksDown() const { return ranks_down_; }
+    std::size_t linksDown() const { return links_down_; }
+    std::size_t linksDegraded() const { return links_degraded_; }
+    std::size_t switchesDown() const { return switches_down_; }
+    std::size_t planesDown() const { return planes_down_; }
+    std::size_t sdcSeen() const { return sdc_seen_; }
+    std::size_t eventsApplied() const { return events_applied_; }
+
+    /** Any fabric component (link/switch/plane) currently faulted. */
+    bool fabricDegraded() const
+    {
+        return links_down_ + links_degraded_ + switches_down_ +
+                   planes_down_ > 0;
+    }
+
+  private:
+    net::Cluster &cluster_;
+    std::size_t cursor_ = 0;
+    std::uint64_t topology_epoch_ = 0;
+
+    std::vector<bool> rank_dead_;
+    std::size_t ranks_down_ = 0;
+    std::size_t links_down_ = 0;
+    std::size_t links_degraded_ = 0;
+    std::size_t switches_down_ = 0;
+    std::size_t planes_down_ = 0;
+    std::size_t sdc_seen_ = 0;
+    std::size_t events_applied_ = 0;
+};
+
+} // namespace dsv3::fault

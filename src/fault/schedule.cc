@@ -1,0 +1,286 @@
+#include "fault/schedule.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <tuple>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "net/cluster.hh"
+
+namespace dsv3::fault {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::LINK_DOWN:
+        return "link_down";
+      case FaultKind::LINK_UP:
+        return "link_up";
+      case FaultKind::LINK_DEGRADED:
+        return "link_degraded";
+      case FaultKind::SWITCH_DOWN:
+        return "switch_down";
+      case FaultKind::SWITCH_UP:
+        return "switch_up";
+      case FaultKind::PLANE_DOWN:
+        return "plane_down";
+      case FaultKind::PLANE_UP:
+        return "plane_up";
+      case FaultKind::RANK_DOWN:
+        return "rank_down";
+      case FaultKind::RANK_UP:
+        return "rank_up";
+      case FaultKind::SDC:
+        return "sdc";
+    }
+    return "?";
+}
+
+std::string
+FaultEvent::describe() const
+{
+    std::ostringstream os;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6f", time);
+    os << "[" << buf << "] " << faultKindName(kind);
+    switch (kind) {
+      case FaultKind::LINK_DOWN:
+      case FaultKind::LINK_UP:
+        os << " " << nodeA << "<->" << nodeB;
+        break;
+      case FaultKind::LINK_DEGRADED:
+        std::snprintf(buf, sizeof(buf), "%.4f", factor);
+        os << " " << nodeA << "<->" << nodeB << " factor=" << buf;
+        break;
+      case FaultKind::SWITCH_DOWN:
+      case FaultKind::SWITCH_UP:
+        os << " node=" << nodeA;
+        break;
+      case FaultKind::PLANE_DOWN:
+      case FaultKind::PLANE_UP:
+        os << " plane=" << plane;
+        break;
+      case FaultKind::RANK_DOWN:
+      case FaultKind::RANK_UP:
+      case FaultKind::SDC:
+        os << " rank=" << rank;
+        break;
+    }
+    return os.str();
+}
+
+FaultDomain
+FaultDomain::fromCluster(const net::Cluster &cluster)
+{
+    FaultDomain d;
+    const net::Graph &g = cluster.graph;
+    for (net::EdgeId e = 0; e < g.edgeCount(); ++e) {
+        const net::Edge &edge = g.edge(e);
+        // One Link per physical cable: keep the (from < to) direction
+        // when the reverse edge exists.
+        if (edge.from < edge.to &&
+            g.findEdge(edge.to, edge.from) != net::kInvalidEdge)
+            d.links.push_back({edge.from, edge.to});
+    }
+    for (net::NodeId n = 0; n < g.nodeCount(); ++n) {
+        const net::Node &node = g.node(n);
+        if (node.kind != net::NodeKind::LEAF &&
+            node.kind != net::NodeKind::SPINE &&
+            node.kind != net::NodeKind::CORE)
+            continue;
+        d.switches.push_back(n);
+        if (node.plane >= 0 &&
+            std::find(d.planes.begin(), d.planes.end(), node.plane) ==
+                d.planes.end())
+            d.planes.push_back(node.plane);
+    }
+    std::sort(d.planes.begin(), d.planes.end());
+    d.ranks = cluster.gpus.size();
+    return d;
+}
+
+FaultDomain
+FaultDomain::ranksOnly(std::size_t ranks)
+{
+    FaultDomain d;
+    d.ranks = ranks;
+    return d;
+}
+
+namespace {
+
+/** Category tags folded into each component's private seed. */
+enum : std::uint64_t
+{
+    kSeedLink = 0xfa010000,
+    kSeedLinkDegrade = 0xfa020000,
+    kSeedSwitch = 0xfa030000,
+    kSeedPlane = 0xfa040000,
+    kSeedRank = 0xfa050000,
+    kSeedSdc = 0xfa060000,
+};
+
+/**
+ * Emit alternating DOWN/UP events for one component: Poisson failure
+ * arrivals at @p fail_per_hour while up, exponential repairs with
+ * mean @p repair_sec. The component's stream is seeded independently
+ * so schedules are insensitive to component iteration order.
+ */
+template <typename MakeDown, typename MakeUp>
+void
+sampleOutages(std::vector<FaultEvent> &out, std::uint64_t seed,
+              double fail_per_hour, double repair_sec,
+              double horizon_sec, MakeDown make_down, MakeUp make_up)
+{
+    if (fail_per_hour <= 0.0)
+        return;
+    Rng rng(seed);
+    const double rate_per_sec = fail_per_hour / 3600.0;
+    double t = 0.0;
+    for (;;) {
+        t += rng.exponential(rate_per_sec);
+        if (t >= horizon_sec)
+            break;
+        out.push_back(make_down(t));
+        double repair = repair_sec > 0.0
+            ? rng.exponential(1.0 / repair_sec) : 0.0;
+        double up_at = t + repair;
+        if (up_at < horizon_sec)
+            out.push_back(make_up(up_at));
+        t = up_at;
+    }
+}
+
+} // namespace
+
+FaultSchedule::FaultSchedule(std::vector<FaultEvent> events)
+    : events_(std::move(events))
+{
+    // Canonical order: time first, then a total order on the target so
+    // same-timestamp events (explicit lists) replay deterministically.
+    std::stable_sort(
+        events_.begin(), events_.end(),
+        [](const FaultEvent &x, const FaultEvent &y) {
+            return std::tie(x.time, x.kind, x.nodeA, x.nodeB, x.plane,
+                            x.rank) <
+                   std::tie(y.time, y.kind, y.nodeA, y.nodeB, y.plane,
+                            y.rank);
+        });
+}
+
+FaultSchedule
+FaultSchedule::generate(const FaultDomain &domain,
+                        const FaultRates &rates, double horizon_sec,
+                        std::uint64_t seed)
+{
+    DSV3_ASSERT(horizon_sec > 0.0);
+    std::vector<FaultEvent> events;
+
+    for (std::size_t i = 0; i < domain.links.size(); ++i) {
+        const FaultDomain::Link &link = domain.links[i];
+        auto link_event = [&](FaultKind kind, double factor) {
+            return [=](double t) {
+                FaultEvent ev;
+                ev.time = t;
+                ev.kind = kind;
+                ev.nodeA = link.a;
+                ev.nodeB = link.b;
+                ev.factor = factor;
+                return ev;
+            };
+        };
+        sampleOutages(events, hashCombine(seed ^ kSeedLink, i),
+                      rates.linkFailPerHour, rates.linkRepairSec,
+                      horizon_sec, link_event(FaultKind::LINK_DOWN, 0.0),
+                      link_event(FaultKind::LINK_UP, 0.0));
+        sampleOutages(events, hashCombine(seed ^ kSeedLinkDegrade, i),
+                      rates.linkDegradePerHour, rates.linkRepairSec,
+                      horizon_sec,
+                      link_event(FaultKind::LINK_DEGRADED,
+                                 rates.degradeFactor),
+                      link_event(FaultKind::LINK_DEGRADED, 1.0));
+    }
+
+    for (std::size_t i = 0; i < domain.switches.size(); ++i) {
+        net::NodeId sw = domain.switches[i];
+        auto switch_event = [sw](FaultKind kind) {
+            return [=](double t) {
+                FaultEvent ev;
+                ev.time = t;
+                ev.kind = kind;
+                ev.nodeA = sw;
+                return ev;
+            };
+        };
+        sampleOutages(events, hashCombine(seed ^ kSeedSwitch, i),
+                      rates.switchFailPerHour, rates.switchRepairSec,
+                      horizon_sec, switch_event(FaultKind::SWITCH_DOWN),
+                      switch_event(FaultKind::SWITCH_UP));
+    }
+
+    for (std::size_t i = 0; i < domain.planes.size(); ++i) {
+        std::int32_t plane = domain.planes[i];
+        auto plane_event = [plane](FaultKind kind) {
+            return [=](double t) {
+                FaultEvent ev;
+                ev.time = t;
+                ev.kind = kind;
+                ev.plane = plane;
+                return ev;
+            };
+        };
+        sampleOutages(events, hashCombine(seed ^ kSeedPlane, i),
+                      rates.planeFailPerHour, rates.planeRepairSec,
+                      horizon_sec, plane_event(FaultKind::PLANE_DOWN),
+                      plane_event(FaultKind::PLANE_UP));
+    }
+
+    for (std::size_t r = 0; r < domain.ranks; ++r) {
+        auto rank_event = [r](FaultKind kind) {
+            return [=](double t) {
+                FaultEvent ev;
+                ev.time = t;
+                ev.kind = kind;
+                ev.rank = r;
+                return ev;
+            };
+        };
+        sampleOutages(events, hashCombine(seed ^ kSeedRank, r),
+                      rates.rankFailPerHour, rates.rankRepairSec,
+                      horizon_sec, rank_event(FaultKind::RANK_DOWN),
+                      rank_event(FaultKind::RANK_UP));
+        if (rates.sdcPerHour > 0.0) {
+            Rng rng(hashCombine(seed ^ kSeedSdc, r));
+            const double rate = rates.sdcPerHour / 3600.0;
+            double t = 0.0;
+            for (;;) {
+                t += rng.exponential(rate);
+                if (t >= horizon_sec)
+                    break;
+                FaultEvent ev;
+                ev.time = t;
+                ev.kind = FaultKind::SDC;
+                ev.rank = r;
+                events.push_back(ev);
+            }
+        }
+    }
+
+    return FaultSchedule(std::move(events));
+}
+
+std::string
+FaultSchedule::traceText() const
+{
+    std::string out;
+    for (const FaultEvent &ev : events_) {
+        out += ev.describe();
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace dsv3::fault

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Deterministic fault schedules (Sec 6.1 robustness).
+ *
+ * The paper argues that at 2,048-GPU scale interconnect failures,
+ * node crashes, and silent data corruption dominate training cost,
+ * and that the Multi-Plane Fat-Tree's value is fault *isolation*. A
+ * FaultSchedule is the event-level counterpart of the closed-form
+ * reliability model: a timestamped sequence of component failures and
+ * repairs that the injector replays against a Cluster, the DeepEP
+ * model degrades against, and the checkpoint/restart trainer replays
+ * against a simulated run.
+ *
+ * Schedules are either explicit event lists (targeted tests) or
+ * generated: every component draws its failure arrivals from its own
+ * SplitMix-derived Rng stream (Poisson arrivals, exponential repair),
+ * so a schedule is a pure function of (domain, rates, horizon, seed)
+ * -- independent of thread count, iteration order, or prior draws.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/graph.hh"
+
+namespace dsv3::net {
+struct Cluster;
+}
+
+namespace dsv3::fault {
+
+enum class FaultKind : std::uint8_t
+{
+    LINK_DOWN,     //!< duplex cable hard failure
+    LINK_UP,       //!< cable repaired
+    LINK_DEGRADED, //!< cable at `factor` of built bandwidth
+                   //!< (factor == 1.0 repairs a degradation)
+    SWITCH_DOWN,   //!< network switch outage
+    SWITCH_UP,
+    PLANE_DOWN,    //!< whole-plane outage (every switch of the plane)
+    PLANE_UP,
+    RANK_DOWN,     //!< GPU endpoint crash (node failure / ECC)
+    RANK_UP,       //!< spare swapped in / rank rejoined
+    SDC,           //!< silent data corruption occurrence
+};
+
+const char *faultKindName(FaultKind kind);
+
+constexpr std::size_t kNoRank = (std::size_t)-1;
+
+/** One timestamped fault or repair. Target fields depend on kind. */
+struct FaultEvent
+{
+    double time = 0.0; //!< seconds from run start
+    FaultKind kind = FaultKind::SDC;
+    net::NodeId nodeA = net::kInvalidNode; //!< link endpoint / switch
+    net::NodeId nodeB = net::kInvalidNode; //!< other link endpoint
+    std::int32_t plane = -1;               //!< PLANE_* target
+    std::size_t rank = kNoRank;            //!< RANK_* / SDC target
+    double factor = 0.0;                   //!< LINK_DEGRADED fraction
+
+    /** One deterministic line, e.g. "[12.500000] link_down 3->17". */
+    std::string describe() const;
+};
+
+/** The failable components of a system (what a schedule draws from). */
+struct FaultDomain
+{
+    struct Link
+    {
+        net::NodeId a;
+        net::NodeId b;
+    };
+    std::vector<Link> links;             //!< physical duplex cables
+    std::vector<net::NodeId> switches;   //!< LEAF/SPINE/CORE nodes
+    std::vector<std::int32_t> planes;    //!< plane ids with switches
+    std::size_t ranks = 0;               //!< GPU endpoints
+
+    /** Every cable, switch, plane, and GPU of a built cluster. */
+    static FaultDomain fromCluster(const net::Cluster &cluster);
+
+    /** Only rank crashes / SDC (reliability trainer at scales where
+     *  building the full fabric graph is pointless). */
+    static FaultDomain ranksOnly(std::size_t ranks);
+};
+
+/** Per-hour failure rates and repair times driving generation. */
+struct FaultRates
+{
+    double linkFailPerHour = 0.0;    //!< per cable
+    double linkDegradePerHour = 0.0; //!< per cable
+    double degradeFactor = 0.25;     //!< degraded links keep this much
+    double switchFailPerHour = 0.0;  //!< per switch
+    double planeFailPerHour = 0.0;   //!< per plane
+    double rankFailPerHour = 0.0;    //!< per GPU (1 / per-GPU MTBF)
+    double sdcPerHour = 0.0;         //!< per GPU, no repair event
+
+    double linkRepairSec = 600.0;    //!< mean (exponential)
+    double switchRepairSec = 3600.0;
+    double planeRepairSec = 7200.0;
+    double rankRepairSec = 600.0;
+};
+
+/**
+ * An immutable, time-sorted fault event sequence.
+ */
+class FaultSchedule
+{
+  public:
+    /** Empty schedule: a permanently healthy system. */
+    FaultSchedule() = default;
+
+    /** Explicit event list; sorted into canonical order. */
+    explicit FaultSchedule(std::vector<FaultEvent> events);
+
+    /**
+     * Sample a schedule over [0, horizon_sec). Each component's
+     * failures arrive as a Poisson process at its category rate,
+     * paused while the component is down; repairs are exponential
+     * with the category's mean. Deterministic in (domain, rates,
+     * horizon, seed) only.
+     */
+    static FaultSchedule generate(const FaultDomain &domain,
+                                  const FaultRates &rates,
+                                  double horizon_sec,
+                                  std::uint64_t seed);
+
+    const std::vector<FaultEvent> &events() const { return events_; }
+    bool empty() const { return events_.empty(); }
+    std::size_t size() const { return events_.size(); }
+
+    /** One describe() line per event -- the canonical event trace the
+     *  determinism tests byte-compare. */
+    std::string traceText() const;
+
+  private:
+    std::vector<FaultEvent> events_;
+};
+
+} // namespace dsv3::fault

@@ -12,26 +12,40 @@ namespace dsv3::moe {
 
 EplbResult
 balanceExperts(const std::vector<double> &expert_load, std::size_t gpus,
-               std::size_t slots_per_gpu)
+               std::size_t slots_per_gpu,
+               const std::vector<bool> &gpu_dead)
 {
     const std::size_t experts = expert_load.size();
     DSV3_TRACE_SPAN("moe.eplb.balance", "experts", experts, "gpus",
                     gpus, "slots_per_gpu", slots_per_gpu);
-    const std::size_t slots = gpus * slots_per_gpu;
-    DSV3_ASSERT(experts > 0 && gpus > 0 && slots_per_gpu > 0);
+    DSV3_ASSERT(gpu_dead.empty() || gpu_dead.size() == gpus,
+                "gpu_dead mask must cover every GPU");
+    auto live = [&](std::size_t g) {
+        return gpu_dead.empty() || !gpu_dead[g];
+    };
+    std::size_t live_gpus = 0;
+    for (std::size_t g = 0; g < gpus; ++g)
+        if (live(g))
+            ++live_gpus;
+
+    const std::size_t slots = live_gpus * slots_per_gpu;
+    DSV3_ASSERT(experts > 0 && live_gpus > 0 && slots_per_gpu > 0);
     DSV3_ASSERT(slots >= experts,
                 "need at least one slot per expert: ", slots, " < ",
                 experts);
 
     EplbResult out;
     out.replicaCount.assign(experts, 1);
+    out.liveGpus = live_gpus;
 
-    // Baseline: contiguous placement, experts/gpus per GPU (ceil).
+    // Baseline: contiguous placement over the surviving GPUs,
+    // experts/live_gpus per GPU (ceil).
     {
-        std::vector<double> base(gpus, 0.0);
-        std::size_t per_gpu = (experts + gpus - 1) / gpus;
+        std::vector<double> base(live_gpus, 0.0);
+        std::size_t per_gpu = (experts + live_gpus - 1) / live_gpus;
         for (std::size_t e = 0; e < experts; ++e)
-            base[std::min(e / per_gpu, gpus - 1)] += expert_load[e];
+            base[std::min(e / per_gpu, live_gpus - 1)] +=
+                expert_load[e];
         out.imbalanceBefore = maxOverMean(base);
     }
 
@@ -77,7 +91,7 @@ balanceExperts(const std::vector<double> &expert_load, std::size_t gpus,
         std::size_t fallback = gpus;
         double best_load = 0.0, fallback_load = 0.0;
         for (std::size_t g = 0; g < gpus; ++g) {
-            if (out.gpuSlots[g].size() >= slots_per_gpu)
+            if (!live(g) || out.gpuSlots[g].size() >= slots_per_gpu)
                 continue;
             bool has_expert =
                 std::find(out.gpuSlots[g].begin(),
@@ -98,7 +112,16 @@ balanceExperts(const std::vector<double> &expert_load, std::size_t gpus,
         out.gpuSlots[target].push_back(rep.expert);
         out.gpuLoad[target] += rep.load;
     }
-    out.imbalanceAfter = maxOverMean(out.gpuLoad);
+    if (gpu_dead.empty()) {
+        out.imbalanceAfter = maxOverMean(out.gpuLoad);
+    } else {
+        std::vector<double> live_load;
+        live_load.reserve(live_gpus);
+        for (std::size_t g = 0; g < gpus; ++g)
+            if (live(g))
+                live_load.push_back(out.gpuLoad[g]);
+        out.imbalanceAfter = maxOverMean(live_load);
+    }
 
     // Per-expert replica fan-out and the achieved balance, for the
     // registry's picture of expert-parallel load (Sec 4.3 / EPLB).

@@ -25,7 +25,7 @@ namespace dsv3::moe {
 struct EplbResult
 {
     /** gpuSlots[g] = expert ids hosted by GPU g (with duplicates
-     *  across GPUs for replicated experts). */
+     *  across GPUs for replicated experts). Dead GPUs get none. */
     std::vector<std::vector<std::uint32_t>> gpuSlots;
     /** Replicas per expert (>= 1). */
     std::vector<std::uint32_t> replicaCount;
@@ -34,17 +34,26 @@ struct EplbResult
     std::vector<double> gpuLoad;
     double imbalanceBefore = 0.0; //!< max/mean without replication
     double imbalanceAfter = 0.0;  //!< max/mean with replication
+    std::size_t liveGpus = 0;     //!< GPUs that received slots
 };
 
 /**
  * Balance @p expert_load over @p gpus GPUs with @p slots_per_gpu
  * expert slots each.
  *
- * Requires gpus * slots_per_gpu >= experts (every expert needs at
- * least one slot). The baseline imbalance assumes the contiguous
- * placement of ExpertPlacement (experts/gpus per GPU).
+ * @p gpu_dead (fault degradation) masks crashed GPUs out of the EP
+ * group: they contribute no slots, and both imbalance figures are
+ * computed over the surviving GPUs only -- fewer slots means fewer
+ * hot-expert replicas, which is the quantified imbalance penalty of
+ * running degraded. An empty mask is byte-identical to the healthy
+ * call.
+ *
+ * Requires live_gpus * slots_per_gpu >= experts (every expert needs
+ * at least one slot). The baseline imbalance assumes the contiguous
+ * placement of ExpertPlacement (experts/live_gpus per GPU).
  */
 EplbResult balanceExperts(const std::vector<double> &expert_load,
-                          std::size_t gpus, std::size_t slots_per_gpu);
+                          std::size_t gpus, std::size_t slots_per_gpu,
+                          const std::vector<bool> &gpu_dead = {});
 
 } // namespace dsv3::moe

@@ -175,6 +175,124 @@ buildSingleRail(std::size_t hosts, std::size_t hosts_per_leaf,
     return cluster;
 }
 
+void
+Cluster::ensureFaultState()
+{
+    if (faultStateActive())
+        return;
+    const std::size_t edges = graph.edgeCount();
+    baseCapacity.resize(edges);
+    for (EdgeId e = 0; e < edges; ++e)
+        baseCapacity[e] = graph.edge(e).capacity;
+    linkFactor.assign(edges, 1.0);
+    linkDownRef.assign(edges, 0);
+    nodeDownRef.assign(graph.nodeCount(), 0);
+}
+
+void
+Cluster::refreshEdge(EdgeId e)
+{
+    const Edge &edge = graph.edge(e);
+    double cap = 0.0;
+    if (linkDownRef[e] == 0 && nodeDownRef[edge.from] == 0 &&
+        nodeDownRef[edge.to] == 0) {
+        cap = baseCapacity[e] * linkFactor[e];
+    }
+    graph.setEdgeCapacity(e, cap);
+}
+
+void
+Cluster::setLinkUp(NodeId a, NodeId b, bool up)
+{
+    ensureFaultState();
+    for (EdgeId e : {graph.findEdge(a, b), graph.findEdge(b, a)}) {
+        DSV3_ASSERT(e != kInvalidEdge, "no cable between nodes ", a,
+                    " and ", b);
+        if (up) {
+            DSV3_ASSERT(linkDownRef[e] > 0,
+                        "repairing a link that is not down");
+            --linkDownRef[e];
+        } else {
+            ++linkDownRef[e];
+        }
+        refreshEdge(e);
+    }
+}
+
+void
+Cluster::degradeLink(NodeId a, NodeId b, double factor)
+{
+    DSV3_ASSERT(factor >= 0.0 && factor <= 1.0,
+                "degrade factor must be in [0, 1], got ", factor);
+    ensureFaultState();
+    for (EdgeId e : {graph.findEdge(a, b), graph.findEdge(b, a)}) {
+        DSV3_ASSERT(e != kInvalidEdge, "no cable between nodes ", a,
+                    " and ", b);
+        linkFactor[e] = factor;
+        refreshEdge(e);
+    }
+}
+
+void
+Cluster::setNodeUp(NodeId node, bool up)
+{
+    ensureFaultState();
+    DSV3_ASSERT(node < graph.nodeCount());
+    if (up) {
+        DSV3_ASSERT(nodeDownRef[node] > 0,
+                    "repairing a node that is not down");
+        --nodeDownRef[node];
+    } else {
+        ++nodeDownRef[node];
+    }
+    // Refresh every edge touching the node (out-edges directly, the
+    // reverse directions via a full scan: node outages are rare events
+    // so the O(edges) sweep is not worth an extra index).
+    for (EdgeId e = 0; e < graph.edgeCount(); ++e) {
+        const Edge &edge = graph.edge(e);
+        if (edge.from == node || edge.to == node)
+            refreshEdge(e);
+    }
+}
+
+void
+Cluster::setPlaneUp(std::int32_t plane, bool up)
+{
+    bool any = false;
+    for (NodeId n = 0; n < graph.nodeCount(); ++n) {
+        const Node &node = graph.node(n);
+        if (node.plane != plane)
+            continue;
+        if (node.kind != NodeKind::LEAF &&
+            node.kind != NodeKind::SPINE && node.kind != NodeKind::CORE)
+            continue;
+        setNodeUp(n, up);
+        any = true;
+    }
+    DSV3_ASSERT(any, "plane ", plane, " has no switches");
+}
+
+bool
+Cluster::nodeUp(NodeId node) const
+{
+    if (!faultStateActive())
+        return true;
+    DSV3_ASSERT(node < nodeDownRef.size());
+    return nodeDownRef[node] == 0;
+}
+
+std::size_t
+Cluster::edgesDown() const
+{
+    if (!faultStateActive())
+        return 0;
+    std::size_t down = 0;
+    for (EdgeId e = 0; e < graph.edgeCount(); ++e)
+        if (graph.edge(e).capacity <= 0.0)
+            ++down;
+    return down;
+}
+
 double
 endToEndLatency(const Cluster &cluster, std::size_t src_rank,
                 std::size_t dst_rank, double bytes)

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "net/graph.hh"
@@ -92,6 +93,54 @@ struct Cluster
     {
         return rank % config.gpusPerHost;
     }
+
+    // ---- Fault mutation (Sec 6.1 fault injection) -------------------
+    //
+    // Links, switches, planes, and GPU endpoints can be taken down and
+    // brought back; a downed component zeroes the capacity of every
+    // edge it carries, which removes it from path enumeration and from
+    // max-min sharing. State is refcounted so overlapping faults (a
+    // switch outage inside a plane outage) compose: an edge is live
+    // only when no fault holds it down, and repairing every fault
+    // restores the built capacities byte-identically. All state is
+    // lazily initialized on the first mutation, so untouched clusters
+    // carry no overhead and behave exactly as before.
+
+    /** True once any fault mutation has been applied. */
+    bool faultStateActive() const { return !baseCapacity.empty(); }
+
+    /** Take down / bring back the duplex cable between two nodes. */
+    void setLinkUp(NodeId a, NodeId b, bool up);
+
+    /**
+     * Scale the duplex cable between two nodes to @p factor of its
+     * built bandwidth (degraded link); 1.0 restores it exactly.
+     */
+    void degradeLink(NodeId a, NodeId b, double factor);
+
+    /** Take down / bring back a node and every edge touching it. */
+    void setNodeUp(NodeId node, bool up);
+
+    /** Take down / bring back every network switch of one plane. */
+    void setPlaneUp(std::int32_t plane, bool up);
+
+    /** True when no fault currently holds @p node down. */
+    bool nodeUp(NodeId node) const;
+
+    /** Edges currently at zero capacity due to faults. */
+    std::size_t edgesDown() const;
+
+    // Per-edge/per-node fault bookkeeping (see above). Public so the
+    // fault layer and DeepEP's degraded-link detection can read the
+    // healthy baseline; treat as read-only outside cluster.cc.
+    std::vector<double> baseCapacity;       //!< as built (per edge)
+    std::vector<double> linkFactor;         //!< degraded fraction
+    std::vector<std::uint16_t> linkDownRef; //!< down refcount (edge)
+    std::vector<std::uint16_t> nodeDownRef; //!< down refcount (node)
+
+  private:
+    void ensureFaultState();
+    void refreshEdge(EdgeId e);
 };
 
 /**

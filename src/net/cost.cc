@@ -39,13 +39,16 @@ countFatTree2(std::size_t radix, std::size_t endpoints)
     return out;
 }
 
-TopologyCounts
+std::optional<TopologyCounts>
 countMultiPlaneFatTree(std::size_t radix, std::size_t planes,
                        std::size_t endpoints)
 {
     DSV3_ASSERT(planes >= 1);
-    DSV3_ASSERT(endpoints % planes == 0,
-                "endpoints must divide evenly across planes");
+    DSV3_ASSERT(radix >= 2 && radix % 2 == 0);
+    if (endpoints % planes != 0)
+        return std::nullopt; // endpoints don't split across planes
+    if (endpoints / planes > radix * (radix / 2))
+        return std::nullopt; // per-plane share exceeds the FT2 cap
     TopologyCounts plane = countFatTree2(radix, endpoints / planes);
     TopologyCounts out;
     out.name = "MPFT";

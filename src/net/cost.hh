@@ -20,6 +20,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 
 namespace dsv3::net {
@@ -59,10 +60,16 @@ double totalCost(const TopologyCounts &counts);
  */
 TopologyCounts countFatTree2(std::size_t radix, std::size_t endpoints);
 
-/** Multi-plane fat-tree: @p planes independent FT2 fabrics. */
-TopologyCounts countMultiPlaneFatTree(std::size_t radix,
-                                      std::size_t planes,
-                                      std::size_t endpoints);
+/**
+ * Multi-plane fat-tree: @p planes independent FT2 fabrics.
+ *
+ * Returns nullopt for infeasible configurations -- @p endpoints not
+ * divisible by @p planes, or a per-plane share beyond the two-layer
+ * radix^2/2 cap -- so sweeps over plane counts can skip invalid
+ * points instead of aborting.
+ */
+std::optional<TopologyCounts> countMultiPlaneFatTree(
+    std::size_t radix, std::size_t planes, std::size_t endpoints);
 
 /** Three-layer fat-tree at maximum scale radix^3/4 (or smaller). */
 TopologyCounts countFatTree3(std::size_t radix, std::size_t endpoints);

@@ -68,7 +68,8 @@ routePolicyName(RoutePolicy policy)
 
 void
 assignPaths(const Graph &graph, std::vector<Flow> &flows,
-            RoutePolicy policy, std::uint64_t seed)
+            RoutePolicy policy, std::uint64_t seed,
+            std::vector<std::size_t> *unrouted)
 {
     std::map<std::pair<NodeId, NodeId>, std::vector<Path>> cache;
     std::vector<std::uint32_t> static_load(graph.edgeCount(), 0);
@@ -86,6 +87,12 @@ assignPaths(const Graph &graph, std::vector<Flow> &flows,
             it = cache.emplace(key, std::move(paths_found)).first;
         }
         const std::vector<Path> &paths = it->second;
+        if (paths.empty() && unrouted) {
+            flow.paths.clear();
+            flow.weights.clear();
+            unrouted->push_back(i);
+            continue;
+        }
         DSV3_ASSERT(!paths.empty(), "no route ", flow.src, "->",
                     flow.dst);
 
@@ -185,6 +192,7 @@ FlowSimEngine::FlowSimEngine(const Graph &graph,
     std::sort(used_edges_.begin(), used_edges_.end());
 
     active_subflows_ = subflows_.size();
+    sub_alive_.assign(subflows_.size(), true);
     sub_rate_.assign(subflows_.size(), 0.0);
     frozen_stamp_.assign(subflows_.size(), 0);
 }
@@ -198,11 +206,60 @@ FlowSimEngine::removeFlow(std::size_t flow)
     alive_[flow] = false;
     --active_flows_;
     for (std::uint32_t s : flow_subflows_[flow]) {
+        sub_alive_[s] = false;
         for (EdgeId e : *subflows_[s].path)
             --active_on_edge_[e];
         --active_subflows_;
     }
     flowStats().flowsRetired.inc();
+}
+
+void
+FlowSimEngine::detachFlow(std::size_t flow)
+{
+    DSV3_ASSERT(flow < flows_.size());
+    DSV3_ASSERT(alive_[flow], "cannot detach a retired flow");
+    for (std::uint32_t s : flow_subflows_[flow]) {
+        sub_alive_[s] = false;
+        for (EdgeId e : *subflows_[s].path)
+            --active_on_edge_[e];
+        --active_subflows_;
+    }
+    flow_subflows_[flow].clear();
+    local_[flow] = false;
+}
+
+void
+FlowSimEngine::attachFlow(std::size_t flow)
+{
+    DSV3_ASSERT(flow < flows_.size());
+    DSV3_ASSERT(alive_[flow], "cannot attach a retired flow");
+    DSV3_ASSERT(flow_subflows_[flow].empty(),
+                "attachFlow() without a matching detachFlow()");
+    bool local = true;
+    for (const Path &p : flows_[flow].paths) {
+        if (p.empty())
+            continue;
+        local = false;
+        auto s = (std::uint32_t)subflows_.size();
+        subflows_.push_back({(std::uint32_t)flow, &p});
+        sub_alive_.push_back(true);
+        sub_rate_.push_back(0.0);
+        frozen_stamp_.push_back(0);
+        flow_subflows_[flow].push_back(s);
+        for (EdgeId e : p) {
+            // Edge may be unused right now (drained and compacted out
+            // of used_edges_, or never used): (re)insert in order.
+            auto it = std::lower_bound(used_edges_.begin(),
+                                       used_edges_.end(), e);
+            if (it == used_edges_.end() || *it != e)
+                used_edges_.insert(it, e);
+            edge_subflows_[e].push_back(s);
+            ++active_on_edge_[e];
+        }
+        ++active_subflows_;
+    }
+    local_[flow] = local;
 }
 
 const std::vector<double> &
@@ -279,9 +336,9 @@ FlowSimEngine::solve()
         auto &on_edge = edge_subflows_[best_edge];
         std::size_t w = 0;
         for (std::uint32_t s : on_edge) {
+            if (!sub_alive_[s])
+                continue; // retired or rebound away
             const Subflow &sf = subflows_[s];
-            if (!alive_[sf.flow])
-                continue;
             on_edge[w++] = s;
             if (frozen_stamp_[s] == solve_stamp_)
                 continue;

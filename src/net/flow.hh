@@ -65,9 +65,14 @@ struct Flow
  *
  * @param seed perturbs the ECMP hash (models switches hashing
  *        differently across runs); ignored by other policies.
+ * @param unrouted when non-null, flows with no surviving route (a
+ *        fault partitioned src from dst) are collected here with
+ *        empty path sets instead of aborting the run; when null a
+ *        missing route is a hard error as before.
  */
 void assignPaths(const Graph &graph, std::vector<Flow> &flows,
-                 RoutePolicy policy, std::uint64_t seed = 0);
+                 RoutePolicy policy, std::uint64_t seed = 0,
+                 std::vector<std::size_t> *unrouted = nullptr);
 
 /** Result of a fluid simulation. */
 struct FlowSimResult
@@ -99,7 +104,10 @@ struct FlowSimResult
  * unchanged.
  *
  * The graph and flow vector must outlive the engine; the flows' path
- * sets must not change while the engine is alive.
+ * sets must not change while the engine is alive, except through the
+ * detachFlow()/attachFlow() rebinding protocol (fault failover).
+ * Capacity changes on the graph (fault injection) are picked up by
+ * the next solve(), which re-reads every live edge's capacity.
  */
 class FlowSimEngine
 {
@@ -115,6 +123,24 @@ class FlowSimEngine
 
     /** Retire a flow, releasing its subflows in O(total path length). */
     void removeFlow(std::size_t flow);
+
+    /**
+     * Release a live flow's subflows without retiring the flow, so
+     * the caller may rewrite its path set (fault failover). Call
+     * sequence: detachFlow(i); mutate flows[i].paths/weights;
+     * attachFlow(i). The old Path objects must stay alive until
+     * detachFlow() returns; afterwards they may be destroyed.
+     */
+    void detachFlow(std::size_t flow);
+
+    /**
+     * Index a detached flow's (new) path set into the engine. The
+     * next solve() water-fills the rerouted subflows incrementally --
+     * retired flows stay retired, untouched flows keep their subflow
+     * order, and the result is bit-identical to rebuilding the engine
+     * from scratch over the same live flow set.
+     */
+    void attachFlow(std::size_t flow);
 
     bool flowActive(std::size_t flow) const { return alive_[flow]; }
     std::size_t activeFlows() const { return active_flows_; }
@@ -149,6 +175,7 @@ class FlowSimEngine
     std::vector<std::uint32_t> active_on_edge_;
 
     std::vector<bool> alive_;      //!< per flow
+    std::vector<bool> sub_alive_;  //!< per subflow (rebind/retire)
     std::vector<bool> local_;      //!< per flow: every path empty
     std::size_t active_flows_ = 0;
     std::size_t active_subflows_ = 0;

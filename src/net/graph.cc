@@ -53,6 +53,24 @@ Graph::addDuplex(NodeId a, NodeId b, double capacity, double latency)
     addEdge(b, a, capacity, latency);
 }
 
+void
+Graph::setEdgeCapacity(EdgeId id, double capacity)
+{
+    DSV3_ASSERT(id < edges_.size());
+    DSV3_ASSERT(capacity >= 0.0);
+    edges_[id].capacity = capacity;
+}
+
+EdgeId
+Graph::findEdge(NodeId from, NodeId to) const
+{
+    DSV3_ASSERT(from < nodes_.size() && to < nodes_.size());
+    for (EdgeId e : adjacency_[from])
+        if (edges_[e].to == to)
+            return e;
+    return kInvalidEdge;
+}
+
 std::vector<NodeId>
 Graph::nodesOfKind(NodeKind kind) const
 {
@@ -103,6 +121,8 @@ shortestPaths(const Graph &graph, NodeId src, NodeId dst,
         if (dist[u] >= dist[dst] && dst != u && dist[dst] != kInf)
             continue; // no shorter paths can be found beyond dst
         for (EdgeId e : graph.outEdges(u)) {
+            if (graph.edge(e).capacity <= 0.0)
+                continue; // faulted edge
             NodeId v = graph.edge(e).to;
             if (dist[v] == kInf) {
                 dist[v] = dist[u] + 1;

@@ -20,6 +20,7 @@ using NodeId = std::uint32_t;
 using EdgeId = std::uint32_t;
 
 constexpr NodeId kInvalidNode = 0xffffffffu;
+constexpr EdgeId kInvalidEdge = 0xffffffffu;
 
 enum class NodeKind : std::uint8_t
 {
@@ -61,6 +62,17 @@ class Graph
     /** Add both directions of a full-duplex cable. */
     void addDuplex(NodeId a, NodeId b, double capacity, double latency);
 
+    /**
+     * Overwrite an edge's capacity (fault injection). Zero means the
+     * edge is down: path enumeration skips it and max-min sharing
+     * gives its subflows no rate. Restoring the original value heals
+     * the edge byte-identically.
+     */
+    void setEdgeCapacity(EdgeId id, double capacity);
+
+    /** First edge from -> to, or kInvalidEdge when none exists. */
+    EdgeId findEdge(NodeId from, NodeId to) const;
+
     std::size_t nodeCount() const { return nodes_.size(); }
     std::size_t edgeCount() const { return edges_.size(); }
 
@@ -93,6 +105,9 @@ double pathCapacity(const Graph &graph, const Path &path);
 
 /**
  * Enumerate all shortest paths (by hop count) from @p src to @p dst.
+ * Edges with zero capacity (faulted, see Graph::setEdgeCapacity) are
+ * treated as absent, so the result is the shortest *surviving* route
+ * set; an empty result means src and dst are partitioned.
  * @p max_paths bounds the expansion for safety.
  */
 std::vector<Path> shortestPaths(const Graph &graph, NodeId src,

@@ -1,0 +1,287 @@
+#include "pipeline/fault_trainer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/thread_pool.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
+
+namespace dsv3::pipeline {
+
+namespace {
+
+enum class Mode
+{
+    TRAIN,   //!< accruing useful work
+    CKPT,    //!< writing a checkpoint (paused)
+    RESTART, //!< recovering from a failure (paused)
+};
+
+struct Checkpoint
+{
+    double wall;
+    double trained; //!< progress captured by this checkpoint
+};
+
+struct PendingSdc
+{
+    double detectWall;     //!< when the heuristic notices
+    double corruptTrained; //!< progress at the corrupting step
+};
+
+struct Trainer
+{
+    const FaultTrainerConfig &cfg;
+    Mode mode = Mode::TRAIN;
+    double wall = 0.0;
+    double trained = 0.0;
+    double train_accum = 0.0; //!< training secs since last ckpt/restart
+    double mode_ends = 0.0;   //!< CKPT/RESTART completion time
+    std::size_t fabric_faults = 0;
+    std::vector<Checkpoint> ckpts;
+    /** Sorted by detectWall: SDC events arrive in time order and the
+     *  detection latency is constant. */
+    std::deque<PendingSdc> pending;
+    FaultTrainerResult res;
+
+    explicit Trainer(const FaultTrainerConfig &c) : cfg(c) {}
+
+    double rate() const
+    {
+        return fabric_faults ? cfg.degradedThroughput : 1.0;
+    }
+
+    /** Advance the wall clock to @p target, stepping through any
+     *  checkpoint starts/completions and restart completions. */
+    void advance(double target)
+    {
+        while (wall < target) {
+            if (mode == Mode::TRAIN) {
+                if (train_accum >= cfg.checkpointIntervalSec) {
+                    mode = Mode::CKPT;
+                    mode_ends = wall + cfg.checkpointCostSec;
+                    continue;
+                }
+                double dt = std::min(
+                    target - wall,
+                    cfg.checkpointIntervalSec - train_accum);
+                wall += dt;
+                trained += rate() * dt;
+                train_accum += dt;
+            } else {
+                double dt =
+                    std::max(0.0, std::min(target, mode_ends) - wall);
+                wall += dt;
+                if (wall >= mode_ends) {
+                    if (mode == Mode::CKPT) {
+                        ckpts.push_back({wall, trained});
+                        ++res.checkpoints;
+                    } else {
+                        ++res.restarts;
+                    }
+                    train_accum = 0.0;
+                    mode = Mode::TRAIN;
+                } else {
+                    break; // target lands inside the pause
+                }
+            }
+        }
+    }
+
+    /** Drop pending detections whose corrupting step has been rolled
+     *  back: the recomputed work is clean. */
+    void dropStalePending()
+    {
+        pending.erase(
+            std::remove_if(pending.begin(), pending.end(),
+                           [&](const PendingSdc &s) {
+                               return s.corruptTrained >= trained;
+                           }),
+            pending.end());
+    }
+
+    void rollbackAndRestart(double restore)
+    {
+        res.lostSec += std::max(0.0, trained - restore);
+        trained = restore;
+        dropStalePending();
+        mode = Mode::RESTART;
+        mode_ends = wall + cfg.restartCostSec;
+        train_accum = 0.0;
+    }
+
+    /** Rank crash: restore the newest checkpoint. A crash mid-write
+     *  loses the in-flight checkpoint; mid-restart restarts recovery. */
+    void fail()
+    {
+        ++res.failures;
+        rollbackAndRestart(ckpts.empty() ? 0.0
+                                         : ckpts.back().trained);
+    }
+
+    /** SDC detection: checkpoints written after the corrupting step
+     *  hold corrupted state -- discard them and restore the newest
+     *  clean one. */
+    void detect(const PendingSdc &s)
+    {
+        ++res.sdcRollbacks;
+        while (!ckpts.empty() &&
+               ckpts.back().trained > s.corruptTrained)
+            ckpts.pop_back();
+        rollbackAndRestart(ckpts.empty() ? 0.0
+                                         : ckpts.back().trained);
+    }
+
+    void applyEvent(const fault::FaultEvent &ev)
+    {
+        using fault::FaultKind;
+        switch (ev.kind) {
+          case FaultKind::LINK_DOWN:
+          case FaultKind::SWITCH_DOWN:
+          case FaultKind::PLANE_DOWN:
+            ++fabric_faults;
+            break;
+          case FaultKind::LINK_UP:
+          case FaultKind::SWITCH_UP:
+          case FaultKind::PLANE_UP:
+            if (fabric_faults > 0)
+                --fabric_faults;
+            break;
+          case FaultKind::LINK_DEGRADED:
+            if (ev.factor < 1.0)
+                ++fabric_faults;
+            else if (fabric_faults > 0)
+                --fabric_faults;
+            break;
+          case FaultKind::RANK_DOWN:
+            fail();
+            break;
+          case FaultKind::RANK_UP:
+            break; // spare swapped in during the restart
+          case FaultKind::SDC:
+            ++res.sdcEvents;
+            pending.push_back(
+                {wall + cfg.sdcDetectSec, trained});
+            break;
+        }
+    }
+};
+
+} // namespace
+
+FaultTrainerResult
+replayFaultSchedule(const FaultTrainerConfig &cfg,
+                    const fault::FaultSchedule &schedule)
+{
+    DSV3_ASSERT(cfg.horizonSec > 0.0);
+    DSV3_ASSERT(cfg.checkpointIntervalSec > 0.0);
+    DSV3_ASSERT(cfg.checkpointCostSec >= 0.0);
+    DSV3_ASSERT(cfg.restartCostSec >= 0.0);
+    DSV3_ASSERT(cfg.sdcDetectSec >= 0.0);
+    DSV3_ASSERT(cfg.degradedThroughput >= 0.0 &&
+                cfg.degradedThroughput <= 1.0);
+
+    Trainer tr(cfg);
+    const std::vector<fault::FaultEvent> &evs = schedule.events();
+    std::size_t cur = 0;
+    for (;;) {
+        double next_det = tr.pending.empty()
+            ? cfg.horizonSec : tr.pending.front().detectWall;
+        double next_ev =
+            cur < evs.size() ? evs[cur].time : cfg.horizonSec;
+        double target =
+            std::min({next_det, next_ev, cfg.horizonSec});
+        tr.advance(target);
+        if (target >= cfg.horizonSec)
+            break;
+        if (next_det <= next_ev) {
+            PendingSdc s = tr.pending.front();
+            tr.pending.pop_front();
+            tr.detect(s);
+        } else {
+            tr.applyEvent(evs[cur]);
+            ++cur;
+        }
+    }
+
+    tr.res.trainedSec = tr.trained;
+    tr.res.goodput = tr.trained / cfg.horizonSec;
+    return tr.res;
+}
+
+MonteCarloReliability
+runMonteCarloReliability(const ReliabilityParams &params,
+                         bool hardware_sdc_detection,
+                         std::size_t trials, std::uint64_t seed,
+                         double horizon_mtbfs)
+{
+    DSV3_ASSERT(trials > 0);
+    DSV3_ASSERT(horizon_mtbfs > 0.0);
+    DSV3_TRACE_SPAN("pipeline.fault_trainer.monte_carlo", "trials",
+                    trials, "gpus", params.gpus);
+
+    MonteCarloReliability out;
+    out.analytic =
+        evaluateReliability(params, hardware_sdc_detection);
+    out.analyticGoodput = out.analytic.goodput;
+    out.trials = trials;
+
+    const double mtbf_sec = out.analytic.clusterMtbfHours * 3600.0;
+    FaultTrainerConfig cfg;
+    cfg.horizonSec = horizon_mtbfs * mtbf_sec;
+    cfg.checkpointIntervalSec = out.analytic.optimalCheckpointSec;
+    cfg.checkpointCostSec = params.checkpointCostSec;
+    cfg.restartCostSec = params.restartCostSec;
+    cfg.sdcDetectSec = hardware_sdc_detection
+        ? params.hwDetectSeconds
+        : params.heuristicDetectHours * 3600.0;
+
+    fault::FaultRates rates;
+    rates.rankFailPerHour = 1.0 / params.gpuMtbfHours;
+    rates.rankRepairSec = 0.0; // spares: rank rejoins at restart
+    rates.sdcPerHour = params.sdcPerGpuPerHour;
+    fault::FaultDomain domain =
+        fault::FaultDomain::ranksOnly(params.gpus);
+
+    // Each trial is a pure function of (cfg, seed, trial): schedule
+    // generation and replay draw nothing from shared state, so the
+    // parallelFor() farm-out is byte-identical at any pool width.
+    std::vector<FaultTrainerResult> results(trials);
+    parallelFor(trials, [&](std::size_t t) {
+        fault::FaultSchedule sched = fault::FaultSchedule::generate(
+            domain, rates, cfg.horizonSec, hashCombine(seed, t));
+        results[t] = replayFaultSchedule(cfg, sched);
+    });
+
+    double sum = 0.0, fails = 0.0;
+    out.minGoodput = results[0].goodput;
+    out.maxGoodput = results[0].goodput;
+    for (const FaultTrainerResult &r : results) {
+        sum += r.goodput;
+        fails += (double)r.failures;
+        out.minGoodput = std::min(out.minGoodput, r.goodput);
+        out.maxGoodput = std::max(out.maxGoodput, r.goodput);
+    }
+    out.meanGoodput = sum / (double)trials;
+    out.meanFailures = fails / (double)trials;
+    out.relError = out.analyticGoodput > 0.0
+        ? std::fabs(out.meanGoodput - out.analyticGoodput) /
+              out.analyticGoodput
+        : 0.0;
+
+    obs::Registry &reg = obs::Registry::global();
+    static obs::Counter &runs =
+        reg.counter("pipeline.fault_trainer.mc_runs");
+    static obs::Gauge &err =
+        reg.gauge("pipeline.fault_trainer.mc_rel_error");
+    runs.inc();
+    err.set(out.relError);
+    return out;
+}
+
+} // namespace dsv3::pipeline

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Discrete-event checkpoint/restart trainer (Sec 6.1).
+ *
+ * Replays a FaultSchedule against a simulated training run: progress
+ * accrues while training, a checkpoint is written after every
+ * interval of training time, a rank failure rolls the run back to the
+ * newest checkpoint and pays the restart cost, and silent data
+ * corruption taints every checkpoint written after the corrupting
+ * step -- detection (delayed with application heuristics, immediate
+ * with the paper's proposed hardware checksums) rolls back to the
+ * newest *clean* checkpoint. Fabric faults (links/switches/planes)
+ * throttle training throughput instead of killing the run, modeling
+ * the MPFT's graceful degradation.
+ *
+ * runMonteCarloReliability() drives many independently-seeded
+ * schedules through the trainer and compares the empirical goodput
+ * with the closed-form Young/Daly model of reliability.hh -- the
+ * Monte-Carlo validation of the analytic Sec 6.1 numbers. Trials are
+ * farmed over parallelFor() but each trial's schedule and replay are
+ * pure functions of (config, seed, trial index), so results are
+ * byte-identical at any thread-pool width.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fault/schedule.hh"
+#include "pipeline/reliability.hh"
+
+namespace dsv3::pipeline {
+
+struct FaultTrainerConfig
+{
+    double horizonSec = 0.0;            //!< simulated wall-clock
+    double checkpointIntervalSec = 0.0; //!< training time between ckpts
+    double checkpointCostSec = 60.0;    //!< pause while writing
+    double restartCostSec = 600.0;      //!< detect + reschedule + load
+    double sdcDetectSec = 4.0 * 3600.0; //!< 0 = hardware checksums
+    /** Training rate multiplier while any fabric fault is active. */
+    double degradedThroughput = 1.0;
+};
+
+struct FaultTrainerResult
+{
+    double trainedSec = 0.0;  //!< useful work retained at the horizon
+    double goodput = 0.0;     //!< trainedSec / horizonSec
+    double lostSec = 0.0;     //!< work discarded by rollbacks
+    std::size_t failures = 0;     //!< rank crashes (each restarts)
+    std::size_t checkpoints = 0;  //!< completed writes
+    std::size_t restarts = 0;     //!< completed restarts
+    std::size_t sdcEvents = 0;
+    std::size_t sdcRollbacks = 0; //!< detections that forced rollback
+};
+
+/** Replay @p schedule through one simulated run. Deterministic. */
+FaultTrainerResult replayFaultSchedule(const FaultTrainerConfig &cfg,
+                                       const fault::FaultSchedule &
+                                           schedule);
+
+struct MonteCarloReliability
+{
+    double meanGoodput = 0.0;     //!< across trials
+    double minGoodput = 0.0;
+    double maxGoodput = 0.0;
+    double analyticGoodput = 0.0; //!< evaluateReliability()
+    double relError = 0.0;        //!< |mean - analytic| / analytic
+    double meanFailures = 0.0;    //!< rank crashes per trial
+    std::size_t trials = 0;
+    ReliabilityReport analytic;
+};
+
+/**
+ * Validate the analytic model: run @p trials independent schedules
+ * (rank failures at 1/gpuMtbfHours per GPU, SDC at sdcPerGpuPerHour)
+ * through the trainer at the Young/Daly interval over a horizon of
+ * @p horizon_mtbfs cluster-MTBFs, and compare mean goodput with
+ * evaluateReliability(). In the validity regime the relative error
+ * settles well under 5%.
+ */
+MonteCarloReliability runMonteCarloReliability(
+    const ReliabilityParams &params, bool hardware_sdc_detection,
+    std::size_t trials, std::uint64_t seed,
+    double horizon_mtbfs = 25.0);
+
+} // namespace dsv3::pipeline

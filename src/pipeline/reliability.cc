@@ -18,18 +18,34 @@ evaluateReliability(const ReliabilityParams &p,
     out.clusterMtbfHours = p.gpuMtbfHours / (double)p.gpus;
     const double mtbf_sec = out.clusterMtbfHours * 3600.0;
 
-    // Young/Daly: tau* = sqrt(2 * C * MTBF).
+    // Young/Daly: tau* = sqrt(2 * C * MTBF). The first-order formula
+    // assumes C << tau << MTBF; when the cluster MTBF collapses (huge
+    // fleet, poor per-GPU MTBF) tau would exceed the MTBF itself and
+    // the overhead fractions lose meaning. Clamp tau to the failure
+    // scale and cap each fraction at 1 so degenerate inputs yield a
+    // pessimistic-but-sane report instead of overheads above 100%.
     out.optimalCheckpointSec =
         std::sqrt(2.0 * p.checkpointCostSec * mtbf_sec);
+    out.optimalCheckpointSec =
+        std::min(out.optimalCheckpointSec, mtbf_sec);
     const double tau = out.optimalCheckpointSec;
+
+    out.validRegime = tau <= 0.1 * mtbf_sec;
+    if (!out.validRegime) {
+        DSV3_WARN_ONCE(
+            "reliability model outside Young/Daly validity: "
+            "tau=", tau, "s vs cluster MTBF=", mtbf_sec,
+            "s; overheads are clamped upper bounds");
+    }
 
     // Overheads as fractions of wall-clock time:
     //  - one checkpoint every tau seconds,
     //  - on failure (rate 1/MTBF) lose tau/2 of work on average plus
     //    the restart cost.
-    out.checkpointOverhead = p.checkpointCostSec / tau;
-    out.reworkOverhead = (tau / 2.0) / mtbf_sec;
-    out.restartOverhead = p.restartCostSec / mtbf_sec;
+    out.checkpointOverhead =
+        std::min(1.0, p.checkpointCostSec / tau);
+    out.reworkOverhead = std::min(1.0, (tau / 2.0) / mtbf_sec);
+    out.restartOverhead = std::min(1.0, p.restartCostSec / mtbf_sec);
 
     // Silent corruption: events occur at the cluster SDC rate; each
     // rolls back the detection latency's worth of work (bounded by

@@ -45,6 +45,11 @@ struct ReliabilityReport
     double restartOverhead = 0.0;      //!< fraction lost to restarts
     double sdcOverhead = 0.0;          //!< fraction lost to SDC replay
     double goodput = 0.0;              //!< useful-work fraction
+    /** Young/Daly first-order model validity: the optimal interval is
+     *  well separated from the failure scale (tau <= MTBF/10). When
+     *  false the clamped overheads are still returned but are upper
+     *  bounds, not predictions (a warning is logged once). */
+    bool validRegime = true;
 };
 
 /**

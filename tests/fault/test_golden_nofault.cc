@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Zero-fault golden equivalence: with an empty FaultSchedule (or the
+ * fault machinery merely instantiated), every result the repo
+ * produces is byte-identical to the pre-fault-subsystem behavior --
+ * flow rates, DeepEP phase times, and EPLB placements.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ep/deepep.hh"
+#include "fault/failover.hh"
+#include "fault/injector.hh"
+#include "fault/schedule.hh"
+#include "moe/eplb.hh"
+#include "net/cluster.hh"
+#include "net/flow.hh"
+
+namespace dsv3 {
+namespace {
+
+net::Cluster
+testCluster()
+{
+    net::ClusterConfig cfg;
+    cfg.hosts = 4;
+    cfg.gpusPerHost = 4;
+    cfg.planes = 4;
+    cfg.switchRadix = 8;
+    return net::buildCluster(cfg);
+}
+
+std::vector<net::Flow>
+crossFlows(const net::Cluster &c)
+{
+    std::vector<net::Flow> flows;
+    std::uint64_t qp = 0;
+    for (std::size_t s = 0; s < c.gpus.size(); ++s) {
+        std::size_t d = (s + 5) % c.gpus.size();
+        net::Flow f;
+        f.src = c.gpus[s];
+        f.dst = c.gpus[d];
+        f.bytes = 1e7;
+        f.qp = qp++;
+        flows.push_back(f);
+    }
+    return flows;
+}
+
+TEST(GoldenNoFault, EmptyScheduleLeavesFlowRatesIdentical)
+{
+    net::Cluster plain = testCluster();
+    std::vector<net::Flow> flows_plain = crossFlows(plain);
+    assignPaths(plain.graph, flows_plain, net::RoutePolicy::ECMP, 3);
+    std::vector<double> rates_plain =
+        maxMinRates(plain.graph, flows_plain);
+
+    net::Cluster faulty = testCluster();
+    fault::FaultInjector inj(faulty);
+    fault::FaultSchedule empty;
+    EXPECT_EQ(inj.advanceTo(empty, 1e9), 0u);
+    EXPECT_FALSE(faulty.faultStateActive());
+
+    std::vector<net::Flow> flows_faulty = crossFlows(faulty);
+    std::vector<std::size_t> unrouted;
+    assignPaths(faulty.graph, flows_faulty, net::RoutePolicy::ECMP, 3,
+                &unrouted);
+    EXPECT_TRUE(unrouted.empty());
+    net::FlowSimEngine engine(faulty.graph, flows_faulty);
+    fault::FailoverResult fo = fault::failoverReroute(
+        faulty, flows_faulty, engine, net::RoutePolicy::ECMP, 3);
+    EXPECT_EQ(fo.rerouted, 0u);
+    std::vector<double> rates_faulty = engine.solve();
+
+    ASSERT_EQ(rates_plain.size(), rates_faulty.size());
+    for (std::size_t i = 0; i < rates_plain.size(); ++i)
+        EXPECT_EQ(rates_plain[i], rates_faulty[i]) << "flow " << i;
+}
+
+TEST(GoldenNoFault, SimulateFlowsUnchangedByFaultStateInit)
+{
+    // Touching the fault state and fully repairing must restore
+    // byte-identical completion times.
+    net::Cluster c = testCluster();
+    std::vector<net::Flow> flows = crossFlows(c);
+    assignPaths(c.graph, flows, net::RoutePolicy::ADAPTIVE);
+    net::FlowSimResult before = simulateFlows(c.graph, flows);
+
+    c.setPlaneUp(0, false);
+    c.setPlaneUp(0, true);
+    EXPECT_TRUE(c.faultStateActive()); // state allocated...
+    EXPECT_EQ(c.edgesDown(), 0u);      // ...but everything healthy
+
+    net::FlowSimResult after = simulateFlows(c.graph, flows);
+    ASSERT_EQ(before.rates.size(), after.rates.size());
+    for (std::size_t i = 0; i < before.rates.size(); ++i)
+        EXPECT_EQ(before.rates[i], after.rates[i]);
+    EXPECT_EQ(before.makespan, after.makespan);
+    EXPECT_EQ(before.finishTimes, after.finishTimes);
+}
+
+TEST(GoldenNoFault, DeepEpDefaultFaultModelIsIdentical)
+{
+    net::Cluster c = testCluster();
+    ep::EpWorkload w;
+    w.tokensPerGpu = 64;
+    w.gate.experts = 64;
+    w.gate.topK = 4;
+
+    ep::EpResult plain = simulateDeepEp(c, w);
+    ep::EpResult faulty = simulateDeepEp(c, w, ep::EpFaultModel{});
+
+    EXPECT_EQ(plain.dispatchSeconds, faulty.dispatchSeconds);
+    EXPECT_EQ(plain.combineSeconds, faulty.combineSeconds);
+    EXPECT_EQ(plain.dispatchNicBytesPerGpu,
+              faulty.dispatchNicBytesPerGpu);
+    EXPECT_EQ(plain.combineNicBytesPerGpu,
+              faulty.combineNicBytesPerGpu);
+    EXPECT_EQ(plain.meanNodesTouched, faulty.meanNodesTouched);
+    EXPECT_EQ(plain.meanGpusTouched, faulty.meanGpusTouched);
+    EXPECT_EQ(faulty.dispatchRetrySeconds, 0.0);
+    EXPECT_EQ(faulty.combineRetrySeconds, 0.0);
+    EXPECT_EQ(faulty.droppedDeliveries, 0.0);
+    EXPECT_EQ(faulty.relayFallbacks, 0u);
+    EXPECT_EQ(faulty.stalledTransfers, 0u);
+}
+
+TEST(GoldenNoFault, EplbEmptyMaskIsIdentical)
+{
+    std::vector<double> load;
+    for (int e = 0; e < 32; ++e)
+        load.push_back(1.0 + (e % 7) * 0.5);
+
+    moe::EplbResult plain = moe::balanceExperts(load, 8, 5);
+    moe::EplbResult masked =
+        moe::balanceExperts(load, 8, 5, std::vector<bool>(8, false));
+
+    EXPECT_EQ(plain.gpuSlots, masked.gpuSlots);
+    EXPECT_EQ(plain.replicaCount, masked.replicaCount);
+    EXPECT_EQ(plain.gpuLoad, masked.gpuLoad);
+    EXPECT_EQ(plain.imbalanceBefore, masked.imbalanceBefore);
+    EXPECT_EQ(plain.imbalanceAfter, masked.imbalanceAfter);
+}
+
+} // namespace
+} // namespace dsv3

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * FaultInjector: event -> topology mutation, refcounted composition,
+ * and byte-identical restoration after full repair.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/injector.hh"
+#include "fault/schedule.hh"
+#include "net/cluster.hh"
+
+namespace dsv3::fault {
+namespace {
+
+net::Cluster
+smallCluster()
+{
+    net::ClusterConfig cfg;
+    cfg.hosts = 4;
+    cfg.gpusPerHost = 2;
+    cfg.planes = 2;
+    cfg.switchRadix = 8;
+    return net::buildCluster(cfg);
+}
+
+std::vector<double>
+capacities(const net::Graph &g)
+{
+    std::vector<double> caps;
+    for (net::EdgeId e = 0; e < g.edgeCount(); ++e)
+        caps.push_back(g.edge(e).capacity);
+    return caps;
+}
+
+FaultEvent
+ev(FaultKind kind, net::NodeId a = net::kInvalidNode,
+   net::NodeId b = net::kInvalidNode)
+{
+    FaultEvent e;
+    e.kind = kind;
+    e.nodeA = a;
+    e.nodeB = b;
+    return e;
+}
+
+TEST(FaultInjector, LinkDownZeroesBothDirections)
+{
+    net::Cluster c = smallCluster();
+    FaultDomain d = FaultDomain::fromCluster(c);
+    ASSERT_FALSE(d.links.empty());
+    FaultInjector inj(c);
+    auto link = d.links[0];
+
+    inj.apply(ev(FaultKind::LINK_DOWN, link.a, link.b));
+    EXPECT_EQ(inj.linksDown(), 1u);
+    EXPECT_EQ(c.edgesDown(), 2u); // both directions of the cable
+    EXPECT_EQ(inj.topologyEpoch(), 1u);
+
+    inj.apply(ev(FaultKind::LINK_UP, link.a, link.b));
+    EXPECT_EQ(inj.linksDown(), 0u);
+    EXPECT_EQ(c.edgesDown(), 0u);
+}
+
+TEST(FaultInjector, OverlappingFaultsCompose)
+{
+    net::Cluster c = smallCluster();
+    std::vector<double> healthy = capacities(c.graph);
+    FaultInjector inj(c);
+
+    // Take a whole plane down, then a switch inside it, then repair
+    // in the opposite order: the switch must stay down until its own
+    // repair, and full repair restores capacities byte-identically.
+    net::NodeId sw = net::kInvalidNode;
+    for (net::NodeId n = 0; n < c.graph.nodeCount(); ++n) {
+        if (c.graph.node(n).kind == net::NodeKind::LEAF &&
+            c.graph.node(n).plane == 0) {
+            sw = n;
+            break;
+        }
+    }
+    ASSERT_NE(sw, net::kInvalidNode);
+
+    FaultEvent plane;
+    plane.kind = FaultKind::PLANE_DOWN;
+    plane.plane = 0;
+    inj.apply(plane);
+    std::size_t down_plane_only = c.edgesDown();
+    EXPECT_GT(down_plane_only, 0u);
+
+    inj.apply(ev(FaultKind::SWITCH_DOWN, sw));
+    plane.kind = FaultKind::PLANE_UP;
+    inj.apply(plane);
+    // Switch still held down by its own fault.
+    EXPECT_FALSE(c.nodeUp(sw));
+    EXPECT_GT(c.edgesDown(), 0u);
+
+    inj.apply(ev(FaultKind::SWITCH_UP, sw));
+    EXPECT_TRUE(c.nodeUp(sw));
+    EXPECT_EQ(c.edgesDown(), 0u);
+    EXPECT_EQ(capacities(c.graph), healthy);
+}
+
+TEST(FaultInjector, DegradeAndRestore)
+{
+    net::Cluster c = smallCluster();
+    FaultDomain d = FaultDomain::fromCluster(c);
+    std::vector<double> healthy = capacities(c.graph);
+    FaultInjector inj(c);
+    auto link = d.links[0];
+    net::EdgeId e = c.graph.findEdge(link.a, link.b);
+    ASSERT_NE(e, net::kInvalidEdge);
+
+    FaultEvent deg = ev(FaultKind::LINK_DEGRADED, link.a, link.b);
+    deg.factor = 0.25;
+    inj.apply(deg);
+    EXPECT_EQ(inj.linksDegraded(), 1u);
+    EXPECT_DOUBLE_EQ(c.graph.edge(e).capacity,
+                     0.25 * c.baseCapacity[e]);
+    EXPECT_TRUE(inj.fabricDegraded());
+
+    deg.factor = 1.0;
+    inj.apply(deg);
+    EXPECT_EQ(inj.linksDegraded(), 0u);
+    EXPECT_FALSE(inj.fabricDegraded());
+    EXPECT_EQ(capacities(c.graph), healthy);
+}
+
+TEST(FaultInjector, RankDownKillsGpuNodeAndTracksDeadSet)
+{
+    net::Cluster c = smallCluster();
+    FaultInjector inj(c);
+    FaultEvent e;
+    e.kind = FaultKind::RANK_DOWN;
+    e.rank = 3;
+    inj.apply(e);
+    EXPECT_TRUE(inj.rankDead(3));
+    EXPECT_EQ(inj.ranksDown(), 1u);
+    EXPECT_FALSE(c.nodeUp(c.gpus[3]));
+
+    e.kind = FaultKind::RANK_UP;
+    inj.apply(e);
+    EXPECT_FALSE(inj.rankDead(3));
+    EXPECT_TRUE(c.nodeUp(c.gpus[3]));
+    EXPECT_EQ(c.edgesDown(), 0u);
+}
+
+TEST(FaultInjector, SdcCountsWithoutTopologyChange)
+{
+    net::Cluster c = smallCluster();
+    FaultInjector inj(c);
+    FaultEvent e;
+    e.kind = FaultKind::SDC;
+    e.rank = 1;
+    inj.apply(e);
+    EXPECT_EQ(inj.sdcSeen(), 1u);
+    EXPECT_EQ(inj.topologyEpoch(), 0u);
+    EXPECT_EQ(c.edgesDown(), 0u);
+}
+
+TEST(FaultInjector, AdvanceToStreamsCursor)
+{
+    net::Cluster c = smallCluster();
+    std::vector<FaultEvent> evs;
+    FaultEvent e;
+    e.kind = FaultKind::RANK_DOWN;
+    e.rank = 0;
+    e.time = 1.0;
+    evs.push_back(e);
+    e.kind = FaultKind::RANK_UP;
+    e.time = 2.0;
+    evs.push_back(e);
+    e.kind = FaultKind::SDC;
+    e.rank = 1;
+    e.time = 3.0;
+    evs.push_back(e);
+    FaultSchedule sched(evs);
+
+    FaultInjector inj(c);
+    EXPECT_EQ(inj.advanceTo(sched, 0.5), 0u);
+    EXPECT_EQ(inj.advanceTo(sched, 1.5), 1u);
+    EXPECT_TRUE(inj.rankDead(0));
+    EXPECT_EQ(inj.advanceTo(sched, 10.0), 2u);
+    EXPECT_FALSE(inj.rankDead(0));
+    EXPECT_EQ(inj.sdcSeen(), 1u);
+    EXPECT_EQ(inj.eventsApplied(), 3u);
+    // Cursor does not replay.
+    EXPECT_EQ(inj.advanceTo(sched, 20.0), 0u);
+}
+
+} // namespace
+} // namespace dsv3::fault

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * FaultSchedule: canonical ordering, generation statistics, and the
+ * determinism guarantees the Monte-Carlo validation rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/thread_pool.hh"
+#include "fault/schedule.hh"
+#include "net/cluster.hh"
+
+namespace dsv3::fault {
+namespace {
+
+net::Cluster
+smallCluster()
+{
+    net::ClusterConfig cfg;
+    cfg.hosts = 4;
+    cfg.gpusPerHost = 2;
+    cfg.planes = 2;
+    cfg.switchRadix = 8;
+    return net::buildCluster(cfg);
+}
+
+TEST(FaultSchedule, EmptyByDefault)
+{
+    FaultSchedule s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.size(), 0u);
+    EXPECT_EQ(s.traceText(), "");
+}
+
+TEST(FaultSchedule, ExplicitEventsSortedByTime)
+{
+    FaultEvent a;
+    a.time = 5.0;
+    a.kind = FaultKind::RANK_DOWN;
+    a.rank = 3;
+    FaultEvent b;
+    b.time = 1.0;
+    b.kind = FaultKind::SDC;
+    b.rank = 7;
+    FaultSchedule s({a, b});
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_EQ(s.events()[0].time, 1.0);
+    EXPECT_EQ(s.events()[1].time, 5.0);
+}
+
+TEST(FaultSchedule, DomainFromClusterCountsComponents)
+{
+    net::Cluster cluster = smallCluster();
+    FaultDomain d = FaultDomain::fromCluster(cluster);
+    EXPECT_EQ(d.ranks, cluster.gpus.size());
+    EXPECT_FALSE(d.links.empty());
+    EXPECT_FALSE(d.switches.empty());
+    // Two planes with switches.
+    ASSERT_EQ(d.planes.size(), 2u);
+    EXPECT_EQ(d.planes[0], 0);
+    EXPECT_EQ(d.planes[1], 1);
+    // Every link is a duplex cable recorded once, a < b.
+    for (const FaultDomain::Link &l : d.links)
+        EXPECT_LT(l.a, l.b);
+}
+
+TEST(FaultSchedule, GenerateIsDeterministicInSeed)
+{
+    FaultDomain d = FaultDomain::ranksOnly(64);
+    FaultRates r;
+    r.rankFailPerHour = 0.1;
+    r.sdcPerHour = 0.01;
+    FaultSchedule s1 = FaultSchedule::generate(d, r, 3600.0, 42);
+    FaultSchedule s2 = FaultSchedule::generate(d, r, 3600.0, 42);
+    FaultSchedule s3 = FaultSchedule::generate(d, r, 3600.0, 43);
+    EXPECT_EQ(s1.traceText(), s2.traceText());
+    EXPECT_NE(s1.traceText(), s3.traceText());
+    EXPECT_FALSE(s1.empty());
+}
+
+TEST(FaultSchedule, GenerateIsIndependentOfThreadCount)
+{
+    // Schedules are generated serially, but the determinism contract
+    // is that any surrounding parallelism cannot perturb them: the
+    // trace is a pure function of (domain, rates, horizon, seed).
+    FaultDomain d = FaultDomain::ranksOnly(32);
+    FaultRates r;
+    r.rankFailPerHour = 0.2;
+    std::string traces[3];
+    std::size_t widths[3] = {1, 2, 8};
+    for (int i = 0; i < 3; ++i) {
+        setParallelForWidth(widths[i]);
+        std::vector<std::string> partial(4);
+        parallelFor(4, [&](std::size_t t) {
+            partial[t] = FaultSchedule::generate(d, r, 7200.0, 9 + t)
+                             .traceText();
+        });
+        std::string all;
+        for (const std::string &p : partial)
+            all += p;
+        traces[i] = all;
+    }
+    setParallelForWidth(0);
+    EXPECT_EQ(traces[0], traces[1]);
+    EXPECT_EQ(traces[0], traces[2]);
+}
+
+TEST(FaultSchedule, EventTimesWithinHorizonAndSorted)
+{
+    net::Cluster cluster = smallCluster();
+    FaultDomain d = FaultDomain::fromCluster(cluster);
+    FaultRates r;
+    r.linkFailPerHour = 0.5;
+    r.linkDegradePerHour = 0.5;
+    r.switchFailPerHour = 0.5;
+    r.planeFailPerHour = 0.2;
+    r.rankFailPerHour = 0.5;
+    r.sdcPerHour = 0.1;
+    const double horizon = 4.0 * 3600.0;
+    FaultSchedule s = FaultSchedule::generate(d, r, horizon, 7);
+    ASSERT_FALSE(s.empty());
+    double prev = 0.0;
+    for (const FaultEvent &ev : s.events()) {
+        EXPECT_GE(ev.time, prev);
+        EXPECT_LT(ev.time, horizon);
+        prev = ev.time;
+    }
+}
+
+TEST(FaultSchedule, FailureRateMatchesConfiguredMtbf)
+{
+    // 256 ranks at 0.5 fails/hour for 10 hours ~ 1280 expected
+    // failures; the Poisson draw should land within a few sigma.
+    FaultDomain d = FaultDomain::ranksOnly(256);
+    FaultRates r;
+    r.rankFailPerHour = 0.5;
+    r.rankRepairSec = 0.0;
+    FaultSchedule s =
+        FaultSchedule::generate(d, r, 10.0 * 3600.0, 123);
+    std::size_t downs = 0;
+    for (const FaultEvent &ev : s.events())
+        if (ev.kind == FaultKind::RANK_DOWN)
+            ++downs;
+    const double expected = 256 * 0.5 * 10.0;
+    EXPECT_NEAR((double)downs, expected, 5.0 * std::sqrt(expected));
+}
+
+TEST(FaultSchedule, DescribeNamesEveryKind)
+{
+    FaultEvent ev;
+    ev.time = 1.5;
+    ev.kind = FaultKind::LINK_DEGRADED;
+    ev.nodeA = 3;
+    ev.nodeB = 9;
+    ev.factor = 0.25;
+    std::string s = ev.describe();
+    EXPECT_NE(s.find("link_degraded"), std::string::npos);
+    EXPECT_NE(s.find("0.2500"), std::string::npos);
+    for (FaultKind k :
+         {FaultKind::LINK_DOWN, FaultKind::LINK_UP,
+          FaultKind::LINK_DEGRADED, FaultKind::SWITCH_DOWN,
+          FaultKind::SWITCH_UP, FaultKind::PLANE_DOWN,
+          FaultKind::PLANE_UP, FaultKind::RANK_DOWN,
+          FaultKind::RANK_UP, FaultKind::SDC})
+        EXPECT_STRNE(faultKindName(k), "?");
+}
+
+} // namespace
+} // namespace dsv3::fault

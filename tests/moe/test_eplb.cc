@@ -141,5 +141,73 @@ TEST_P(EplbSlotsTest, MoreSlotsMonotonicallyBetter)
 INSTANTIATE_TEST_SUITE_P(Slots, EplbSlotsTest,
                          ::testing::Values(5, 6, 8));
 
+TEST(EplbMask, DeadGpusGetNoSlots)
+{
+    std::vector<double> load(16, 1.0);
+    std::vector<bool> dead(8, false);
+    dead[2] = dead[5] = true;
+    auto r = balanceExperts(load, 8, 4, dead);
+    EXPECT_EQ(r.liveGpus, 6u);
+    EXPECT_TRUE(r.gpuSlots[2].empty());
+    EXPECT_TRUE(r.gpuSlots[5].empty());
+    EXPECT_EQ(r.gpuLoad[2], 0.0);
+    EXPECT_EQ(r.gpuLoad[5], 0.0);
+    // Every expert still placed somewhere live.
+    std::vector<bool> placed(16, false);
+    for (std::size_t g = 0; g < 8; ++g)
+        for (std::uint32_t e : r.gpuSlots[g])
+            placed[e] = true;
+    for (bool p : placed)
+        EXPECT_TRUE(p);
+}
+
+TEST(EplbMask, ImbalanceComputedOverSurvivorsOnly)
+{
+    // A dead GPU's zero load must not drag the mean down (which would
+    // inflate max/mean): with uniform load and a mask, the survivors
+    // are still perfectly balanced.
+    std::vector<double> load(12, 2.0);
+    std::vector<bool> dead(6, false);
+    dead[0] = true;
+    auto r = balanceExperts(load, 6, 4, dead);
+    EXPECT_EQ(r.liveGpus, 5u);
+    EXPECT_NEAR(r.imbalanceAfter, 1.0, 0.25);
+}
+
+TEST(EplbMask, FewerSpareSlotsIsTheDegradationPenalty)
+{
+    // Killing GPUs removes replica slots: the hot experts get fewer
+    // replicas, which is the quantified cost of running degraded.
+    // (The greedy packer is a heuristic, so the imbalance comparison
+    // gets the same 5% slack the slot-monotonicity property uses.)
+    Rng rng(11);
+    std::vector<double> load(32);
+    for (auto &l : load)
+        l = rng.exponential(1.0) + 0.01;
+    auto healthy = balanceExperts(load, 16, 4);
+    std::vector<bool> dead(16, false);
+    dead[3] = dead[9] = dead[12] = true;
+    auto degraded = balanceExperts(load, 16, 4, dead);
+    EXPECT_EQ(degraded.liveGpus, 13u);
+
+    std::uint32_t healthy_replicas = 0, degraded_replicas = 0;
+    for (std::uint32_t r : healthy.replicaCount)
+        healthy_replicas += r;
+    for (std::uint32_t r : degraded.replicaCount)
+        degraded_replicas += r;
+    EXPECT_EQ(healthy_replicas, 16u * 4u);
+    EXPECT_EQ(degraded_replicas, 13u * 4u);
+    EXPECT_GE(degraded.imbalanceAfter,
+              healthy.imbalanceAfter / 1.05);
+}
+
+TEST(EplbMaskDeath, RejectsMaskLeavingTooFewSlots)
+{
+    std::vector<double> load(16, 1.0);
+    std::vector<bool> dead(4, false);
+    dead[0] = dead[1] = true; // 2 live * 4 slots < 16 experts
+    EXPECT_DEATH(balanceExperts(load, 4, 4, dead), "slot");
+}
+
 } // namespace
 } // namespace dsv3::moe

@@ -20,7 +20,7 @@ TEST(Cost, Ft2PaperCounts)
 
 TEST(Cost, MpftPaperCounts)
 {
-    TopologyCounts tc = countMultiPlaneFatTree(64, 8, 16384);
+    TopologyCounts tc = *countMultiPlaneFatTree(64, 8, 16384);
     EXPECT_EQ(tc.endpoints, 16384u);
     EXPECT_EQ(tc.switches, 768u);
     EXPECT_EQ(tc.links, 16384u);
@@ -56,7 +56,7 @@ TEST(Cost, PaperCostPerEndpoint)
     EXPECT_NEAR(costPerEndpoint(countFatTree2(64, 2048)) / 1e3, 4.39,
                 0.05);
     EXPECT_NEAR(
-        costPerEndpoint(countMultiPlaneFatTree(64, 8, 16384)) / 1e3,
+        costPerEndpoint(*countMultiPlaneFatTree(64, 8, 16384)) / 1e3,
         4.39, 0.05);
     EXPECT_NEAR(costPerEndpoint(countFatTree3(64, 65536)) / 1e3, 7.5,
                 0.1);
@@ -69,7 +69,7 @@ TEST(Cost, PaperTotalCosts)
 {
     // Table 3 totals in M$: 9, 72, 491, 146, 1522 (within ~2%).
     EXPECT_NEAR(totalCost(countFatTree2(64, 2048)) / 1e6, 9.0, 0.3);
-    EXPECT_NEAR(totalCost(countMultiPlaneFatTree(64, 8, 16384)) / 1e6,
+    EXPECT_NEAR(totalCost(*countMultiPlaneFatTree(64, 8, 16384)) / 1e6,
                 72.0, 1.5);
     EXPECT_NEAR(totalCost(countFatTree3(64, 65536)) / 1e6, 491.0,
                 10.0);
@@ -81,10 +81,29 @@ TEST(Cost, PaperTotalCosts)
 TEST(Cost, MpftIsEightIndependentFt2)
 {
     TopologyCounts ft2 = countFatTree2(64, 2048);
-    TopologyCounts mpft = countMultiPlaneFatTree(64, 8, 16384);
+    TopologyCounts mpft = *countMultiPlaneFatTree(64, 8, 16384);
     EXPECT_EQ(mpft.switches, 8 * ft2.switches);
     EXPECT_EQ(mpft.links, 8 * ft2.links);
     EXPECT_DOUBLE_EQ(costPerEndpoint(mpft), costPerEndpoint(ft2));
+}
+
+TEST(Cost, MpftRejectsNonDivisibleEndpoints)
+{
+    // Satellite (b): infeasible plane configs report nullopt instead
+    // of asserting, so sweeps can skip them.
+    EXPECT_FALSE(countMultiPlaneFatTree(64, 8, 16383).has_value());
+    EXPECT_FALSE(countMultiPlaneFatTree(64, 3, 16384).has_value());
+    EXPECT_TRUE(countMultiPlaneFatTree(64, 8, 16384).has_value());
+}
+
+TEST(Cost, MpftRejectsOverCapacityPlanes)
+{
+    // Each radix-64 plane is a two-level fat-tree capped at
+    // 64 * 32 = 2048 endpoints.
+    EXPECT_TRUE(countMultiPlaneFatTree(64, 8, 8 * 2048).has_value());
+    EXPECT_FALSE(
+        countMultiPlaneFatTree(64, 8, 8 * 2048 + 8).has_value());
+    EXPECT_FALSE(countMultiPlaneFatTree(64, 1, 2049).has_value());
 }
 
 TEST(Cost, Ft2MaxScale)
