@@ -9,6 +9,7 @@
 #include "collective/patterns.hh"
 #include "common/units.hh"
 #include "core/report.hh"
+#include "net/route_cache.hh"
 
 namespace {
 
@@ -17,6 +18,29 @@ printTables()
 {
     dsv3::bench::printTable(dsv3::core::reproduceFigure5());
 }
+
+void
+BM_Fig5TableSweep(benchmark::State &state)
+{
+    // The full 8-point table sweep with the process route cache warm
+    // across iterations: what a repeated report run costs.
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dsv3::core::reproduceFigure5());
+}
+BENCHMARK(BM_Fig5TableSweep)->Unit(benchmark::kMillisecond);
+
+void
+BM_Fig5TableSweepColdCache(benchmark::State &state)
+{
+    // Same sweep from a cold route cache each iteration (every path
+    // set re-enumerated): the before/after pair with BM_Fig5TableSweep
+    // is the route-cache speedup recorded in BENCH_net.json.
+    for (auto _ : state) {
+        dsv3::net::RouteCache::global().clear();
+        benchmark::DoNotOptimize(dsv3::core::reproduceFigure5());
+    }
+}
+BENCHMARK(BM_Fig5TableSweepColdCache)->Unit(benchmark::kMillisecond);
 
 void
 BM_AllToAllSim(benchmark::State &state)

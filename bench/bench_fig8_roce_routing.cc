@@ -9,6 +9,7 @@
 #include "collective/patterns.hh"
 #include "common/units.hh"
 #include "core/report.hh"
+#include "net/route_cache.hh"
 
 namespace {
 
@@ -17,6 +18,26 @@ printTables()
 {
     dsv3::bench::printTable(dsv3::core::reproduceFigure8());
 }
+
+void
+BM_Fig8TableSweep(benchmark::State &state)
+{
+    // Full 9-cell grid (3 TP sizes x 3 policies, ECMP cells averaging
+    // 8 seeds) with the route cache warm across iterations.
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dsv3::core::reproduceFigure8());
+}
+BENCHMARK(BM_Fig8TableSweep)->Unit(benchmark::kMillisecond);
+
+void
+BM_Fig8TableSweepColdCache(benchmark::State &state)
+{
+    for (auto _ : state) {
+        dsv3::net::RouteCache::global().clear();
+        benchmark::DoNotOptimize(dsv3::core::reproduceFigure8());
+    }
+}
+BENCHMARK(BM_Fig8TableSweepColdCache)->Unit(benchmark::kMillisecond);
 
 dsv3::net::Cluster
 roceCluster()

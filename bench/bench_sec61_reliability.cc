@@ -9,6 +9,7 @@
  */
 
 #include "bench_util.hh"
+#include "sweep_driver.hh"
 
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "fault/schedule.hh"
 #include "net/cost.hh"
 #include "net/flow.hh"
+#include "net/route_cache.hh"
 #include "pipeline/fault_trainer.hh"
 #include "pipeline/reliability.hh"
 
@@ -166,9 +168,20 @@ faultSweepTable()
     t.setHeader({"Scenario", "MPFT agg GB/s", "retained",
                  "rerouted/stalled", "MRFT agg GB/s", "retained",
                  "rerouted/stalled"});
+    // Scenario x fabric grid through the shared sweep driver: every
+    // cell builds its own cluster and flow set, so cells are
+    // independent and the table is byte-identical at any --threads
+    // width (the process route cache is shared across cells, but its
+    // path sets are value-deterministic under any interleaving).
+    dsv3::bench::SweepDriver<SweepOutcome> sweep(kScenarios, 2);
+    sweep.run([](std::size_t s, std::size_t fab) {
+        return runScenario(fab == 0 ? net::Fabric::MPFT
+                                    : net::Fabric::MRFT,
+                           s);
+    });
     for (std::size_t s = 0; s < kScenarios; ++s) {
-        SweepOutcome mpft = runScenario(net::Fabric::MPFT, s);
-        SweepOutcome mrft = runScenario(net::Fabric::MRFT, s);
+        const SweepOutcome &mpft = sweep.at(s, 0);
+        const SweepOutcome &mrft = sweep.at(s, 1);
         auto cells = [](const SweepOutcome &o) {
             return std::vector<std::string>{
                 Table::fmt(o.degradedRate / 1e9, 1),
@@ -248,6 +261,26 @@ printTables()
     dsv3::bench::printTable(faultSweepTable());
     dsv3::bench::printTable(planeSweepTable());
 }
+
+void
+BM_FaultSweep(benchmark::State &state)
+{
+    // The 6x2 scenario grid (SweepDriver over the pool) with the
+    // route cache warm across iterations.
+    for (auto _ : state)
+        benchmark::DoNotOptimize(faultSweepTable());
+}
+BENCHMARK(BM_FaultSweep)->Unit(benchmark::kMillisecond);
+
+void
+BM_FaultSweepColdCache(benchmark::State &state)
+{
+    for (auto _ : state) {
+        dsv3::net::RouteCache::global().clear();
+        benchmark::DoNotOptimize(faultSweepTable());
+    }
+}
+BENCHMARK(BM_FaultSweepColdCache)->Unit(benchmark::kMillisecond);
 
 void
 BM_EvaluateReliability(benchmark::State &state)

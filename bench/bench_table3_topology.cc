@@ -20,6 +20,16 @@ printTables()
 }
 
 void
+BM_Table3Sweep(benchmark::State &state)
+{
+    // The whole reproduction (1 x 5 topology grid through the sweep
+    // driver) including table formatting.
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dsv3::core::reproduceTable3());
+}
+BENCHMARK(BM_Table3Sweep);
+
+void
 BM_CountTopologies(benchmark::State &state)
 {
     for (auto _ : state) {

@@ -14,14 +14,20 @@
  *                   snapshot (see obs/report.hh)
  *   --trace=<path>  enable trace collection and write the run's spans
  *                   as Chrome trace-event JSON (see obs/trace.hh)
+ *   --threads=<N>   cap the sweep width: parallelFor()/runSweepGrid()
+ *                   use at most N threads, caller included (1 =
+ *                   serial, 0 = uncapped default). Table output is
+ *                   byte-identical at every width; the flag only
+ *                   changes wall-clock.
  *
- * Both default off; without them a bench run is byte-identical to the
+ * All default off; without them a bench run is byte-identical to the
  * pre-observability output.
  */
 
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <string>
@@ -30,6 +36,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 #include "obs/registry.hh"
 #include "obs/report.hh"
 #include "obs/trace.hh"
@@ -131,8 +138,14 @@ runBench(int argc, char **argv,
         detail::extractPathFlag(argc, argv, "json");
     const std::string trace_path =
         detail::extractPathFlag(argc, argv, "trace");
+    const std::string threads_arg =
+        detail::extractPathFlag(argc, argv, "threads");
     if (!trace_path.empty())
         obs::setTraceEnabled(true);
+    if (!threads_arg.empty())
+        setParallelForWidth(
+            (std::size_t)std::strtoul(threads_arg.c_str(), nullptr,
+                                      10));
 
     print_tables();
     benchmark::Initialize(&argc, argv);

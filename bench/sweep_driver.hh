@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Typed scenario-sweep driver for the bench binaries.
+ *
+ * SweepDriver<R> owns a rows x cols result grid and runs a cell
+ * function over it through runSweepGrid() (thread pool, caller
+ * participates, width follows --threads / setParallelForWidth()).
+ * Cells are independent and each writes only its own slot, so the
+ * grid contents are byte-identical at any width; readers consume them
+ * in row-major order after run() returns.
+ *
+ * The net reproduction benches (Fig 5, Fig 8, Table 3) and the Sec
+ * 6.1 fault sweep all drive their scenario grids through this one
+ * helper instead of hand-rolled loops.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/sweep.hh"
+
+namespace dsv3::bench {
+
+template <typename R>
+class SweepDriver
+{
+  public:
+    SweepDriver(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), results_(rows * cols)
+    {
+    }
+
+    /** Run fn(row, col) -> R for every cell, through the pool. */
+    template <typename Fn>
+    void
+    run(Fn &&fn)
+    {
+        runSweepGrid(rows_, cols_, [&](const SweepPoint &p) {
+            results_[p.index] = fn(p.row, p.col);
+        });
+    }
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    const R &
+    at(std::size_t row, std::size_t col) const
+    {
+        return results_[row * cols_ + col];
+    }
+
+    std::vector<R> take() { return std::move(results_); }
+
+  private:
+    std::size_t rows_;
+    std::size_t cols_;
+    std::vector<R> results_;
+};
+
+} // namespace dsv3::bench

@@ -1,0 +1,34 @@
+#include "common/sweep.hh"
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
+
+namespace dsv3 {
+
+void
+runSweepGrid(std::size_t rows, std::size_t cols,
+             const std::function<void(const SweepPoint &)> &fn)
+{
+    DSV3_ASSERT(rows > 0 && cols > 0, "empty sweep grid ", rows, "x",
+                cols);
+    static obs::Counter &c_grids =
+        obs::Registry::global().counter("common.sweep.grids");
+    static obs::Counter &c_points =
+        obs::Registry::global().counter("common.sweep.points");
+
+    const std::size_t n = rows * cols;
+    DSV3_TRACE_SPAN("common.sweep.grid", "points", n);
+    parallelFor(n, [&](std::size_t i) {
+        SweepPoint p;
+        p.index = i;
+        p.row = i / cols;
+        p.col = i % cols;
+        fn(p);
+    });
+    c_grids.inc();
+    c_points.inc(n);
+}
+
+} // namespace dsv3

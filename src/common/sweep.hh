@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Scenario-sweep grid runner.
+ *
+ * Every reproduction table is a small grid of independent simulation
+ * points (message sizes x fabrics, TP sizes x routing policies,
+ * scenarios x fabrics). runSweepGrid() is the one place that fans such
+ * a grid across the thread pool: points execute via parallelFor() (the
+ * caller participates; width obeys setParallelForWidth(), so --threads
+ * and the determinism tests control it), each point writes only its
+ * own output slot, and results are read back in row-major order after
+ * the barrier -- output is byte-identical at any width.
+ *
+ * Grid runs report themselves under "common.sweep.*" in the stats
+ * registry and bracket the whole grid with a "common.sweep.grid" trace
+ * span; see DESIGN.md "Observability".
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace dsv3 {
+
+/** One cell of a sweep grid, in row-major order. */
+struct SweepPoint
+{
+    std::size_t index; //!< row-major cell index: row * cols + col
+    std::size_t row;
+    std::size_t col;
+};
+
+/**
+ * Execute fn once per cell of a rows x cols grid across the thread
+ * pool. Cells must be independent; fn typically writes cell results
+ * into &results[point.index]. Blocks until every cell finished.
+ */
+void runSweepGrid(std::size_t rows, std::size_t cols,
+                  const std::function<void(const SweepPoint &)> &fn);
+
+} // namespace dsv3

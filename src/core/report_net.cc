@@ -10,7 +10,7 @@
 #include "collective/patterns.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
-#include "common/thread_pool.hh"
+#include "common/sweep.hh"
 #include "common/units.hh"
 #include "net/cluster.hh"
 #include "net/cost.hh"
@@ -25,13 +25,28 @@ reproduceTable3()
     Table t("Table 3: network topology comparison (64-port switches)");
     t.setHeader({"Metric", "FT2", "MPFT", "FT3", "SF", "DF"});
 
-    std::vector<TopologyCounts> tops = {
-        countFatTree2(64, 2048),
-        *countMultiPlaneFatTree(64, 8, 16384),
-        countFatTree3(64, 65536),
-        countSlimFly(28),
-        countDragonfly(16, 32, 16, 511),
-    };
+    // Each column is an independent topology sizing: drive them as a
+    // 1 x 5 sweep grid like every other reproduction.
+    std::vector<TopologyCounts> tops(5);
+    runSweepGrid(1, tops.size(), [&](const SweepPoint &p) {
+        switch (p.col) {
+          case 0:
+            tops[p.index] = countFatTree2(64, 2048);
+            break;
+          case 1:
+            tops[p.index] = *countMultiPlaneFatTree(64, 8, 16384);
+            break;
+          case 2:
+            tops[p.index] = countFatTree3(64, 65536);
+            break;
+          case 3:
+            tops[p.index] = countSlimFly(28);
+            break;
+          default:
+            tops[p.index] = countDragonfly(16, 32, 16, 511);
+            break;
+        }
+    });
     auto row = [&](const char *label, auto getter) {
         std::vector<std::string> cells = {label};
         for (const auto &tc : tops)
@@ -142,18 +157,19 @@ reproduceFigure5()
     Table t("Figure 5: NCCL all-to-all busBW, MPFT vs MRFT");
     t.setHeader({"GPUs", "MPFT busBW/GPU", "MRFT busBW/GPU", "Delta"});
     const std::vector<std::size_t> sizes = {32, 64, 96, 128};
-    // Every (gpus, fabric) point is an independent simulation: fan
-    // them across the pool and emit rows in order afterwards.
+    // Every (gpus, fabric) point is an independent simulation: drive
+    // the grid through the sweep runner and emit rows in order
+    // afterwards.
     std::vector<double> bw(sizes.size() * 2);
-    parallelFor(bw.size(), [&](std::size_t i) {
-        std::size_t gpus = sizes[i / 2];
-        Fabric f = i % 2 == 0 ? Fabric::MPFT : Fabric::MRFT;
+    runSweepGrid(sizes.size(), 2, [&](const SweepPoint &p) {
+        std::size_t gpus = sizes[p.row];
+        Fabric f = p.col == 0 ? Fabric::MPFT : Fabric::MRFT;
         Cluster c = buildCluster(h800ClusterConfig(f, gpus / 8));
         auto ranks = allRanks(c);
         auto r = collective::runAllToAll(
             c, ranks, 16.0 * kMB * (double)ranks.size(),
             RoutePolicy::ADAPTIVE);
-        bw[i] = r.busBw;
+        bw[p.index] = r.busBw;
     });
     for (std::size_t s = 0; s < sizes.size(); ++s) {
         double mpft = bw[s * 2], mrft = bw[s * 2 + 1];
@@ -216,9 +232,10 @@ reproduceFigure8()
     // Each (tp, policy) cell simulates its seeds independently of
     // every other cell: fan the grid across the pool.
     std::vector<double> mean_bw(tps.size() * 3);
-    parallelFor(mean_bw.size(), [&](std::size_t i) {
-        std::size_t tp = tps[i / 3];
-        RoutePolicy policy = policies[i % 3];
+    runSweepGrid(tps.size(), 3, [&](const SweepPoint &p) {
+        const std::size_t i = p.index;
+        std::size_t tp = tps[p.row];
+        RoutePolicy policy = policies[p.col];
         std::vector<std::vector<std::size_t>> groups(hosts / tp);
         for (std::size_t h = 0; h < hosts; ++h)
             groups[h / tp].push_back(perm[h]);

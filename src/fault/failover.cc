@@ -1,11 +1,12 @@
 #include "fault/failover.hh"
 
 #include <algorithm>
-#include <map>
+#include <unordered_map>
 #include <utility>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "net/route_cache.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
 
@@ -36,34 +37,48 @@ failoverReroute(const net::Cluster &cluster,
     const net::Graph &graph = cluster.graph;
     FailoverResult res;
 
+    // The engine's edge->subflow index finds the broken set by
+    // walking only the downed edges; the result is the same ascending
+    // flow list a per-flow flowBroken() sweep would produce, at a
+    // fraction of the cost when faults are sparse.
     std::vector<std::size_t> broken;
-    for (std::size_t i = 0; i < flows.size(); ++i) {
-        if (!engine.flowActive(i))
-            continue;
-        ++res.checked;
-        if (flowBroken(graph, flows[i]))
-            broken.push_back(i);
-    }
+    engine.collectBrokenFlows(broken);
+    res.checked = engine.activeFlows();
     if (broken.empty())
         return res;
 
-    // Release the engine's references to the old Path objects before
-    // touching flows[i].paths: detachFlow() reads them.
+    // Release the engine's subflows before rewriting flows[i].paths
+    // (the rebinding protocol: detach, mutate, attach).
     for (std::size_t i : broken)
         engine.detachFlow(i);
 
-    std::map<std::pair<net::NodeId, net::NodeId>,
-             std::vector<net::Path>> cache;
+    // Surviving route sets come from the process RouteCache, which
+    // the fault layer's edge-down journal keeps filtering-fresh on
+    // the degraded fingerprint; with the cache off, a call-local
+    // flat-hash store reproduces the same sets.
+    const bool use_cache = net::RouteCache::enabled();
+    std::unordered_map<std::uint64_t, std::vector<net::Path>> local;
     for (std::size_t i : broken) {
         net::Flow &flow = flows[i];
-        auto key = std::make_pair(flow.src, flow.dst);
-        auto it = cache.find(key);
-        if (it == cache.end()) {
-            auto found = net::shortestPaths(graph, flow.src, flow.dst);
-            std::sort(found.begin(), found.end());
-            it = cache.emplace(key, std::move(found)).first;
+        net::PathSetRef cached;
+        const std::vector<net::Path> *pair_paths;
+        if (use_cache) {
+            cached = net::RouteCache::global().paths(graph, flow.src,
+                                                     flow.dst);
+            pair_paths = &cached->paths;
+        } else {
+            std::uint64_t key =
+                ((std::uint64_t)flow.src << 32) | flow.dst;
+            auto it = local.find(key);
+            if (it == local.end()) {
+                auto found =
+                    net::shortestPaths(graph, flow.src, flow.dst);
+                std::sort(found.begin(), found.end());
+                it = local.emplace(key, std::move(found)).first;
+            }
+            pair_paths = &it->second;
         }
-        const std::vector<net::Path> &paths = it->second;
+        const std::vector<net::Path> &paths = *pair_paths;
 
         flow.paths.clear();
         flow.weights.clear();
@@ -87,6 +102,8 @@ failoverReroute(const net::Cluster &cluster,
           }
           case net::RoutePolicy::ADAPTIVE: {
             double w = 1.0 / (double)paths.size();
+            flow.paths.reserve(paths.size());
+            flow.weights.reserve(paths.size());
             for (const net::Path &p : paths) {
                 flow.paths.push_back(p);
                 flow.weights.push_back(w);

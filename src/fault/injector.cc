@@ -76,8 +76,20 @@ FaultInjector::apply(const FaultEvent &ev)
         break;
     }
 
-    if (ev.kind != FaultKind::SDC)
+    if (ev.kind != FaultKind::SDC) {
+        // Epoch-based invalidation is driven by the topology change
+        // itself: the cluster mutators above funnel every edge flip
+        // through Graph::setEdgeCapacity(), whose up->down crossings
+        // journal incremental invalidation records with the process
+        // RouteCache (repairs move the fingerprint back to an
+        // already-cached value and need no record). The epoch gauge
+        // lets snapshots correlate route_cache invalidations with
+        // injector activity.
+        static obs::Gauge &g_epoch = obs::Registry::global().gauge(
+            "fault.injector.topology_epoch");
         ++topology_epoch_;
+        g_epoch.set((double)topology_epoch_);
+    }
     ++events_applied_;
     events.inc();
     g_links.set(double(links_down_));

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "net/route_cache.hh"
 
 namespace dsv3::net {
 
@@ -119,6 +120,10 @@ buildCluster(const ClusterConfig &config)
             }
         }
     }
+    // Materialize the CSR adjacency and structure hash while the
+    // graph is still single-threaded; sweeps may traverse it from the
+    // pool right away.
+    g.freeze();
     return cluster;
 }
 
@@ -172,6 +177,7 @@ buildSingleRail(std::size_t hosts, std::size_t hosts_per_leaf,
                   nic.wireLatency + switch_latency);
         g.addEdge(lf, gpu, nic.bandwidth, nic.wireLatency);
     }
+    g.freeze();
     return cluster;
 }
 
@@ -301,12 +307,26 @@ endToEndLatency(const Cluster &cluster, std::size_t src_rank,
     DSV3_ASSERT(dst_rank < cluster.gpus.size());
     if (src_rank == dst_rank)
         return 0.0;
-    auto paths = shortestPaths(cluster.graph, cluster.gpus[src_rank],
-                               cluster.gpus[dst_rank]);
-    DSV3_ASSERT(!paths.empty(), "no route between ranks ", src_rank,
+    // Candidate routes through the process cache (the min below is
+    // order-independent, so the cache's canonical order is fine);
+    // fall back to direct enumeration when the cache is off.
+    PathSetRef cached;
+    std::vector<Path> local;
+    const std::vector<Path> *paths;
+    if (RouteCache::enabled()) {
+        cached = RouteCache::global().paths(cluster.graph,
+                                            cluster.gpus[src_rank],
+                                            cluster.gpus[dst_rank]);
+        paths = &cached->paths;
+    } else {
+        local = shortestPaths(cluster.graph, cluster.gpus[src_rank],
+                              cluster.gpus[dst_rank]);
+        paths = &local;
+    }
+    DSV3_ASSERT(!paths->empty(), "no route between ranks ", src_rank,
                 " and ", dst_rank);
     double best = std::numeric_limits<double>::infinity();
-    for (const Path &p : paths) {
+    for (const Path &p : *paths) {
         double lat = pathLatency(cluster.graph, p) +
                      bytes / pathCapacity(cluster.graph, p);
         best = std::min(best, lat);

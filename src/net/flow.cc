@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <map>
-#include <queue>
+#include <unordered_map>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "net/route_cache.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
 
@@ -71,22 +71,35 @@ assignPaths(const Graph &graph, std::vector<Flow> &flows,
             RoutePolicy policy, std::uint64_t seed,
             std::vector<std::size_t> *unrouted)
 {
-    std::map<std::pair<NodeId, NodeId>, std::vector<Path>> cache;
+    const bool use_cache = RouteCache::enabled();
+    // Fallback store when the process cache is off: same flat-hash
+    // keying ((src << 32) | dst), scoped to this call.
+    std::unordered_map<std::uint64_t, std::vector<Path>> local;
     std::vector<std::uint32_t> static_load(graph.edgeCount(), 0);
 
     for (std::size_t i = 0; i < flows.size(); ++i) {
         Flow &flow = flows[i];
-        auto key = std::make_pair(flow.src, flow.dst);
-        auto it = cache.find(key);
-        if (it == cache.end()) {
-            auto paths_found = shortestPaths(graph, flow.src,
-                                             flow.dst);
-            // Canonical order so STATIC's "k-th path" selects the
-            // same spine for every (src, dst) pair.
-            std::sort(paths_found.begin(), paths_found.end());
-            it = cache.emplace(key, std::move(paths_found)).first;
+        PathSetRef cached; // pins the cache entry for this iteration
+        const std::vector<Path> *pair_paths;
+        if (use_cache) {
+            cached = RouteCache::global().paths(graph, flow.src,
+                                                flow.dst);
+            pair_paths = &cached->paths;
+        } else {
+            std::uint64_t key =
+                ((std::uint64_t)flow.src << 32) | flow.dst;
+            auto it = local.find(key);
+            if (it == local.end()) {
+                auto paths_found = shortestPaths(graph, flow.src,
+                                                 flow.dst);
+                // Canonical order so STATIC's "k-th path" selects the
+                // same spine for every (src, dst) pair.
+                std::sort(paths_found.begin(), paths_found.end());
+                it = local.emplace(key, std::move(paths_found)).first;
+            }
+            pair_paths = &it->second;
         }
-        const std::vector<Path> &paths = it->second;
+        const std::vector<Path> &paths = *pair_paths;
         if (paths.empty() && unrouted) {
             flow.paths.clear();
             flow.weights.clear();
@@ -109,6 +122,8 @@ assignPaths(const Graph &graph, std::vector<Flow> &flows,
           }
           case RoutePolicy::ADAPTIVE: {
             double w = 1.0 / (double)paths.size();
+            flow.paths.reserve(paths.size());
+            flow.weights.reserve(paths.size());
             for (const Path &p : paths) {
                 flow.paths.push_back(p);
                 flow.weights.push_back(w);
@@ -157,44 +172,87 @@ FlowSimEngine::FlowSimEngine(const Graph &graph,
     DSV3_TRACE_SPAN("net.flow.build", "flows", flows.size());
     flowStats().enginesBuilt.inc();
     const std::size_t n = flows.size();
-    flow_subflows_.resize(n);
+    flow_sub_begin_.assign(n, 0);
+    flow_sub_end_.assign(n, 0);
     alive_.assign(n, true);
     local_.assign(n, false);
     rates_.assign(n, 0.0);
     active_flows_ = n;
 
-    edge_subflows_.resize(graph.edgeCount());
     active_on_edge_.assign(graph.edgeCount(), 0);
     residual_.assign(graph.edgeCount(), 0.0);
     scratch_active_.assign(graph.edgeCount(), 0);
     touch_stamp_.assign(graph.edgeCount(), 0);
 
-    for (std::size_t i = 0; i < n; ++i) {
-        DSV3_ASSERT(!flows[i].paths.empty(),
+    // Size everything exactly up front (one counting pass) so the
+    // fill pass below never reallocates: engines are rebuilt per
+    // sweep scenario, so construction is on the measured path. The
+    // same pass computes the final per-edge subflow counts, so
+    // active_on_edge_ is complete before the fill pass runs.
+    std::size_t total_subflows = 0;
+    std::size_t total_edges = 0;
+    for (const Flow &f : flows) {
+        DSV3_ASSERT(!f.paths.empty(),
                     "call assignPaths() before maxMinRates()");
+        for (const Path &p : f.paths) {
+            if (p.empty())
+                continue;
+            ++total_subflows;
+            total_edges += p.size();
+            for (EdgeId e : p)
+                ++active_on_edge_[e];
+        }
+    }
+    sub_flow_.reserve(total_subflows);
+    sub_edge_begin_.reserve(total_subflows);
+    sub_edge_end_.reserve(total_subflows);
+    sub_edges_.reserve(total_edges);
+
+    // CSR offsets for the edge->subflow index (counts are final, so
+    // the fill pass scatters by cursor: edge_sub_count_ doubles as
+    // the cursor and ends back at the true count).
+    const std::size_t ecount = graph.edgeCount();
+    edge_sub_begin_.resize(ecount);
+    edge_sub_count_.assign(ecount, 0);
+    std::uint32_t off = 0;
+    std::size_t used = 0;
+    for (EdgeId e = 0; e < ecount; ++e) {
+        edge_sub_begin_[e] = off;
+        off += active_on_edge_[e];
+        if (active_on_edge_[e] != 0)
+            ++used;
+    }
+    edge_sub_pool_.resize(off);
+    used_edges_.reserve(used);
+
+    for (std::size_t i = 0; i < n; ++i) {
         bool local = true;
+        flow_sub_begin_[i] = (std::uint32_t)sub_flow_.size();
         for (const Path &p : flows[i].paths) {
             if (p.empty())
                 continue; // src == dst: local, infinite rate
             local = false;
-            auto s = (std::uint32_t)subflows_.size();
-            subflows_.push_back({(std::uint32_t)i, &p});
-            flow_subflows_[i].push_back(s);
+            auto s = (std::uint32_t)sub_flow_.size();
+            sub_flow_.push_back((std::uint32_t)i);
+            sub_edge_begin_.push_back((std::uint32_t)sub_edges_.size());
+            sub_edges_.insert(sub_edges_.end(), p.begin(), p.end());
+            sub_edge_end_.push_back((std::uint32_t)sub_edges_.size());
             for (EdgeId e : p) {
-                if (edge_subflows_[e].empty())
+                if (edge_sub_count_[e] == 0)
                     used_edges_.push_back(e);
-                edge_subflows_[e].push_back(s);
-                ++active_on_edge_[e];
+                edge_sub_pool_[edge_sub_begin_[e] +
+                               edge_sub_count_[e]++] = s;
             }
         }
+        flow_sub_end_[i] = (std::uint32_t)sub_flow_.size();
         local_[i] = local;
     }
     std::sort(used_edges_.begin(), used_edges_.end());
 
-    active_subflows_ = subflows_.size();
-    sub_alive_.assign(subflows_.size(), true);
-    sub_rate_.assign(subflows_.size(), 0.0);
-    frozen_stamp_.assign(subflows_.size(), 0);
+    active_subflows_ = sub_flow_.size();
+    sub_alive_.assign(sub_flow_.size(), true);
+    sub_rate_.assign(sub_flow_.size(), 0.0);
+    frozen_stamp_.assign(sub_flow_.size(), 0);
 }
 
 void
@@ -205,10 +263,12 @@ FlowSimEngine::removeFlow(std::size_t flow)
         return;
     alive_[flow] = false;
     --active_flows_;
-    for (std::uint32_t s : flow_subflows_[flow]) {
+    for (std::uint32_t s = flow_sub_begin_[flow];
+         s < flow_sub_end_[flow]; ++s) {
         sub_alive_[s] = false;
-        for (EdgeId e : *subflows_[s].path)
-            --active_on_edge_[e];
+        for (std::uint32_t k = sub_edge_begin_[s];
+             k < sub_edge_end_[s]; ++k)
+            --active_on_edge_[sub_edges_[k]];
         --active_subflows_;
     }
     flowStats().flowsRetired.inc();
@@ -219,13 +279,16 @@ FlowSimEngine::detachFlow(std::size_t flow)
 {
     DSV3_ASSERT(flow < flows_.size());
     DSV3_ASSERT(alive_[flow], "cannot detach a retired flow");
-    for (std::uint32_t s : flow_subflows_[flow]) {
+    for (std::uint32_t s = flow_sub_begin_[flow];
+         s < flow_sub_end_[flow]; ++s) {
         sub_alive_[s] = false;
-        for (EdgeId e : *subflows_[s].path)
-            --active_on_edge_[e];
+        for (std::uint32_t k = sub_edge_begin_[s];
+             k < sub_edge_end_[s]; ++k)
+            --active_on_edge_[sub_edges_[k]];
         --active_subflows_;
     }
-    flow_subflows_[flow].clear();
+    flow_sub_begin_[flow] = 0;
+    flow_sub_end_[flow] = 0;
     local_[flow] = false;
 }
 
@@ -234,32 +297,103 @@ FlowSimEngine::attachFlow(std::size_t flow)
 {
     DSV3_ASSERT(flow < flows_.size());
     DSV3_ASSERT(alive_[flow], "cannot attach a retired flow");
-    DSV3_ASSERT(flow_subflows_[flow].empty(),
+    DSV3_ASSERT(flow_sub_begin_[flow] == flow_sub_end_[flow],
                 "attachFlow() without a matching detachFlow()");
     bool local = true;
+    flow_sub_begin_[flow] = (std::uint32_t)sub_flow_.size();
     for (const Path &p : flows_[flow].paths) {
         if (p.empty())
             continue;
         local = false;
-        auto s = (std::uint32_t)subflows_.size();
-        subflows_.push_back({(std::uint32_t)flow, &p});
+        auto s = (std::uint32_t)sub_flow_.size();
+        sub_flow_.push_back((std::uint32_t)flow);
+        sub_edge_begin_.push_back((std::uint32_t)sub_edges_.size());
+        sub_edges_.insert(sub_edges_.end(), p.begin(), p.end());
+        sub_edge_end_.push_back((std::uint32_t)sub_edges_.size());
         sub_alive_.push_back(true);
         sub_rate_.push_back(0.0);
         frozen_stamp_.push_back(0);
-        flow_subflows_[flow].push_back(s);
-        for (EdgeId e : p) {
-            // Edge may be unused right now (drained and compacted out
-            // of used_edges_, or never used): (re)insert in order.
-            auto it = std::lower_bound(used_edges_.begin(),
-                                       used_edges_.end(), e);
-            if (it == used_edges_.end() || *it != e)
-                used_edges_.insert(it, e);
-            edge_subflows_[e].push_back(s);
+        for (EdgeId e : p)
             ++active_on_edge_[e];
-        }
         ++active_subflows_;
     }
+    flow_sub_end_[flow] = (std::uint32_t)sub_flow_.size();
     local_[flow] = local;
+    // Splicing the new subflows into each edge's CSR segment would
+    // relocate (copy) whole segments -- quadratic under a failover
+    // wave that reattaches hundreds of flows. Instead leave the index
+    // stale and let the next solve()/collectBrokenFlows() rebuild it
+    // in one O(live) pass.
+    if (!local)
+        edge_index_dirty_ = true;
+}
+
+void
+FlowSimEngine::rebuildEdgeIndex()
+{
+    // active_on_edge_ is kept current by detach/remove/attach, so it
+    // already holds every edge's final live-subflow count: lay out
+    // the CSR offsets from it, then scatter live subflows by cursor
+    // (edge_sub_count_ doubles as the cursor and finishes equal to
+    // active_on_edge_). Ascending-id fill order reproduces exactly
+    // the live subsequence an incremental edge list would hold, so
+    // solve()'s freeze order -- and every downstream double -- is
+    // unchanged.
+    std::uint32_t off = 0;
+    used_edges_.clear();
+    for (std::size_t e = 0; e < edge_sub_begin_.size(); ++e) {
+        edge_sub_begin_[e] = off;
+        edge_sub_count_[e] = 0;
+        off += active_on_edge_[e];
+        if (active_on_edge_[e] > 0)
+            used_edges_.push_back((EdgeId)e);
+    }
+    edge_sub_pool_.resize(off);
+    for (std::uint32_t s = 0; s < (std::uint32_t)sub_flow_.size();
+         ++s) {
+        if (!sub_alive_[s])
+            continue;
+        for (std::uint32_t k = sub_edge_begin_[s];
+             k < sub_edge_end_[s]; ++k) {
+            EdgeId e = sub_edges_[k];
+            edge_sub_pool_[edge_sub_begin_[e] +
+                           edge_sub_count_[e]++] = s;
+        }
+    }
+    edge_index_dirty_ = false;
+}
+
+void
+FlowSimEngine::collectBrokenFlows(std::vector<std::size_t> &out)
+{
+    if (edge_index_dirty_)
+        rebuildEdgeIndex();
+    out.clear();
+    // Walk only the downed edges' subflow lists: after a fault burst
+    // the downed set is tiny next to flows x paths x hops, which is
+    // what the per-flow flowBroken() rescan costs. Dead subflow ids
+    // linger in the lists until the next solve() compacts them; the
+    // sub_alive_ check skips them.
+    std::vector<char> hit(flows_.size(), 0);
+    bool any = false;
+    for (EdgeId e : used_edges_) {
+        if (graph_.edge(e).capacity > 0.0)
+            continue;
+        const std::uint32_t seg = edge_sub_begin_[e];
+        const std::uint32_t seg_count = edge_sub_count_[e];
+        for (std::uint32_t k = 0; k < seg_count; ++k) {
+            const std::uint32_t s = edge_sub_pool_[seg + k];
+            if (sub_alive_[s]) {
+                hit[sub_flow_[s]] = 1;
+                any = true;
+            }
+        }
+    }
+    if (!any)
+        return;
+    for (std::size_t i = 0; i < flows_.size(); ++i)
+        if (hit[i])
+            out.push_back(i);
 }
 
 const std::vector<double> &
@@ -267,6 +401,8 @@ FlowSimEngine::solve()
 {
     DSV3_TRACE_SPAN("net.flow.solve", "active_subflows",
                     active_subflows_);
+    if (edge_index_dirty_)
+        rebuildEdgeIndex();
     // Local tallies, flushed to the registry once per solve.
     std::uint64_t pops = 0;
     std::uint64_t stale_pops = 0;
@@ -284,10 +420,13 @@ FlowSimEngine::solve()
     // share change pushes a fresh entry, so each live edge's exact
     // current share is always present; entries that no longer match
     // the recomputed share are stale duplicates and get dropped on
-    // pop (lazy deletion).
+    // pop (lazy deletion). The backing vector is an engine member
+    // (warm across the epoch loop) seeded with one make_heap: the
+    // key pairs are totally ordered, so the pop sequence is identical
+    // to element-by-element pushes.
     using Cand = std::pair<double, EdgeId>;
-    std::priority_queue<Cand, std::vector<Cand>, std::greater<Cand>>
-        heap;
+    const std::greater<Cand> cmp;
+    heap_.clear();
     // Edges drained by removeFlow() never refill: compact them out of
     // used_edges_ (ascending order preserved) while seeding the heap.
     std::size_t used_out = 0;
@@ -297,20 +436,22 @@ FlowSimEngine::solve()
         used_edges_[used_out++] = e;
         residual_[e] = graph_.edge(e).capacity;
         scratch_active_[e] = active_on_edge_[e];
-        heap.push({residual_[e] / (double)scratch_active_[e], e});
+        heap_.push_back({residual_[e] / (double)scratch_active_[e], e});
     }
     used_edges_.resize(used_out);
+    std::make_heap(heap_.begin(), heap_.end(), cmp);
 
-    std::vector<EdgeId> touched;
+    touched_.clear();
     std::size_t unfrozen = active_subflows_;
     while (unfrozen > 0) {
         double best_share;
         EdgeId best_edge;
         for (;;) {
-            DSV3_ASSERT(!heap.empty(),
+            DSV3_ASSERT(!heap_.empty(),
                         "active subflow crosses no edge");
-            auto [share, e] = heap.top();
-            heap.pop();
+            auto [share, e] = heap_.front();
+            std::pop_heap(heap_.begin(), heap_.end(), cmp);
+            heap_.pop_back();
             ++pops;
             if (scratch_active_[e] == 0) {
                 ++stale_pops;
@@ -332,39 +473,44 @@ FlowSimEngine::solve()
         // preserving the floating-point update sequence). Subflows of
         // retired flows never come back: compact them out of the edge
         // list as it is scanned (stable, so the order survives).
-        touched.clear();
-        auto &on_edge = edge_subflows_[best_edge];
-        std::size_t w = 0;
-        for (std::uint32_t s : on_edge) {
+        touched_.clear();
+        const std::uint32_t seg = edge_sub_begin_[best_edge];
+        const std::uint32_t seg_count = edge_sub_count_[best_edge];
+        std::uint32_t w = 0;
+        for (std::uint32_t idx = 0; idx < seg_count; ++idx) {
+            const std::uint32_t s = edge_sub_pool_[seg + idx];
             if (!sub_alive_[s])
                 continue; // retired or rebound away
-            const Subflow &sf = subflows_[s];
-            on_edge[w++] = s;
+            edge_sub_pool_[seg + w++] = s;
             if (frozen_stamp_[s] == solve_stamp_)
                 continue;
             sub_rate_[s] = best_share;
             frozen_stamp_[s] = solve_stamp_;
             --unfrozen;
-            for (EdgeId e : *sf.path) {
+            for (std::uint32_t k = sub_edge_begin_[s];
+                 k < sub_edge_end_[s]; ++k) {
+                EdgeId e = sub_edges_[k];
                 residual_[e] -= best_share;
                 if (residual_[e] < 0.0)
                     residual_[e] = 0.0;
                 --scratch_active_[e];
-                touched.push_back(e);
+                touched_.push_back(e);
             }
         }
-        on_edge.resize(w);
+        edge_sub_count_[best_edge] = w;
         // The bottleneck edge must now be drained of active subflows.
         DSV3_ASSERT(scratch_active_[best_edge] == 0);
         // Refresh each touched edge's heap entry once, however many
         // frozen subflows crossed it this round.
         ++touch_round_;
-        for (EdgeId e : touched) {
+        for (EdgeId e : touched_) {
             if (touch_stamp_[e] == touch_round_ ||
                 scratch_active_[e] == 0)
                 continue;
             touch_stamp_[e] = touch_round_;
-            heap.push({residual_[e] / (double)scratch_active_[e], e});
+            heap_.push_back(
+                {residual_[e] / (double)scratch_active_[e], e});
+            std::push_heap(heap_.begin(), heap_.end(), cmp);
         }
     }
 
@@ -373,7 +519,8 @@ FlowSimEngine::solve()
     for (std::size_t i = 0; i < flows_.size(); ++i) {
         if (!alive_[i])
             continue;
-        for (std::uint32_t s : flow_subflows_[i])
+        for (std::uint32_t s = flow_sub_begin_[i];
+             s < flow_sub_end_[i]; ++s)
             rates_[i] += sub_rate_[s];
     }
 

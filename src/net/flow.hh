@@ -63,6 +63,13 @@ struct Flow
 /**
  * Populate flow.paths/weights for every flow.
  *
+ * Candidate path sets come from the process RouteCache (canonical
+ * sorted shortest-path sets shared across calls and sweeps); with the
+ * cache disabled a call-local flat-hash store reproduces the same
+ * sets. Selection (ECMP hash pick, ADAPTIVE even split, STATIC greedy
+ * table) is per-call state either way, so results are byte-identical
+ * whether the cache is cold, warm, or off.
+ *
  * @param seed perturbs the ECMP hash (models switches hashing
  *        differently across runs); ignored by other policies.
  * @param unrouted when non-null, flows with no surviving route (a
@@ -128,8 +135,9 @@ class FlowSimEngine
      * Release a live flow's subflows without retiring the flow, so
      * the caller may rewrite its path set (fault failover). Call
      * sequence: detachFlow(i); mutate flows[i].paths/weights;
-     * attachFlow(i). The old Path objects must stay alive until
-     * detachFlow() returns; afterwards they may be destroyed.
+     * attachFlow(i). The engine copies path edges into its own pool
+     * at attach time, so the caller's Path objects are free to go
+     * away at any point after attachFlow() returns.
      */
     void detachFlow(std::size_t flow);
 
@@ -142,9 +150,18 @@ class FlowSimEngine
      */
     void attachFlow(std::size_t flow);
 
+    /**
+     * Flow ids (ascending) of active attached flows that cross at
+     * least one zero-capacity edge -- exactly the flows flowBroken()
+     * would flag -- found by walking the downed edges' subflow lists
+     * instead of rescanning every flow's whole path set. Failover
+     * calls this after fault injection, where downed edges are few.
+     */
+    void collectBrokenFlows(std::vector<std::size_t> &out);
+
     bool flowActive(std::size_t flow) const { return alive_[flow]; }
     std::size_t activeFlows() const { return active_flows_; }
-    std::size_t subflowCount() const { return subflows_.size(); }
+    std::size_t subflowCount() const { return sub_flow_.size(); }
     std::uint64_t solverIterations() const { return iterations_; }
 
     /**
@@ -155,20 +172,47 @@ class FlowSimEngine
     FlowSimResult run();
 
   private:
-    struct Subflow
-    {
-        std::uint32_t flow;
-        const Path *path;
-    };
+    /** Re-derive the edge CSR from the live subflows. */
+    void rebuildEdgeIndex();
 
     const Graph &graph_;
     const std::vector<Flow> &flows_;
 
-    std::vector<Subflow> subflows_;
-    /** flow -> its subflow ids (ascending). */
-    std::vector<std::vector<std::uint32_t>> flow_subflows_;
-    /** edge -> subflow ids crossing it (ascending). */
-    std::vector<std::vector<std::uint32_t>> edge_subflows_;
+    // SoA subflow storage: parallel per-subflow arrays plus one flat
+    // edge pool, so the water-fill inner loop (freeze a subflow, walk
+    // its edges) reads contiguous memory instead of chasing Path
+    // pointers. sub_edges_[sub_edge_begin_[s] .. sub_edge_end_[s])
+    // are subflow s's edges, in path order.
+    std::vector<std::uint32_t> sub_flow_;       //!< subflow -> flow
+    std::vector<std::uint32_t> sub_edge_begin_; //!< pool range start
+    std::vector<std::uint32_t> sub_edge_end_;   //!< pool range end
+    std::vector<EdgeId> sub_edges_;             //!< flat edge pool
+    /**
+     * flow -> contiguous subflow-id range [begin, end). A flow's
+     * subflows are always consecutive ids: the constructor emits them
+     * flow by flow and attachFlow() appends at the tail, so two
+     * offset arrays replace a vector-of-vectors (engines are rebuilt
+     * per sweep scenario, and the per-flow heap allocations were a
+     * measurable slice of construction).
+     */
+    std::vector<std::uint32_t> flow_sub_begin_;
+    std::vector<std::uint32_t> flow_sub_end_;
+    /**
+     * edge -> subflow ids crossing it, as CSR segments over one flat
+     * pool: edge_sub_pool_[edge_sub_begin_[e] .. +edge_sub_count_[e])
+     * in insertion (ascending-id) order. solve()'s lazy compaction
+     * shrinks a segment's count in place. attachFlow() does not
+     * splice into segments (that copies whole segments and goes
+     * quadratic under a failover wave); it flips edge_index_dirty_
+     * and the next solve()/collectBrokenFlows() calls
+     * rebuildEdgeIndex(), one O(live) pass that re-scatters the live
+     * subflows in ascending-id order -- the same live subsequence an
+     * incremental edge list would hold.
+     */
+    std::vector<std::uint32_t> edge_sub_begin_;
+    std::vector<std::uint32_t> edge_sub_count_;
+    std::vector<std::uint32_t> edge_sub_pool_;
+    bool edge_index_dirty_ = false;
     /** Edges crossed by at least one subflow, ascending. */
     std::vector<EdgeId> used_edges_;
     /** Live-subflow count per edge, kept current by removeFlow(). */
@@ -192,6 +236,16 @@ class FlowSimEngine
     /** Dedups heap refreshes per freeze round (one push per edge). */
     std::vector<std::uint32_t> touch_stamp_;
     std::uint32_t touch_round_ = 0;
+    /**
+     * Bottleneck-candidate heap storage, reused across solves so the
+     * epoch loop in run() never reallocates it. (share, edge) pairs
+     * are totally ordered -- edge ids are unique -- so any binary
+     * min-heap over them pops the exact same sequence; keeping the
+     * backing vector warm changes nothing but the allocation count.
+     */
+    std::vector<std::pair<double, EdgeId>> heap_;
+    /** Edges touched by the current freeze round (solve scratch). */
+    std::vector<EdgeId> touched_;
 };
 
 /**

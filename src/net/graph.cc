@@ -5,6 +5,9 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "common/rng.hh"
+#include "net/route_cache.hh"
+#include "obs/registry.hh"
 
 namespace dsv3::net {
 
@@ -31,7 +34,8 @@ Graph::addNode(NodeKind kind, std::string label, std::int32_t plane,
                std::int32_t host)
 {
     nodes_.push_back({kind, std::move(label), plane, host});
-    adjacency_.emplace_back();
+    csr_dirty_ = true;
+    structure_hash_dirty_ = true;
     return (NodeId)(nodes_.size() - 1);
 }
 
@@ -41,9 +45,9 @@ Graph::addEdge(NodeId from, NodeId to, double capacity, double latency)
     DSV3_ASSERT(from < nodes_.size() && to < nodes_.size());
     DSV3_ASSERT(capacity > 0.0);
     edges_.push_back({from, to, capacity, latency});
-    EdgeId id = (EdgeId)(edges_.size() - 1);
-    adjacency_[from].push_back(id);
-    return id;
+    csr_dirty_ = true;
+    structure_hash_dirty_ = true;
+    return (EdgeId)(edges_.size() - 1);
 }
 
 void
@@ -58,14 +62,65 @@ Graph::setEdgeCapacity(EdgeId id, double capacity)
 {
     DSV3_ASSERT(id < edges_.size());
     DSV3_ASSERT(capacity >= 0.0);
+    const bool was_down = edges_[id].capacity <= 0.0;
+    const bool now_down = capacity <= 0.0;
     edges_[id].capacity = capacity;
+    if (was_down == now_down)
+        return; // capacity-only change: fingerprint must not move
+    const std::uint64_t old_fp = fingerprint();
+    down_fold_ ^= hashU64(id);
+    if (now_down && RouteCache::enabled())
+        RouteCache::global().noteEdgeDown(*this, old_fp, id);
+}
+
+void
+Graph::freeze() const
+{
+    if (csr_dirty_) {
+        // Counting sort of edge ids by source node. Within a node the
+        // old per-node push_back order was ascending edge id (addEdge
+        // appends monotonically), which is exactly what placing ids in
+        // ascending order into per-from buckets reproduces.
+        csr_offsets_.assign(nodes_.size() + 1, 0);
+        for (const Edge &e : edges_)
+            ++csr_offsets_[e.from + 1];
+        for (std::size_t n = 0; n < nodes_.size(); ++n)
+            csr_offsets_[n + 1] += csr_offsets_[n];
+        csr_edges_.resize(edges_.size());
+        std::vector<std::uint32_t> cursor(csr_offsets_.begin(),
+                                          csr_offsets_.end() - 1);
+        for (EdgeId id = 0; id < edges_.size(); ++id)
+            csr_edges_[cursor[edges_[id].from]++] = id;
+        csr_dirty_ = false;
+    }
+    structureHash();
+}
+
+std::uint64_t
+Graph::structureHash() const
+{
+    if (structure_hash_dirty_) {
+        std::uint64_t h = hashCombine(0x6473763376313030ull, // "dsv3v100"
+                                      nodes_.size());
+        h = hashCombine(h, edges_.size());
+        for (const Node &n : nodes_) {
+            h = hashCombine(h, (std::uint64_t)n.kind);
+            h = hashCombine(h, (std::uint64_t)(std::int64_t)n.plane);
+            h = hashCombine(h, (std::uint64_t)(std::int64_t)n.host);
+        }
+        for (const Edge &e : edges_)
+            h = hashCombine(h, ((std::uint64_t)e.from << 32) | e.to);
+        structure_hash_ = h;
+        structure_hash_dirty_ = false;
+    }
+    return structure_hash_;
 }
 
 EdgeId
 Graph::findEdge(NodeId from, NodeId to) const
 {
     DSV3_ASSERT(from < nodes_.size() && to < nodes_.size());
-    for (EdgeId e : adjacency_[from])
+    for (EdgeId e : outEdges(from))
         if (edges_[e].to == to)
             return e;
     return kInvalidEdge;
@@ -101,9 +156,11 @@ pathCapacity(const Graph &graph, const Path &path)
 
 std::vector<Path>
 shortestPaths(const Graph &graph, NodeId src, NodeId dst,
-              std::size_t max_paths)
+              std::size_t max_paths, bool *truncated)
 {
     DSV3_ASSERT(src < graph.nodeCount() && dst < graph.nodeCount());
+    if (truncated)
+        *truncated = false;
     if (src == dst)
         return {Path{}};
 
@@ -148,8 +205,20 @@ shortestPaths(const Graph &graph, NodeId src, NodeId dst,
         if (top.node == src) {
             Path p(current.rbegin(), current.rend());
             paths.push_back(std::move(p));
-            if (paths.size() >= max_paths)
+            if (paths.size() >= max_paths) {
+                static obs::Counter &c_truncated =
+                    obs::Registry::global().counter(
+                        "net.graph.paths_truncated");
+                c_truncated.inc();
+                DSV3_WARN_ONCE(
+                    "shortestPaths hit the max_paths bound (",
+                    max_paths, " paths, ", src, "->", dst,
+                    "); the route set is clipped deterministically "
+                    "(see net.graph.paths_truncated)");
+                if (truncated)
+                    *truncated = true;
                 break;
+            }
             stack.pop_back();
             if (!current.empty())
                 current.pop_back();

@@ -6,10 +6,28 @@
  * full-duplex cable is represented as two directed edges with
  * independent capacities. Flow-level simulation (max-min fairness) and
  * per-hop latency accumulation both operate on this graph.
+ *
+ * Adjacency is stored in CSR (compressed sparse row) form: one flat
+ * edge-id array ordered by source node plus an offsets table, rebuilt
+ * lazily after structural mutation. Per-node insertion order equals
+ * ascending global edge id (addEdge appends monotonically), so a
+ * counting sort by `from` reproduces the exact traversal order the old
+ * per-node vectors had -- BFS and path enumeration stay byte-identical
+ * while the hot loops walk contiguous memory.
+ *
+ * Each graph also exposes a topology fingerprint for route caching
+ * (see net/route_cache.hh): a structural hash over nodes and edge
+ * endpoints XOR-ed with a self-inverse fold of the currently-downed
+ * edge set. Capacities and latencies are deliberately excluded --
+ * shortest-path enumeration only cares about which edges exist and
+ * which are down, so degrading a link's bandwidth does not move the
+ * fingerprint, and repairing a downed link returns the fingerprint to
+ * its previous value exactly.
  */
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -49,6 +67,19 @@ struct Edge
     double latency;   //!< propagation+forwarding seconds for this hop
 };
 
+/** Lightweight view of one node's outgoing edge ids (CSR row). */
+struct EdgeSpan
+{
+    const EdgeId *first = nullptr;
+    std::size_t count = 0;
+
+    const EdgeId *begin() const { return first; }
+    const EdgeId *end() const { return first + count; }
+    std::size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    EdgeId operator[](std::size_t i) const { return first[i]; }
+};
+
 class Graph
 {
   public:
@@ -66,7 +97,9 @@ class Graph
      * Overwrite an edge's capacity (fault injection). Zero means the
      * edge is down: path enumeration skips it and max-min sharing
      * gives its subflows no rate. Restoring the original value heals
-     * the edge byte-identically.
+     * the edge byte-identically (including the fingerprint, whose
+     * downed-edge fold is self-inverse). An up->down flip journals an
+     * incremental invalidation record with the process RouteCache.
      */
     void setEdgeCapacity(EdgeId id, double capacity);
 
@@ -79,10 +112,39 @@ class Graph
     const Node &node(NodeId id) const { return nodes_[id]; }
     const Edge &edge(EdgeId id) const { return edges_[id]; }
 
-    /** Outgoing edge ids of @p node. */
-    const std::vector<EdgeId> &outEdges(NodeId node) const
+    /** Outgoing edge ids of @p node, ascending (CSR row view). */
+    EdgeSpan outEdges(NodeId node) const
     {
-        return adjacency_[node];
+        if (csr_dirty_)
+            freeze();
+        return {csr_edges_.data() + csr_offsets_[node],
+                csr_offsets_[node + 1] - csr_offsets_[node]};
+    }
+
+    /**
+     * Materialize the CSR arrays and the structural hash now. Lazy
+     * materialization mutates the (mutable) cache fields, so call this
+     * after building a graph that will be traversed from multiple
+     * threads. Idempotent and cheap when already clean.
+     */
+    void freeze() const;
+
+    /**
+     * Hash of the graph's structure: node count/kinds/planes/hosts and
+     * edge endpoints. Excludes capacities, latencies, and labels.
+     */
+    std::uint64_t structureHash() const;
+
+    /**
+     * Content-addressed topology key for route caching: the structure
+     * hash XOR-ed with a fold of every currently-downed edge id. Two
+     * graphs with the same structure and the same downed edge set
+     * share a fingerprint; repairing all faults restores the healthy
+     * fingerprint exactly.
+     */
+    std::uint64_t fingerprint() const
+    {
+        return structureHash() ^ down_fold_;
     }
 
     /** All node ids of a given kind. */
@@ -91,7 +153,17 @@ class Graph
   private:
     std::vector<Node> nodes_;
     std::vector<Edge> edges_;
-    std::vector<std::vector<EdgeId>> adjacency_;
+
+    // CSR adjacency, rebuilt lazily after addNode/addEdge.
+    mutable std::vector<std::uint32_t> csr_offsets_; //!< nodes+1
+    mutable std::vector<EdgeId> csr_edges_;          //!< by from, asc
+    mutable bool csr_dirty_ = true;
+
+    mutable std::uint64_t structure_hash_ = 0;
+    mutable bool structure_hash_dirty_ = true;
+
+    /** XOR fold of hashU64(edge id) over downed edges (self-inverse). */
+    std::uint64_t down_fold_ = 0;
 };
 
 /** A path is a sequence of edge ids from src to dst. */
@@ -108,9 +180,15 @@ double pathCapacity(const Graph &graph, const Path &path);
  * Edges with zero capacity (faulted, see Graph::setEdgeCapacity) are
  * treated as absent, so the result is the shortest *surviving* route
  * set; an empty result means src and dst are partitioned.
- * @p max_paths bounds the expansion for safety.
+ * @p max_paths bounds the expansion for safety; hitting the bound
+ * warns once, bumps `net.graph.paths_truncated`, and sets
+ * @p truncated (when non-null) so callers/caches can tell a complete
+ * enumeration from a clipped one. Truncation is deterministic: the
+ * DAG expansion order is fixed, so the same graph yields the same
+ * clipped set every time.
  */
 std::vector<Path> shortestPaths(const Graph &graph, NodeId src,
-                                NodeId dst, std::size_t max_paths = 512);
+                                NodeId dst, std::size_t max_paths = 512,
+                                bool *truncated = nullptr);
 
 } // namespace dsv3::net

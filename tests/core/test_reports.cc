@@ -8,7 +8,9 @@
 
 #include <cstdlib>
 
+#include "common/thread_pool.hh"
 #include "core/report.hh"
+#include "net/route_cache.hh"
 
 namespace dsv3::core {
 namespace {
@@ -190,6 +192,31 @@ TEST(Reports, Figure8RoutingOrder)
         EXPECT_LE(stat, ar * 1.001) << "row " << r;
         EXPECT_GE(stat, ecmp * 0.9) << "row " << r;
     }
+}
+
+TEST(Reports, SweepTablesInvariantAcrossWidthAndCache)
+{
+    // The sweep-driven reproductions must render byte-identically at
+    // every parallelFor width and whether the route cache is cold,
+    // warm, or disabled -- that is the contract the route cache and
+    // the sweep driver are built on.
+    net::RouteCache::global().clear();
+    const std::string fig8 = reproduceFigure8().render();
+    const std::string t3 = reproduceTable3().render();
+    // Warm cache, same width.
+    EXPECT_EQ(reproduceFigure8().render(), fig8);
+
+    for (std::size_t width : {std::size_t(1), std::size_t(2)}) {
+        setParallelForWidth(width);
+        net::RouteCache::global().clear();
+        EXPECT_EQ(reproduceFigure8().render(), fig8) << width;
+        EXPECT_EQ(reproduceTable3().render(), t3) << width;
+    }
+    setParallelForWidth(0);
+
+    net::RouteCache::setEnabled(false);
+    EXPECT_EQ(reproduceFigure8().render(), fig8);
+    net::RouteCache::setEnabled(true);
 }
 
 TEST(Reports, CsvExportsParse)

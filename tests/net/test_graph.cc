@@ -122,6 +122,64 @@ TEST(ShortestPaths, MaxPathsBounds)
     }
     EXPECT_EQ(shortestPaths(g, s, t).size(), 6u);
     EXPECT_EQ(shortestPaths(g, s, t, 4).size(), 4u);
+    // The truncation flag fires exactly when the cap bites, and the
+    // clipped enumeration is deterministic: same DFS prefix each time.
+    bool truncated = false;
+    auto a = shortestPaths(g, s, t, 4, &truncated);
+    EXPECT_TRUE(truncated);
+    truncated = false;
+    auto b = shortestPaths(g, s, t, 4, &truncated);
+    EXPECT_TRUE(truncated);
+    EXPECT_EQ(a, b);
+    // The flag is conservative: it fires whenever the bound is
+    // reached, so proving completeness needs bound > path count.
+    truncated = false;
+    (void)shortestPaths(g, s, t, 7, &truncated);
+    EXPECT_FALSE(truncated);
+}
+
+TEST(Graph, CsrAdjacencyMatchesInsertionOrder)
+{
+    // outEdges() must list a node's edges in ascending global edge id
+    // (== per-node insertion order), before and after freeze(), and
+    // keep working across post-freeze additions.
+    Graph g = diamond();
+    EdgeSpan span = g.outEdges(0);
+    ASSERT_EQ(span.size(), 2u);
+    EXPECT_EQ(span[0], 0u); // s->a added first
+    EXPECT_EQ(span[1], 2u); // s->b added third
+    g.freeze();
+    EdgeSpan frozen = g.outEdges(0);
+    ASSERT_EQ(frozen.size(), 2u);
+    EXPECT_EQ(frozen[0], 0u);
+    EXPECT_EQ(frozen[1], 2u);
+
+    // Adding an edge re-dirties the CSR; the new edge shows up last.
+    EdgeId extra = g.addEdge(0, 2, 1.0, 1e-6);
+    EdgeSpan grown = g.outEdges(0);
+    ASSERT_EQ(grown.size(), 3u);
+    EXPECT_EQ(grown[2], extra);
+}
+
+TEST(Graph, FingerprintFoldsDownedEdges)
+{
+    Graph g1 = diamond();
+    Graph g2 = diamond();
+    const std::uint64_t fp = g1.fingerprint();
+    EXPECT_EQ(fp, g2.fingerprint());
+
+    // Downing different edges separates fingerprints; the fold is
+    // order-independent and self-inverse.
+    g1.setEdgeCapacity(0, 0.0);
+    g2.setEdgeCapacity(1, 0.0);
+    EXPECT_NE(g1.fingerprint(), fp);
+    EXPECT_NE(g1.fingerprint(), g2.fingerprint());
+    g1.setEdgeCapacity(1, 0.0);
+    g2.setEdgeCapacity(0, 0.0);
+    EXPECT_EQ(g1.fingerprint(), g2.fingerprint());
+    g1.setEdgeCapacity(0, 5.0);
+    g1.setEdgeCapacity(1, 5.0);
+    EXPECT_EQ(g1.fingerprint(), fp);
 }
 
 TEST(PathMetrics, LatencyAndCapacity)
