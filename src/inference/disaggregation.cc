@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.hh"
 
@@ -24,12 +25,22 @@ evaluateDisaggregation(const ServingWorkload &w)
     out.decodeGpus = concurrent_streams / w.decodeStreamsPerGpu;
 
     // Colocated: the shared pool serves both; prefill chunks occupy
-    // a duty-cycle fraction of every GPU, stretching decode steps.
+    // a duty-cycle fraction of every GPU, stretching decode steps. A
+    // prefill-only workload (genTokens == 0, so no decode demand)
+    // drives the duty cycle to 1.0: decode never runs, which we
+    // report as saturation instead of aborting.
     const double pool = out.prefillGpus + out.decodeGpus;
     out.colocatedDutyCycle = pool > 0.0 ? out.prefillGpus / pool : 0.0;
-    DSV3_ASSERT(out.colocatedDutyCycle < 1.0);
-    out.colocatedTpot =
-        w.decodeTpotSeconds / (1.0 - out.colocatedDutyCycle);
+    if (out.colocatedDutyCycle >= 1.0) {
+        out.saturated = true;
+        out.colocatedTpot = std::numeric_limits<double>::infinity();
+        DSV3_WARN_ONCE("colocated pool saturated by prefill (duty "
+                       "cycle ", out.colocatedDutyCycle,
+                       "); colocated TPOT reported as +inf");
+    } else {
+        out.colocatedTpot =
+            w.decodeTpotSeconds / (1.0 - out.colocatedDutyCycle);
+    }
     // TTFT: one GPU's-worth of prefill throughput processes the
     // prompt (chunked prefill parallelism is out of scope here).
     out.colocatedTtft = w.promptTokens / w.prefillTokensPerSecPerGpu;

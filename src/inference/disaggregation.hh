@@ -36,8 +36,15 @@ struct DisaggregationReport
 
     // Colocated deployment.
     double colocatedDutyCycle = 0.0; //!< prefill share of GPU time
-    double colocatedTpot = 0.0;
+    double colocatedTpot = 0.0; //!< +inf when saturated
     double colocatedTtft = 0.0;
+    /**
+     * True when prefill demand consumes the entire colocated pool
+     * (e.g. a prefill-only workload with genTokens == 0): decode gets
+     * no duty cycle, so colocated TPOT is unbounded (+inf) and
+     * tpotImprovement is +inf as well.
+     */
+    bool saturated = false;
 
     // Disaggregated deployment.
     double disaggTpot = 0.0;

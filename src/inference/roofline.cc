@@ -1,6 +1,7 @@
 #include "inference/roofline.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
 #include "model/flops.hh"
@@ -20,18 +21,24 @@ decodeEstimate(const DecodeScenario &scenario)
     DecodeEstimate out;
     // Weights stream once per step regardless of batch (they are
     // shared across the batched GEMV). For MoE, distinct requests may
-    // activate distinct experts; with small batches the union of
-    // activated experts ~= batch * topK (little overlap for 256
-    // experts), capped at the full expert set.
+    // activate distinct experts. Under independent uniform top-K
+    // routing a given expert is missed by one token with probability
+    // (1 - topK/E), so the expected distinct-expert union is
+    //     E * (1 - (1 - topK/E)^batch),
+    // which matches batch * topK for tiny batches and saturates at
+    // the full expert set instead of the old linear cap (which
+    // overestimated distinct experts already at moderate batch).
     double weight_params = params.matmulActivePerToken(cfg);
     if (cfg.moe && scenario.batch > 1) {
         const model::MoeConfig &m = *cfg.moe;
         double per_token_routed =
             params.moeRouted * (double)m.topK /
             (double)m.routedExperts;
-        double activated = std::min(
-            (double)params.moeRouted,
-            per_token_routed * (double)scenario.batch);
+        double miss =
+            1.0 - (double)m.topK / (double)m.routedExperts;
+        double coverage =
+            1.0 - std::pow(miss, (double)scenario.batch);
+        double activated = params.moeRouted * coverage;
         weight_params += activated - per_token_routed;
     }
     out.weightBytesPerStep =

@@ -1,0 +1,83 @@
+#include "inference/serving/kv_pager.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dsv3::inference::serving {
+
+KvPager::KvPager(const KvPagerConfig &config) : config_(config)
+{
+    DSV3_ASSERT(config.blockTokens > 0);
+    if (config.budgetBytes <= 0.0) {
+        unlimited_ = true;
+        return;
+    }
+    DSV3_ASSERT(config.bytesPerToken > 0.0,
+                "paged KV needs a per-token byte cost");
+    blockBytes_ = config.bytesPerToken * (double)config.blockTokens;
+    total_ = (std::size_t)(config.budgetBytes / blockBytes_);
+}
+
+std::size_t
+KvPager::blocksFor(std::size_t tokens) const
+{
+    return (tokens + config_.blockTokens - 1) / config_.blockTokens;
+}
+
+bool
+KvPager::fitsEver(std::size_t tokens) const
+{
+    return unlimited_ || blocksFor(tokens) <= total_;
+}
+
+bool
+KvPager::tryAllocate(std::size_t seq, std::size_t tokens)
+{
+    if (unlimited_)
+        return true;
+    DSV3_ASSERT(held_.find(seq) == held_.end(),
+                "sequence already resident in pager");
+    const std::size_t need = blocksFor(tokens);
+    if (need > freeBlocks())
+        return false;
+    held_[seq] = need;
+    used_ += need;
+    highWater_ = std::max(highWater_, used_);
+    return true;
+}
+
+bool
+KvPager::tryGrow(std::size_t seq, std::size_t tokens)
+{
+    if (unlimited_)
+        return true;
+    auto it = held_.find(seq);
+    DSV3_ASSERT(it != held_.end(), "growing a non-resident sequence");
+    const std::size_t need = blocksFor(tokens);
+    if (need <= it->second)
+        return true;
+    const std::size_t extra = need - it->second;
+    if (extra > freeBlocks())
+        return false;
+    it->second = need;
+    used_ += extra;
+    highWater_ = std::max(highWater_, used_);
+    return true;
+}
+
+void
+KvPager::release(std::size_t seq)
+{
+    if (unlimited_)
+        return;
+    auto it = held_.find(seq);
+    if (it == held_.end())
+        return;
+    DSV3_ASSERT(used_ >= it->second);
+    used_ -= it->second;
+    held_.erase(it);
+}
+
+} // namespace dsv3::inference::serving

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Paged KV-cache manager for one decode engine.
+ *
+ * The KV cache is carved into fixed-size blocks of `blockTokens`
+ * tokens; a resident sequence owns ceil(context / blockTokens) blocks
+ * and grows one block at a time as it decodes. The block budget comes
+ * from the device memory left after weights, priced per token by
+ * model::kvCacheBytesPerToken() (the Table 1 MLA/GQA footprints), so
+ * the pager is the live-traffic face of the same byte model the
+ * analytic calculators use. The scheduler consults the pager for
+ * admission (can this prompt's blocks be reserved?) and for growth at
+ * every step; a failed growth triggers preemption of the youngest
+ * resident sequence.
+ *
+ * Invariant: usedBytes() never exceeds budgetBytes — there is no
+ * overcommit path.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+
+namespace dsv3::inference::serving {
+
+struct KvPagerConfig
+{
+    double budgetBytes = 0.0;   //!< 0 disables paging (unlimited)
+    double bytesPerToken = 0.0; //!< model::kvCacheBytesPerToken()
+    std::size_t blockTokens = 64;
+};
+
+class KvPager
+{
+  public:
+    explicit KvPager(const KvPagerConfig &config);
+
+    bool unlimited() const { return unlimited_; }
+    std::size_t totalBlocks() const { return total_; }
+    std::size_t usedBlocks() const { return used_; }
+    std::size_t freeBlocks() const { return total_ - used_; }
+    std::size_t highWaterBlocks() const { return highWater_; }
+    double blockBytes() const { return blockBytes_; }
+    double usedBytes() const { return (double)used_ * blockBytes_; }
+    double budgetBytes() const { return config_.budgetBytes; }
+
+    /** Blocks needed to cover a context of @p tokens tokens. */
+    std::size_t blocksFor(std::size_t tokens) const;
+
+    /** Can a sequence of @p tokens context ever be resident? */
+    bool fitsEver(std::size_t tokens) const;
+
+    /**
+     * Reserve blocksFor(tokens) for a new sequence. Returns false
+     * (allocating nothing) if the free pool is short. @p seq must not
+     * already hold blocks.
+     */
+    bool tryAllocate(std::size_t seq, std::size_t tokens);
+
+    /**
+     * Extend @p seq's reservation to cover @p tokens. Growth is
+     * all-or-nothing; returns false if the extra blocks don't fit.
+     */
+    bool tryGrow(std::size_t seq, std::size_t tokens);
+
+    /** Release every block @p seq holds (no-op if it holds none). */
+    void release(std::size_t seq);
+
+  private:
+    KvPagerConfig config_;
+    bool unlimited_ = false;
+    double blockBytes_ = 0.0;
+    std::size_t total_ = 0;
+    std::size_t used_ = 0;
+    std::size_t highWater_ = 0;
+    std::unordered_map<std::size_t, std::size_t> held_;
+};
+
+} // namespace dsv3::inference::serving

@@ -1,0 +1,733 @@
+#include "inference/serving/simulator.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "inference/overlap.hh"
+#include "inference/roofline.hh"
+#include "inference/serving/kv_pager.hh"
+#include "model/kv_cache.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
+
+namespace dsv3::inference::serving {
+
+const char *
+scheduleName(Schedule schedule)
+{
+    switch (schedule) {
+      case Schedule::SEQUENTIAL: return "sequential";
+      case Schedule::DUAL_MICROBATCH: return "dual-microbatch";
+    }
+    DSV3_PANIC("unknown schedule");
+}
+
+const char *
+deploymentName(Deployment deployment)
+{
+    switch (deployment) {
+      case Deployment::COLOCATED: return "colocated";
+      case Deployment::DISAGGREGATED: return "disaggregated";
+    }
+    DSV3_PANIC("unknown deployment");
+}
+
+double
+decodeStepSeconds(const ServingFleetConfig &fleet, std::size_t batch,
+                  double avgContextTokens)
+{
+    DSV3_ASSERT(batch >= 1);
+    const std::size_t layers =
+        std::max<std::size_t>(fleet.modelConfig.layers, 1);
+
+    DecodeScenario ds;
+    ds.modelConfig = fleet.modelConfig;
+    ds.memBytesPerSec = fleet.memBytesPerSec;
+    ds.computeFlopsPerSec = fleet.computeFlopsPerSec;
+    ds.weightBytesPerParam = fleet.weightBytesPerParam;
+    ds.kvBytesPerElem = fleet.kvBytesPerElem;
+    ds.context = (std::size_t)std::llround(
+        std::max(avgContextTokens, 1.0));
+
+    ep::SpeedLimitParams sp = fleet.comm;
+    sp.layers = layers;
+
+    if (fleet.schedule == Schedule::SEQUENTIAL) {
+        // One batch: every layer's compute then its dispatch+combine
+        // pass serialize.
+        ds.batch = batch;
+        DecodeEstimate est = decodeEstimate(ds);
+        sp.batchPerDevice = batch;
+        ep::SpeedLimit sl = ep::epSpeedLimit(sp);
+        return est.secondsPerStep +
+               (double)layers * sl.commTimePerStage;
+    }
+
+    // Dual micro-batch: split the batch in two; while one half
+    // computes the other communicates. The full step (both halves
+    // advance one token) takes 2 * layers * the per-micro-batch
+    // steady-state layer time, which in the comm-bound limit is
+    // exactly epSpeedLimit()'s layers * 2 * commTimePerStage.
+    const std::size_t half = (batch + 1) / 2;
+    ds.batch = half;
+    DecodeEstimate est = decodeEstimate(ds);
+    sp.batchPerDevice = half;
+    ep::SpeedLimit sl = ep::epSpeedLimit(sp);
+
+    LayerStageTimes st;
+    st.mlaCompute = 0.5 * est.secondsPerStep / (double)layers;
+    st.moeCompute = st.mlaCompute;
+    const double total_bytes = sp.dispatchBytes + sp.combineBytes;
+    st.dispatchComm = total_bytes > 0.0
+        ? sl.commTimePerStage * sp.dispatchBytes / total_bytes
+        : 0.0;
+    st.combineComm = sl.commTimePerStage - st.dispatchComm;
+    OverlapResult ov = dualMicroBatchOverlap(st);
+    return 2.0 * (double)layers * ov.overlappedLayerTime;
+}
+
+namespace {
+
+constexpr std::size_t kNone = (std::size_t)-1;
+
+enum class EventKind : int
+{
+    ARRIVAL = 0,
+    PREFILL_DONE = 1,
+    HANDOFF_DONE = 2,
+    ENGINE_DONE = 3,
+    ENGINE_KICK = 4,
+};
+
+struct Event
+{
+    double time;
+    EventKind kind;
+    std::size_t id;      //!< request id or engine index
+    std::uint64_t order; //!< schedule-order FIFO tie-break
+};
+
+struct EventAfter
+{
+    bool
+    operator()(const Event &a, const Event &b) const
+    {
+        if (a.time != b.time)
+            return a.time > b.time;
+        return a.order > b.order;
+    }
+};
+
+enum class EngineWork
+{
+    IDLE,
+    STEP,
+    PREFILL_CHUNK,
+};
+
+struct PrefillJob
+{
+    std::size_t id = 0;
+    std::size_t tokensLeft = 0;
+};
+
+struct Engine
+{
+    std::vector<std::size_t> resident; //!< admission order (oldest first)
+    std::deque<std::size_t> ready;
+    std::deque<PrefillJob> prefillQ; //!< COLOCATED only
+    KvPager pager;
+    EngineWork work = EngineWork::IDLE;
+    bool lastWasPrefill = false;
+    std::size_t chunkInFlight = 0; //!< tokens of the running chunk
+
+    explicit Engine(const KvPagerConfig &kv) : pager(kv) {}
+
+    std::size_t
+    load() const
+    {
+        return resident.size() + ready.size() + prefillQ.size();
+    }
+};
+
+struct ReqState
+{
+    Request req;
+    double firstTokenTime = -1.0;
+    std::size_t decodeDone = 0;
+    std::size_t decodeNeeded = 0;
+    double completion = -1.0;
+    bool rejected = false;
+};
+
+PercentileSummary
+summarize(std::vector<double> values)
+{
+    PercentileSummary s;
+    s.count = values.size();
+    if (values.empty())
+        return s;
+    s.mean = std::accumulate(values.begin(), values.end(), 0.0) /
+             (double)values.size();
+    std::sort(values.begin(), values.end());
+    s.p50 = percentile(values, 50.0);
+    s.p95 = percentile(values, 95.0);
+    s.p99 = percentile(values, 99.0);
+    s.max = values.back();
+    return s;
+}
+
+class Simulation
+{
+  public:
+    Simulation(const ServingFleetConfig &fleet,
+               const TrafficConfig &traffic, std::uint64_t seed)
+        : fleet_(fleet),
+          rng_(hashCombine(hashU64(seed), 0x5e71f9u))
+    {
+        DSV3_ASSERT(fleet.decodeEngines >= 1);
+        DSV3_ASSERT(fleet.maxBatchPerEngine >= 1);
+        DSV3_ASSERT(fleet.prefillServers >= 1);
+        DSV3_ASSERT(fleet.prefillTokensPerSecPerServer > 0.0);
+        DSV3_ASSERT(fleet.prefillChunkTokens >= 1);
+
+        KvPagerConfig kv;
+        kv.budgetBytes = fleet.kvBudgetBytesPerEngine;
+        kv.blockTokens = fleet.kvBlockTokens;
+        kv.bytesPerToken = model::kvCacheBytesPerToken(
+            fleet.modelConfig, fleet.kvBytesPerElem);
+        engines_.assign(fleet.decodeEngines, Engine(kv));
+
+        Rng trace_rng(hashCombine(hashU64(seed), 0x7a44ffu));
+        std::vector<Request> trace =
+            generateTrace(traffic, trace_rng);
+        reqs_.reserve(trace.size());
+        for (const Request &r : trace) {
+            ReqState st;
+            st.req = r;
+            st.decodeNeeded = r.genTokens > 0 ? r.genTokens - 1 : 0;
+            reqs_.push_back(st);
+        }
+        closedLoop_ = traffic.process == ArrivalProcess::CLOSED_LOOP;
+        nextPending_ = reqs_.size();
+        if (closedLoop_) {
+            nextPending_ =
+                std::min(traffic.closedLoopConcurrency, reqs_.size());
+        }
+        for (std::size_t i = 0; i < reqs_.size(); ++i) {
+            if (std::isfinite(reqs_[i].req.arrivalSeconds))
+                push(reqs_[i].req.arrivalSeconds, EventKind::ARRIVAL,
+                     i);
+        }
+    }
+
+    ServingMetrics
+    run()
+    {
+        while (!events_.empty()) {
+            Event ev = events_.top();
+            events_.pop();
+            switch (ev.kind) {
+              case EventKind::ARRIVAL:
+                routeArrival(ev.id, ev.time);
+                break;
+              case EventKind::PREFILL_DONE:
+                onPrefillDone(ev.id, ev.time);
+                break;
+              case EventKind::HANDOFF_DONE:
+                onHandoffDone(ev.id, ev.time);
+                break;
+              case EventKind::ENGINE_DONE:
+                onEngineDone(ev.id, ev.time);
+                break;
+              case EventKind::ENGINE_KICK:
+                tryStartWork(ev.id, ev.time);
+                break;
+            }
+        }
+        return collect();
+    }
+
+  private:
+    // Event plumbing ---------------------------------------------------
+
+    void
+    push(double time, EventKind kind, std::size_t id)
+    {
+        events_.push(Event{time, kind, id, order_++});
+    }
+
+    std::size_t
+    chooseEngine() const
+    {
+        std::size_t best = 0;
+        for (std::size_t e = 1; e < engines_.size(); ++e)
+            if (engines_[e].load() < engines_[best].load())
+                best = e;
+        return best;
+    }
+
+    std::size_t
+    ctxTokens(const ReqState &st) const
+    {
+        // Prompt, the prefill-produced first token, and every decode
+        // token so far all hold KV slots.
+        return st.req.promptTokens + 1 + st.decodeDone;
+    }
+
+    std::size_t
+    maxCtxTokens(const ReqState &st) const
+    {
+        return st.req.promptTokens + st.req.genTokens;
+    }
+
+    // Prefill ----------------------------------------------------------
+
+    void
+    routeArrival(std::size_t id, double t)
+    {
+        ReqState &st = reqs_[id];
+        if (!engines_[0].pager.fitsEver(maxCtxTokens(st))) {
+            reject(id, t);
+            return;
+        }
+        const std::size_t tokens =
+            st.req.promptTokens + st.decodeDone;
+        if (fleet_.deployment == Deployment::DISAGGREGATED) {
+            prefillQ_.push_back(PrefillJob{id, tokens});
+            startPrefills(t);
+        } else {
+            const std::size_t eng = chooseEngine();
+            engines_[eng].prefillQ.push_back(PrefillJob{id, tokens});
+            kick(eng, t);
+        }
+    }
+
+    void
+    startPrefills(double t)
+    {
+        while (prefillBusy_ < fleet_.prefillServers &&
+               !prefillQ_.empty()) {
+            PrefillJob job = prefillQ_.front();
+            prefillQ_.pop_front();
+            ++prefillBusy_;
+            const double dur = (double)job.tokensLeft /
+                               fleet_.prefillTokensPerSecPerServer;
+            push(t + dur, EventKind::PREFILL_DONE, job.id);
+        }
+    }
+
+    void
+    onPrefillDone(std::size_t id, double t)
+    {
+        DSV3_ASSERT(prefillBusy_ > 0);
+        --prefillBusy_;
+        startPrefills(t);
+        push(t + fleet_.kvHandoffSeconds, EventKind::HANDOFF_DONE,
+             id);
+    }
+
+    void
+    onHandoffDone(std::size_t id, double t)
+    {
+        sequenceReady(id, chooseEngine(), t);
+    }
+
+    /** A sequence's KV exists on @p eng; queue it for decode. */
+    void
+    sequenceReady(std::size_t id, std::size_t eng, double t)
+    {
+        ReqState &st = reqs_[id];
+        if (st.firstTokenTime < 0.0)
+            st.firstTokenTime = t;
+        if (st.decodeDone >= st.decodeNeeded) {
+            complete(id, t);
+            return;
+        }
+        engines_[eng].ready.push_back(id);
+        kick(eng, t);
+    }
+
+    // Decode engines ---------------------------------------------------
+
+    /**
+     * Defer the wake-up to a same-timestamp event so that every
+     * sequence becoming ready at time t is queued before the engine
+     * forms its next batch — otherwise the first of a simultaneous
+     * wave would start a batch-1 step.
+     */
+    void
+    kick(std::size_t eng, double t)
+    {
+        if (engines_[eng].work == EngineWork::IDLE)
+            push(t, EventKind::ENGINE_KICK, eng);
+    }
+
+    void
+    tryStartWork(std::size_t eng, double t)
+    {
+        Engine &e = engines_[eng];
+        if (e.work != EngineWork::IDLE)
+            return;
+        admit(e, t);
+        const bool prefer_prefill =
+            !e.prefillQ.empty() &&
+            (e.resident.empty() || !e.lastWasPrefill);
+        if (prefer_prefill)
+            startChunk(eng, t);
+        else if (!e.resident.empty())
+            startStep(eng, t);
+        else if (!e.prefillQ.empty())
+            startChunk(eng, t);
+        // else stays idle until the next ready/arrival kick.
+    }
+
+    void
+    admit(Engine &e, double t)
+    {
+        while (e.resident.size() < fleet_.maxBatchPerEngine &&
+               !e.ready.empty()) {
+            const std::size_t id = e.ready.front();
+            ReqState &st = reqs_[id];
+            if (!e.pager.fitsEver(maxCtxTokens(st))) {
+                e.ready.pop_front();
+                reject(id, t);
+                continue;
+            }
+            if (!e.pager.tryAllocate(id, ctxTokens(st)))
+                break; // OOM: retry at the next step boundary
+            e.ready.pop_front();
+            e.resident.push_back(id);
+        }
+    }
+
+    void
+    startChunk(std::size_t eng, double t)
+    {
+        Engine &e = engines_[eng];
+        DSV3_ASSERT(!e.prefillQ.empty());
+        PrefillJob &job = e.prefillQ.front();
+        const std::size_t chunk =
+            std::min<std::size_t>(fleet_.prefillChunkTokens,
+                                  job.tokensLeft);
+        e.chunkInFlight = chunk;
+        const double dur = (double)chunk /
+                           fleet_.prefillTokensPerSecPerServer;
+        e.work = EngineWork::PREFILL_CHUNK;
+        e.lastWasPrefill = true;
+        push(t + dur, EventKind::ENGINE_DONE, eng);
+    }
+
+    void
+    startStep(std::size_t eng, double t)
+    {
+        Engine &e = engines_[eng];
+        DSV3_ASSERT(!e.resident.empty());
+        double ctx_sum = 0.0;
+        for (std::size_t id : e.resident)
+            ctx_sum += (double)ctxTokens(reqs_[id]);
+        double dt = decodeStepSeconds(fleet_, e.resident.size(),
+                                      ctx_sum /
+                                          (double)e.resident.size());
+        if (fleet_.mtpEnabled)
+            dt *= 1.0 + fleet_.mtp.stepOverhead;
+        e.work = EngineWork::STEP;
+        e.lastWasPrefill = false;
+        push(t + dt, EventKind::ENGINE_DONE, eng);
+    }
+
+    void
+    onEngineDone(std::size_t eng, double t)
+    {
+        Engine &e = engines_[eng];
+        const EngineWork done = e.work;
+        e.work = EngineWork::IDLE;
+        if (done == EngineWork::PREFILL_CHUNK)
+            finishChunk(eng, t);
+        else
+            commitStep(eng, t);
+        kick(eng, t);
+    }
+
+    void
+    finishChunk(std::size_t eng, double t)
+    {
+        Engine &e = engines_[eng];
+        DSV3_ASSERT(!e.prefillQ.empty());
+        PrefillJob &job = e.prefillQ.front();
+        const std::size_t chunk =
+            std::min<std::size_t>(e.chunkInFlight, job.tokensLeft);
+        job.tokensLeft -= chunk;
+        if (job.tokensLeft == 0) {
+            const std::size_t id = job.id;
+            e.prefillQ.pop_front();
+            sequenceReady(id, eng, t);
+        }
+    }
+
+    void
+    commitStep(std::size_t eng, double t)
+    {
+        Engine &e = engines_[eng];
+        ++steps_;
+        std::vector<std::size_t> survivors;
+        survivors.reserve(e.resident.size());
+        std::vector<bool> gone(e.resident.size(), false);
+
+        for (std::size_t i = 0; i < e.resident.size(); ++i) {
+            if (gone[i])
+                continue;
+            const std::size_t id = e.resident[i];
+            ReqState &st = reqs_[id];
+
+            std::size_t tokens = 1;
+            if (fleet_.mtpEnabled) {
+                for (std::size_t d = 0; d < fleet_.mtp.draftTokens;
+                     ++d) {
+                    if (!rng_.bernoulli(fleet_.mtp.acceptanceRate))
+                        break;
+                    ++tokens;
+                }
+            }
+            tokens = std::min(tokens, st.decodeNeeded - st.decodeDone);
+            DSV3_ASSERT(tokens >= 1);
+
+            // Grow the KV reservation; on OOM preempt the youngest
+            // (not-yet-processed) resident sequences until it fits,
+            // or preempt this sequence itself as a last resort.
+            bool self_preempted = false;
+            while (!e.pager.tryGrow(id, ctxTokens(st) + tokens)) {
+                std::size_t victim = kNone;
+                for (std::size_t j = e.resident.size(); j-- > i + 1;) {
+                    if (!gone[j]) {
+                        victim = j;
+                        break;
+                    }
+                }
+                if (victim == kNone) {
+                    preempt(eng, id, t);
+                    gone[i] = true;
+                    self_preempted = true;
+                    break;
+                }
+                preempt(eng, e.resident[victim], t);
+                gone[victim] = true;
+            }
+            if (self_preempted)
+                continue;
+
+            st.decodeDone += tokens;
+            decodeTokens_ += tokens;
+            addGoodputTokens(t, (double)tokens);
+            if (st.decodeDone >= st.decodeNeeded) {
+                e.pager.release(id);
+                complete(id, t);
+                gone[i] = true;
+            }
+        }
+
+        for (std::size_t i = 0; i < e.resident.size(); ++i)
+            if (!gone[i])
+                survivors.push_back(e.resident[i]);
+        e.resident = std::move(survivors);
+    }
+
+    void
+    preempt(std::size_t eng, std::size_t id, double t)
+    {
+        Engine &e = engines_[eng];
+        e.pager.release(id);
+        ++preemptions_;
+        // Recompute path: the sequence's KV is rebuilt by a fresh
+        // prefill over prompt + generated-so-far, then it re-enters
+        // decode admission (with the handoff cost when the prefill
+        // pool is disaggregated).
+        ReqState &st = reqs_[id];
+        const std::size_t tokens =
+            st.req.promptTokens + st.decodeDone;
+        if (fleet_.deployment == Deployment::DISAGGREGATED) {
+            prefillQ_.push_back(PrefillJob{id, tokens});
+            startPrefills(t);
+        } else {
+            e.prefillQ.push_back(PrefillJob{id, tokens});
+        }
+    }
+
+    // Completion / bookkeeping ----------------------------------------
+
+    void
+    complete(std::size_t id, double t)
+    {
+        ReqState &st = reqs_[id];
+        st.completion = t;
+        ++completed_;
+        lastCompletion_ = std::max(lastCompletion_, t);
+        releaseNextClosedLoop(t);
+    }
+
+    void
+    reject(std::size_t id, double t)
+    {
+        ReqState &st = reqs_[id];
+        st.rejected = true;
+        ++rejected_;
+        DSV3_WARN_ONCE("serving: request context (",
+                       maxCtxTokens(st),
+                       " tokens) can never fit the KV budget; "
+                       "rejecting");
+        releaseNextClosedLoop(t);
+    }
+
+    void
+    releaseNextClosedLoop(double t)
+    {
+        if (!closedLoop_ || nextPending_ >= reqs_.size())
+            return;
+        const std::size_t id = nextPending_++;
+        reqs_[id].req.arrivalSeconds = t;
+        routeArrival(id, t);
+    }
+
+    void
+    addGoodputTokens(double t, double tokens)
+    {
+        const double w = fleet_.goodputWindowSeconds;
+        if (w <= 0.0)
+            return;
+        const std::size_t idx = (std::size_t)(t / w);
+        if (idx >= windowTokens_.size())
+            windowTokens_.resize(idx + 1, 0.0);
+        windowTokens_[idx] += tokens;
+    }
+
+    ServingMetrics
+    collect() const
+    {
+        ServingMetrics m;
+        m.requestsCompleted = completed_;
+        m.requestsRejected = rejected_;
+        m.decodeSteps = steps_;
+        m.decodeTokens = decodeTokens_;
+        m.preemptions = preemptions_;
+        m.simSeconds = lastCompletion_;
+
+        std::vector<double> ttft;
+        std::vector<double> tpot;
+        double slo_tokens = 0.0;
+        for (const ReqState &st : reqs_) {
+            if (st.completion < 0.0 || st.rejected)
+                continue;
+            const double first =
+                st.firstTokenTime - st.req.arrivalSeconds;
+            ttft.push_back(first);
+            double per_token = 0.0;
+            if (st.decodeNeeded > 0) {
+                per_token = (st.completion - st.firstTokenTime) /
+                            (double)st.decodeNeeded;
+                tpot.push_back(per_token);
+            }
+            if (first <= fleet_.sloTtftSeconds &&
+                per_token <= fleet_.sloTpotSeconds)
+                slo_tokens += (double)st.req.genTokens;
+        }
+        m.ttft = summarize(std::move(ttft));
+        m.tpot = summarize(std::move(tpot));
+
+        // Drop the trailing partial window so the percentiles are not
+        // skewed by a truncated interval.
+        std::vector<double> windows;
+        if (windowTokens_.size() > 1 &&
+            fleet_.goodputWindowSeconds > 0.0) {
+            for (std::size_t i = 0; i + 1 < windowTokens_.size(); ++i)
+                windows.push_back(windowTokens_[i] /
+                                  fleet_.goodputWindowSeconds);
+        }
+        m.goodput = summarize(std::move(windows));
+
+        if (m.simSeconds > 0.0) {
+            m.tokensPerSecond =
+                (double)decodeTokens_ / m.simSeconds;
+            m.sloGoodputTokensPerSecond = slo_tokens / m.simSeconds;
+        }
+        m.kvTotalBlocks = engines_.empty()
+            ? 0 : engines_[0].pager.totalBlocks();
+        for (const Engine &e : engines_)
+            m.kvHighWaterBlocks = std::max(
+                m.kvHighWaterBlocks, e.pager.highWaterBlocks());
+        return m;
+    }
+
+    const ServingFleetConfig &fleet_;
+    Rng rng_;
+
+    std::vector<ReqState> reqs_;
+    std::vector<Engine> engines_;
+    std::priority_queue<Event, std::vector<Event>, EventAfter>
+        events_;
+    std::uint64_t order_ = 0;
+
+    // Disaggregated prefill pool.
+    std::deque<PrefillJob> prefillQ_;
+    std::size_t prefillBusy_ = 0;
+
+    bool closedLoop_ = false;
+    std::size_t nextPending_ = 0;
+
+    std::size_t completed_ = 0;
+    std::size_t rejected_ = 0;
+    std::size_t steps_ = 0;
+    std::size_t decodeTokens_ = 0;
+    std::size_t preemptions_ = 0;
+    double lastCompletion_ = 0.0;
+    std::vector<double> windowTokens_;
+};
+
+} // namespace
+
+ServingMetrics
+simulateServing(const ServingFleetConfig &fleet,
+                const TrafficConfig &traffic, std::uint64_t seed)
+{
+    static obs::Counter &c_runs =
+        obs::Registry::global().counter("inference.serving.runs");
+    static obs::Counter &c_requests = obs::Registry::global().counter(
+        "inference.serving.requests");
+    static obs::Counter &c_completed =
+        obs::Registry::global().counter(
+            "inference.serving.completed");
+    static obs::Counter &c_steps = obs::Registry::global().counter(
+        "inference.serving.decode_steps");
+    static obs::Counter &c_tokens = obs::Registry::global().counter(
+        "inference.serving.decode_tokens");
+    static obs::Counter &c_preempt = obs::Registry::global().counter(
+        "inference.serving.preemptions");
+    static obs::Counter &c_rejected =
+        obs::Registry::global().counter(
+            "inference.serving.rejected");
+    static obs::Gauge &g_kv_hwm = obs::Registry::global().gauge(
+        "inference.serving.kv_blocks_high_water");
+
+    DSV3_TRACE_SPAN("inference.serving.simulate", "requests",
+                    traffic.requests);
+    Simulation sim(fleet, traffic, seed);
+    ServingMetrics m = sim.run();
+
+    c_runs.inc();
+    c_requests.inc(traffic.requests);
+    c_completed.inc(m.requestsCompleted);
+    c_steps.inc(m.decodeSteps);
+    c_tokens.inc(m.decodeTokens);
+    c_preempt.inc(m.preemptions);
+    c_rejected.inc(m.requestsRejected);
+    g_kv_hwm.max((double)m.kvHighWaterBlocks);
+    return m;
+}
+
+} // namespace dsv3::inference::serving

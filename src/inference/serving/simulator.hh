@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Discrete-event inference-serving fleet simulator (ROADMAP item 1).
+ *
+ * Composes the repo's analytic serving models into an event calendar
+ * driven by live traffic, the way ASTRA-sim-style workload simulators
+ * drive their compute/comm cost models:
+ *
+ *  - per-step decode latency comes from the decodeEstimate() roofline
+ *    (weights + KV bytes vs batch/context) combined with the Sec 2.3.2
+ *    epSpeedLimit() all-to-all floor, optionally interleaved as two
+ *    micro-batches via dualMicroBatchOverlap() (Sec 2.3.1);
+ *  - KV residency is managed by a paged KvPager priced with
+ *    model::kvCacheBytesPerToken() (Table 1), with admission control
+ *    and preemption-on-OOM (preempted sequences recompute);
+ *  - prefill runs either on a disaggregated pool with a KV-handoff
+ *    delay to the decode engines (the evaluateDisaggregation()
+ *    deployment) or colocated as chunks interleaved between decode
+ *    steps (TPOT inflation emerges from the event loop);
+ *  - MTP speculative decode samples the mtpSimulate() acceptance
+ *    chain per sequence per step (Sec 2.3.3).
+ *
+ * One simulation run is strictly serial and seed-deterministic; fleet
+ * sweeps parallelize across scenarios via runSweepGrid(), so every
+ * table built on this simulator is byte-identical at any thread
+ * width. In the closed-loop, no-contention limit the simulated TPOT
+ * and MTP speedup reproduce epSpeedLimit()/mtpAnalytic() (asserted by
+ * tests and the bench_serving CI gate to <1%).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ep/speed_limit.hh"
+#include "inference/mtp.hh"
+#include "model/config.hh"
+#include "inference/serving/traffic.hh"
+
+namespace dsv3::inference::serving {
+
+/** Decode-engine step schedule. */
+enum class Schedule
+{
+    SEQUENTIAL,      //!< one batch; compute then comm, no overlap
+    DUAL_MICROBATCH, //!< two interleaved micro-batches (Sec 2.3.1)
+};
+
+/** Where prefill runs relative to decode. */
+enum class Deployment
+{
+    COLOCATED,     //!< prefill chunks interleave with decode steps
+    DISAGGREGATED, //!< separate prefill pool + KV handoff delay
+};
+
+const char *scheduleName(Schedule schedule);
+const char *deploymentName(Deployment deployment);
+
+struct ServingFleetConfig
+{
+    model::ModelConfig modelConfig;
+
+    // Decode-engine roofline inputs (decodeEstimate()).
+    double memBytesPerSec = 3.35e12; //!< H800 HBM
+    double computeFlopsPerSec = 0.0; //!< 0 = ignore compute roof
+    double weightBytesPerParam = 1.0;
+    std::size_t kvBytesPerElem = 2;
+
+    // EP all-to-all floor (epSpeedLimit(); batchPerDevice and layers
+    // are overridden per step from the live batch and model).
+    ep::SpeedLimitParams comm;
+    Schedule schedule = Schedule::DUAL_MICROBATCH;
+
+    // Fleet shape.
+    Deployment deployment = Deployment::DISAGGREGATED;
+    std::size_t decodeEngines = 1;
+    std::size_t maxBatchPerEngine = 64; //!< resident sequences cap
+
+    // KV paging per engine; 0 budget = unlimited.
+    double kvBudgetBytesPerEngine = 0.0;
+    std::size_t kvBlockTokens = 64;
+
+    // Prefill side (wire from a ServingWorkload for the Sec 2.3.1
+    // deployment comparison).
+    std::size_t prefillServers = 4;
+    double prefillTokensPerSecPerServer = 12000.0;
+    double kvHandoffSeconds = 0.05; //!< DISAGGREGATED only
+    std::size_t prefillChunkTokens = 512; //!< COLOCATED interleave
+
+    // MTP speculative decode.
+    bool mtpEnabled = false;
+    MtpConfig mtp;
+
+    // Goodput accounting.
+    double sloTtftSeconds = 4.0;
+    double sloTpotSeconds = 0.05;
+    double goodputWindowSeconds = 1.0;
+};
+
+struct PercentileSummary
+{
+    std::size_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+};
+
+struct ServingMetrics
+{
+    std::size_t requestsCompleted = 0;
+    std::size_t requestsRejected = 0; //!< context can never fit KV
+    std::size_t decodeSteps = 0;
+    std::size_t decodeTokens = 0;
+    std::size_t preemptions = 0;
+    double simSeconds = 0.0;
+
+    PercentileSummary ttft;    //!< seconds, per completed request
+    PercentileSummary tpot;    //!< seconds/token, per completed request
+    PercentileSummary goodput; //!< tokens/s over fixed windows
+
+    double tokensPerSecond = 0.0;        //!< decode tokens / simSeconds
+    double sloGoodputTokensPerSecond = 0.0; //!< SLO-meeting requests only
+
+    std::size_t kvTotalBlocks = 0;     //!< 0 when paging disabled
+    std::size_t kvHighWaterBlocks = 0; //!< max over all engines
+};
+
+/**
+ * Time for every resident sequence of a decode engine to advance one
+ * token, for @p batch sequences at mean context @p avgContextTokens.
+ * Exposed so tests can pin the closed-loop convergence argument.
+ */
+double decodeStepSeconds(const ServingFleetConfig &fleet,
+                         std::size_t batch, double avgContextTokens);
+
+/**
+ * Run the fleet against a traffic trace generated from
+ * (traffic, seed). Serial and deterministic: identical inputs give
+ * bit-identical metrics on every rerun and at every thread width.
+ */
+ServingMetrics simulateServing(const ServingFleetConfig &fleet,
+                               const TrafficConfig &traffic,
+                               std::uint64_t seed);
+
+} // namespace dsv3::inference::serving

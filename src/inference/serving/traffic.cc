@@ -1,0 +1,146 @@
+#include "inference/serving/traffic.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace dsv3::inference::serving {
+
+const char *
+arrivalProcessName(ArrivalProcess process)
+{
+    switch (process) {
+      case ArrivalProcess::POISSON: return "poisson";
+      case ArrivalProcess::DIURNAL: return "diurnal";
+      case ArrivalProcess::BURSTY: return "bursty";
+      case ArrivalProcess::CLOSED_LOOP: return "closed-loop";
+    }
+    DSV3_PANIC("unknown arrival process");
+}
+
+namespace {
+
+std::size_t
+sampleTokens(Rng &rng, std::size_t lo, std::size_t hi)
+{
+    DSV3_ASSERT(lo >= 1 && hi >= lo, "token range [", lo, ", ", hi,
+                "]");
+    if (lo == hi)
+        return lo;
+    return lo + (std::size_t)rng.nextBounded(hi - lo + 1);
+}
+
+double
+nextPoissonArrival(Rng &rng, double t, double rate)
+{
+    return t + rng.exponential(rate);
+}
+
+/**
+ * Diurnal arrivals by thinning: propose at the peak rate
+ * r*(1+a), accept with probability rate(t)/peak.
+ */
+double
+nextDiurnalArrival(Rng &rng, double t, const TrafficConfig &c)
+{
+    const double peak =
+        c.requestsPerSecond * (1.0 + c.diurnalAmplitude);
+    DSV3_ASSERT(c.diurnalAmplitude >= 0.0 && c.diurnalAmplitude < 1.0);
+    for (;;) {
+        t += rng.exponential(peak);
+        const double rate =
+            c.requestsPerSecond *
+            (1.0 + c.diurnalAmplitude *
+                       std::sin(2.0 * M_PI * t /
+                                c.diurnalPeriodSeconds));
+        if (rng.nextDouble() * peak < rate)
+            return t;
+    }
+}
+
+/** Two-state Markov-modulated Poisson process. */
+struct BurstState
+{
+    bool on = false;
+    double stateEnd = 0.0;
+};
+
+double
+nextBurstyArrival(Rng &rng, double t, BurstState &st,
+                  const TrafficConfig &c)
+{
+    // Scale the off-state rate so the long-run mean stays
+    // requestsPerSecond:
+    //   mean = (off*r_off + on*r_on) / (off + on),  r_on = m * r_off.
+    const double on = c.burstOnSeconds;
+    const double off = c.burstOffSeconds;
+    const double m = c.burstRateMultiplier;
+    const double r_off =
+        c.requestsPerSecond * (off + on) / (off + m * on);
+    const double r_on = m * r_off;
+    for (;;) {
+        const double rate = st.on ? r_on : r_off;
+        const double candidate = t + rng.exponential(rate);
+        if (candidate < st.stateEnd)
+            return candidate;
+        // Crossed a state boundary: advance the modulating chain and
+        // resample from the boundary (memorylessness).
+        t = st.stateEnd;
+        st.on = !st.on;
+        st.stateEnd =
+            t + rng.exponential(1.0 / (st.on ? on : off));
+    }
+}
+
+} // namespace
+
+std::vector<Request>
+generateTrace(const TrafficConfig &config, Rng &rng)
+{
+    DSV3_ASSERT(config.requests > 0);
+    std::vector<Request> trace;
+    trace.reserve(config.requests);
+
+    double t = 0.0;
+    BurstState burst;
+    if (config.process == ArrivalProcess::BURSTY)
+        burst.stateEnd = rng.exponential(1.0 / config.burstOffSeconds);
+
+    for (std::size_t i = 0; i < config.requests; ++i) {
+        Request r;
+        r.id = i;
+        switch (config.process) {
+          case ArrivalProcess::POISSON:
+            DSV3_ASSERT(config.requestsPerSecond > 0.0);
+            t = nextPoissonArrival(rng, t, config.requestsPerSecond);
+            r.arrivalSeconds = t;
+            break;
+          case ArrivalProcess::DIURNAL:
+            DSV3_ASSERT(config.requestsPerSecond > 0.0);
+            t = nextDiurnalArrival(rng, t, config);
+            r.arrivalSeconds = t;
+            break;
+          case ArrivalProcess::BURSTY:
+            DSV3_ASSERT(config.requestsPerSecond > 0.0);
+            t = nextBurstyArrival(rng, t, burst, config);
+            r.arrivalSeconds = t;
+            break;
+          case ArrivalProcess::CLOSED_LOOP:
+            DSV3_ASSERT(config.closedLoopConcurrency > 0);
+            r.arrivalSeconds =
+                i < config.closedLoopConcurrency
+                    ? 0.0
+                    : std::numeric_limits<double>::infinity();
+            break;
+        }
+        r.promptTokens = sampleTokens(rng, config.promptTokensMin,
+                                      config.promptTokensMax);
+        r.genTokens = sampleTokens(rng, config.genTokensMin,
+                                   config.genTokensMax);
+        trace.push_back(r);
+    }
+    return trace;
+}
+
+} // namespace dsv3::inference::serving

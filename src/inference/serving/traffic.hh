@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Request-arrival trace generators for the serving-fleet simulator.
+ *
+ * Open-loop traffic (the fleet has no back-pressure on users) comes in
+ * three flavors: a homogeneous Poisson process, a diurnal process
+ * whose rate follows a sinusoidal day/night cycle (thinning of a
+ * peak-rate Poisson), and a bursty process modulated by a two-state
+ * on/off Markov chain (rate multiplies during bursts). Closed-loop
+ * traffic models a fixed user population: `closedLoopConcurrency`
+ * requests are outstanding at all times and a completion immediately
+ * releases the next one — the regime in which the simulator must
+ * converge to the analytic epSpeedLimit/mtpAnalytic numbers.
+ *
+ * All sampling draws from a caller-supplied Rng, so a trace is a pure
+ * function of (config, seed): byte-identical across reruns and thread
+ * widths.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace dsv3::inference::serving {
+
+enum class ArrivalProcess
+{
+    POISSON,     //!< homogeneous open-loop arrivals
+    DIURNAL,     //!< sinusoidally rate-modulated open loop
+    BURSTY,      //!< on/off Markov-modulated open loop
+    CLOSED_LOOP, //!< fixed concurrency; completions release arrivals
+};
+
+const char *arrivalProcessName(ArrivalProcess process);
+
+struct TrafficConfig
+{
+    ArrivalProcess process = ArrivalProcess::POISSON;
+    std::size_t requests = 1000; //!< total requests in the trace
+
+    // Open-loop rate (mean requests/s across the whole trace).
+    double requestsPerSecond = 4.0;
+
+    // Closed loop: outstanding requests held constant.
+    std::size_t closedLoopConcurrency = 32;
+
+    // Token lengths, sampled uniformly in [min, max].
+    std::size_t promptTokensMin = 1024;
+    std::size_t promptTokensMax = 8192;
+    std::size_t genTokensMin = 128;
+    std::size_t genTokensMax = 1024;
+
+    // Diurnal modulation: rate(t) = r * (1 + a * sin(2*pi*t/period)).
+    double diurnalPeriodSeconds = 600.0;
+    double diurnalAmplitude = 0.8; //!< in [0, 1)
+
+    // Bursty modulation: exponential on/off sojourns; the on-state
+    // rate is multiplied so the *mean* rate stays requestsPerSecond.
+    double burstOnSeconds = 5.0;
+    double burstOffSeconds = 45.0;
+    double burstRateMultiplier = 8.0;
+};
+
+struct Request
+{
+    std::size_t id = 0;
+    /**
+     * Arrival time in seconds. For CLOSED_LOOP, the first
+     * `closedLoopConcurrency` requests arrive at t=0 and the rest
+     * carry +inf: the simulator releases them one-for-one as earlier
+     * requests complete.
+     */
+    double arrivalSeconds = 0.0;
+    std::size_t promptTokens = 0;
+    std::size_t genTokens = 0;
+};
+
+/**
+ * Generate the full request trace for @p config. Arrival times are
+ * nondecreasing; lengths are sampled per request. Deterministic in
+ * (config, rng state).
+ */
+std::vector<Request> generateTrace(const TrafficConfig &config,
+                                   Rng &rng);
+
+} // namespace dsv3::inference::serving

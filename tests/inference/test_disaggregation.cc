@@ -3,6 +3,8 @@
  * Tests for the Sec 2.3.1 prefill/decode disaggregation model.
  */
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "inference/disaggregation.hh"
@@ -72,6 +74,36 @@ TEST(Disaggregation, DecodeOnlyWorkloadNeedsNoPrefillPool)
     auto r = evaluateDisaggregation(w);
     EXPECT_LT(r.colocatedDutyCycle, 0.01);
     EXPECT_NEAR(r.tpotImprovement, 1.0, 0.01);
+}
+
+TEST(Disaggregation, PrefillOnlyWorkloadSaturatesInsteadOfAborting)
+{
+    // Regression: genTokens == 0 means no decode demand, so prefill
+    // takes the whole colocated pool. This used to trip an assert;
+    // now it reports saturation with an infinite colocated TPOT.
+    ServingWorkload w;
+    w.genTokens = 0.0;
+    auto r = evaluateDisaggregation(w);
+    EXPECT_TRUE(r.saturated);
+    EXPECT_DOUBLE_EQ(r.colocatedDutyCycle, 1.0);
+    EXPECT_TRUE(std::isinf(r.colocatedTpot));
+    EXPECT_TRUE(std::isinf(r.tpotImprovement));
+    // Disaggregated numbers stay finite and meaningful.
+    EXPECT_GT(r.disaggTpot, 0.0);
+    EXPECT_TRUE(std::isfinite(r.disaggTtft));
+    EXPECT_DOUBLE_EQ(r.decodeGpus, 0.0);
+    EXPECT_GT(r.prefillGpus, 0.0);
+}
+
+TEST(Disaggregation, NearSaturationStaysFinite)
+{
+    // Just below saturation the colocated TPOT is huge but finite.
+    ServingWorkload w;
+    w.genTokens = 1e-6;
+    auto r = evaluateDisaggregation(w);
+    EXPECT_FALSE(r.saturated);
+    EXPECT_TRUE(std::isfinite(r.colocatedTpot));
+    EXPECT_GT(r.colocatedTpot, w.decodeTpotSeconds);
 }
 
 } // namespace

@@ -4,6 +4,11 @@
  * micro-batch overlap model.
  */
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.hh"
@@ -154,6 +159,76 @@ TEST(Roofline, MoeBatchActivatesMoreExperts)
     double wmax = decodeEstimate(moe).weightBytesPerStep;
     model::ParamCounts p = model::countParams(moe.modelConfig);
     EXPECT_LE(wmax, p.total() * 1.01);
+}
+
+TEST(Roofline, ExpertUnionMatchesMonteCarlo)
+{
+    // Regression: the batched distinct-expert count used to be the
+    // linear cap min(1, topK*batch/E) * E, which says a batch of 32
+    // V3 tokens (topK=8, E=256) touches the full expert pool; the
+    // true expected union is E * (1 - (1 - topK/E)^batch) ~ 63.9%.
+    // Validate the closed form against direct sampling of top-K
+    // without-replacement routing.
+    model::ModelConfig cfg = model::deepSeekV3();
+    const std::size_t E = cfg.moe->routedExperts;
+    const std::size_t k = cfg.moe->topK;
+    dsv3::Rng rng(1234);
+    for (std::size_t batch : {2ul, 8ul, 32ul, 128ul}) {
+        const int trials = 2000;
+        double mc = 0.0;
+        std::vector<std::uint8_t> hit(E);
+        std::vector<std::size_t> deck(E);
+        for (int t = 0; t < trials; ++t) {
+            std::fill(hit.begin(), hit.end(), 0);
+            for (std::size_t b = 0; b < batch; ++b) {
+                for (std::size_t e = 0; e < E; ++e)
+                    deck[e] = e;
+                for (std::size_t j = 0; j < k; ++j) {
+                    std::size_t pick =
+                        j + (std::size_t)rng.nextBounded(E - j);
+                    std::swap(deck[j], deck[pick]);
+                    hit[deck[j]] = 1;
+                }
+            }
+            for (std::size_t e = 0; e < E; ++e)
+                mc += hit[e];
+        }
+        mc /= (double)trials;
+        double miss = 1.0 - (double)k / (double)E;
+        double analytic =
+            (double)E * (1.0 - std::pow(miss, (double)batch));
+        EXPECT_NEAR(mc, analytic, 0.02 * analytic)
+            << "batch " << batch;
+    }
+}
+
+TEST(Roofline, ExpertUnionSaturatesBelowLinearCap)
+{
+    // At batch 32 the old linear model claimed all 256 routed experts
+    // are resident; expected coverage says ~64%. The weight traffic
+    // must sit strictly between the batch-1 floor and the full pool.
+    DecodeScenario moe;
+    moe.modelConfig = model::deepSeekV3();
+    moe.memBytesPerSec = 3.35e12;
+    moe.weightBytesPerParam = 1.0;
+
+    model::ParamCounts p = model::countParams(moe.modelConfig);
+    const model::MoeConfig &m = *moe.modelConfig.moe;
+    double per_token =
+        p.moeRouted * (double)m.topK / (double)m.routedExperts;
+
+    moe.batch = 32;
+    double w32 = decodeEstimate(moe).weightBytesPerStep;
+    double dense = p.matmulActivePerToken(moe.modelConfig) - per_token;
+    double routed32 = w32 - dense;
+    double coverage =
+        1.0 - std::pow(1.0 - (double)m.topK / (double)m.routedExperts,
+                       32.0);
+    EXPECT_NEAR(routed32, p.moeRouted * coverage,
+                1e-6 * p.moeRouted);
+    // Strictly below the full pool the linear cap predicted.
+    EXPECT_LT(routed32, p.moeRouted * 0.99);
+    EXPECT_GT(routed32, per_token);
 }
 
 TEST(Roofline, LongContextCostsKvBandwidth)

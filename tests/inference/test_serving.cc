@@ -1,0 +1,465 @@
+/**
+ * @file
+ * Tests for the event-driven serving-fleet simulator: traffic-trace
+ * determinism, KV-pager budget invariants, closed-loop convergence to
+ * the analytic epSpeedLimit/mtpAnalytic models, preemption under KV
+ * pressure, and byte-identical results across thread widths.
+ */
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/sweep.hh"
+#include "common/thread_pool.hh"
+#include "ep/speed_limit.hh"
+#include "inference/mtp.hh"
+#include "inference/serving/kv_pager.hh"
+#include "inference/serving/simulator.hh"
+#include "inference/serving/traffic.hh"
+#include "model/config.hh"
+#include "model/kv_cache.hh"
+
+namespace dsv3::inference::serving {
+namespace {
+
+// Traffic ---------------------------------------------------------------
+
+TEST(ServingTraffic, SameSeedSameTrace)
+{
+    TrafficConfig cfg;
+    cfg.requests = 500;
+    Rng a(7), b(7), c(8);
+    auto ta = generateTrace(cfg, a);
+    auto tb = generateTrace(cfg, b);
+    auto tc = generateTrace(cfg, c);
+    ASSERT_EQ(ta.size(), tb.size());
+    bool differs = false;
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+        EXPECT_DOUBLE_EQ(ta[i].arrivalSeconds, tb[i].arrivalSeconds);
+        EXPECT_EQ(ta[i].promptTokens, tb[i].promptTokens);
+        EXPECT_EQ(ta[i].genTokens, tb[i].genTokens);
+        differs |= ta[i].arrivalSeconds != tc[i].arrivalSeconds;
+    }
+    EXPECT_TRUE(differs) << "different seeds gave identical traces";
+}
+
+TEST(ServingTraffic, ArrivalsNondecreasingAllProcesses)
+{
+    for (ArrivalProcess p :
+         {ArrivalProcess::POISSON, ArrivalProcess::DIURNAL,
+          ArrivalProcess::BURSTY}) {
+        TrafficConfig cfg;
+        cfg.process = p;
+        cfg.requests = 2000;
+        Rng rng(11);
+        auto trace = generateTrace(cfg, rng);
+        for (std::size_t i = 1; i < trace.size(); ++i)
+            ASSERT_GE(trace[i].arrivalSeconds,
+                      trace[i - 1].arrivalSeconds)
+                << arrivalProcessName(p) << " at " << i;
+        for (const Request &r : trace) {
+            ASSERT_GE(r.promptTokens, cfg.promptTokensMin);
+            ASSERT_LE(r.promptTokens, cfg.promptTokensMax);
+            ASSERT_GE(r.genTokens, cfg.genTokensMin);
+            ASSERT_LE(r.genTokens, cfg.genTokensMax);
+        }
+    }
+}
+
+TEST(ServingTraffic, OpenLoopMeanRateApproximatelyConfigured)
+{
+    for (ArrivalProcess p :
+         {ArrivalProcess::POISSON, ArrivalProcess::BURSTY}) {
+        TrafficConfig cfg;
+        cfg.process = p;
+        cfg.requests = 20000;
+        cfg.requestsPerSecond = 10.0;
+        Rng rng(3);
+        auto trace = generateTrace(cfg, rng);
+        double span = trace.back().arrivalSeconds;
+        double rate = (double)trace.size() / span;
+        EXPECT_NEAR(rate, cfg.requestsPerSecond,
+                    0.15 * cfg.requestsPerSecond)
+            << arrivalProcessName(p);
+    }
+}
+
+TEST(ServingTraffic, BurstyHasHigherInterarrivalVariance)
+{
+    auto interarrival_cv2 = [](ArrivalProcess p) {
+        TrafficConfig cfg;
+        cfg.process = p;
+        cfg.requests = 20000;
+        Rng rng(5);
+        auto trace = generateTrace(cfg, rng);
+        double mean = 0.0, m2 = 0.0;
+        std::vector<double> gaps;
+        for (std::size_t i = 1; i < trace.size(); ++i)
+            gaps.push_back(trace[i].arrivalSeconds -
+                           trace[i - 1].arrivalSeconds);
+        for (double g : gaps)
+            mean += g;
+        mean /= (double)gaps.size();
+        for (double g : gaps)
+            m2 += (g - mean) * (g - mean);
+        m2 /= (double)gaps.size();
+        return m2 / (mean * mean);
+    };
+    // Poisson interarrivals have CV^2 == 1; the on/off modulated
+    // process is overdispersed.
+    EXPECT_NEAR(interarrival_cv2(ArrivalProcess::POISSON), 1.0, 0.15);
+    EXPECT_GT(interarrival_cv2(ArrivalProcess::BURSTY), 1.5);
+}
+
+TEST(ServingTraffic, ClosedLoopSentinels)
+{
+    TrafficConfig cfg;
+    cfg.process = ArrivalProcess::CLOSED_LOOP;
+    cfg.requests = 100;
+    cfg.closedLoopConcurrency = 16;
+    Rng rng(9);
+    auto trace = generateTrace(cfg, rng);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (i < cfg.closedLoopConcurrency)
+            EXPECT_DOUBLE_EQ(trace[i].arrivalSeconds, 0.0);
+        else
+            EXPECT_TRUE(std::isinf(trace[i].arrivalSeconds));
+    }
+}
+
+// KV pager --------------------------------------------------------------
+
+TEST(ServingKvPager, BlockArithmetic)
+{
+    KvPagerConfig cfg;
+    cfg.budgetBytes = 1e6;
+    cfg.bytesPerToken = 100.0;
+    cfg.blockTokens = 16;
+    KvPager pager(cfg);
+    EXPECT_EQ(pager.blocksFor(1), 1u);
+    EXPECT_EQ(pager.blocksFor(16), 1u);
+    EXPECT_EQ(pager.blocksFor(17), 2u);
+    // 1600 bytes per block -> 625 blocks in 1e6 bytes.
+    EXPECT_EQ(pager.totalBlocks(), 625u);
+    EXPECT_LE((double)pager.totalBlocks() * pager.blockBytes(),
+              cfg.budgetBytes);
+}
+
+TEST(ServingKvPager, BudgetNeverExceededUnderRandomOps)
+{
+    // The budget is derived through maxContextTokens(): the pager must
+    // respect the same byte model the analytic calculators use.
+    model::ModelConfig cfg = model::deepSeekV3();
+    const double budget = 16.0 * 1024 * 1024 * 1024; // 16 GiB of KV
+    const std::size_t max_ctx = model::maxContextTokens(cfg, budget);
+    ASSERT_GT(max_ctx, 0u);
+
+    KvPagerConfig pc;
+    pc.budgetBytes = budget;
+    pc.bytesPerToken = model::kvCacheBytesPerToken(cfg);
+    pc.blockTokens = 64;
+    KvPager pager(pc);
+
+    Rng rng(17);
+    std::vector<std::size_t> live;
+    std::vector<std::size_t> tokens(4096, 0);
+    std::size_t next_id = 0;
+    for (int op = 0; op < 20000; ++op) {
+        ASSERT_LE(pager.usedBytes(), budget);
+        ASSERT_LE(pager.usedBlocks(), pager.totalBlocks());
+        ASSERT_LE(pager.highWaterBlocks(), pager.totalBlocks());
+        const double roll = rng.nextDouble();
+        if (roll < 0.4 || live.empty()) {
+            std::size_t id = next_id++;
+            std::size_t toks =
+                64 + (std::size_t)rng.nextBounded(8192);
+            if (id < tokens.size() &&
+                pager.tryAllocate(id, toks)) {
+                tokens[id] = toks;
+                live.push_back(id);
+            }
+        } else if (roll < 0.8) {
+            std::size_t pick =
+                (std::size_t)rng.nextBounded(live.size());
+            std::size_t id = live[pick];
+            tokens[id] += 1 + (std::size_t)rng.nextBounded(256);
+            if (!pager.tryGrow(id, tokens[id])) {
+                pager.release(id);
+                live.erase(live.begin() + (std::ptrdiff_t)pick);
+            }
+        } else {
+            std::size_t pick =
+                (std::size_t)rng.nextBounded(live.size());
+            pager.release(live[pick]);
+            live.erase(live.begin() + (std::ptrdiff_t)pick);
+        }
+    }
+    EXPECT_GT(pager.highWaterBlocks(), 0u);
+}
+
+TEST(ServingKvPager, UnlimitedWhenNoBudget)
+{
+    KvPagerConfig cfg;
+    KvPager pager(cfg);
+    EXPECT_TRUE(pager.unlimited());
+    EXPECT_TRUE(pager.tryAllocate(1, 1u << 30));
+    EXPECT_TRUE(pager.fitsEver(1u << 30));
+}
+
+// Closed-loop convergence ----------------------------------------------
+
+/**
+ * Comm-bound fleet: memory/compute rooflines vanish so every step is
+ * the Sec 2.3.2 all-to-all floor. Closed loop at 2x batchPerDevice
+ * (two micro-batches of 32) must reproduce epSpeedLimit() exactly.
+ */
+ServingFleetConfig
+commBoundFleet()
+{
+    ServingFleetConfig fleet;
+    fleet.modelConfig = model::deepSeekV3();
+    fleet.memBytesPerSec = 1e30;
+    fleet.computeFlopsPerSec = 0.0;
+    fleet.schedule = Schedule::DUAL_MICROBATCH;
+    fleet.deployment = Deployment::DISAGGREGATED;
+    fleet.maxBatchPerEngine = 64;
+    fleet.prefillServers = 64;
+    fleet.prefillTokensPerSecPerServer = 1e9;
+    fleet.kvHandoffSeconds = 0.0;
+    return fleet;
+}
+
+TrafficConfig
+closedLoopTraffic(std::size_t requests, std::size_t gen)
+{
+    TrafficConfig traffic;
+    traffic.process = ArrivalProcess::CLOSED_LOOP;
+    traffic.requests = requests;
+    traffic.closedLoopConcurrency = 64;
+    traffic.promptTokensMin = traffic.promptTokensMax = 128;
+    traffic.genTokensMin = traffic.genTokensMax = gen;
+    return traffic;
+}
+
+TEST(ServingSim, DecodeStepMatchesSpeedLimitCommBound)
+{
+    ServingFleetConfig fleet = commBoundFleet();
+    ep::SpeedLimit analytic = ep::epSpeedLimit(fleet.comm);
+    // Batch 64 = two micro-batches of comm.batchPerDevice (32).
+    double step = decodeStepSeconds(fleet, 64, 4096.0);
+    EXPECT_NEAR(step, analytic.tpotSeconds,
+                1e-9 * analytic.tpotSeconds);
+}
+
+TEST(ServingSim, ClosedLoopTpotReproducesSpeedLimit)
+{
+    ServingFleetConfig fleet = commBoundFleet();
+    ServingMetrics m =
+        simulateServing(fleet, closedLoopTraffic(128, 128), 42);
+    EXPECT_EQ(m.requestsCompleted, 128u);
+    ep::SpeedLimit analytic = ep::epSpeedLimit(fleet.comm);
+    EXPECT_NEAR(m.tpot.p50, analytic.tpotSeconds,
+                0.01 * analytic.tpotSeconds);
+    EXPECT_NEAR(m.tpot.mean, analytic.tpotSeconds,
+                0.01 * analytic.tpotSeconds);
+}
+
+TEST(ServingSim, ClosedLoopMtpReproducesAnalyticSpeedup)
+{
+    ServingFleetConfig fleet = commBoundFleet();
+    TrafficConfig traffic = closedLoopTraffic(256, 256);
+
+    ServingMetrics plain = simulateServing(fleet, traffic, 42);
+    fleet.mtpEnabled = true;
+    fleet.mtp.acceptanceRate = 0.85;
+    ServingMetrics mtp = simulateServing(fleet, traffic, 42);
+
+    double measured =
+        mtp.tokensPerSecond / plain.tokensPerSecond;
+    double analytic = mtpAnalytic(fleet.mtp).speedup;
+    EXPECT_NEAR(measured, analytic, 0.01 * analytic);
+}
+
+TEST(ServingSim, OverlapWinsWhenCommSignificant)
+{
+    // When the all-to-all floor dominates, dual micro-batching hides
+    // compute under comm and the sequential schedule pays both.
+    ServingFleetConfig fleet = commBoundFleet();
+    fleet.memBytesPerSec = 1e14; // compute visible but below comm
+    TrafficConfig traffic = closedLoopTraffic(64, 64);
+    ServingMetrics dual = simulateServing(fleet, traffic, 1);
+    fleet.schedule = Schedule::SEQUENTIAL;
+    ServingMetrics seq = simulateServing(fleet, traffic, 1);
+    EXPECT_GT(seq.tpot.p50, dual.tpot.p50);
+}
+
+TEST(ServingSim, OverlapLosesWhenMemoryBound)
+{
+    // With negligible comm the split de-amortizes MoE weights: each
+    // half-batch streams ~64% of the expert pool where the full batch
+    // streams ~87% once, so sequential is the right schedule.
+    ServingFleetConfig fleet = commBoundFleet();
+    fleet.memBytesPerSec = 3.35e12;
+    fleet.comm.bandwidthBytesPerSec = 1e15; // comm ~ free
+    TrafficConfig traffic = closedLoopTraffic(64, 64);
+    ServingMetrics dual = simulateServing(fleet, traffic, 1);
+    fleet.schedule = Schedule::SEQUENTIAL;
+    ServingMetrics seq = simulateServing(fleet, traffic, 1);
+    EXPECT_LT(seq.tpot.p50, dual.tpot.p50);
+}
+
+// KV pressure -----------------------------------------------------------
+
+TEST(ServingSim, PreemptsUnderKvPressureAndStaysInBudget)
+{
+    ServingFleetConfig fleet = commBoundFleet();
+    fleet.prefillTokensPerSecPerServer = 1e6;
+    // Budget fits ~6 full sequences of 128+256 tokens; run 16
+    // concurrent so growth collides.
+    const double per_tok =
+        model::kvCacheBytesPerToken(fleet.modelConfig);
+    fleet.kvBudgetBytesPerEngine = per_tok * 6.0 * 384.0;
+    fleet.kvBlockTokens = 32;
+    fleet.maxBatchPerEngine = 16;
+
+    TrafficConfig traffic = closedLoopTraffic(64, 256);
+    traffic.closedLoopConcurrency = 16;
+    traffic.promptTokensMin = traffic.promptTokensMax = 128;
+
+    ServingMetrics m = simulateServing(fleet, traffic, 7);
+    EXPECT_EQ(m.requestsCompleted + m.requestsRejected, 64u);
+    EXPECT_EQ(m.requestsRejected, 0u);
+    EXPECT_GT(m.preemptions, 0u);
+    EXPECT_GT(m.kvTotalBlocks, 0u);
+    EXPECT_LE(m.kvHighWaterBlocks, m.kvTotalBlocks);
+}
+
+TEST(ServingSim, RejectsSequencesThatCanNeverFit)
+{
+    ServingFleetConfig fleet = commBoundFleet();
+    fleet.prefillTokensPerSecPerServer = 1e6;
+    const double per_tok =
+        model::kvCacheBytesPerToken(fleet.modelConfig);
+    fleet.kvBudgetBytesPerEngine = per_tok * 256.0; // tiny
+    TrafficConfig traffic = closedLoopTraffic(8, 512);
+    traffic.closedLoopConcurrency = 4;
+    traffic.promptTokensMin = traffic.promptTokensMax = 4096;
+    ServingMetrics m = simulateServing(fleet, traffic, 3);
+    EXPECT_EQ(m.requestsRejected, 8u);
+    EXPECT_EQ(m.requestsCompleted, 0u);
+}
+
+// Deployment comparison -------------------------------------------------
+
+TEST(ServingSim, ColocationInflatesTpotVsDisaggregation)
+{
+    ServingFleetConfig fleet = commBoundFleet();
+    fleet.prefillServers = 1;
+    fleet.prefillTokensPerSecPerServer = 12000.0;
+    fleet.kvHandoffSeconds = 0.05;
+    TrafficConfig traffic;
+    traffic.process = ArrivalProcess::POISSON;
+    traffic.requests = 200;
+    traffic.requestsPerSecond = 2.0;
+    traffic.promptTokensMin = 2048;
+    traffic.promptTokensMax = 8192;
+    traffic.genTokensMin = traffic.genTokensMax = 128;
+
+    ServingMetrics disagg = simulateServing(fleet, traffic, 5);
+    fleet.deployment = Deployment::COLOCATED;
+    ServingMetrics coloc = simulateServing(fleet, traffic, 5);
+
+    EXPECT_EQ(disagg.requestsCompleted, 200u);
+    EXPECT_EQ(coloc.requestsCompleted, 200u);
+    // Interleaved prefill chunks stretch decode steps (Sec 2.3.1).
+    EXPECT_GT(coloc.tpot.p50, disagg.tpot.p50);
+    // The handoff delay is the disaggregation tax on TTFT when the
+    // prefill pool itself is not the bottleneck.
+    EXPECT_GT(disagg.ttft.mean, 0.0);
+}
+
+// Determinism -----------------------------------------------------------
+
+std::vector<double>
+metricsFingerprint(const ServingMetrics &m)
+{
+    return {(double)m.requestsCompleted, (double)m.requestsRejected,
+            (double)m.decodeSteps, (double)m.decodeTokens,
+            (double)m.preemptions, m.simSeconds, m.ttft.mean,
+            m.ttft.p50, m.ttft.p95, m.ttft.p99, m.tpot.mean,
+            m.tpot.p50, m.tpot.p95, m.tpot.p99, m.goodput.p50,
+            m.tokensPerSecond, m.sloGoodputTokensPerSecond,
+            (double)m.kvHighWaterBlocks};
+}
+
+TEST(ServingSim, ByteIdenticalAcrossThreadWidthsAndReruns)
+{
+    const ArrivalProcess procs[] = {ArrivalProcess::POISSON,
+                                    ArrivalProcess::DIURNAL,
+                                    ArrivalProcess::BURSTY};
+    const Deployment deps[] = {Deployment::DISAGGREGATED,
+                               Deployment::COLOCATED};
+
+    auto run_grid = [&]() {
+        std::vector<std::vector<double>> out(6);
+        runSweepGrid(3, 2, [&](const SweepPoint &p) {
+            ServingFleetConfig fleet = commBoundFleet();
+            fleet.deployment = deps[p.col];
+            fleet.prefillServers = 2;
+            fleet.prefillTokensPerSecPerServer = 24000.0;
+            TrafficConfig traffic;
+            traffic.process = procs[p.row];
+            traffic.requests = 300;
+            traffic.requestsPerSecond = 4.0;
+            traffic.genTokensMin = 64;
+            traffic.genTokensMax = 256;
+            ServingMetrics m = simulateServing(
+                fleet, traffic, 1000 + p.index);
+            out[p.index] = metricsFingerprint(m);
+        });
+        return out;
+    };
+
+    setParallelForWidth(1);
+    auto w1 = run_grid();
+    setParallelForWidth(2);
+    auto w2 = run_grid();
+    setParallelForWidth(0);
+    auto whw = run_grid();
+    auto whw2 = run_grid();
+    setParallelForWidth(0);
+
+    for (std::size_t i = 0; i < w1.size(); ++i) {
+        ASSERT_EQ(w1[i].size(), w2[i].size());
+        for (std::size_t j = 0; j < w1[i].size(); ++j) {
+            // Bitwise equality, not approximate.
+            EXPECT_EQ(std::memcmp(&w1[i][j], &w2[i][j],
+                                  sizeof(double)), 0)
+                << "cell " << i << " field " << j;
+            EXPECT_EQ(std::memcmp(&w1[i][j], &whw[i][j],
+                                  sizeof(double)), 0);
+            EXPECT_EQ(std::memcmp(&whw[i][j], &whw2[i][j],
+                                  sizeof(double)), 0);
+        }
+    }
+}
+
+TEST(ServingSim, DifferentSeedsDifferentOpenLoopMetrics)
+{
+    ServingFleetConfig fleet = commBoundFleet();
+    fleet.prefillServers = 2;
+    fleet.prefillTokensPerSecPerServer = 24000.0;
+    TrafficConfig traffic;
+    traffic.process = ArrivalProcess::POISSON;
+    traffic.requests = 200;
+    ServingMetrics a = simulateServing(fleet, traffic, 1);
+    ServingMetrics b = simulateServing(fleet, traffic, 2);
+    EXPECT_NE(a.simSeconds, b.simSeconds);
+}
+
+} // namespace
+} // namespace dsv3::inference::serving
