@@ -22,6 +22,7 @@
 #include "model/config.hh"
 #include "model/hardware.hh"
 #include "model/kv_cache.hh"
+#include "obs/timeline.hh"
 
 namespace {
 
@@ -259,6 +260,59 @@ tpsSurface(const char *name, const model::NodeSpec &node,
     return t;
 }
 
+/**
+ * Dedicated serial observability run: the H800 Poisson scenario of
+ * trafficPercentiles() re-run with the flight recorder attached (its
+ * gauges become the --json report's "timeseries" section) and, when
+ * --timeline=<path> was given, with a sim-time timeline written to
+ * that path. Run serially on purpose — the recorder/timeline hooks
+ * must not be shared across sweep threads — so both exports and the
+ * printed table are byte-identical across reruns and thread widths.
+ */
+Table
+timeInStateAttribution()
+{
+    ServingFleetConfig fleet = h800Fleet();
+    TrafficConfig traffic;
+    traffic.process = ArrivalProcess::POISSON;
+    traffic.requests = 200;
+    traffic.requestsPerSecond = 4.0;
+
+    obs::Timeline timeline(obs::Timeline::configFromEnv());
+    fleet.recorder = &bench::flightRecorder();
+    fleet.recorderIntervalSeconds = 0.25;
+    if (!bench::timelinePath().empty())
+        fleet.timeline = &timeline;
+
+    ServingMetrics m = simulateServing(fleet, traffic, 7);
+
+    if (!bench::timelinePath().empty()) {
+        timeline.writeChromeJson(bench::timelinePath());
+        std::fprintf(stderr, "wrote sim timeline: %s (%zu events)\n",
+                     bench::timelinePath().c_str(),
+                     timeline.eventCount());
+    }
+
+    Table t("Time-in-state attribution, H800 Poisson (completed "
+            "requests)");
+    t.setHeader({"State", "Total", "Share", "p50/req", "p95/req",
+                 "p99/req"});
+    for (std::size_t s = 0; s < kNumRequestStates; ++s) {
+        const PercentileSummary &ps = m.statePerRequest[s];
+        const double share = m.totalLatencySeconds > 0.0
+            ? m.stateSeconds[s] / m.totalLatencySeconds : 0.0;
+        t.addRow({requestStateName((RequestState)s),
+                  formatTime(m.stateSeconds[s]),
+                  Table::fmtPercent(share, 1), formatTime(ps.p50),
+                  formatTime(ps.p95), formatTime(ps.p99)});
+    }
+    t.addRow({"total latency", formatTime(m.totalLatencySeconds),
+              "100%", "", "", ""});
+    t.addRow({"verdict", bottleneckName(m.bottleneck), "", "", "",
+              ""});
+    return t;
+}
+
 void
 printTables()
 {
@@ -270,6 +324,7 @@ printTables()
                                  50e9));
     bench::printTable(tpsSurface("GB200 NVL72",
                                  model::gb200Nvl72Node(), 900e9));
+    bench::printTable(timeInStateAttribution());
 }
 
 // Microbenchmarks -------------------------------------------------------

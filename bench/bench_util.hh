@@ -14,6 +14,12 @@
  *                   snapshot (see obs/report.hh)
  *   --trace=<path>  enable trace collection and write the run's spans
  *                   as Chrome trace-event JSON (see obs/trace.hh)
+ *   --timeline=<path>  ask the bench to emit its sim-time timeline
+ *                   (obs/timeline.hh) to <path>. Unlike --trace the
+ *                   timestamps are simulated time, so the file is
+ *                   byte-identical across reruns and thread widths.
+ *                   Only benches that drive a simulator honor it
+ *                   (currently bench_serving); others ignore it.
  *   --threads=<N>   cap the sweep width: parallelFor()/runSweepGrid()
  *                   use at most N threads, caller included (1 =
  *                   serial, 0 = uncapped default). Table output is
@@ -37,6 +43,7 @@
 
 #include "common/table.hh"
 #include "common/thread_pool.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/registry.hh"
 #include "obs/report.hh"
 #include "obs/trace.hh"
@@ -49,6 +56,26 @@ printedTables()
 {
     static std::vector<Table> tables;
     return tables;
+}
+
+/** --timeline=<path> from the command line ("" when absent). */
+inline std::string &
+timelinePath()
+{
+    static std::string path;
+    return path;
+}
+
+/**
+ * Fleet-gauge flight recorder for this bench run. A bench that drives
+ * a simulator points one (serial) run at this recorder; whatever
+ * lands here is embedded as the report's "timeseries" section.
+ */
+inline obs::FlightRecorder &
+flightRecorder()
+{
+    static obs::FlightRecorder recorder;
+    return recorder;
 }
 
 /** Print a reproduction table to stdout (and record it for --json). */
@@ -138,6 +165,7 @@ runBench(int argc, char **argv,
         detail::extractPathFlag(argc, argv, "json");
     const std::string trace_path =
         detail::extractPathFlag(argc, argv, "trace");
+    timelinePath() = detail::extractPathFlag(argc, argv, "timeline");
     const std::string threads_arg =
         detail::extractPathFlag(argc, argv, "threads");
     if (!trace_path.empty())
@@ -159,7 +187,7 @@ runBench(int argc, char **argv,
         obs::writeBenchReport(json_path, detail::benchName(argv[0]),
                               printedTables(),
                               obs::Registry::global(),
-                              reporter.timings);
+                              reporter.timings, &flightRecorder());
         std::fprintf(stderr, "wrote bench report: %s\n",
                      json_path.c_str());
     }

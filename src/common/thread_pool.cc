@@ -30,6 +30,8 @@ struct PoolStats
     obs::Counter &errorsSwallowed =
         obs::Registry::global().counter(
             "common.pool.errors_swallowed");
+    obs::Gauge &queueDepth =
+        obs::Registry::global().gauge("common.pool.queue_depth");
     obs::Gauge &queueHighWater = obs::Registry::global().gauge(
         "common.pool.queue_depth_highwater");
     obs::Gauge &threads =
@@ -97,6 +99,7 @@ ThreadPool::submit(std::function<void()> fn)
         queue_.push_back(std::move(fn));
         depth = queue_.size();
     }
+    poolStats().queueDepth.set((double)depth);
     poolStats().queueHighWater.max((double)depth);
     cv_.notify_one();
 }
@@ -126,6 +129,7 @@ ThreadPool::workerLoop()
             }
             task = std::move(queue_.front());
             queue_.pop_front();
+            stats.queueDepth.set((double)queue_.size());
         }
         const bool timed = obs::statsEnabled();
         auto start = timed ? std::chrono::steady_clock::now()

@@ -14,7 +14,9 @@
 #include "inference/roofline.hh"
 #include "inference/serving/kv_pager.hh"
 #include "model/kv_cache.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/registry.hh"
+#include "obs/timeline.hh"
 #include "obs/trace.hh"
 
 namespace dsv3::inference::serving {
@@ -39,9 +41,35 @@ deploymentName(Deployment deployment)
     DSV3_PANIC("unknown deployment");
 }
 
-double
-decodeStepSeconds(const ServingFleetConfig &fleet, std::size_t batch,
-                  double avgContextTokens)
+const char *
+requestStateName(RequestState state)
+{
+    switch (state) {
+      case RequestState::QUEUE_WAIT: return "queue.wait";
+      case RequestState::PREFILL: return "prefill";
+      case RequestState::KV_HANDOFF: return "kv.handoff";
+      case RequestState::DECODE_COMPUTE: return "decode.compute";
+      case RequestState::DECODE_COMM: return "decode.comm";
+      case RequestState::STALLED: return "stalled";
+    }
+    DSV3_PANIC("unknown request state");
+}
+
+const char *
+bottleneckName(Bottleneck bottleneck)
+{
+    switch (bottleneck) {
+      case Bottleneck::QUEUE: return "queue-bound";
+      case Bottleneck::COMPUTE: return "compute-bound";
+      case Bottleneck::COMM: return "comm-bound";
+      case Bottleneck::KV: return "kv-bound";
+    }
+    DSV3_PANIC("unknown bottleneck");
+}
+
+DecodeStepBreakdown
+decodeStepBreakdown(const ServingFleetConfig &fleet, std::size_t batch,
+                    double avgContextTokens)
 {
     DSV3_ASSERT(batch >= 1);
     const std::size_t layers =
@@ -59,15 +87,19 @@ decodeStepSeconds(const ServingFleetConfig &fleet, std::size_t batch,
     ep::SpeedLimitParams sp = fleet.comm;
     sp.layers = layers;
 
+    DecodeStepBreakdown bd;
     if (fleet.schedule == Schedule::SEQUENTIAL) {
         // One batch: every layer's compute then its dispatch+combine
-        // pass serialize.
+        // pass serialize, so the comm share is the full all-to-all
+        // time and the split is exact by construction.
         ds.batch = batch;
         DecodeEstimate est = decodeEstimate(ds);
         sp.batchPerDevice = batch;
         ep::SpeedLimit sl = ep::epSpeedLimit(sp);
-        return est.secondsPerStep +
-               (double)layers * sl.commTimePerStage;
+        bd.commSeconds = (double)layers * sl.commTimePerStage;
+        bd.totalSeconds = est.secondsPerStep + bd.commSeconds;
+        bd.computeSeconds = bd.totalSeconds - bd.commSeconds;
+        return bd;
     }
 
     // Dual micro-batch: split the batch in two; while one half
@@ -90,7 +122,22 @@ decodeStepSeconds(const ServingFleetConfig &fleet, std::size_t batch,
         : 0.0;
     st.combineComm = sl.commTimePerStage - st.dispatchComm;
     OverlapResult ov = dualMicroBatchOverlap(st);
-    return 2.0 * (double)layers * ov.overlappedLayerTime;
+    bd.totalSeconds = 2.0 * (double)layers * ov.overlappedLayerTime;
+    // Overlap hides compute behind comm (and vice versa); the
+    // unhidden all-to-all floor is the comm share, capped at the
+    // total so the compute share never goes negative.
+    bd.commSeconds = std::min(
+        bd.totalSeconds, 2.0 * (double)layers * sl.commTimePerStage);
+    bd.computeSeconds = bd.totalSeconds - bd.commSeconds;
+    return bd;
+}
+
+double
+decodeStepSeconds(const ServingFleetConfig &fleet, std::size_t batch,
+                  double avgContextTokens)
+{
+    return decodeStepBreakdown(fleet, batch, avgContextTokens)
+        .totalSeconds;
 }
 
 namespace {
@@ -147,6 +194,8 @@ struct Engine
     EngineWork work = EngineWork::IDLE;
     bool lastWasPrefill = false;
     std::size_t chunkInFlight = 0; //!< tokens of the running chunk
+    double workStart = 0.0;        //!< start of the running step/chunk
+    double stepCommFrac = 0.0;     //!< comm share of the running step
 
     explicit Engine(const KvPagerConfig &kv) : pager(kv) {}
 
@@ -165,6 +214,14 @@ struct ReqState
     std::size_t decodeNeeded = 0;
     double completion = -1.0;
     bool rejected = false;
+
+    // Time-in-state attribution: the current state, when it was
+    // entered, and the accumulated seconds per state. The six
+    // accumulators of a completed request sum to its total latency.
+    RequestState state = RequestState::QUEUE_WAIT;
+    double stateSince = 0.0;
+    double stateSeconds[kNumRequestStates] = {};
+    bool everPreempted = false;
 };
 
 PercentileSummary
@@ -184,12 +241,19 @@ summarize(std::vector<double> values)
     return s;
 }
 
+// Timeline track layout: one "process" per concern so Perfetto groups
+// the rows. Request tracks exist only for sampled requests.
+constexpr std::uint32_t kFleetPid = 1;   //!< prefill pool + engines
+constexpr std::uint32_t kRequestPid = 2; //!< one tid per request
+constexpr std::uint32_t kGaugePid = 3;   //!< flight-recorder counters
+
 class Simulation
 {
   public:
     Simulation(const ServingFleetConfig &fleet,
                const TrafficConfig &traffic, std::uint64_t seed)
-        : fleet_(fleet),
+        : fleet_(fleet), timeline_(fleet.timeline),
+          recorder_(fleet.recorder),
           rng_(hashCombine(hashU64(seed), 0x5e71f9u))
     {
         DSV3_ASSERT(fleet.decodeEngines >= 1);
@@ -226,6 +290,21 @@ class Simulation
                 push(reqs_[i].req.arrivalSeconds, EventKind::ARRIVAL,
                      i);
         }
+
+        trackNamed_.assign(reqs_.size(), false);
+        pendingPreemptFlow_.assign(reqs_.size(), 0);
+        pendingHandoffFlow_.assign(reqs_.size(), 0);
+        if (timeline_) {
+            timeline_->setProcessName(kFleetPid, "fleet");
+            timeline_->setThreadName(kFleetPid, 0, "prefill pool");
+            for (std::size_t e = 0; e < engines_.size(); ++e) {
+                timeline_->setThreadName(
+                    kFleetPid, (std::uint32_t)(1 + e),
+                    "engine " + std::to_string(e));
+            }
+            timeline_->setProcessName(kRequestPid, "requests");
+            timeline_->setProcessName(kGaugePid, "gauges");
+        }
     }
 
     ServingMetrics
@@ -234,6 +313,7 @@ class Simulation
         while (!events_.empty()) {
             Event ev = events_.top();
             events_.pop();
+            sampleRecorderUpTo(ev.time);
             switch (ev.kind) {
               case EventKind::ARRIVAL:
                 routeArrival(ev.id, ev.time);
@@ -252,6 +332,8 @@ class Simulation
                 break;
             }
         }
+        if (timeline_ && recorder_)
+            recorder_->exportCounters(*timeline_, kGaugePid);
         return collect();
     }
 
@@ -288,12 +370,102 @@ class Simulation
         return st.req.promptTokens + st.req.genTokens;
     }
 
+    // Attribution / observability --------------------------------------
+
+    bool
+    reqSampled(std::size_t id) const
+    {
+        return timeline_ && timeline_->sampled(id);
+    }
+
+    void
+    nameRequestTrack(std::size_t id)
+    {
+        if (trackNamed_[id])
+            return;
+        trackNamed_[id] = true;
+        timeline_->setThreadName(kRequestPid, (std::uint32_t)id,
+                                 "req " + std::to_string(id));
+    }
+
+    /** Credit [from, to) to @p state (and emit its timeline slice). */
+    void
+    accrue(std::size_t id, RequestState state, double from, double to)
+    {
+        reqs_[id].stateSeconds[(int)state] += to - from;
+        if (to > from && reqSampled(id)) {
+            nameRequestTrack(id);
+            timeline_->duration(kRequestPid, (std::uint32_t)id,
+                                requestStateName(state), from, to);
+        }
+    }
+
+    /** Flush the current state up to @p t, then enter @p next. */
+    void
+    setState(std::size_t id, RequestState next, double t)
+    {
+        ReqState &st = reqs_[id];
+        accrue(id, st.state, st.stateSince, t);
+        st.state = next;
+        st.stateSince = t;
+    }
+
+    /** Queueing counts as rework (STALLED) once preempted. */
+    RequestState
+    waitState(const ReqState &st) const
+    {
+        return st.everPreempted ? RequestState::STALLED
+                                : RequestState::QUEUE_WAIT;
+    }
+
+    void
+    sampleRecorderUpTo(double t)
+    {
+        if (!recorder_ || fleet_.recorderIntervalSeconds <= 0.0)
+            return;
+        while (nextSample_ <= t) {
+            sampleRecorder(nextSample_);
+            nextSample_ += fleet_.recorderIntervalSeconds;
+        }
+    }
+
+    void
+    sampleRecorder(double t)
+    {
+        std::size_t resident = 0, ready = 0;
+        std::size_t prefill = prefillQ_.size();
+        std::size_t free_blocks = 0;
+        for (const Engine &e : engines_) {
+            resident += e.resident.size();
+            ready += e.ready.size();
+            prefill += e.prefillQ.size();
+            free_blocks += e.pager.freeBlocks();
+        }
+        recorder_->record("inference.serving.resident", t,
+                          (double)resident);
+        recorder_->record("inference.serving.ready_queue", t,
+                          (double)ready);
+        recorder_->record("inference.serving.prefill_queue", t,
+                          (double)prefill);
+        if (engines_[0].pager.totalBlocks() > 0) {
+            recorder_->record("inference.serving.kv_free_blocks", t,
+                              (double)free_blocks);
+        }
+        recorder_->record(
+            "inference.serving.tokens_per_sec", t,
+            (double)(decodeTokens_ - sampledTokens_) /
+                fleet_.recorderIntervalSeconds);
+        sampledTokens_ = decodeTokens_;
+    }
+
     // Prefill ----------------------------------------------------------
 
     void
     routeArrival(std::size_t id, double t)
     {
         ReqState &st = reqs_[id];
+        st.state = RequestState::QUEUE_WAIT;
+        st.stateSince = t;
         if (!engines_[0].pager.fitsEver(maxCtxTokens(st))) {
             reject(id, t);
             return;
@@ -320,8 +492,26 @@ class Simulation
             ++prefillBusy_;
             const double dur = (double)job.tokensLeft /
                                fleet_.prefillTokensPerSecPerServer;
+            prefillStarted(job.id, t);
+            if (reqSampled(job.id)) {
+                timeline_->asyncBegin(kFleetPid, 0, "prefill",
+                                      "prefill", job.id, t);
+            }
             push(t + dur, EventKind::PREFILL_DONE, job.id);
         }
+    }
+
+    /** Shared disaggregated/colocated prefill-start bookkeeping. */
+    void
+    prefillStarted(std::size_t id, double t)
+    {
+        setState(id, RequestState::PREFILL, t);
+        if (pendingPreemptFlow_[id] != 0 && reqSampled(id)) {
+            timeline_->flowFinish(kRequestPid, (std::uint32_t)id,
+                                  "preempt.recompute",
+                                  pendingPreemptFlow_[id], t);
+        }
+        pendingPreemptFlow_[id] = 0;
     }
 
     void
@@ -329,6 +519,15 @@ class Simulation
     {
         DSV3_ASSERT(prefillBusy_ > 0);
         --prefillBusy_;
+        setState(id, RequestState::KV_HANDOFF, t);
+        if (reqSampled(id)) {
+            timeline_->asyncEnd(kFleetPid, 0, "prefill", "prefill",
+                                id, t);
+            pendingHandoffFlow_[id] = ++flowSeq_;
+            timeline_->flowStart(kRequestPid, (std::uint32_t)id,
+                                 "kv.handoff",
+                                 pendingHandoffFlow_[id], t);
+        }
         startPrefills(t);
         push(t + fleet_.kvHandoffSeconds, EventKind::HANDOFF_DONE,
              id);
@@ -347,10 +546,17 @@ class Simulation
         ReqState &st = reqs_[id];
         if (st.firstTokenTime < 0.0)
             st.firstTokenTime = t;
+        if (pendingHandoffFlow_[id] != 0 && reqSampled(id)) {
+            timeline_->flowFinish(kRequestPid, (std::uint32_t)id,
+                                  "kv.handoff",
+                                  pendingHandoffFlow_[id], t);
+        }
+        pendingHandoffFlow_[id] = 0;
         if (st.decodeDone >= st.decodeNeeded) {
             complete(id, t);
             return;
         }
+        setState(id, waitState(st), t);
         engines_[eng].ready.push_back(id);
         kick(eng, t);
     }
@@ -405,6 +611,9 @@ class Simulation
                 break; // OOM: retry at the next step boundary
             e.ready.pop_front();
             e.resident.push_back(id);
+            // Resident but not yet stepping: anything the engine does
+            // before this sequence's next step is a stall for it.
+            setState(id, RequestState::STALLED, t);
         }
     }
 
@@ -422,6 +631,8 @@ class Simulation
                            fleet_.prefillTokensPerSecPerServer;
         e.work = EngineWork::PREFILL_CHUNK;
         e.lastWasPrefill = true;
+        e.workStart = t;
+        prefillStarted(job.id, t);
         push(t + dur, EventKind::ENGINE_DONE, eng);
     }
 
@@ -433,13 +644,19 @@ class Simulation
         double ctx_sum = 0.0;
         for (std::size_t id : e.resident)
             ctx_sum += (double)ctxTokens(reqs_[id]);
-        double dt = decodeStepSeconds(fleet_, e.resident.size(),
-                                      ctx_sum /
-                                          (double)e.resident.size());
+        const DecodeStepBreakdown bd = decodeStepBreakdown(
+            fleet_, e.resident.size(),
+            ctx_sum / (double)e.resident.size());
+        double dt = bd.totalSeconds;
         if (fleet_.mtpEnabled)
             dt *= 1.0 + fleet_.mtp.stepOverhead;
         e.work = EngineWork::STEP;
         e.lastWasPrefill = false;
+        e.workStart = t;
+        // The MTP overhead multiplier scales compute and comm alike,
+        // so the comm fraction of the base step carries over.
+        e.stepCommFrac = bd.totalSeconds > 0.0
+            ? bd.commSeconds / bd.totalSeconds : 0.0;
         push(t + dt, EventKind::ENGINE_DONE, eng);
     }
 
@@ -465,10 +682,67 @@ class Simulation
         const std::size_t chunk =
             std::min<std::size_t>(e.chunkInFlight, job.tokensLeft);
         job.tokensLeft -= chunk;
+        if (timeline_) {
+            timeline_->duration(
+                kFleetPid, (std::uint32_t)(1 + eng), "prefill.chunk",
+                e.workStart, t,
+                "\"req\":" + std::to_string(job.id) +
+                    ",\"tokens\":" + std::to_string(chunk));
+        }
         if (job.tokensLeft == 0) {
             const std::size_t id = job.id;
             e.prefillQ.pop_front();
             sequenceReady(id, eng, t);
+        } else {
+            // The engine turns to decode (or idles) between chunks;
+            // the partially-prefilled request goes back to waiting.
+            setState(job.id, waitState(reqs_[job.id]), t);
+        }
+    }
+
+    /**
+     * Credit the just-finished step [workStart, t) to every resident
+     * sequence, split into compute and comm via the step's comm
+     * fraction. The two shares are computed as seg * frac and
+     * seg - seg * frac, so per sequence they sum to the step segment
+     * exactly and the state-sum == latency identity holds to rounding.
+     */
+    void
+    attributeStep(std::size_t eng, double t)
+    {
+        Engine &e = engines_[eng];
+        const double seg = t - e.workStart;
+        const double comm_sec = seg * e.stepCommFrac;
+        const double comp_sec = seg - comm_sec;
+        for (std::size_t id : e.resident) {
+            ReqState &st = reqs_[id];
+            accrue(id, st.state, st.stateSince, e.workStart);
+            st.stateSeconds[(int)RequestState::DECODE_COMPUTE] +=
+                comp_sec;
+            st.stateSeconds[(int)RequestState::DECODE_COMM] +=
+                comm_sec;
+            if (reqSampled(id)) {
+                nameRequestTrack(id);
+                if (comp_sec > 0.0) {
+                    timeline_->duration(
+                        kRequestPid, (std::uint32_t)id,
+                        "decode.compute", e.workStart,
+                        e.workStart + comp_sec);
+                }
+                if (comm_sec > 0.0) {
+                    timeline_->duration(kRequestPid, (std::uint32_t)id,
+                                        "decode.comm",
+                                        e.workStart + comp_sec, t);
+                }
+            }
+            st.state = RequestState::STALLED;
+            st.stateSince = t;
+        }
+        if (timeline_) {
+            timeline_->duration(
+                kFleetPid, (std::uint32_t)(1 + eng), "decode.step",
+                e.workStart, t,
+                "\"batch\":" + std::to_string(e.resident.size()));
         }
     }
 
@@ -477,6 +751,7 @@ class Simulation
     {
         Engine &e = engines_[eng];
         ++steps_;
+        attributeStep(eng, t);
         std::vector<std::size_t> survivors;
         survivors.reserve(e.resident.size());
         std::vector<bool> gone(e.resident.size(), false);
@@ -503,6 +778,7 @@ class Simulation
             // (not-yet-processed) resident sequences until it fits,
             // or preempt this sequence itself as a last resort.
             bool self_preempted = false;
+            std::size_t cascade = 0;
             while (!e.pager.tryGrow(id, ctxTokens(st) + tokens)) {
                 std::size_t victim = kNone;
                 for (std::size_t j = e.resident.size(); j-- > i + 1;) {
@@ -515,10 +791,19 @@ class Simulation
                     preempt(eng, id, t);
                     gone[i] = true;
                     self_preempted = true;
+                    ++cascade;
                     break;
                 }
                 preempt(eng, e.resident[victim], t);
                 gone[victim] = true;
+                ++cascade;
+            }
+            if (cascade > 0) {
+                static obs::Distribution &d_depth =
+                    obs::Registry::global().distribution(
+                        "inference.serving.preempt_depth", 0.0, 32.0,
+                        16);
+                d_depth.add((double)cascade);
             }
             if (self_preempted)
                 continue;
@@ -550,6 +835,18 @@ class Simulation
         // decode admission (with the handoff cost when the prefill
         // pool is disaggregated).
         ReqState &st = reqs_[id];
+        st.everPreempted = true;
+        setState(id, RequestState::STALLED, t);
+        if (reqSampled(id)) {
+            nameRequestTrack(id);
+            timeline_->instant(kRequestPid, (std::uint32_t)id,
+                               "preempt", t,
+                               "\"engine\":" + std::to_string(eng));
+            pendingPreemptFlow_[id] = ++flowSeq_;
+            timeline_->flowStart(kRequestPid, (std::uint32_t)id,
+                                 "preempt.recompute",
+                                 pendingPreemptFlow_[id], t);
+        }
         const std::size_t tokens =
             st.req.promptTokens + st.decodeDone;
         if (fleet_.deployment == Deployment::DISAGGREGATED) {
@@ -566,6 +863,20 @@ class Simulation
     complete(std::size_t id, double t)
     {
         ReqState &st = reqs_[id];
+        // Flush the final state so the per-state accumulators cover
+        // the whole arrival->completion interval, and check the
+        // telescoping-sum identity (rounding-tight, not exact: step
+        // shares are recombined from a fraction).
+        accrue(id, st.state, st.stateSince, t);
+        st.stateSince = t;
+        double state_sum = 0.0;
+        for (double s : st.stateSeconds)
+            state_sum += s;
+        const double latency = t - st.req.arrivalSeconds;
+        DSV3_ASSERT(std::abs(state_sum - latency) <=
+                        1e-6 * std::max(1.0, std::abs(latency)),
+                    "state attribution does not sum to latency: ",
+                    state_sum, " vs ", latency);
         st.completion = t;
         ++completed_;
         lastCompletion_ = std::max(lastCompletion_, t);
@@ -618,6 +929,22 @@ class Simulation
         m.preemptions = preemptions_;
         m.simSeconds = lastCompletion_;
 
+        // Streaming digests for the per-request per-state seconds:
+        // count/mean/max are exact, percentiles are P^2 estimates.
+        struct StateDigest
+        {
+            P2Quantile p50{0.50};
+            P2Quantile p95{0.95};
+            P2Quantile p99{0.99};
+            RunningStat moments;
+        };
+        StateDigest digests[kNumRequestStates];
+
+        obs::Quantile &q_ttft = obs::Registry::global().quantile(
+            "inference.serving.ttft_seconds");
+        obs::Quantile &q_tpot = obs::Registry::global().quantile(
+            "inference.serving.tpot_seconds");
+
         std::vector<double> ttft;
         std::vector<double> tpot;
         double slo_tokens = 0.0;
@@ -627,18 +954,68 @@ class Simulation
             const double first =
                 st.firstTokenTime - st.req.arrivalSeconds;
             ttft.push_back(first);
+            q_ttft.add(first);
             double per_token = 0.0;
             if (st.decodeNeeded > 0) {
                 per_token = (st.completion - st.firstTokenTime) /
                             (double)st.decodeNeeded;
                 tpot.push_back(per_token);
+                q_tpot.add(per_token);
             }
             if (first <= fleet_.sloTtftSeconds &&
                 per_token <= fleet_.sloTpotSeconds)
                 slo_tokens += (double)st.req.genTokens;
+
+            m.totalLatencySeconds +=
+                st.completion - st.req.arrivalSeconds;
+            for (std::size_t s = 0; s < kNumRequestStates; ++s) {
+                m.stateSeconds[s] += st.stateSeconds[s];
+                digests[s].p50.add(st.stateSeconds[s]);
+                digests[s].p95.add(st.stateSeconds[s]);
+                digests[s].p99.add(st.stateSeconds[s]);
+                digests[s].moments.add(st.stateSeconds[s]);
+            }
         }
         m.ttft = summarize(std::move(ttft));
         m.tpot = summarize(std::move(tpot));
+
+        for (std::size_t s = 0; s < kNumRequestStates; ++s) {
+            PercentileSummary &ps = m.statePerRequest[s];
+            ps.count = digests[s].moments.count();
+            if (ps.count == 0)
+                continue;
+            ps.mean = digests[s].moments.mean();
+            ps.max = digests[s].moments.max();
+            ps.p50 = digests[s].p50.value();
+            ps.p95 = digests[s].p95.value();
+            ps.p99 = digests[s].p99.value();
+        }
+
+        // Bottleneck verdict: which bucket of summed state time
+        // dominates. Ties resolve in declaration order (compute
+        // first), deterministically.
+        const double queue_sec =
+            m.stateSeconds[(int)RequestState::QUEUE_WAIT] +
+            m.stateSeconds[(int)RequestState::KV_HANDOFF];
+        const double compute_sec =
+            m.stateSeconds[(int)RequestState::PREFILL] +
+            m.stateSeconds[(int)RequestState::DECODE_COMPUTE];
+        const double comm_sec =
+            m.stateSeconds[(int)RequestState::DECODE_COMM];
+        const double kv_sec =
+            m.stateSeconds[(int)RequestState::STALLED];
+        m.bottleneck = Bottleneck::COMPUTE;
+        double best = compute_sec;
+        if (comm_sec > best) {
+            m.bottleneck = Bottleneck::COMM;
+            best = comm_sec;
+        }
+        if (queue_sec > best) {
+            m.bottleneck = Bottleneck::QUEUE;
+            best = queue_sec;
+        }
+        if (kv_sec > best)
+            m.bottleneck = Bottleneck::KV;
 
         // Drop the trailing partial window so the percentiles are not
         // skewed by a truncated interval.
@@ -665,6 +1042,8 @@ class Simulation
     }
 
     const ServingFleetConfig &fleet_;
+    obs::Timeline *timeline_;       //!< optional, not owned
+    obs::FlightRecorder *recorder_; //!< optional, not owned
     Rng rng_;
 
     std::vector<ReqState> reqs_;
@@ -687,6 +1066,14 @@ class Simulation
     std::size_t preemptions_ = 0;
     double lastCompletion_ = 0.0;
     std::vector<double> windowTokens_;
+
+    // Observability state.
+    double nextSample_ = 0.0;        //!< next flight-recorder tick
+    std::size_t sampledTokens_ = 0;  //!< decodeTokens_ at last tick
+    std::uint64_t flowSeq_ = 0;      //!< timeline flow-arrow ids
+    std::vector<bool> trackNamed_;
+    std::vector<std::uint64_t> pendingPreemptFlow_;
+    std::vector<std::uint64_t> pendingHandoffFlow_;
 };
 
 } // namespace

@@ -38,6 +38,11 @@
 #include "model/config.hh"
 #include "inference/serving/traffic.hh"
 
+namespace dsv3::obs {
+class FlightRecorder;
+class Timeline;
+} // namespace dsv3::obs
+
 namespace dsv3::inference::serving {
 
 /** Decode-engine step schedule. */
@@ -56,6 +61,42 @@ enum class Deployment
 
 const char *scheduleName(Schedule schedule);
 const char *deploymentName(Deployment deployment);
+
+/**
+ * Per-request lifecycle states for time-in-state attribution. At any
+ * sim time between arrival and completion a request is in exactly one
+ * state, so the per-state times of a completed request sum to its
+ * total latency (tests pin this).
+ *
+ * STALLED collects rework- and contention-induced waiting: everything
+ * a request waits for after it has been preempted (its recompute
+ * prefill queue time included), plus time spent resident on an engine
+ * that is not advancing it (e.g. interleaved prefill chunks).
+ */
+enum class RequestState : int
+{
+    QUEUE_WAIT = 0,     //!< pre-preemption queueing (prefill + ready)
+    PREFILL = 1,        //!< prefill actually executing
+    KV_HANDOFF = 2,     //!< prefill->decode KV transfer (disaggregated)
+    DECODE_COMPUTE = 3, //!< decode step, compute share
+    DECODE_COMM = 4,    //!< decode step, EP all-to-all share
+    STALLED = 5,        //!< post-preemption waits + resident idle
+};
+
+constexpr std::size_t kNumRequestStates = 6;
+
+const char *requestStateName(RequestState state);
+
+/** Which resource the fleet is bound by, from summed state times. */
+enum class Bottleneck
+{
+    QUEUE,   //!< queue wait + KV handoff dominate
+    COMPUTE, //!< prefill + decode compute dominate
+    COMM,    //!< decode all-to-all dominates
+    KV,      //!< preemption/stall time dominates (KV pressure)
+};
+
+const char *bottleneckName(Bottleneck bottleneck);
 
 struct ServingFleetConfig
 {
@@ -96,6 +137,15 @@ struct ServingFleetConfig
     double sloTtftSeconds = 4.0;
     double sloTpotSeconds = 0.05;
     double goodputWindowSeconds = 1.0;
+
+    // Observability hooks (both optional; see DESIGN.md "Sim-time
+    // observability"). A simulation run is strictly serial, so a
+    // non-owning Timeline/FlightRecorder is fed in deterministic
+    // event order and its exports are byte-stable. Neither hook may
+    // be shared across concurrently-running simulations.
+    obs::Timeline *timeline = nullptr;
+    obs::FlightRecorder *recorder = nullptr;
+    double recorderIntervalSeconds = 0.05; //!< gauge sampling cadence
 };
 
 struct PercentileSummary
@@ -126,6 +176,25 @@ struct ServingMetrics
 
     std::size_t kvTotalBlocks = 0;     //!< 0 when paging disabled
     std::size_t kvHighWaterBlocks = 0; //!< max over all engines
+
+    // Time-in-state attribution over completed requests.
+    // stateSeconds[s] sums state s across all completed requests, and
+    // the six entries sum to totalLatencySeconds (arrival ->
+    // completion, summed); statePerRequest[s] digests the per-request
+    // seconds in state s (percentiles via streaming P^2 sketches, so
+    // they are estimates; count/mean/max are exact).
+    double stateSeconds[kNumRequestStates] = {};
+    double totalLatencySeconds = 0.0;
+    PercentileSummary statePerRequest[kNumRequestStates];
+    Bottleneck bottleneck = Bottleneck::COMPUTE;
+};
+
+/** decodeStepSeconds() split into its compute and comm shares. */
+struct DecodeStepBreakdown
+{
+    double totalSeconds = 0.0;   //!< == decodeStepSeconds()
+    double computeSeconds = 0.0; //!< totalSeconds - commSeconds
+    double commSeconds = 0.0;    //!< EP all-to-all share of the step
 };
 
 /**
@@ -135,6 +204,19 @@ struct ServingMetrics
  */
 double decodeStepSeconds(const ServingFleetConfig &fleet,
                          std::size_t batch, double avgContextTokens);
+
+/**
+ * decodeStepSeconds() with its comm share exposed: the sequential
+ * schedule serializes layers * commTimePerStage of all-to-all after
+ * compute, the dual-microbatch schedule hides compute behind comm up
+ * to the comm floor. totalSeconds is bit-identical to
+ * decodeStepSeconds() (same arithmetic), and computeSeconds +
+ * commSeconds == totalSeconds exactly, so attribution built on the
+ * split preserves step-time sums.
+ */
+DecodeStepBreakdown decodeStepBreakdown(const ServingFleetConfig &fleet,
+                                        std::size_t batch,
+                                        double avgContextTokens);
 
 /**
  * Run the fleet against a traffic trace generated from

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fixed-size ring buffers of (sim time, value) samples per channel —
+ * a flight recorder for fleet gauges (running batch size, KV free
+ * blocks, queue depths, instantaneous tokens/s).
+ *
+ * Producers call record("inference.serving.batch", t, v) on a
+ * periodic sim-time cadence; each channel keeps the most recent
+ * `capacityPerChannel` samples, overwriting the oldest once full, so
+ * memory stays bounded no matter how long the simulated run is (the
+ * crash-recorder semantics: the tail of the flight survives).
+ *
+ * Two export paths:
+ *  - exportCounters() replays every channel as Chrome counter tracks
+ *    ("ph":"C") into a Timeline, so the fleet gauges render under the
+ *    per-request/engine tracks in Perfetto;
+ *  - timeseriesJson() renders {"channel":{"t":[...],"v":[...]}} — the
+ *    additive "timeseries" section of dsv3-bench-report/v1.
+ *
+ * Not thread-safe: one recorder belongs to one serial simulation run
+ * (sweeps pass a recorder to at most one scenario), which also makes
+ * both exports byte-deterministic.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dsv3::obs {
+
+class Timeline;
+
+class FlightRecorder
+{
+  public:
+    struct Sample
+    {
+        double t; //!< sim seconds
+        double v;
+    };
+
+    explicit FlightRecorder(std::size_t capacityPerChannel = 4096);
+
+    std::size_t capacityPerChannel() const { return capacity_; }
+
+    /** Append a sample; overwrites the channel's oldest when full. */
+    void record(const std::string &channel, double t, double v);
+
+    /** Channel names, sorted (deterministic export order). */
+    std::vector<std::string> channels() const;
+
+    /** Retained samples of @p channel in chronological order. */
+    std::vector<Sample> samples(const std::string &channel) const;
+
+    /** Samples dropped to the ring across all channels. */
+    std::size_t overwrittenCount() const { return overwritten_; }
+
+    bool empty() const { return rings_.empty(); }
+    void clear();
+
+    /** Replay all channels as "ph":"C" counter events on @p pid. */
+    void exportCounters(Timeline &timeline, std::uint32_t pid) const;
+
+    /** {"channel":{"t":[...],"v":[...]},...} for the bench report. */
+    std::string timeseriesJson() const;
+
+  private:
+    struct Ring
+    {
+        std::vector<Sample> data; //!< capacity-bounded
+        std::size_t head = 0;     //!< next overwrite slot once full
+    };
+
+    std::size_t capacity_;
+    std::size_t overwritten_ = 0;
+    std::map<std::string, Ring> rings_;
+};
+
+} // namespace dsv3::obs

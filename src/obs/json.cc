@@ -45,12 +45,14 @@ jsonEscape(const std::string &s)
 std::string
 jsonNumber(double v)
 {
-    // JSON has no inf/nan tokens; clamp them to null-ish sentinels the
-    // parser accepts as plain values.
+    // JSON has no inf/nan tokens. NaN (no value) becomes null;
+    // infinities (a real, directional value -- e.g. the saturated
+    // disaggregation TPOT) become the strings "inf"/"-inf" so they
+    // survive a round trip instead of collapsing into 1e308.
     if (std::isnan(v))
         return "null";
     if (std::isinf(v))
-        return v > 0 ? "1e308" : "-1e308";
+        return v > 0 ? "\"inf\"" : "\"-inf\"";
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.17g", v);
     return buf;

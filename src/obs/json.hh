@@ -23,7 +23,11 @@ namespace dsv3::obs {
 /** Escape a string for embedding inside JSON double quotes. */
 std::string jsonEscape(const std::string &s);
 
-/** Format a double so that parsing it back yields the same bits. */
+/**
+ * Format a double so that parsing it back yields the same bits.
+ * Non-finite values map to valid JSON tokens: NaN -> null, +/-inf ->
+ * the strings "inf"/"-inf" (JSON itself has no non-finite numbers).
+ */
 std::string jsonNumber(double v);
 
 /** Parsed JSON value. Numbers are kept as doubles (like JavaScript). */

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/json.hh"
 #include "obs/registry.hh"
 
@@ -30,7 +31,8 @@ std::string
 benchReportJson(const std::string &bench_name,
                 const std::vector<Table> &tables,
                 const Registry &registry,
-                const std::vector<BenchTiming> &benchmarks)
+                const std::vector<BenchTiming> &benchmarks,
+                const FlightRecorder *timeseries)
 {
     std::ostringstream os;
     os << "{\"schema\":\"dsv3-bench-report/v1\",\"bench\":\""
@@ -68,6 +70,8 @@ benchReportJson(const std::string &bench_name,
         }
         os << "]";
     }
+    if (timeseries && !timeseries->empty())
+        os << ",\"timeseries\":" << timeseries->timeseriesJson();
     os << "}";
     return os.str();
 }
@@ -76,10 +80,11 @@ void
 writeBenchReport(const std::string &path, const std::string &bench_name,
                  const std::vector<Table> &tables,
                  const Registry &registry,
-                 const std::vector<BenchTiming> &benchmarks)
+                 const std::vector<BenchTiming> &benchmarks,
+                 const FlightRecorder *timeseries)
 {
-    std::string json =
-        benchReportJson(bench_name, tables, registry, benchmarks);
+    std::string json = benchReportJson(bench_name, tables, registry,
+                                       benchmarks, timeseries);
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f)
         DSV3_FATAL("cannot open report output '", path, "'");

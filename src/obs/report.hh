@@ -30,8 +30,16 @@
  *   ]
  *
  * which is what the committed BENCH_*.json perf baselines compare
- * against. New top-level keys may be added; existing keys keep their
- * meaning (schema version bumps on breaking change).
+ * against. When the run filled a FlightRecorder the document
+ * additionally carries fleet gauges sampled over sim time:
+ *
+ *   "timeseries": {
+ *     "inference.serving.batch": {"t": [0.0, ...], "v": [8, ...]},
+ *     ...
+ *   }
+ *
+ * New top-level keys may be added; existing keys keep their meaning
+ * (schema version bumps on breaking change).
  */
 
 #pragma once
@@ -44,6 +52,7 @@
 
 namespace dsv3::obs {
 
+class FlightRecorder;
 class Registry;
 
 /** One captured microbenchmark measurement (per-iteration times). */
@@ -56,18 +65,25 @@ struct BenchTiming
     double itemsPerSecond = 0.0; //!< 0 when the bench reports none
 };
 
-/** Render the report document (see schema above). */
+/**
+ * Render the report document (see schema above). The "timeseries"
+ * section is emitted only when @p timeseries is non-null and holds at
+ * least one channel, so runs without a flight recorder produce the
+ * pre-existing document byte for byte.
+ */
 std::string benchReportJson(const std::string &bench_name,
                             const std::vector<Table> &tables,
                             const Registry &registry,
                             const std::vector<BenchTiming> &benchmarks =
-                                {});
+                                {},
+                            const FlightRecorder *timeseries = nullptr);
 
 /** Write benchReportJson() to @p path (fatal on I/O error). */
 void writeBenchReport(const std::string &path,
                       const std::string &bench_name,
                       const std::vector<Table> &tables,
                       const Registry &registry,
-                      const std::vector<BenchTiming> &benchmarks = {});
+                      const std::vector<BenchTiming> &benchmarks = {},
+                      const FlightRecorder *timeseries = nullptr);
 
 } // namespace dsv3::obs

@@ -1,0 +1,258 @@
+#include "obs/timeline.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "obs/json.hh"
+#include "obs/registry.hh"
+
+namespace dsv3::obs {
+
+Timeline::Config
+Timeline::configFromEnv()
+{
+    Config config;
+    if (const char *env = std::getenv("DSV3_TIMELINE_SAMPLE")) {
+        if (*env) {
+            std::uint64_t n = std::strtoull(env, nullptr, 10);
+            if (n >= 1)
+                config.sampleEvery = n;
+        }
+    }
+    if (const char *env = std::getenv("DSV3_TIMELINE_MAX_EVENTS")) {
+        if (*env) {
+            std::size_t n =
+                (std::size_t)std::strtoull(env, nullptr, 10);
+            if (n >= 1)
+                config.maxEvents = n;
+        }
+    }
+    return config;
+}
+
+Timeline::Timeline(Config config) : config_(config)
+{
+    DSV3_ASSERT(config_.maxEvents >= 1);
+    DSV3_ASSERT(config_.sampleEvery >= 1);
+}
+
+bool
+Timeline::sampled(std::uint64_t requestId) const
+{
+    if (config_.sampleEvery <= 1)
+        return true;
+    // Final hashU64 so every seed bit reaches the low bits the modulo
+    // inspects (hashCombine alone leaves them seed-insensitive).
+    const std::uint64_t h = hashU64(
+        hashCombine(hashU64(config_.sampleSeed), requestId));
+    return h % config_.sampleEvery == 0;
+}
+
+void
+Timeline::setProcessName(std::uint32_t pid, const std::string &name)
+{
+    trackNames_.push_back({pid, 0, true, name});
+}
+
+void
+Timeline::setThreadName(std::uint32_t pid, std::uint32_t tid,
+                        const std::string &name)
+{
+    trackNames_.push_back({pid, tid, false, name});
+}
+
+bool
+Timeline::admit()
+{
+    if (events_.size() < config_.maxEvents)
+        return true;
+    if (dropped_ == 0) {
+        DSV3_WARN_ONCE("timeline event cap (", config_.maxEvents,
+                       ") reached; dropping further events (see "
+                       "obs.timeline.dropped)");
+    }
+    ++dropped_;
+    static Counter &c_dropped =
+        Registry::global().counter("obs.timeline.dropped");
+    c_dropped.inc();
+    return false;
+}
+
+void
+Timeline::duration(std::uint32_t pid, std::uint32_t tid,
+                   const std::string &name, double t_start,
+                   double t_end, const std::string &args)
+{
+    if (!admit())
+        return;
+    events_.push_back({Phase::DURATION, pid, tid, t_start,
+                       t_end - t_start, 0, "", name, args});
+}
+
+void
+Timeline::asyncBegin(std::uint32_t pid, std::uint32_t tid,
+                     const std::string &cat, const std::string &name,
+                     std::uint64_t id, double t)
+{
+    if (!admit())
+        return;
+    events_.push_back(
+        {Phase::ASYNC_BEGIN, pid, tid, t, 0.0, id, cat, name, ""});
+}
+
+void
+Timeline::asyncEnd(std::uint32_t pid, std::uint32_t tid,
+                   const std::string &cat, const std::string &name,
+                   std::uint64_t id, double t)
+{
+    if (!admit())
+        return;
+    events_.push_back(
+        {Phase::ASYNC_END, pid, tid, t, 0.0, id, cat, name, ""});
+}
+
+void
+Timeline::instant(std::uint32_t pid, std::uint32_t tid,
+                  const std::string &name, double t,
+                  const std::string &args)
+{
+    if (!admit())
+        return;
+    events_.push_back(
+        {Phase::INSTANT, pid, tid, t, 0.0, 0, "", name, args});
+}
+
+void
+Timeline::counter(std::uint32_t pid, const std::string &name, double t,
+                  double value)
+{
+    if (!admit())
+        return;
+    events_.push_back({Phase::COUNTER, pid, 0, t, 0.0, 0, "", name,
+                       jsonNumber(value)});
+}
+
+void
+Timeline::flowStart(std::uint32_t pid, std::uint32_t tid,
+                    const std::string &name, std::uint64_t id,
+                    double t)
+{
+    if (!admit())
+        return;
+    events_.push_back(
+        {Phase::FLOW_START, pid, tid, t, 0.0, id, "", name, ""});
+}
+
+void
+Timeline::flowFinish(std::uint32_t pid, std::uint32_t tid,
+                     const std::string &name, std::uint64_t id,
+                     double t)
+{
+    if (!admit())
+        return;
+    events_.push_back(
+        {Phase::FLOW_FINISH, pid, tid, t, 0.0, id, "", name, ""});
+}
+
+void
+Timeline::clear()
+{
+    events_.clear();
+    trackNames_.clear();
+    dropped_ = 0;
+}
+
+namespace {
+
+/** Sim seconds -> Chrome microseconds, rendered deterministically. */
+std::string
+micros(double seconds)
+{
+    return jsonNumber(seconds * 1e6);
+}
+
+} // namespace
+
+std::string
+Timeline::chromeJson() const
+{
+    std::string out;
+    out.reserve(256 + 96 * events_.size());
+    out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            out += ",";
+        first = false;
+    };
+
+    for (const TrackName &t : trackNames_) {
+        sep();
+        if (t.process) {
+            out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+                   std::to_string(t.pid) +
+                   ",\"args\":{\"name\":\"" + jsonEscape(t.name) +
+                   "\"}}";
+        } else {
+            out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+                   std::to_string(t.pid) + ",\"tid\":" +
+                   std::to_string(t.tid) +
+                   ",\"args\":{\"name\":\"" + jsonEscape(t.name) +
+                   "\"}}";
+        }
+    }
+
+    for (const Event &ev : events_) {
+        sep();
+        out += "{\"name\":\"" + jsonEscape(ev.name) + "\",\"ph\":\"";
+        out += (char)ev.phase;
+        out += "\",\"ts\":" + micros(ev.ts) +
+               ",\"pid\":" + std::to_string(ev.pid) +
+               ",\"tid\":" + std::to_string(ev.tid);
+        switch (ev.phase) {
+          case Phase::DURATION:
+            out += ",\"dur\":" + micros(ev.dur);
+            if (!ev.args.empty())
+                out += ",\"args\":{" + ev.args + "}";
+            break;
+          case Phase::ASYNC_BEGIN:
+          case Phase::ASYNC_END:
+            out += ",\"cat\":\"" + jsonEscape(ev.cat) +
+                   "\",\"id\":" + std::to_string(ev.id);
+            break;
+          case Phase::INSTANT:
+            out += ",\"s\":\"t\""; // thread-scoped marker
+            if (!ev.args.empty())
+                out += ",\"args\":{" + ev.args + "}";
+            break;
+          case Phase::COUNTER:
+            out += ",\"args\":{\"value\":" + ev.args + "}";
+            break;
+          case Phase::FLOW_START:
+            out += ",\"cat\":\"flow\",\"id\":" + std::to_string(ev.id);
+            break;
+          case Phase::FLOW_FINISH:
+            out += ",\"cat\":\"flow\",\"id\":" +
+                   std::to_string(ev.id) + ",\"bp\":\"e\"";
+            break;
+        }
+        out += "}";
+    }
+    out += "]}";
+    return out;
+}
+
+void
+Timeline::writeChromeJson(const std::string &path) const
+{
+    std::string json = chromeJson();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        DSV3_FATAL("cannot open timeline output '", path, "'");
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+}
+
+} // namespace dsv3::obs

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Explicit-timestamp timeline export for simulated time.
+ *
+ * DSV3_TRACE_SPAN (trace.hh) measures where the *simulator's* CPU
+ * time goes; a Timeline records where *simulated* time goes. The
+ * caller supplies every timestamp (sim seconds) and every track
+ * (pid = fleet component group, tid = engine / request id), and the
+ * export is the Chrome trace-event JSON that loads directly in
+ * Perfetto / chrome://tracing:
+ *
+ *  - duration()    complete slices           ("ph":"X")
+ *  - asyncBegin/End() cross-track operations ("ph":"b"/"e")
+ *  - instant()     point markers             ("ph":"i")
+ *  - counter()     counter tracks            ("ph":"C")
+ *  - flowStart/Finish() arrows between slices ("ph":"s"/"f"),
+ *    e.g. preemption -> recompute-prefill, prefill -> KV handoff ->
+ *    decode admission
+ *  - setProcessName()/setThreadName() metadata ("ph":"M")
+ *
+ * Bounding: events past `maxEvents` are dropped (counted locally and
+ * in the "obs.timeline.dropped" registry counter), and request-scoped
+ * emission can be thinned with seed-deterministic 1-in-N sampling
+ * (`sampled(requestId)`, env DSV3_TIMELINE_SAMPLE=N) so
+ * million-request runs stay bounded.
+ *
+ * Determinism: a Timeline is an instance owned by one (strictly
+ * serial) simulation run, events are kept in emission order, and
+ * timestamps are sim time -- so chromeJson() is byte-identical across
+ * reruns and across sweep thread widths, unlike the wall-clock trace
+ * buffer. Tests assert exactly that.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dsv3::obs {
+
+class Timeline
+{
+  public:
+    struct Config
+    {
+        /** Hard event cap; 0 is invalid. Excess events are dropped. */
+        std::size_t maxEvents = 1u << 20;
+        /** Keep request-scoped events for 1 in N requests. */
+        std::uint64_t sampleEvery = 1;
+        /** Seed for the sampling hash (decisions are deterministic). */
+        std::uint64_t sampleSeed = 0;
+    };
+
+    /** Config with DSV3_TIMELINE_SAMPLE / DSV3_TIMELINE_MAX_EVENTS
+     *  applied on top of the defaults. */
+    static Config configFromEnv();
+
+    Timeline() : Timeline(Config()) {}
+    explicit Timeline(Config config);
+
+    const Config &config() const { return config_; }
+
+    /**
+     * Seed-deterministic 1-in-N sampling decision for request-scoped
+     * events; always true when sampleEvery <= 1. Callers gate their
+     * per-request emission on this so the same requests are kept on
+     * every rerun.
+     */
+    bool sampled(std::uint64_t requestId) const;
+
+    // Track naming (Chrome metadata events, emitted first on export).
+    void setProcessName(std::uint32_t pid, const std::string &name);
+    void setThreadName(std::uint32_t pid, std::uint32_t tid,
+                       const std::string &name);
+
+    // Events. Times are sim seconds; exported "ts" is microseconds.
+    // @p args, when non-empty, is pre-rendered JSON members
+    // ("k":v,...) exactly as trace.hh renders span args.
+    void duration(std::uint32_t pid, std::uint32_t tid,
+                  const std::string &name, double t_start,
+                  double t_end, const std::string &args = "");
+    void asyncBegin(std::uint32_t pid, std::uint32_t tid,
+                    const std::string &cat, const std::string &name,
+                    std::uint64_t id, double t);
+    void asyncEnd(std::uint32_t pid, std::uint32_t tid,
+                  const std::string &cat, const std::string &name,
+                  std::uint64_t id, double t);
+    void instant(std::uint32_t pid, std::uint32_t tid,
+                 const std::string &name, double t,
+                 const std::string &args = "");
+    void counter(std::uint32_t pid, const std::string &name, double t,
+                 double value);
+    void flowStart(std::uint32_t pid, std::uint32_t tid,
+                   const std::string &name, std::uint64_t id,
+                   double t);
+    void flowFinish(std::uint32_t pid, std::uint32_t tid,
+                    const std::string &name, std::uint64_t id,
+                    double t);
+
+    std::size_t eventCount() const { return events_.size(); }
+    std::size_t droppedCount() const { return dropped_; }
+
+    /** Drop all events and track names; the config stays. */
+    void clear();
+
+    /** Render as Chrome trace-event JSON (byte-deterministic). */
+    std::string chromeJson() const;
+
+    /** Write chromeJson() to @p path (fatal on I/O error). */
+    void writeChromeJson(const std::string &path) const;
+
+  private:
+    enum class Phase : char
+    {
+        DURATION = 'X',
+        ASYNC_BEGIN = 'b',
+        ASYNC_END = 'e',
+        INSTANT = 'i',
+        COUNTER = 'C',
+        FLOW_START = 's',
+        FLOW_FINISH = 'f',
+    };
+
+    struct Event
+    {
+        Phase phase;
+        std::uint32_t pid;
+        std::uint32_t tid;
+        double ts;      //!< sim seconds
+        double dur;     //!< DURATION only, sim seconds
+        std::uint64_t id; //!< async/flow correlation id
+        std::string cat;
+        std::string name;
+        std::string args; //!< pre-rendered JSON members or value
+    };
+
+    struct TrackName
+    {
+        std::uint32_t pid;
+        std::uint32_t tid; //!< ignored for process names
+        bool process;
+        std::string name;
+    };
+
+    /** Returns false (and counts the drop) once the cap is reached. */
+    bool admit();
+
+    Config config_;
+    std::vector<Event> events_;
+    std::vector<TrackName> trackNames_;
+    std::size_t dropped_ = 0;
+};
+
+} // namespace dsv3::obs

@@ -10,6 +10,7 @@
 
 #include "common/logging.hh"
 #include "obs/json.hh"
+#include "obs/registry.hh"
 
 namespace dsv3::obs {
 
@@ -30,14 +31,24 @@ struct ThreadBuffer
     std::vector<TraceEvent> events;
 };
 
-/** Soft cap per thread so runaway sweeps cannot eat all memory. */
-constexpr std::size_t kMaxEventsPerThread = 1u << 22;
+/** Default per-thread cap so runaway sweeps cannot eat all memory. */
+constexpr std::size_t kDefaultMaxEventsPerThread = 1u << 22;
 
 struct Collector
 {
     std::mutex mu;
     std::vector<std::unique_ptr<ThreadBuffer>> buffers;
     std::atomic<std::uint64_t> virtualClock{0};
+    std::atomic<std::size_t> dropped{0};
+    std::atomic<std::size_t> maxEventsPerThread{[] {
+        const char *env = std::getenv("DSV3_TRACE_MAX_EVENTS");
+        if (env && *env) {
+            std::size_t cap = (std::size_t)std::strtoull(env, nullptr, 10);
+            if (cap > 0)
+                return cap;
+        }
+        return kDefaultMaxEventsPerThread;
+    }()};
     std::atomic<bool> enabled{[] {
         const char *env = std::getenv("DSV3_TRACE");
         return env && std::string(env) != "0" &&
@@ -110,7 +121,29 @@ clearTrace()
     for (auto &buf : c.buffers)
         buf->events.clear();
     c.virtualClock.store(0, std::memory_order_relaxed);
+    c.dropped.store(0, std::memory_order_relaxed);
     c.epoch = std::chrono::steady_clock::now();
+}
+
+void
+setTraceMaxEventsPerThread(std::size_t cap)
+{
+    collector().maxEventsPerThread.store(
+        cap > 0 ? cap : kDefaultMaxEventsPerThread,
+        std::memory_order_relaxed);
+}
+
+std::size_t
+traceMaxEventsPerThread()
+{
+    return collector().maxEventsPerThread.load(
+        std::memory_order_relaxed);
+}
+
+std::size_t
+traceDroppedCount()
+{
+    return collector().dropped.load(std::memory_order_relaxed);
 }
 
 std::size_t
@@ -145,10 +178,18 @@ void
 recordSpan(const char *name, std::uint64_t begin, std::string args)
 {
     std::uint64_t end = traceNow();
+    Collector &c = collector();
     ThreadBuffer &buf = threadBuffer();
-    if (buf.events.size() >= kMaxEventsPerThread) {
-        DSV3_WARN_ONCE("trace buffer full (", kMaxEventsPerThread,
-                       " events on one thread); dropping spans");
+    const std::size_t cap =
+        c.maxEventsPerThread.load(std::memory_order_relaxed);
+    if (buf.events.size() >= cap) {
+        static Counter &c_dropped =
+            Registry::global().counter("obs.trace.dropped");
+        c_dropped.inc();
+        c.dropped.fetch_add(1, std::memory_order_relaxed);
+        DSV3_WARN_ONCE("trace buffer full (", cap,
+                       " events on one thread); dropping spans (see "
+                       "obs.trace.dropped)");
         return;
     }
     buf.events.push_back({name, begin, end, std::move(args)});

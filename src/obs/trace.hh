@@ -58,6 +58,18 @@ void clearTrace();
 /** Total buffered events across all threads. */
 std::size_t traceEventCount();
 
+/**
+ * Per-thread buffered-event cap. Spans recorded past the cap are
+ * dropped (warned once, counted in "obs.trace.dropped") so long
+ * sweeps cannot grow the buffer without bound. Default 1<<22, or
+ * DSV3_TRACE_MAX_EVENTS at startup; 0 restores the default.
+ */
+void setTraceMaxEventsPerThread(std::size_t cap);
+std::size_t traceMaxEventsPerThread();
+
+/** Spans dropped at the cap since startup / the last clearTrace(). */
+std::size_t traceDroppedCount();
+
 /** Render all buffered events as Chrome trace-event JSON. */
 std::string chromeTraceJson();
 

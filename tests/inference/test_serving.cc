@@ -8,6 +8,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -22,6 +23,8 @@
 #include "inference/serving/traffic.hh"
 #include "model/config.hh"
 #include "model/kv_cache.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/timeline.hh"
 
 namespace dsv3::inference::serving {
 namespace {
@@ -459,6 +462,228 @@ TEST(ServingSim, DifferentSeedsDifferentOpenLoopMetrics)
     ServingMetrics a = simulateServing(fleet, traffic, 1);
     ServingMetrics b = simulateServing(fleet, traffic, 2);
     EXPECT_NE(a.simSeconds, b.simSeconds);
+}
+
+// Time-in-state attribution ---------------------------------------------
+
+/** Realistic contended open-loop scenario exercising every state. */
+ServingFleetConfig
+contendedFleet()
+{
+    ServingFleetConfig fleet = commBoundFleet();
+    fleet.memBytesPerSec = 3.35e12;
+    fleet.prefillServers = 2;
+    fleet.prefillTokensPerSecPerServer = 24000.0;
+    fleet.kvHandoffSeconds = 0.05;
+    const double per_tok =
+        model::kvCacheBytesPerToken(fleet.modelConfig);
+    fleet.kvBudgetBytesPerEngine = per_tok * 12.0 * 384.0;
+    fleet.kvBlockTokens = 32;
+    fleet.maxBatchPerEngine = 24;
+    return fleet;
+}
+
+TrafficConfig
+contendedTraffic()
+{
+    TrafficConfig traffic;
+    traffic.process = ArrivalProcess::POISSON;
+    traffic.requests = 200;
+    traffic.requestsPerSecond = 6.0;
+    traffic.genTokensMin = 64;
+    traffic.genTokensMax = 256;
+    return traffic;
+}
+
+TEST(ServingAttribution, StateTimesSumToTotalLatency)
+{
+    for (Deployment dep :
+         {Deployment::DISAGGREGATED, Deployment::COLOCATED}) {
+        ServingFleetConfig fleet = contendedFleet();
+        fleet.deployment = dep;
+        ServingMetrics m =
+            simulateServing(fleet, contendedTraffic(), 21);
+        ASSERT_GT(m.requestsCompleted, 0u);
+        ASSERT_GT(m.preemptions, 0u)
+            << "scenario must exercise the STALLED state";
+
+        double sum = 0.0;
+        for (std::size_t s = 0; s < kNumRequestStates; ++s)
+            sum += m.stateSeconds[s];
+        EXPECT_GT(m.totalLatencySeconds, 0.0);
+        EXPECT_NEAR(sum, m.totalLatencySeconds,
+                    1e-9 * m.totalLatencySeconds)
+            << deploymentName(dep);
+
+        // Every per-state digest covers every completed request, and
+        // its exact moments are consistent with the summed total.
+        for (std::size_t s = 0; s < kNumRequestStates; ++s) {
+            const PercentileSummary &d = m.statePerRequest[s];
+            EXPECT_EQ(d.count, m.requestsCompleted)
+                << requestStateName((RequestState)s);
+            EXPECT_NEAR(d.mean * (double)d.count, m.stateSeconds[s],
+                        1e-6 * std::max(1.0, m.stateSeconds[s]));
+            EXPECT_LE(d.p50, d.max * (1.0 + 1e-12));
+        }
+    }
+}
+
+TEST(ServingAttribution, BottleneckVerdictTracksRegime)
+{
+    // Comm-bound: all-to-all floor is the only per-step cost.
+    ServingFleetConfig comm = commBoundFleet();
+    ServingMetrics m_comm =
+        simulateServing(comm, closedLoopTraffic(64, 128), 11);
+    EXPECT_EQ(m_comm.bottleneck, Bottleneck::COMM)
+        << bottleneckName(m_comm.bottleneck);
+
+    // Memory-bound sequential decode with free comm: compute-bound.
+    ServingFleetConfig cpu = commBoundFleet();
+    cpu.memBytesPerSec = 3.35e12;
+    cpu.comm.bandwidthBytesPerSec = 1e18;
+    cpu.schedule = Schedule::SEQUENTIAL;
+    ServingMetrics m_cpu =
+        simulateServing(cpu, closedLoopTraffic(64, 128), 11);
+    EXPECT_EQ(m_cpu.bottleneck, Bottleneck::COMPUTE)
+        << bottleneckName(m_cpu.bottleneck);
+
+    // A starved prefill pool piles requests into the queue.
+    ServingFleetConfig queued = commBoundFleet();
+    queued.prefillServers = 1;
+    queued.prefillTokensPerSecPerServer = 2000.0;
+    TrafficConfig heavy = contendedTraffic();
+    heavy.promptTokensMin = 2048;
+    heavy.promptTokensMax = 8192;
+    ServingMetrics m_q = simulateServing(queued, heavy, 11);
+    EXPECT_EQ(m_q.bottleneck, Bottleneck::QUEUE)
+        << bottleneckName(m_q.bottleneck);
+}
+
+TEST(ServingAttribution, DecodeStepBreakdownIsExact)
+{
+    ServingFleetConfig fleets[] = {commBoundFleet(), contendedFleet()};
+    fleets[1].schedule = Schedule::SEQUENTIAL;
+    for (const ServingFleetConfig &fleet : fleets) {
+        for (std::size_t batch : {1u, 8u, 64u}) {
+            for (double ctx : {128.0, 4096.0}) {
+                DecodeStepBreakdown bd =
+                    decodeStepBreakdown(fleet, batch, ctx);
+                const double step =
+                    decodeStepSeconds(fleet, batch, ctx);
+                // Bitwise: the breakdown must not perturb event times.
+                EXPECT_EQ(std::memcmp(&bd.totalSeconds, &step,
+                                      sizeof(double)), 0)
+                    << scheduleName(fleet.schedule) << " b=" << batch;
+                EXPECT_DOUBLE_EQ(
+                    bd.computeSeconds + bd.commSeconds,
+                    bd.totalSeconds);
+                EXPECT_GE(bd.computeSeconds, 0.0);
+                EXPECT_GE(bd.commSeconds, 0.0);
+            }
+        }
+    }
+}
+
+// Sim-time timeline + flight recorder ------------------------------------
+
+TEST(ServingObservability, TimelineByteIdenticalAcrossWidthsAndReruns)
+{
+    auto capture = [&]() {
+        ServingFleetConfig fleet = contendedFleet();
+        obs::Timeline timeline;
+        fleet.timeline = &timeline;
+        simulateServing(fleet, contendedTraffic(), 21);
+        return timeline.chromeJson();
+    };
+
+    setParallelForWidth(1);
+    std::string w1 = capture();
+    setParallelForWidth(2);
+    std::string w2 = capture();
+    setParallelForWidth(0);
+    std::string whw = capture();
+    std::string rerun = capture();
+    EXPECT_EQ(w1, w2);
+    EXPECT_EQ(w1, whw);
+    EXPECT_EQ(w1, rerun);
+    EXPECT_GT(w1.size(), 2u);
+}
+
+TEST(ServingObservability, TimelineCoversFleetRequestAndFlowTracks)
+{
+    ServingFleetConfig fleet = contendedFleet();
+    obs::Timeline timeline;
+    fleet.timeline = &timeline;
+    ServingMetrics m = simulateServing(fleet, contendedTraffic(), 21);
+    ASSERT_GT(m.preemptions, 0u);
+    EXPECT_GT(timeline.eventCount(), 0u);
+    EXPECT_EQ(timeline.droppedCount(), 0u);
+
+    const std::string json = timeline.chromeJson();
+    // Lifecycle slices, engine slices, flows and markers all present.
+    for (const char *needle :
+         {"\"decode.step\"", "\"decode.compute\"", "\"decode.comm\"",
+          "\"prefill\"", "\"kv.handoff\"", "\"preempt\"",
+          "\"preempt.recompute\"", "\"queue.wait\"",
+          "\"bp\":\"e\"", "\"ph\":\"s\"", "\"ph\":\"M\""}) {
+        EXPECT_NE(json.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(ServingObservability, TimelineSamplingThinsRequestTracks)
+{
+    ServingFleetConfig fleet = contendedFleet();
+    obs::Timeline all;
+    fleet.timeline = &all;
+    simulateServing(fleet, contendedTraffic(), 21);
+
+    obs::Timeline::Config cfg;
+    cfg.sampleEvery = 8;
+    obs::Timeline thinned(cfg);
+    fleet.timeline = &thinned;
+    simulateServing(fleet, contendedTraffic(), 21);
+
+    EXPECT_LT(thinned.eventCount(), all.eventCount() / 2);
+    EXPECT_GT(thinned.eventCount(), 0u);
+
+    // Sampling must not perturb the simulation itself.
+    ServingFleetConfig bare = contendedFleet();
+    ServingMetrics m_bare =
+        simulateServing(bare, contendedTraffic(), 21);
+    fleet.timeline = nullptr;
+    ServingMetrics m_obs = simulateServing(fleet, contendedTraffic(), 21);
+    EXPECT_EQ(m_bare.simSeconds, m_obs.simSeconds);
+    EXPECT_EQ(m_bare.decodeSteps, m_obs.decodeSteps);
+}
+
+TEST(ServingObservability, FlightRecorderCapturesFleetGauges)
+{
+    ServingFleetConfig fleet = contendedFleet();
+    obs::FlightRecorder recorder(128);
+    fleet.recorder = &recorder;
+    fleet.recorderIntervalSeconds = 0.1;
+    ServingMetrics m = simulateServing(fleet, contendedTraffic(), 21);
+    ASSERT_GT(m.simSeconds, 1.0);
+
+    std::vector<std::string> chans = recorder.channels();
+    auto has = [&](const char *name) {
+        for (const std::string &c : chans)
+            if (c == name)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(has("inference.serving.resident"));
+    EXPECT_TRUE(has("inference.serving.ready_queue"));
+    EXPECT_TRUE(has("inference.serving.prefill_queue"));
+    EXPECT_TRUE(has("inference.serving.tokens_per_sec"));
+    EXPECT_TRUE(has("inference.serving.kv_free_blocks"));
+
+    // Samples land on the configured cadence within the sim span.
+    auto samples = recorder.samples("inference.serving.resident");
+    ASSERT_GE(samples.size(), 2u);
+    for (std::size_t i = 1; i < samples.size(); ++i)
+        EXPECT_GT(samples[i].t, samples[i - 1].t);
+    EXPECT_LE(samples.back().t, m.simSeconds + 0.1);
 }
 
 } // namespace

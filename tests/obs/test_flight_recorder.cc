@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the flight recorder: ring overwrite semantics, the
+ * timeseries JSON export, and counter replay into a Timeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.hh"
+#include "obs/json.hh"
+#include "obs/timeline.hh"
+
+namespace dsv3::obs {
+namespace {
+
+TEST(FlightRecorder, RecordsUpToCapacity)
+{
+    FlightRecorder rec(8);
+    EXPECT_TRUE(rec.empty());
+    for (int i = 0; i < 5; ++i)
+        rec.record("a", (double)i, (double)(i * 10));
+    EXPECT_FALSE(rec.empty());
+    EXPECT_EQ(rec.overwrittenCount(), 0u);
+
+    std::vector<FlightRecorder::Sample> s = rec.samples("a");
+    ASSERT_EQ(s.size(), 5u);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_DOUBLE_EQ(s[i].t, (double)i);
+        EXPECT_DOUBLE_EQ(s[i].v, (double)(i * 10));
+    }
+    EXPECT_TRUE(rec.samples("missing").empty());
+}
+
+TEST(FlightRecorder, OverwritesOldestWhenFull)
+{
+    FlightRecorder rec(4);
+    for (int i = 0; i < 10; ++i)
+        rec.record("a", (double)i, (double)i);
+    EXPECT_EQ(rec.overwrittenCount(), 6u);
+
+    // The tail of the flight survives, in chronological order.
+    std::vector<FlightRecorder::Sample> s = rec.samples("a");
+    ASSERT_EQ(s.size(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_DOUBLE_EQ(s[i].t, (double)(6 + i));
+}
+
+TEST(FlightRecorder, ChannelsSortedAndIndependent)
+{
+    FlightRecorder rec(2);
+    rec.record("z.late", 0.0, 1.0);
+    rec.record("a.early", 0.0, 2.0);
+    rec.record("m.mid", 0.0, 3.0);
+    std::vector<std::string> names = rec.channels();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "a.early");
+    EXPECT_EQ(names[1], "m.mid");
+    EXPECT_EQ(names[2], "z.late");
+
+    // Filling one channel's ring leaves the others untouched.
+    rec.record("z.late", 1.0, 1.0);
+    rec.record("z.late", 2.0, 1.0);
+    EXPECT_EQ(rec.samples("a.early").size(), 1u);
+    EXPECT_EQ(rec.samples("z.late").size(), 2u);
+
+    rec.clear();
+    EXPECT_TRUE(rec.empty());
+    EXPECT_EQ(rec.overwrittenCount(), 0u);
+}
+
+TEST(FlightRecorder, TimeseriesJsonRoundTrips)
+{
+    FlightRecorder rec(4);
+    rec.record("resident", 0.5, 8.0);
+    rec.record("resident", 1.0, 16.0);
+    rec.record("queue", 0.5, 3.0);
+
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(parseJson(rec.timeseriesJson(), &doc, &err)) << err;
+    const JsonValue *resident = doc.find("resident");
+    ASSERT_NE(resident, nullptr);
+    ASSERT_EQ(resident->find("t")->array().size(), 2u);
+    EXPECT_DOUBLE_EQ(resident->find("t")->array()[1].number(), 1.0);
+    EXPECT_DOUBLE_EQ(resident->find("v")->array()[1].number(), 16.0);
+    const JsonValue *queue = doc.find("queue");
+    ASSERT_NE(queue, nullptr);
+    EXPECT_DOUBLE_EQ(queue->find("v")->array()[0].number(), 3.0);
+}
+
+TEST(FlightRecorder, ExportCountersReplaysIntoTimeline)
+{
+    FlightRecorder rec(4);
+    rec.record("resident", 0.5, 8.0);
+    rec.record("resident", 1.0, 16.0);
+    rec.record("queue", 0.25, 3.0);
+
+    Timeline tl;
+    rec.exportCounters(tl, 3);
+    EXPECT_EQ(tl.eventCount(), 3u);
+
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(tl.chromeJson(), &doc));
+    const auto &events = doc.find("traceEvents")->array();
+    ASSERT_EQ(events.size(), 3u);
+    for (const JsonValue &e : events) {
+        EXPECT_EQ(e.find("ph")->str(), "C");
+        EXPECT_DOUBLE_EQ(e.find("pid")->number(), 3.0);
+    }
+    // Channels replay in sorted order, samples chronologically.
+    EXPECT_EQ(events[0].find("name")->str(), "queue");
+    EXPECT_EQ(events[1].find("name")->str(), "resident");
+    EXPECT_DOUBLE_EQ(events[1].find("ts")->number(), 0.5e6);
+    EXPECT_DOUBLE_EQ(
+        events[2].find("args")->find("value")->number(), 16.0);
+}
+
+} // namespace
+} // namespace dsv3::obs

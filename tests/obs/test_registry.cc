@@ -58,6 +58,45 @@ TEST(Distribution, PreservesHistogramUnderOverflow)
     EXPECT_DOUBLE_EQ(d.mean(), (-1.0 + 0.5 + 9.5 + 12.0) / 4.0);
 }
 
+TEST(Quantile, TracksMomentsAndPercentiles)
+{
+    Registry reg;
+    Quantile &q = reg.quantile("t.quant.basic");
+    EXPECT_EQ(q.count(), 0u);
+    for (int i = 1; i <= 1000; ++i)
+        q.add((double)i);
+    EXPECT_EQ(q.count(), 1000u);
+    EXPECT_DOUBLE_EQ(q.mean(), 500.5);
+    EXPECT_DOUBLE_EQ(q.min(), 1.0);
+    EXPECT_DOUBLE_EQ(q.max(), 1000.0);
+    // P^2 estimates on a uniform ramp stay close to the exact order
+    // statistics.
+    EXPECT_NEAR(q.p50(), 500.0, 25.0);
+    EXPECT_NEAR(q.p95(), 950.0, 25.0);
+    EXPECT_NEAR(q.p99(), 990.0, 25.0);
+    q.reset();
+    EXPECT_EQ(q.count(), 0u);
+    EXPECT_DOUBLE_EQ(q.p50(), 0.0);
+}
+
+TEST(Quantile, ExactForFewSamplesAndGatedByStatsSwitch)
+{
+    Registry reg;
+    Quantile &q = reg.quantile("t.quant.small");
+    q.add(3.0);
+    q.add(1.0);
+    q.add(2.0);
+    // Below five samples the sketch falls back to the exact
+    // interpolated order statistic over {1, 2, 3}.
+    EXPECT_DOUBLE_EQ(q.p50(), 2.0);
+    EXPECT_NEAR(q.p99(), 2.98, 1e-12);
+
+    setStatsEnabled(false);
+    q.add(100.0);
+    setStatsEnabled(true);
+    EXPECT_EQ(q.count(), 3u);
+}
+
 TEST(Registry, GetOrCreateReturnsSameStat)
 {
     Registry reg;
@@ -80,6 +119,9 @@ TEST(RegistryDeathTest, DuplicateNameDifferentKindPanics)
     EXPECT_DEATH(reg.gauge("t.dup.stat"), "t.dup.stat");
     EXPECT_DEATH(reg.distribution("t.dup.stat", 0.0, 1.0, 4),
                  "t.dup.stat");
+    EXPECT_DEATH(reg.quantile("t.dup.stat"), "t.dup.stat");
+    reg.quantile("t.dup.quant");
+    EXPECT_DEATH(reg.counter("t.dup.quant"), "t.dup.quant");
 }
 
 TEST(RegistryDeathTest, DistributionShapeMismatchPanics)
@@ -157,6 +199,28 @@ TEST(Registry, SnapshotJsonRoundTrips)
     EXPECT_DOUBLE_EQ(jd->find("bins")->array()[1].number(), 1.0);
 }
 
+TEST(Registry, SnapshotJsonQuantileShape)
+{
+    Registry reg;
+    Quantile &q = reg.quantile("t.json.quant");
+    for (int i = 1; i <= 4; ++i)
+        q.add((double)i);
+
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(parseJson(reg.snapshotJson(), &doc, &err)) << err;
+    const JsonValue *jq = doc.find("t.json.quant");
+    ASSERT_NE(jq, nullptr);
+    EXPECT_EQ(jq->find("kind")->str(), "quantile");
+    EXPECT_DOUBLE_EQ(jq->find("count")->number(), 4.0);
+    EXPECT_DOUBLE_EQ(jq->find("mean")->number(), 2.5);
+    EXPECT_DOUBLE_EQ(jq->find("min")->number(), 1.0);
+    EXPECT_DOUBLE_EQ(jq->find("max")->number(), 4.0);
+    ASSERT_NE(jq->find("p50"), nullptr);
+    ASSERT_NE(jq->find("p95"), nullptr);
+    ASSERT_NE(jq->find("p99"), nullptr);
+}
+
 TEST(Registry, StatsDisabledDropsUpdates)
 {
     Registry reg;
@@ -190,10 +254,19 @@ TEST(Json, NumberFormattingRoundTrips)
         ASSERT_TRUE(parseJson(jsonNumber(v), &parsed));
         EXPECT_EQ(parsed.number(), v) << jsonNumber(v);
     }
-    // Non-finite values must still emit valid JSON.
+    // JSON has no inf/nan tokens: NaN (no value) maps to null, and
+    // the directional infinities survive as the strings "inf"/"-inf"
+    // rather than collapsing into a finite 1e308-style literal.
+    EXPECT_EQ(jsonNumber(std::nan("")), "null");
+    EXPECT_EQ(jsonNumber(INFINITY), "\"inf\"");
+    EXPECT_EQ(jsonNumber(-INFINITY), "\"-inf\"");
     JsonValue parsed;
-    EXPECT_TRUE(parseJson(jsonNumber(std::nan("")), &parsed));
-    EXPECT_TRUE(parseJson(jsonNumber(INFINITY), &parsed));
+    ASSERT_TRUE(parseJson(jsonNumber(std::nan("")), &parsed));
+    EXPECT_EQ(parsed.kind(), JsonValue::Kind::NUL);
+    ASSERT_TRUE(parseJson(jsonNumber(INFINITY), &parsed));
+    EXPECT_EQ(parsed.str(), "inf");
+    ASSERT_TRUE(parseJson(jsonNumber(-INFINITY), &parsed));
+    EXPECT_EQ(parsed.str(), "-inf");
 }
 
 TEST(Json, EscapeControlAndQuotes)

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the sim-time Timeline: event emission and Chrome JSON
+ * shape, metadata ordering, the event cap + dropped counter,
+ * seed-deterministic sampling, and byte-determinism of the export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "obs/json.hh"
+#include "obs/registry.hh"
+#include "obs/timeline.hh"
+
+namespace dsv3::obs {
+namespace {
+
+/** A small mixed-phase emission sequence on two tracks. */
+void
+emitSample(Timeline &tl)
+{
+    tl.setProcessName(1, "fleet");
+    tl.setThreadName(1, 0, "engine 0");
+    tl.duration(1, 0, "decode.step", 0.5, 0.75, "\"batch\":8");
+    tl.asyncBegin(1, 0, "prefill", "prefill", 42, 0.1);
+    tl.asyncEnd(1, 0, "prefill", "prefill", 42, 0.4);
+    tl.instant(1, 0, "preempt", 0.6);
+    tl.counter(1, "resident", 0.5, 8.0);
+    tl.flowStart(1, 0, "kv.handoff", 7, 0.4);
+    tl.flowFinish(1, 0, "kv.handoff", 7, 0.45);
+}
+
+TEST(Timeline, ChromeJsonShapeAndMetadataFirst)
+{
+    Timeline tl;
+    emitSample(tl);
+    EXPECT_EQ(tl.eventCount(), 7u);
+
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(parseJson(tl.chromeJson(), &doc, &err)) << err;
+    const JsonValue *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    // 7 emitted events + 2 metadata records.
+    ASSERT_EQ(events->array().size(), 9u);
+
+    // Metadata ("M") events lead so viewers name tracks up front.
+    EXPECT_EQ(events->array()[0].find("ph")->str(), "M");
+    EXPECT_EQ(events->array()[1].find("ph")->str(), "M");
+
+    std::set<std::string> phases;
+    for (const JsonValue &e : events->array()) {
+        phases.insert(e.find("ph")->str());
+        ASSERT_NE(e.find("pid"), nullptr);
+    }
+    for (const char *ph : {"M", "X", "b", "e", "i", "C", "s", "f"})
+        EXPECT_TRUE(phases.count(ph)) << ph;
+
+    // Sim seconds export as microseconds: the 0.5s..0.75s slice.
+    for (const JsonValue &e : events->array()) {
+        if (e.find("ph")->str() != "X")
+            continue;
+        EXPECT_DOUBLE_EQ(e.find("ts")->number(), 0.5e6);
+        EXPECT_DOUBLE_EQ(e.find("dur")->number(), 0.25e6);
+        EXPECT_DOUBLE_EQ(e.find("args")->find("batch")->number(), 8.0);
+    }
+}
+
+TEST(Timeline, ExportIsByteDeterministic)
+{
+    Timeline a;
+    Timeline b;
+    emitSample(a);
+    emitSample(b);
+    EXPECT_EQ(a.chromeJson(), b.chromeJson());
+}
+
+TEST(Timeline, CapDropsAndCounts)
+{
+    std::uint64_t before =
+        Registry::global().counter("obs.timeline.dropped").value();
+    Timeline::Config cfg;
+    cfg.maxEvents = 3;
+    Timeline tl(cfg);
+    for (int i = 0; i < 10; ++i)
+        tl.instant(1, 0, "tick", (double)i);
+    EXPECT_EQ(tl.eventCount(), 3u);
+    EXPECT_EQ(tl.droppedCount(), 7u);
+    EXPECT_EQ(Registry::global().counter("obs.timeline.dropped").value(),
+              before + 7u);
+
+    // Track names are metadata, not subject to the event cap.
+    tl.setProcessName(1, "fleet");
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(tl.chromeJson(), &doc));
+    EXPECT_EQ(doc.find("traceEvents")->array().size(), 4u);
+}
+
+TEST(Timeline, ClearKeepsConfigDropsEvents)
+{
+    Timeline::Config cfg;
+    cfg.maxEvents = 5;
+    Timeline tl(cfg);
+    tl.setProcessName(1, "p");
+    tl.instant(1, 0, "a", 0.0);
+    tl.clear();
+    EXPECT_EQ(tl.eventCount(), 0u);
+    EXPECT_EQ(tl.droppedCount(), 0u);
+    EXPECT_EQ(tl.config().maxEvents, 5u);
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(tl.chromeJson(), &doc));
+    EXPECT_EQ(doc.find("traceEvents")->array().size(), 0u);
+}
+
+TEST(Timeline, SamplingIsSeedDeterministicOneInN)
+{
+    Timeline::Config cfg;
+    cfg.sampleEvery = 4;
+    cfg.sampleSeed = 123;
+    Timeline a(cfg);
+    Timeline b(cfg);
+
+    std::size_t kept = 0;
+    for (std::uint64_t id = 0; id < 1000; ++id) {
+        EXPECT_EQ(a.sampled(id), b.sampled(id)) << id;
+        if (a.sampled(id))
+            ++kept;
+    }
+    // Hash-based 1-in-4: roughly a quarter survive.
+    EXPECT_GT(kept, 150u);
+    EXPECT_LT(kept, 400u);
+
+    // A different seed keeps a different subset.
+    cfg.sampleSeed = 999;
+    Timeline c(cfg);
+    bool differs = false;
+    for (std::uint64_t id = 0; id < 1000 && !differs; ++id)
+        differs = a.sampled(id) != c.sampled(id);
+    EXPECT_TRUE(differs);
+
+    // sampleEvery <= 1 keeps everything.
+    Timeline all;
+    for (std::uint64_t id = 0; id < 64; ++id)
+        EXPECT_TRUE(all.sampled(id));
+}
+
+TEST(Timeline, ConfigFromEnvAppliesOverrides)
+{
+    ::setenv("DSV3_TIMELINE_SAMPLE", "8", 1);
+    ::setenv("DSV3_TIMELINE_MAX_EVENTS", "777", 1);
+    Timeline::Config cfg = Timeline::configFromEnv();
+    ::unsetenv("DSV3_TIMELINE_SAMPLE");
+    ::unsetenv("DSV3_TIMELINE_MAX_EVENTS");
+    EXPECT_EQ(cfg.sampleEvery, 8u);
+    EXPECT_EQ(cfg.maxEvents, 777u);
+
+    Timeline::Config defaults = Timeline::configFromEnv();
+    EXPECT_EQ(defaults.sampleEvery, 1u);
+    EXPECT_EQ(defaults.maxEvents, (std::size_t)1u << 20);
+}
+
+} // namespace
+} // namespace dsv3::obs

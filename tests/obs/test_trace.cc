@@ -14,6 +14,7 @@
 #include "moe/gate.hh"
 #include "net/flow.hh"
 #include "obs/json.hh"
+#include "obs/registry.hh"
 #include "obs/trace.hh"
 #include "pipeline/schedule.hh"
 
@@ -33,6 +34,7 @@ struct TraceGuard
     {
         setTraceEnabled(false);
         setTraceClock(TraceClock::WALL);
+        setTraceMaxEventsPerThread(0);
         clearTrace();
     }
 };
@@ -180,6 +182,35 @@ TEST(Trace, VirtualClockIsDeterministicAcrossRuns)
     EXPECT_EQ(first, second) << "virtual-clock trace must be "
                                 "byte-identical across identical runs";
     EXPECT_GT(traceEventCount(), 0u);
+}
+
+TEST(Trace, BufferCapDropsAndCounts)
+{
+    TraceGuard guard;
+    std::size_t dropped_before = traceDroppedCount();
+    std::uint64_t counter_before =
+        Registry::global().counter("obs.trace.dropped").value();
+    setTraceMaxEventsPerThread(4);
+    setTraceEnabled(true);
+    for (int i = 0; i < 10; ++i) {
+        DSV3_TRACE_SPAN("t.cap.span");
+    }
+    setTraceEnabled(false);
+    EXPECT_EQ(traceEventCount(), 4u);
+    EXPECT_EQ(traceDroppedCount(), dropped_before + 6u);
+    EXPECT_EQ(Registry::global().counter("obs.trace.dropped").value(),
+              counter_before + 6u);
+
+    // The capped buffer still exports valid JSON.
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(chromeTraceJson(), &doc));
+    EXPECT_EQ(doc.find("traceEvents")->array().size(), 4u);
+
+    // clearTrace() resets the drop count; 0 restores the default cap.
+    clearTrace();
+    EXPECT_EQ(traceDroppedCount(), 0u);
+    setTraceMaxEventsPerThread(0);
+    EXPECT_GE(traceMaxEventsPerThread(), 1u << 20);
 }
 
 TEST(Trace, WallClockTimestampsAreMonotonic)
