@@ -43,6 +43,7 @@
 
 #include "common/table.hh"
 #include "common/thread_pool.hh"
+#include "numerics/dispatch.hh"
 #include "obs/flight_recorder.hh"
 #include "obs/registry.hh"
 #include "obs/report.hh"
@@ -184,6 +185,15 @@ runBench(int argc, char **argv,
     benchmark::Shutdown();
 
     if (!json_path.empty()) {
+        // Stamp the resolved SIMD dispatch choice so archived reports
+        // say which kernel tables produced these timings, and whether
+        // DSV3_KERNEL_DISPATCH pinned them.
+        const numerics::KernelIsa isa = numerics::activeIsa();
+        obs::setReportField(
+            "dispatch",
+            std::string("{\"isa\":\"") + numerics::isaName(isa) +
+                "\",\"forced\":" +
+                (numerics::dispatchForced() ? "true" : "false") + "}");
         obs::writeBenchReport(json_path, detail::benchName(argv[0]),
                               printedTables(),
                               obs::Registry::global(),

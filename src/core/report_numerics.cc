@@ -112,15 +112,15 @@ reproduceLogFmt()
 
     Rng rng(99);
     const std::size_t count = 1 << 16;
-    std::vector<double> data(count);
     Matrix staging(1, count);
     staging.fillActivationLike(rng, 1.0, 0.002, 20.0);
-    data = staging.data();
+    const std::vector<double> data(staging.data().begin(),
+                                   staging.data().end());
 
     auto add_float = [&](const FloatFormat &fmt) {
         // Tile-scaled quantization, as used on the wire.
         Matrix mat(1, count);
-        mat.data() = data;
+        mat.data().assign(data.begin(), data.end());
         Matrix deq = fakeQuantize(mat, fmt, Granularity::TILE_1X128);
         t.addRow({fmt.name, std::to_string(fmt.totalBits()),
                   Table::fmt(snrDb(deq.data(), data), 1),

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "common/logging.hh"
+#include "numerics/dispatch.hh"
 #include "numerics/kernels.hh"
 
 namespace dsv3::numerics {
@@ -36,12 +37,9 @@ alignedGroupSum(std::span<const double> products, int fraction_bits)
     // payload bits. The scan also proves whether any non-finite
     // product exists. Non-finite or all-subnormal groups fall back to
     // the original per-element scan.
-    std::uint64_t mx = 0;
-    for (double p : products) {
-        const std::uint64_t mag = std::bit_cast<std::uint64_t>(p) &
-                                  0x7fffffffffffffffull;
-        mx = std::max(mx, mag);
-    }
+    const KernelTable &kt = kernels();
+    const std::uint64_t mx =
+        kt.absBitsMax(products.data(), products.size());
     if (mx == 0)
         return 0.0; // every product is +-0
     const int mx_exp = (int)(mx >> 52);
@@ -84,8 +82,22 @@ alignedGroupSum(std::span<const double> products, int fraction_bits)
     double sum = 0.0;
     if (all_finite_normal && inv_e >= -1022 && inv_e <= 1023) {
         // Hot path: no non-finites to special-case, so the loop is a
-        // straight multiply/truncate/multiply-accumulate.
+        // straight multiply/truncate/multiply-accumulate. When every
+        // truncated term is an exact integer multiple of the quantum
+        // and the group is small enough that the running total stays
+        // below 2^53 quanta (fraction_bits + bit_width(n) <= 53), the
+        // sum is exact, hence independent of association -- which is
+        // what licenses handing it to the vector kernel's lane-split
+        // reduction. inv_e >= -970 additionally keeps the total below
+        // the double overflow threshold. Outside the gate, keep the
+        // original sequential order.
         const double inv_quantum = std::ldexp(1.0, inv_e);
+        if (fraction_bits +
+                    (int)std::bit_width(products.size()) <= 53 &&
+            inv_e >= -970) {
+            return kt.truncSum(products.data(), products.size(),
+                               inv_quantum, quantum);
+        }
         for (double p : products)
             sum += std::trunc(p * inv_quantum) * quantum;
     } else if (inv_e >= -1022 && inv_e <= 1023) {

@@ -5,6 +5,8 @@
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "numerics/dispatch.hh"
+#include "numerics/fastmath.hh"
 #include "numerics/kernels.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
@@ -38,11 +40,11 @@ constexpr std::size_t kRowBlock = 8;
  * operand becomes k-major: out[j * rows + kk] = src[kk * cols + j].
  * Blocked to keep both streams cache-resident.
  */
-std::vector<double>
+AlignedVector<double>
 transposed(const double *src, std::size_t rows, std::size_t cols)
 {
     constexpr std::size_t B = 32;
-    std::vector<double> out(rows * cols);
+    AlignedVector<double> out(rows * cols);
     for (std::size_t r0 = 0; r0 < rows; r0 += B) {
         const std::size_t r1 = std::min(rows, r0 + B);
         for (std::size_t c0 = 0; c0 < cols; c0 += B) {
@@ -75,22 +77,19 @@ gemmRef(const Matrix &a, const Matrix &b)
     DSV3_ASSERT(a.cols() == b.rows());
     const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
     Matrix c(m, n);
-    // Same per-(i, j) sequential k reduction as gemmRefScalar -- only
-    // the B layout and the row partitioning change, so the result is
-    // byte-identical at any thread count.
-    const std::vector<double> bt = transposed(b.data().data(), k, n);
+    // Same pinned 8-lane k reduction as gemmRefScalar -- only the B
+    // layout and the row partitioning change, so the result is
+    // byte-identical at any thread count and under any dispatch table.
+    const AlignedVector<double> bt =
+        transposed(b.data().data(), k, n);
     const double *ad = a.data().data();
     double *cd = c.data().data();
+    const KernelTable &kt = kernels();
     forRowBlocks(m, [&](std::size_t i_lo, std::size_t i_hi) {
         for (std::size_t i = i_lo; i < i_hi; ++i) {
             const double *arow = ad + i * k;
-            for (std::size_t j = 0; j < n; ++j) {
-                const double *brow = bt.data() + j * k;
-                double acc = 0.0;
-                for (std::size_t kk = 0; kk < k; ++kk)
-                    acc += arow[kk] * brow[kk];
-                cd[i * n + j] = acc;
-            }
+            for (std::size_t j = 0; j < n; ++j)
+                cd[i * n + j] = kt.dotTile(arow, bt.data() + j * k, k);
         }
     });
     return c;
@@ -103,23 +102,20 @@ gemmBf16(const Matrix &a, const Matrix &b)
     const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
 
     // Pre-quantize operands to BF16 in bulk, then pack B k-major.
-    std::vector<double> aq(m * k), bq(k * n);
+    AlignedVector<double> aq(m * k), bq(k * n);
     quantizeSpan(kBF16, a.data(), aq.data());
     quantizeSpan(kBF16, b.data(), bq.data());
-    const std::vector<double> bt = transposed(bq.data(), k, n);
+    const AlignedVector<double> bt = transposed(bq.data(), k, n);
 
     Matrix c(m, n);
     double *cd = c.data().data();
+    const KernelTable &kt = kernels();
     forRowBlocks(m, [&](std::size_t i_lo, std::size_t i_hi) {
         for (std::size_t i = i_lo; i < i_hi; ++i) {
             const double *arow = aq.data() + i * k;
-            for (std::size_t j = 0; j < n; ++j) {
-                const double *brow = bt.data() + j * k;
-                float acc = 0.0f;
-                for (std::size_t kk = 0; kk < k; ++kk)
-                    acc += (float)(arow[kk] * brow[kk]);
-                cd[i * n + j] = (double)acc;
-            }
+            for (std::size_t j = 0; j < n; ++j)
+                cd[i * n + j] =
+                    (double)kt.dotTileF32(arow, bt.data() + j * k, k);
         }
     });
     return c;
@@ -150,17 +146,19 @@ gemmQuantized(const Matrix &a, const Matrix &b, const GemmOptions &options)
     // Decode the raw (unscaled) operand values once in bulk (a LUT
     // gather for FP8 formats), then pack B k-major so both inner-loop
     // streams are contiguous.
-    std::vector<double> araw(m * k), btmp(k * n);
+    AlignedVector<double> araw(m * k), btmp(k * n);
     aq.decodeRawInto(araw.data());
     bq.decodeRawInto(btmp.data());
-    const std::vector<double> bt = transposed(btmp.data(), k, n);
+    const AlignedVector<double> bt =
+        transposed(btmp.data(), k, n);
     btmp.clear();
     btmp.shrink_to_fit();
 
     // Hoist the scale grids out of the inner loops: ascale is (row x
     // tile), bscale_t is (col x tile) to match the packed B.
     const std::size_t num_tiles = (k + tile_k - 1) / tile_k;
-    std::vector<double> ascale(m * num_tiles), bscale_t(n * num_tiles);
+    AlignedVector<double> ascale(m * num_tiles);
+    AlignedVector<double> bscale_t(n * num_tiles);
     for (std::size_t i = 0; i < m; ++i)
         for (std::size_t t = 0; t < num_tiles; ++t)
             ascale[i * num_tiles + t] = aq.scale(i, t * tile_k);
@@ -173,14 +171,16 @@ gemmQuantized(const Matrix &a, const Matrix &b, const GemmOptions &options)
 
     // The AccumMode switch is hoisted to once per row block; each arm
     // keeps the scalar reference's exact operation order per output
-    // cell (tile-major, sequential k inside the tile, products grouped
-    // per `group` for the tensor-core model), so results are
-    // byte-identical to gemmQuantizedRef at any thread count.
+    // cell (tile-major, the pinned 8-lane reduction inside the tile,
+    // products grouped per `group` for the tensor-core model), so
+    // results are byte-identical to gemmQuantizedRef at any thread
+    // count and under any dispatch table.
+    const KernelTable &kt = kernels();
     forRowBlocks(m, [&](std::size_t i_lo, std::size_t i_hi) {
         // Tensor-core product group; the instruction width is 32 on
         // real hardware, so the stack buffer covers every sane config.
-        double stack_buf[64];
-        std::vector<double> heap_buf;
+        alignas(64) double stack_buf[64];
+        AlignedVector<double> heap_buf;
         double *pbuf = stack_buf;
         if (group > 64) {
             heap_buf.resize(group);
@@ -201,9 +201,8 @@ gemmQuantized(const Matrix &a, const Matrix &b, const GemmOptions &options)
                         const std::size_t k_hi =
                             std::min(k, k_lo + tile_k);
                         const double combined_scale = as[t] * bs[t];
-                        double tile_sum = 0.0;
-                        for (std::size_t kk = k_lo; kk < k_hi; ++kk)
-                            tile_sum += arow[kk] * brow[kk];
+                        const double tile_sum = kt.dotTile(
+                            arow + k_lo, brow + k_lo, k_hi - k_lo);
                         fp32_accum += (float)(tile_sum * combined_scale);
                     }
                     cd[i * n + j] = (double)fp32_accum;
@@ -228,9 +227,9 @@ gemmQuantized(const Matrix &a, const Matrix &b, const GemmOptions &options)
                         for (std::size_t kk = k_lo; kk < k_hi;) {
                             const std::size_t lim =
                                 std::min(k_hi, kk + group);
-                            std::size_t cnt = 0;
-                            for (; kk < lim; ++kk)
-                                pbuf[cnt++] = arow[kk] * brow[kk];
+                            const std::size_t cnt = lim - kk;
+                            kt.mulSpan(arow + kk, brow + kk, pbuf, cnt);
+                            kk = lim;
                             reg.add(alignedGroupSum({pbuf, cnt}));
                         }
                         // Promotion: CUDA cores fold the dequant scales.
@@ -255,9 +254,9 @@ gemmQuantized(const Matrix &a, const Matrix &b, const GemmOptions &options)
                             k, (kk / tile_k) * tile_k + tile_k);
                         const std::size_t lim =
                             std::min(k_hi, kk + group);
-                        std::size_t cnt = 0;
-                        for (; kk < lim; ++kk)
-                            pbuf[cnt++] = arow[kk] * brow[kk];
+                        const std::size_t cnt = lim - kk;
+                        kt.mulSpan(arow + kk, brow + kk, pbuf, cnt);
+                        kk = lim;
                         whole_k.add(alignedGroupSum({pbuf, cnt}));
                     }
                     cd[i * n + j] = whole_k.value() * (as[0] * bs[0]);
@@ -283,14 +282,13 @@ gemmRefScalar(const Matrix &a, const Matrix &b)
     DSV3_ASSERT(a.cols() == b.rows());
     std::size_t m = a.rows(), k = a.cols(), n = b.cols();
     Matrix c(m, n);
-    for (std::size_t i = 0; i < m; ++i) {
-        for (std::size_t j = 0; j < n; ++j) {
-            double acc = 0.0;
-            for (std::size_t kk = 0; kk < k; ++kk)
-                acc += a.at(i, kk) * b.at(kk, j);
-            c.at(i, j) = acc;
-        }
-    }
+    // The pinned strided dot -- deliberately not the dispatch table,
+    // so this oracle is meaningful against any of its tables.
+    const double *ad = a.data().data();
+    const double *bd = b.data().data();
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            c.at(i, j) = fastmath::pinnedDot(ad + i * k, bd + j, k, n);
     return c;
 }
 
@@ -310,14 +308,12 @@ gemmBf16Ref(const Matrix &a, const Matrix &b)
             bq.at(kk, j) = quantizeRef(kBF16, b.at(kk, j));
 
     Matrix c(m, n);
-    for (std::size_t i = 0; i < m; ++i) {
-        for (std::size_t j = 0; j < n; ++j) {
-            float acc = 0.0f;
-            for (std::size_t kk = 0; kk < k; ++kk)
-                acc += (float)(aq.at(i, kk) * bq.at(kk, j));
-            c.at(i, j) = (double)acc;
-        }
-    }
+    const double *aqd = aq.data().data();
+    const double *bqd = bq.data().data();
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            c.at(i, j) = (double)fastmath::pinnedDotF32(aqd + i * k,
+                                                        bqd + j, k, n);
     return c;
 }
 
@@ -371,9 +367,10 @@ gemmQuantizedRef(const Matrix &a, const Matrix &b,
 
                 switch (options.accum) {
                   case AccumMode::FP32: {
-                    double tile_sum = 0.0;
-                    for (std::size_t kk = k_lo; kk < k_hi; ++kk)
-                        tile_sum += araw.at(i, kk) * braw.at(kk, j);
+                    const double tile_sum = fastmath::pinnedDot(
+                        araw.data().data() + i * k + k_lo,
+                        braw.data().data() + k_lo * n + j,
+                        k_hi - k_lo, n);
                     fp32_accum += (float)(tile_sum * combined_scale);
                     break;
                   }

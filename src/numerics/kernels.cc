@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "common/logging.hh"
+#include "numerics/dispatch.hh"
 
 namespace dsv3::numerics {
 
@@ -137,8 +138,7 @@ encodeSpan(const FloatFormat &fmt, std::span<const double> in,
            std::uint32_t *out)
 {
     const FormatKernels &k = formatKernels(fmt);
-    for (std::size_t i = 0; i < in.size(); ++i)
-        out[i] = detail::quantizeCore(k, in[i], false).code;
+    kernels().encodeSpan(k, in.data(), out, in.size());
 }
 
 void
@@ -147,9 +147,8 @@ decodeSpan(const FloatFormat &fmt, std::span<const std::uint32_t> in,
 {
     const FormatKernels &k = formatKernels(fmt);
     if (k.hasLut()) {
-        const double *lut = k.decodeLut.data();
-        for (std::size_t i = 0; i < in.size(); ++i)
-            out[i] = lut[in[i]];
+        kernels().decodeLutSpan(k.decodeLut.data(), in.data(), out,
+                                in.size());
         return;
     }
     for (std::size_t i = 0; i < in.size(); ++i)
@@ -161,8 +160,7 @@ quantizeSpan(const FloatFormat &fmt, std::span<const double> in,
              double *out)
 {
     const FormatKernels &k = formatKernels(fmt);
-    for (std::size_t i = 0; i < in.size(); ++i)
-        out[i] = detail::quantizeCore(k, in[i], false).value;
+    kernels().quantizeSpan(k, in.data(), out, in.size());
 }
 
 } // namespace dsv3::numerics

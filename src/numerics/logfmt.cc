@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "numerics/dispatch.hh"
+#include "numerics/fastmath.hh"
 #include "obs/registry.hh"
 
 namespace dsv3::numerics {
@@ -25,49 +27,58 @@ logFmtStats()
     return *stats;
 }
 
-/** Magnitude of code @p k under the tile's log-domain parameters. */
+/**
+ * Magnitude of code @p k under the tile's log-domain parameters.
+ * Uses the pinned exp so the scalar paths below agree bit for bit
+ * with the dispatch table's vectorized magTable/encode entries.
+ */
 inline double
 magnitudeAt(double min_log, double step, std::uint32_t k)
 {
     if (k == 0)
         return 0.0;
-    return std::exp(min_log + step * (double)(k - 1));
+    return fastmath::expPinned(min_log + step * (double)(k - 1));
 }
 
 /**
- * Lazily memoized magnitudeAt() over one tile's code space: each
- * distinct code costs one exp() no matter how many elements map to
- * it. 0.0 doubles as the "not computed yet" sentinel -- a magnitude
- * that genuinely underflows to 0.0 is just recomputed each time,
- * which changes nothing.
- *
- * Tiles are ~128 elements, so for wide formats the table would cost
- * more to clear than the exp() calls it saves; past kCacheLimit
- * entries the cache turns itself off and computes directly.
+ * The tile's decoded-magnitude table, mag[k] = magnitudeAt(k). For
+ * code spaces up to kCacheLimit the whole table is materialized
+ * eagerly through the dispatched magTable kernel (a lane-parallel
+ * exp), which is what lets encode's linear-rounding candidate search
+ * and decode run as pure vector gathers. Past kCacheLimit entries the
+ * table would cost more to fill than the ~tile-sized number of exp()
+ * calls it replaces, so it turns itself off and the (scalar) callers
+ * compute magnitudes directly.
  */
 class MagnitudeCache
 {
   public:
     static constexpr std::uint32_t kCacheLimit = 4096;
 
-    /** Re-target the cache at a tile's parameters (storage reused). */
+    /** Re-target at a tile's parameters (storage reused). */
     void reset(double min_log, double step, std::uint32_t k_max)
     {
         minLog_ = min_log;
         step_ = step;
-        cache_.assign(k_max + 1 <= kCacheLimit ? k_max + 1 : 0, 0.0);
+        if (k_max + 1 <= kCacheLimit) {
+            cache_.resize(k_max + 1);
+            kernels().magTable(min_log, step, k_max, cache_.data());
+        } else {
+            cache_.clear();
+        }
     }
 
-    double operator()(std::uint32_t k)
+    /** Non-null when the table is materialized. */
+    const double *table() const
+    {
+        return cache_.empty() ? nullptr : cache_.data();
+    }
+
+    double operator()(std::uint32_t k) const
     {
         if (cache_.empty())
             return magnitudeAt(minLog_, step_, k);
-        double v = cache_[k];
-        if (v == 0.0) {
-            v = magnitudeAt(minLog_, step_, k);
-            cache_[k] = v;
-        }
-        return v;
+        return cache_[k];
     }
 
   private:
@@ -130,24 +141,15 @@ encodeImpl(std::span<const double> values, int bits,
 
     // Tile statistics over non-zero magnitudes. The log of every
     // usable element is kept so the encode pass below does not have
-    // to take it a second time.
+    // to take it a second time. The dispatched kernel writes
+    // logs[i] = logAbsPinned(values[i]) for every lane; the encode
+    // kernels below re-derive usability from the values themselves,
+    // so garbage logs of unusable lanes are never consumed.
+    const KernelTable &kt = kernels();
     logs.resize(values.size());
     double min_log = 0.0, max_log = 0.0;
-    bool any = false;
-    for (std::size_t i = 0; i < values.size(); ++i) {
-        double x = values[i];
-        if (x == 0.0 || !std::isfinite(x))
-            continue;
-        double l = std::log(std::fabs(x));
-        logs[i] = l;
-        if (!any) {
-            min_log = max_log = l;
-            any = true;
-        } else {
-            min_log = std::min(min_log, l);
-            max_log = std::max(max_log, l);
-        }
-    }
+    const bool any = kt.logAbsStats(values.data(), logs.data(),
+                                    values.size(), &min_log, &max_log);
     const std::uint32_t k_max = (1u << (bits - 1)) - 1;
     if (!any) {
         mag_at.reset(0.0, 0.0, k_max);
@@ -166,44 +168,55 @@ encodeImpl(std::span<const double> values, int bits,
     const std::uint32_t sign_bit = 1u << (bits - 1);
     mag_at.reset(min_log, step, k_max);
     std::uint64_t below_range = 0;
-    for (std::size_t i = 0; i < values.size(); ++i) {
-        double x = values[i];
-        if (x == 0.0 || !std::isfinite(x))
-            continue; // code already 0
-        std::uint32_t sign = x < 0.0 ? sign_bit : 0u;
-
-        std::uint32_t k;
-        if (step == 0.0) {
-            k = 1; // degenerate tile: single magnitude, exact
-        } else {
-            // Values below the constrained range (min_log was raised
-            // to max_log - maxRangeLn_) have k_real < 1 and would
-            // otherwise round to code 0 == exact zero. They saturate
-            // to code 1, the smallest representable magnitude, like
-            // an E5 format clamping to its minimum subnormal.
-            double k_real = (logs[i] - min_log) / step + 1.0;
+    if (step == 0.0) {
+        // Degenerate tile: a single magnitude, represented exactly;
+        // the dispatched encode kernels assume step != 0.
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            double x = values[i];
+            if (x == 0.0 || !std::isfinite(x))
+                continue; // code already 0
+            tile.codes[i] = (x < 0.0 ? sign_bit : 0u) | 1u;
+        }
+    } else if (rounding == LogFmtRounding::LOG_SPACE) {
+        // Values below the constrained range (min_log was raised to
+        // max_log - maxRangeLn_) have k_real < 1 and would otherwise
+        // round to code 0 == exact zero; the kernels count them and
+        // saturate to code 1, the smallest representable magnitude,
+        // like an E5 format clamping to its minimum subnormal.
+        below_range = kt.logfmtEncodeLog(
+            values.data(), logs.data(), values.size(), min_log, step,
+            k_max, sign_bit, tile.codes.data());
+    } else if (mag_at.table()) {
+        // Linear-space rounding: compare the two candidate decoded
+        // values (floor/ceil of the index, where index 0 means exact
+        // zero) against the original magnitude, gathering candidates
+        // from the materialized table.
+        below_range = kt.logfmtEncodeLinear(
+            values.data(), logs.data(), values.size(), min_log, step,
+            k_max, sign_bit, mag_at.table(), tile.codes.data());
+    } else {
+        // Linear-space rounding over a code space too wide to
+        // materialize: scalar candidate search, magnitudes computed
+        // on demand (same pinned exp as the table would hold).
+        const double k_max_d = (double)k_max;
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            double x = values[i];
+            if (x == 0.0 || !std::isfinite(x))
+                continue; // code already 0
+            const std::uint32_t sign = x < 0.0 ? sign_bit : 0u;
+            const double k_real = (logs[i] - min_log) / step + 1.0;
             if (k_real < 1.0)
                 ++below_range;
-            if (rounding == LogFmtRounding::LOG_SPACE) {
-                long rounded = std::lround(k_real);
-                k = (std::uint32_t)std::clamp<long>(rounded, 1,
-                                                    (long)k_max);
-            } else {
-                // Linear-space rounding: compare the two candidate
-                // decoded values (floor/ceil of the index, where index
-                // 0 means exact zero) against the original magnitude.
-                double fl = std::floor(k_real);
-                long lo_idx = std::clamp<long>((long)fl, 1, (long)k_max);
-                long hi_idx = std::clamp<long>(lo_idx + 1, 1,
-                                               (long)k_max);
-                double mag = std::fabs(x);
-                double v_lo = mag_at((std::uint32_t)lo_idx);
-                double v_hi = mag_at((std::uint32_t)hi_idx);
-                k = std::fabs(mag - v_lo) <= std::fabs(v_hi - mag)
-                    ? (std::uint32_t)lo_idx : (std::uint32_t)hi_idx;
-            }
+            const double fl = std::floor(k_real);
+            const double lo_d = std::min(std::max(fl, 1.0), k_max_d);
+            const std::uint32_t lo = (std::uint32_t)lo_d;
+            const std::uint32_t hi = std::min(lo + 1, k_max);
+            const double m = std::fabs(x);
+            const double v_lo = mag_at(lo);
+            const double v_hi = mag_at(hi);
+            tile.codes[i] = sign |
+                (std::fabs(m - v_lo) <= std::fabs(v_hi - m) ? lo : hi);
         }
-        tile.codes[i] = sign | k;
     }
     LogFmtStats &stats = logFmtStats();
     stats.values.inc(values.size());
@@ -215,6 +228,11 @@ void
 decodeImpl(const LogFmtTile &tile, double *out, MagnitudeCache &mag_at)
 {
     const std::uint32_t sign_bit = 1u << (tile.bits - 1);
+    if (mag_at.table()) {
+        kernels().logfmtDecode(tile.codes.data(), tile.codes.size(),
+                               sign_bit, mag_at.table(), out);
+        return;
+    }
     const std::uint32_t k_mask = sign_bit - 1;
     for (std::size_t i = 0; i < tile.codes.size(); ++i) {
         std::uint32_t code = tile.codes[i];

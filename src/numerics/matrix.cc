@@ -1,6 +1,21 @@
 #include "numerics/matrix.hh"
 
+#include <new>
+
 namespace dsv3::numerics {
+
+void *
+detail::alignedAlloc(std::size_t bytes, std::size_t align)
+{
+    // Zero-size allocations must still return a unique pointer.
+    return ::operator new(bytes ? bytes : 1, std::align_val_t(align));
+}
+
+void
+detail::alignedFree(void *p, std::size_t align) noexcept
+{
+    ::operator delete(p, std::align_val_t(align));
+}
 
 void
 Matrix::fillNormal(Rng &rng, double mean, double stddev)

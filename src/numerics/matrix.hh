@@ -14,6 +14,60 @@
 
 namespace dsv3::numerics {
 
+namespace detail {
+
+/** Over-aligned allocation shim (definitions in matrix.cc). */
+void *alignedAlloc(std::size_t bytes, std::size_t align);
+void alignedFree(void *p, std::size_t align) noexcept;
+
+} // namespace detail
+
+/**
+ * Minimal std allocator returning @p Align -byte-aligned storage.
+ * Matrix payloads, quantized code planes, and the GEMM packed panels
+ * use it at 64 bytes so a full cache line -- and therefore any
+ * aligned vector register width up to 512 bits -- can be loaded from
+ * element 0 of every row-major buffer the SIMD kernels stream over.
+ */
+template <typename T, std::size_t Align = 64>
+struct AlignedAlloc
+{
+    static_assert((Align & (Align - 1)) == 0, "Align: power of two");
+    using value_type = T;
+
+    AlignedAlloc() = default;
+    template <typename U>
+    AlignedAlloc(const AlignedAlloc<U, Align> &) noexcept
+    {}
+
+    T *allocate(std::size_t n)
+    {
+        return static_cast<T *>(
+            detail::alignedAlloc(n * sizeof(T), Align));
+    }
+    void deallocate(T *p, std::size_t) noexcept
+    {
+        detail::alignedFree(p, Align);
+    }
+
+    template <typename U>
+    struct rebind
+    {
+        using other = AlignedAlloc<U, Align>;
+    };
+};
+
+template <typename T, typename U, std::size_t Align>
+bool
+operator==(const AlignedAlloc<T, Align> &, const AlignedAlloc<U, Align> &)
+{
+    return true;
+}
+
+/** Cache-line-aligned vector (the SIMD kernels' native operand). */
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAlloc<T>>;
+
 class Matrix
 {
   public:
@@ -34,8 +88,8 @@ class Matrix
         return data_[r * cols_ + c];
     }
 
-    const std::vector<double> &data() const { return data_; }
-    std::vector<double> &data() { return data_; }
+    const AlignedVector<double> &data() const { return data_; }
+    AlignedVector<double> &data() { return data_; }
 
     /** Fill with N(mean, stddev) samples. */
     void fillNormal(Rng &rng, double mean = 0.0, double stddev = 1.0);
@@ -57,7 +111,7 @@ class Matrix
   private:
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;
-    std::vector<double> data_;
+    AlignedVector<double> data_;
 };
 
 } // namespace dsv3::numerics

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "numerics/dispatch.hh"
 #include "numerics/kernels.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
@@ -72,7 +73,11 @@ QuantizedMatrix::QuantizedMatrix(const Matrix &m, const FloatFormat &fmt,
     // Pass 1: per-region amax -> scale = amax / maxFinite. Each row is
     // walked tile-run by tile-run so the scale index is computed once
     // per run instead of once per element; within a region elements
-    // are visited in the same order as before.
+    // are visited in the same order as before. absMax's vector
+    // reduction keeps std::max's NaN-dropping/keep-first semantics,
+    // so the amax (and therefore every scale) is bit-identical under
+    // every dispatch table.
+    const KernelTable &kt = kernels();
     const double max_code = fmt_->maxFinite();
     std::vector<double> amax(scales_.size(), 0.0);
     const double *data = m.data().data();
@@ -81,10 +86,7 @@ QuantizedMatrix::QuantizedMatrix(const Matrix &m, const FloatFormat &fmt,
         for (std::size_t c_lo = 0; c_lo < cols_; c_lo += tile_) {
             const std::size_t c_hi = std::min(cols_, c_lo + tile_);
             double &a = amax[scaleIndex(r, c_lo)];
-            double run = a;
-            for (std::size_t c = c_lo; c < c_hi; ++c)
-                run = std::max(run, std::fabs(row[c]));
-            a = run;
+            a = kt.absMax(row + c_lo, c_hi - c_lo, a);
         }
     }
     for (std::size_t i = 0; i < scales_.size(); ++i)
@@ -105,6 +107,8 @@ QuantizedMatrix::QuantizedMatrix(const Matrix &m, const FloatFormat &fmt,
     const std::uint32_t mag_mask = (1u << kern.signShift) - 1;
     const bool tally = obs::statsEnabled();
     std::uint64_t saturated = 0, flushed = 0;
+    std::uint64_t *sat_p = tally ? &saturated : nullptr;
+    std::uint64_t *flush_p = tally ? &flushed : nullptr;
     codes_.resize(rows_ * cols_);
     for (std::size_t r = 0; r < rows_; ++r) {
         const double *row = data + r * cols_;
@@ -112,20 +116,9 @@ QuantizedMatrix::QuantizedMatrix(const Matrix &m, const FloatFormat &fmt,
         for (std::size_t c_lo = 0; c_lo < cols_; c_lo += tile_) {
             const std::size_t c_hi = std::min(cols_, c_lo + tile_);
             const double s = scales_[scaleIndex(r, c_lo)];
-            if (tally) {
-                for (std::size_t c = c_lo; c < c_hi; ++c) {
-                    const double scaled = row[c] / s;
-                    const std::uint32_t code = encodeFast(kern, scaled);
-                    crow[c] = code;
-                    if (std::fabs(scaled) > fmt_max)
-                        ++saturated;
-                    else if (scaled != 0.0 && (code & mag_mask) == 0)
-                        ++flushed;
-                }
-            } else {
-                for (std::size_t c = c_lo; c < c_hi; ++c)
-                    crow[c] = encodeFast(kern, row[c] / s);
-            }
+            kt.encodeScaledSpan(kern, row + c_lo, s, crow + c_lo,
+                                c_hi - c_lo, fmt_max, mag_mask, sat_p,
+                                flush_p);
         }
     }
     if (tally) {
@@ -176,14 +169,14 @@ QuantizedMatrix::dequantize() const
     // element-wise value() exactly.
     Matrix out(rows_, cols_);
     double *o = out.data().data();
+    const KernelTable &kt = kernels();
     decodeSpan(*fmt_, codes_, o);
     for (std::size_t r = 0; r < rows_; ++r) {
         double *row = o + r * cols_;
         for (std::size_t c_lo = 0; c_lo < cols_; c_lo += tile_) {
             const std::size_t c_hi = std::min(cols_, c_lo + tile_);
-            const double s = scales_[scaleIndex(r, c_lo)];
-            for (std::size_t c = c_lo; c < c_hi; ++c)
-                row[c] *= s;
+            kt.scaleSpan(row + c_lo, scales_[scaleIndex(r, c_lo)],
+                         c_hi - c_lo);
         }
     }
     return out;

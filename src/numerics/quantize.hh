@@ -67,8 +67,12 @@ class QuantizedMatrix
     /** Number of scale entries. */
     std::size_t scaleCount() const { return scales_.size(); }
 
-    /** Stored codes, row-major (for golden tests / bulk decode). */
-    const std::vector<std::uint32_t> &codes() const { return codes_; }
+    /** Stored codes, row-major, 64-byte aligned (golden tests / bulk
+     *  decode). */
+    const AlignedVector<std::uint32_t> &codes() const
+    {
+        return codes_;
+    }
 
     /** Scale grid in scaleIndex() order (for golden tests). */
     const std::vector<double> &scaleGrid() const { return scales_; }
@@ -82,7 +86,7 @@ class QuantizedMatrix
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;
     std::size_t scaleCols_ = 0; // scale-grid width
-    std::vector<std::uint32_t> codes_;
+    AlignedVector<std::uint32_t> codes_;
     std::vector<double> scales_;
 };
 

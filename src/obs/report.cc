@@ -1,6 +1,7 @@
 #include "obs/report.hh"
 
 #include <cstdio>
+#include <map>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -25,7 +26,21 @@ appendStringArray(std::ostringstream &os,
     os << "]";
 }
 
+std::map<std::string, std::string> &
+extraReportFields()
+{
+    static std::map<std::string, std::string> *fields =
+        new std::map<std::string, std::string>();
+    return *fields;
+}
+
 } // namespace
+
+void
+setReportField(const std::string &key, const std::string &raw_json)
+{
+    extraReportFields()[key] = raw_json;
+}
 
 std::string
 benchReportJson(const std::string &bench_name,
@@ -53,6 +68,8 @@ benchReportJson(const std::string &bench_name,
         os << "]}";
     }
     os << "],\"stats\":" << registry.snapshotJson();
+    for (const auto &[key, value] : extraReportFields())
+        os << ",\"" << jsonEscape(key) << "\":" << value;
     if (!benchmarks.empty()) {
         os << ",\"benchmarks\":[";
         for (std::size_t i = 0; i < benchmarks.size(); ++i) {

@@ -38,6 +38,12 @@
  *     ...
  *   }
  *
+ * Higher layers can stamp additional top-level keys via
+ * setReportField() -- e.g. the numerics module's kernel-dispatch
+ * choice lands as
+ *
+ *   "dispatch": {"isa": "avx512", "forced": false}
+ *
  * New top-level keys may be added; existing keys keep their meaning
  * (schema version bumps on breaking change).
  */
@@ -77,6 +83,16 @@ std::string benchReportJson(const std::string &bench_name,
                             const std::vector<BenchTiming> &benchmarks =
                                 {},
                             const FlightRecorder *timeseries = nullptr);
+
+/**
+ * Register an extra top-level report field: @p raw_json is emitted
+ * verbatim as the value of @p key in every subsequent report document
+ * (keys are emitted in sorted order, after "stats"). Lets higher
+ * layers stamp environment facts -- e.g. the kernel dispatch choice
+ * -- without obs depending on them. Re-registering a key overwrites
+ * it. Not thread-safe; call from process setup.
+ */
+void setReportField(const std::string &key, const std::string &raw_json);
 
 /** Write benchReportJson() to @p path (fatal on I/O error). */
 void writeBenchReport(const std::string &path,

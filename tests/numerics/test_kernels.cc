@@ -21,6 +21,7 @@
 #include "common/rng.hh"
 #include "common/thread_pool.hh"
 #include "numerics/gemm.hh"
+#include "numerics/fastmath.hh"
 #include "numerics/kernels.hh"
 #include "numerics/logfmt.hh"
 #include "numerics/matrix.hh"
@@ -327,7 +328,10 @@ TEST(Kernels, QuantizedMatrixMatchesReference)
 
                 QuantizedMatrix q(m, *fmt, g, sh.tile);
                 RefQuantized ref = refQuantize(m, *fmt, g, sh.tile);
-                ASSERT_EQ(q.codes(), ref.codes)
+                ASSERT_TRUE(std::equal(q.codes().begin(),
+                                       q.codes().end(),
+                                       ref.codes.begin(),
+                                       ref.codes.end()))
                     << fmt->name << " " << granularityName(g) << " "
                     << sh.rows << "x" << sh.cols;
                 ASSERT_EQ(q.scaleGrid().size(), ref.scales.size());
@@ -415,6 +419,9 @@ TEST(Kernels, GemmBf16AndRefMatchScalarReferenceAtAnyWidth)
 
 // Reference LogFMT encoder: the original per-element implementation
 // (including the per-element candidate decode in linear rounding).
+// Uses the same pinned log/exp as the product code -- the reference
+// pins the OPERATION ORDER, while fastmath pins the transcendental
+// result bits, and both are needed for byte equality.
 LogFmtTile
 refLogFmtEncode(std::span<const double> values, int bits,
                 LogFmtRounding rounding, double max_range_ln)
@@ -428,7 +435,7 @@ refLogFmtEncode(std::span<const double> values, int bits,
     for (double x : values) {
         if (x == 0.0 || !std::isfinite(x))
             continue;
-        double l = std::log(std::fabs(x));
+        double l = fastmath::logAbsPinned(x);
         if (!any) {
             min_log = max_log = l;
             any = true;
@@ -447,8 +454,9 @@ refLogFmtEncode(std::span<const double> values, int bits,
     tile.minLog = min_log;
     tile.step = step;
     auto decode_mag = [&](std::uint32_t k) {
-        return k == 0
-            ? 0.0 : std::exp(min_log + step * (double)(k - 1));
+        return k == 0 ? 0.0
+                      : fastmath::expPinned(min_log +
+                                            step * (double)(k - 1));
     };
 
     const std::uint32_t sign_bit = 1u << (bits - 1);
@@ -458,7 +466,7 @@ refLogFmtEncode(std::span<const double> values, int bits,
             continue;
         std::uint32_t sign = x < 0.0 ? sign_bit : 0u;
         double mag = std::fabs(x);
-        double l = std::log(mag);
+        double l = fastmath::logAbsPinned(x);
         std::uint32_t k;
         if (step == 0.0) {
             k = 1;
@@ -523,8 +531,9 @@ TEST(Kernels, LogFmtMatchesScalarReference)
                     std::uint32_t k = want.codes[i] & (sign_bit - 1);
                     double mag = k == 0
                         ? 0.0
-                        : std::exp(want.minLog +
-                                   want.step * (double)(k - 1));
+                        : fastmath::expPinned(
+                              want.minLog +
+                              want.step * (double)(k - 1));
                     double expect = (want.codes[i] & sign_bit)
                         ? -mag : mag;
                     ASSERT_TRUE(sameBits(dec[i], expect))
