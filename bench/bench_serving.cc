@@ -298,6 +298,11 @@ timeInStateAttribution()
     t.setHeader({"State", "Total", "Share", "p50/req", "p95/req",
                  "p99/req"});
     for (std::size_t s = 0; s < kNumRequestStates; ++s) {
+        // Fault-only states (failover, retry backoff) are exactly 0
+        // on this chaos-free run; show them only when exercised so
+        // the table stays byte-identical to the pre-chaos baseline.
+        if (s >= kNumCoreRequestStates && m.stateSeconds[s] == 0.0)
+            continue;
         const PercentileSummary &ps = m.statePerRequest[s];
         const double share = m.totalLatencySeconds > 0.0
             ? m.stateSeconds[s] / m.totalLatencySeconds : 0.0;

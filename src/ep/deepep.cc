@@ -13,6 +13,21 @@
 
 namespace dsv3::ep {
 
+double
+degradedRetryPenalty(const EpFaultModel &fm, double worst_factor,
+                     std::uint64_t stream)
+{
+    Rng rng(hashCombine(fm.seed, stream));
+    double penalty = 0.0, timeout = fm.timeoutSec;
+    for (std::size_t r = 0; r < fm.maxRetries; ++r) {
+        if (rng.bernoulli(worst_factor))
+            break; // attempt got through
+        penalty += timeout;
+        timeout *= fm.backoff;
+    }
+    return penalty;
+}
+
 std::size_t
 chooseRelayRank(const net::Cluster &cluster, std::size_t dst_host,
                 std::size_t src_plane, const std::vector<bool> *dead)
@@ -252,15 +267,9 @@ timePhase(const net::Cluster &cluster, const TrafficCounts &tc,
                                    cluster.baseCapacity[e]);
             if (worst >= fm.degradedThreshold)
                 continue;
-            Rng rng(hashCombine(fm.seed, f.qp));
-            double penalty = 0.0, timeout = fm.timeoutSec;
-            for (std::size_t r = 0; r < fm.maxRetries; ++r) {
-                if (rng.bernoulli(worst))
-                    break; // attempt got through
-                penalty += timeout;
-                timeout *= fm.backoff;
-            }
-            out.retrySeconds = std::max(out.retrySeconds, penalty);
+            out.retrySeconds =
+                std::max(out.retrySeconds,
+                         degradedRetryPenalty(fm, worst, f.qp));
         }
     }
 

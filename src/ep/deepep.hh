@@ -65,6 +65,20 @@ struct EpFaultModel
     std::uint64_t seed = 1234; //!< retry lottery stream
 };
 
+/**
+ * Timeout/retry penalty for one transfer whose worst path link runs
+ * at @p worst_factor of its built bandwidth: each attempt gets
+ * through with probability worst_factor, each miss pays the current
+ * timeout and doubles it (fm.backoff), capped at fm.maxRetries
+ * attempts. The lottery draws from Rng(hashCombine(fm.seed, stream))
+ * only, so the penalty is a pure function of (fm, worst_factor,
+ * stream) -- the degraded-round phase cost and the serving
+ * simulator's degraded-engine step cost share it.
+ */
+double degradedRetryPenalty(const EpFaultModel &fm,
+                            double worst_factor,
+                            std::uint64_t stream);
+
 /** chooseRelayRank(): no live GPU on the destination host. */
 constexpr std::size_t kNoRelay = (std::size_t)-1;
 

@@ -1,0 +1,61 @@
+#include "inference/serving/chaos.hh"
+
+#include "common/logging.hh"
+
+namespace dsv3::inference::serving {
+
+const char *
+engineHealthName(EngineHealth health)
+{
+    switch (health) {
+      case EngineHealth::HEALTHY: return "healthy";
+      case EngineHealth::DEGRADED: return "degraded";
+      case EngineHealth::DRAINING: return "draining";
+      case EngineHealth::DEAD: return "dead";
+      case EngineHealth::RECOVERING: return "recovering";
+    }
+    DSV3_PANIC("unknown engine health");
+}
+
+fault::FaultDomain
+servingFaultDomain(std::size_t engines)
+{
+    DSV3_ASSERT(engines >= 1,
+                "servingFaultDomain: engines must be >= 1");
+    fault::FaultDomain domain;
+    domain.ranks = engines;
+    domain.links.reserve(engines);
+    for (std::size_t e = 0; e < engines; ++e) {
+        domain.links.push_back(fault::FaultDomain::Link{
+            (net::NodeId)e, (net::NodeId)(engines + e)});
+    }
+    return domain;
+}
+
+double
+analyticEngineAvailability(double fail_per_hour, double repair_sec)
+{
+    if (fail_per_hour <= 0.0)
+        return 1.0;
+    const double mtbf_sec = 3600.0 / fail_per_hour;
+    return mtbf_sec / (mtbf_sec + repair_sec);
+}
+
+bool
+availabilityValidRegime(std::size_t engines, double span_sec,
+                        double fail_per_hour, double repair_sec)
+{
+    if (fail_per_hour <= 0.0 || span_sec <= 0.0)
+        return false;
+    const double mtbf_sec = 3600.0 / fail_per_hour;
+    // Enough expected failure events across the fleet to average
+    // over, and the exp(-(lambda+mu)t) relaxation from the
+    // all-engines-up start must be short relative to the span.
+    const double expected_failures =
+        (double)engines * span_sec / mtbf_sec;
+    const double relax_sec =
+        1.0 / (1.0 / mtbf_sec + 1.0 / repair_sec);
+    return expected_failures >= 8.0 && span_sec >= 20.0 * relax_sec;
+}
+
+} // namespace dsv3::inference::serving

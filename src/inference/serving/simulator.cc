@@ -10,6 +10,7 @@
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "ep/deepep.hh"
 #include "inference/overlap.hh"
 #include "inference/roofline.hh"
 #include "inference/serving/kv_pager.hh"
@@ -51,6 +52,8 @@ requestStateName(RequestState state)
       case RequestState::DECODE_COMPUTE: return "decode.compute";
       case RequestState::DECODE_COMM: return "decode.comm";
       case RequestState::STALLED: return "stalled";
+      case RequestState::FAILOVER: return "failover";
+      case RequestState::RETRY_BACKOFF: return "retry.backoff";
     }
     DSV3_PANIC("unknown request state");
 }
@@ -63,15 +66,18 @@ bottleneckName(Bottleneck bottleneck)
       case Bottleneck::COMPUTE: return "compute-bound";
       case Bottleneck::COMM: return "comm-bound";
       case Bottleneck::KV: return "kv-bound";
+      case Bottleneck::FAULT: return "fault-bound";
     }
     DSV3_PANIC("unknown bottleneck");
 }
 
 DecodeStepBreakdown
 decodeStepBreakdown(const ServingFleetConfig &fleet, std::size_t batch,
-                    double avgContextTokens)
+                    double avgContextTokens,
+                    double commBandwidthScale)
 {
     DSV3_ASSERT(batch >= 1);
+    DSV3_ASSERT(commBandwidthScale > 0.0);
     const std::size_t layers =
         std::max<std::size_t>(fleet.modelConfig.layers, 1);
 
@@ -86,6 +92,9 @@ decodeStepBreakdown(const ServingFleetConfig &fleet, std::size_t batch,
 
     ep::SpeedLimitParams sp = fleet.comm;
     sp.layers = layers;
+    // Guarded so the healthy path's arithmetic stays bit-identical.
+    if (commBandwidthScale != 1.0)
+        sp.bandwidthBytesPerSec *= commBandwidthScale;
 
     DecodeStepBreakdown bd;
     if (fleet.schedule == Schedule::SEQUENTIAL) {
@@ -134,9 +143,10 @@ decodeStepBreakdown(const ServingFleetConfig &fleet, std::size_t batch,
 
 double
 decodeStepSeconds(const ServingFleetConfig &fleet, std::size_t batch,
-                  double avgContextTokens)
+                  double avgContextTokens, double commBandwidthScale)
 {
-    return decodeStepBreakdown(fleet, batch, avgContextTokens)
+    return decodeStepBreakdown(fleet, batch, avgContextTokens,
+                               commBandwidthScale)
         .totalSeconds;
 }
 
@@ -151,6 +161,12 @@ enum class EventKind : int
     HANDOFF_DONE = 2,
     ENGINE_DONE = 3,
     ENGINE_KICK = 4,
+    // Chaos events share the same calendar (empty schedule: none of
+    // these are ever pushed and the loop is the fault-free loop).
+    CHAOS = 5,          //!< apply FaultSchedule event [id]
+    PROBE = 6,          //!< dispatcher health-check tick
+    RETRY_DISPATCH = 7, //!< request id's backoff elapsed; re-dispatch
+    RECOVERY_DONE = 8,  //!< engine id finished its recovery warmup
 };
 
 struct Event
@@ -159,6 +175,8 @@ struct Event
     EventKind kind;
     std::size_t id;      //!< request id or engine index
     std::uint64_t order; //!< schedule-order FIFO tie-break
+    std::uint64_t tag;   //!< engine epoch; voids stale ENGINE_DONE /
+                         //!< RECOVERY_DONE after a death
 };
 
 struct EventAfter
@@ -197,6 +215,15 @@ struct Engine
     double workStart = 0.0;        //!< start of the running step/chunk
     double stepCommFrac = 0.0;     //!< comm share of the running step
 
+    // Chaos: actual component state (changes at fault instants) vs
+    // the dispatcher-observed health (changes at probe ticks).
+    bool actualUp = true;     //!< rank alive (RANK_DOWN/UP)
+    bool linkDown = false;    //!< uplink hard-failed (LINK_DOWN/UP)
+    bool reachable = true;    //!< actualUp && !linkDown
+    double linkFactor = 1.0;  //!< uplink bandwidth fraction
+    EngineHealth observed = EngineHealth::HEALTHY;
+    std::uint64_t epoch = 0;  //!< bumped per death; voids in-flight
+
     explicit Engine(const KvPagerConfig &kv) : pager(kv) {}
 
     std::size_t
@@ -222,6 +249,13 @@ struct ReqState
     double stateSince = 0.0;
     double stateSeconds[kNumRequestStates] = {};
     bool everPreempted = false;
+
+    // Chaos outcomes (all false / 0 on a fault-free run).
+    bool shed = false;            //!< admission control turned it away
+    bool failed = false;          //!< retry budget exhausted
+    bool everFailedOver = false;  //!< lost an engine at least once
+    bool outstanding = false;     //!< counted toward the shed cap
+    std::size_t attempts = 0;     //!< failovers consumed so far
 };
 
 PercentileSummary
@@ -241,6 +275,99 @@ summarize(std::vector<double> values)
     return s;
 }
 
+/** Uniform [0, 1) from a hash key (no shared RNG state, so chaos
+ *  jitter draws cannot perturb the MTP/trace streams). */
+double
+hash01(std::uint64_t key)
+{
+    return (double)(hashU64(key) >> 11) * 0x1.0p-53;
+}
+
+/**
+ * Reject malformed configs up front with a clear message instead of
+ * undefined simulator behavior (division by a non-positive rate,
+ * zero-block pagers, empty fleets, ...).
+ */
+void
+validateConfig(const ServingFleetConfig &fleet,
+               const TrafficConfig &traffic)
+{
+    DSV3_ASSERT(fleet.decodeEngines >= 1,
+                "ServingFleetConfig: decodeEngines must be >= 1, got ",
+                fleet.decodeEngines);
+    DSV3_ASSERT(fleet.maxBatchPerEngine >= 1,
+                "ServingFleetConfig: maxBatchPerEngine must be >= 1");
+    DSV3_ASSERT(fleet.kvBlockTokens >= 1,
+                "ServingFleetConfig: kvBlockTokens must be >= 1 "
+                "(zero-token KV blocks hold nothing)");
+    DSV3_ASSERT(fleet.kvBudgetBytesPerEngine >= 0.0,
+                "ServingFleetConfig: kvBudgetBytesPerEngine must be "
+                ">= 0, got ", fleet.kvBudgetBytesPerEngine);
+    DSV3_ASSERT(fleet.memBytesPerSec > 0.0,
+                "ServingFleetConfig: memBytesPerSec must be > 0");
+    DSV3_ASSERT(fleet.comm.bandwidthBytesPerSec > 0.0,
+                "ServingFleetConfig: comm.bandwidthBytesPerSec must "
+                "be > 0");
+    DSV3_ASSERT(fleet.prefillServers >= 1,
+                "ServingFleetConfig: prefillServers must be >= 1");
+    DSV3_ASSERT(fleet.prefillTokensPerSecPerServer > 0.0,
+                "ServingFleetConfig: prefillTokensPerSecPerServer "
+                "must be > 0, got ",
+                fleet.prefillTokensPerSecPerServer);
+    DSV3_ASSERT(fleet.prefillChunkTokens >= 1,
+                "ServingFleetConfig: prefillChunkTokens must be >= 1");
+    DSV3_ASSERT(fleet.kvHandoffSeconds >= 0.0,
+                "ServingFleetConfig: kvHandoffSeconds must be >= 0");
+
+    DSV3_ASSERT(traffic.requests >= 1,
+                "TrafficConfig: requests must be >= 1");
+    DSV3_ASSERT(traffic.promptTokensMin <= traffic.promptTokensMax,
+                "TrafficConfig: promptTokensMin must be <= "
+                "promptTokensMax");
+    DSV3_ASSERT(traffic.genTokensMin <= traffic.genTokensMax,
+                "TrafficConfig: genTokensMin must be <= genTokensMax");
+    if (traffic.process == ArrivalProcess::CLOSED_LOOP) {
+        DSV3_ASSERT(traffic.closedLoopConcurrency >= 1,
+                    "TrafficConfig: closedLoopConcurrency must be "
+                    ">= 1 for CLOSED_LOOP traffic");
+    } else {
+        DSV3_ASSERT(traffic.requestsPerSecond > 0.0,
+                    "TrafficConfig: requestsPerSecond must be > 0 "
+                    "for open-loop traffic, got ",
+                    traffic.requestsPerSecond);
+    }
+
+    const ServingChaosConfig &chaos = fleet.chaos;
+    if (chaos.enabled()) {
+        DSV3_ASSERT(chaos.probeIntervalSeconds > 0.0,
+                    "ServingChaosConfig: probeIntervalSeconds must "
+                    "be > 0, got ", chaos.probeIntervalSeconds);
+        DSV3_ASSERT(chaos.retryBudget >= 1,
+                    "ServingChaosConfig: retryBudget must be >= 1");
+        DSV3_ASSERT(chaos.backoffBaseSeconds >= 0.0,
+                    "ServingChaosConfig: backoffBaseSeconds must be "
+                    ">= 0");
+        DSV3_ASSERT(chaos.backoffMultiplier >= 1.0,
+                    "ServingChaosConfig: backoffMultiplier must be "
+                    ">= 1");
+        DSV3_ASSERT(chaos.backoffMaxSeconds >=
+                        chaos.backoffBaseSeconds,
+                    "ServingChaosConfig: backoffMaxSeconds must be "
+                    ">= backoffBaseSeconds");
+        DSV3_ASSERT(chaos.backoffJitter >= 0.0 &&
+                        chaos.backoffJitter <= 1.0,
+                    "ServingChaosConfig: backoffJitter must be in "
+                    "[0, 1]");
+        DSV3_ASSERT(chaos.recoverySeconds >= 0.0,
+                    "ServingChaosConfig: recoverySeconds must be "
+                    ">= 0");
+        DSV3_ASSERT(chaos.drainBelowFactor >= 0.0 &&
+                        chaos.drainBelowFactor <= 1.0,
+                    "ServingChaosConfig: drainBelowFactor must be "
+                    "in [0, 1]");
+    }
+}
+
 // Timeline track layout: one "process" per concern so Perfetto groups
 // the rows. Request tracks exist only for sampled requests.
 constexpr std::uint32_t kFleetPid = 1;   //!< prefill pool + engines
@@ -254,13 +381,11 @@ class Simulation
                const TrafficConfig &traffic, std::uint64_t seed)
         : fleet_(fleet), timeline_(fleet.timeline),
           recorder_(fleet.recorder),
-          rng_(hashCombine(hashU64(seed), 0x5e71f9u))
+          rng_(hashCombine(hashU64(seed), 0x5e71f9u)),
+          chaosSeed_(hashCombine(hashU64(seed), 0xc4a05u))
     {
-        DSV3_ASSERT(fleet.decodeEngines >= 1);
-        DSV3_ASSERT(fleet.maxBatchPerEngine >= 1);
-        DSV3_ASSERT(fleet.prefillServers >= 1);
-        DSV3_ASSERT(fleet.prefillTokensPerSecPerServer > 0.0);
-        DSV3_ASSERT(fleet.prefillChunkTokens >= 1);
+        validateConfig(fleet, traffic);
+        chaosEnabled_ = fleet.chaos.enabled();
 
         KvPagerConfig kv;
         kv.budgetBytes = fleet.kvBudgetBytesPerEngine;
@@ -291,9 +416,18 @@ class Simulation
                      i);
         }
 
+        liveNow_ = engines_.size();
+        minLive_ = engines_.size();
+        if (chaosEnabled_) {
+            const auto &evs = fleet.chaos.schedule.events();
+            for (std::size_t i = 0; i < evs.size(); ++i)
+                push(evs[i].time, EventKind::CHAOS, i);
+        }
+
         trackNamed_.assign(reqs_.size(), false);
         pendingPreemptFlow_.assign(reqs_.size(), 0);
         pendingHandoffFlow_.assign(reqs_.size(), 0);
+        pendingRetryFlow_.assign(reqs_.size(), 0);
         if (timeline_) {
             timeline_->setProcessName(kFleetPid, "fleet");
             timeline_->setThreadName(kFleetPid, 0, "prefill pool");
@@ -311,6 +445,15 @@ class Simulation
     run()
     {
         while (!events_.empty()) {
+            // Once every request is terminal the calendar holds only
+            // chaos machinery (fault replay, probes, recoveries);
+            // draining a multi-hour fault schedule after the last
+            // request would pad deaths/downtime far past the span the
+            // availability integral measures.
+            if (chaosEnabled_ &&
+                completed_ + rejected_ + sheds_ + failed_ ==
+                    reqs_.size())
+                break;
             Event ev = events_.top();
             events_.pop();
             sampleRecorderUpTo(ev.time);
@@ -325,10 +468,22 @@ class Simulation
                 onHandoffDone(ev.id, ev.time);
                 break;
               case EventKind::ENGINE_DONE:
-                onEngineDone(ev.id, ev.time);
+                onEngineDone(ev.id, ev.time, ev.tag);
                 break;
               case EventKind::ENGINE_KICK:
                 tryStartWork(ev.id, ev.time);
+                break;
+              case EventKind::CHAOS:
+                applyChaos(ev.id, ev.time);
+                break;
+              case EventKind::PROBE:
+                onProbe(ev.time);
+                break;
+              case EventKind::RETRY_DISPATCH:
+                onRetryDispatch(ev.id, ev.time);
+                break;
+              case EventKind::RECOVERY_DONE:
+                onRecoveryDone(ev.id, ev.time, ev.tag);
                 break;
             }
         }
@@ -341,18 +496,27 @@ class Simulation
     // Event plumbing ---------------------------------------------------
 
     void
-    push(double time, EventKind kind, std::size_t id)
+    push(double time, EventKind kind, std::size_t id,
+         std::uint64_t tag = 0)
     {
-        events_.push(Event{time, kind, id, order_++});
+        events_.push(Event{time, kind, id, order_++, tag});
     }
 
+    /** Least-loaded engine accepting new placements, or kNone when
+     *  the whole fleet is dead/draining/recovering. On a fault-free
+     *  run every engine is admitting, reproducing the original
+     *  min-load choice exactly. */
     std::size_t
     chooseEngine() const
     {
-        std::size_t best = 0;
-        for (std::size_t e = 1; e < engines_.size(); ++e)
-            if (engines_[e].load() < engines_[best].load())
+        std::size_t best = kNone;
+        for (std::size_t e = 0; e < engines_.size(); ++e) {
+            if (!admitting(engines_[e]))
+                continue;
+            if (best == kNone ||
+                engines_[e].load() < engines_[best].load())
                 best = e;
+        }
         return best;
     }
 
@@ -410,12 +574,366 @@ class Simulation
         st.stateSince = t;
     }
 
-    /** Queueing counts as rework (STALLED) once preempted. */
+    /** Queueing counts as rework once preempted (STALLED) or failed
+     *  over (FAILOVER; takes precedence -- losing an engine is the
+     *  rarer, more interesting signal). */
     RequestState
     waitState(const ReqState &st) const
     {
+        if (st.everFailedOver)
+            return RequestState::FAILOVER;
         return st.everPreempted ? RequestState::STALLED
                                 : RequestState::QUEUE_WAIT;
+    }
+
+    // Chaos: health machine, failover, retry ---------------------------
+
+    /** Accepts new placements (arrivals, handoffs, retries). */
+    bool
+    admitting(const Engine &e) const
+    {
+        return e.reachable &&
+               (e.observed == EngineHealth::HEALTHY ||
+                e.observed == EngineHealth::DEGRADED);
+    }
+
+    /** May run steps/chunks: up, and not known-dead or warming up.
+     *  DRAINING engines keep stepping what they hold. */
+    bool
+    operational(const Engine &e) const
+    {
+        return e.reachable && e.observed != EngineHealth::DEAD &&
+               e.observed != EngineHealth::RECOVERING;
+    }
+
+    void
+    chaosInstant(std::size_t eng, const char *name, double t)
+    {
+        if (timeline_) {
+            timeline_->instant(kFleetPid, (std::uint32_t)(1 + eng),
+                               name, t);
+        }
+    }
+
+    void
+    applyChaos(std::size_t idx, double t)
+    {
+        const fault::FaultEvent &ev =
+            fleet_.chaos.schedule.events()[idx];
+        switch (ev.kind) {
+          case fault::FaultKind::RANK_DOWN:
+          case fault::FaultKind::RANK_UP: {
+            if (ev.rank >= engines_.size()) {
+                DSV3_WARN_ONCE("serving chaos: rank ", ev.rank,
+                               " outside the fleet; ignoring");
+                return;
+            }
+            engines_[ev.rank].actualUp =
+                ev.kind == fault::FaultKind::RANK_UP;
+            updateReachable(ev.rank, t);
+            return;
+          }
+          case fault::FaultKind::LINK_DOWN:
+          case fault::FaultKind::LINK_UP: {
+            const std::size_t eng = ev.nodeA;
+            if (eng >= engines_.size()) {
+                DSV3_WARN_ONCE("serving chaos: link ", ev.nodeA,
+                               "->", ev.nodeB,
+                               " outside the fleet; ignoring");
+                return;
+            }
+            engines_[eng].linkDown =
+                ev.kind == fault::FaultKind::LINK_DOWN;
+            updateReachable(eng, t);
+            return;
+          }
+          case fault::FaultKind::LINK_DEGRADED: {
+            const std::size_t eng = ev.nodeA;
+            if (eng >= engines_.size()) {
+                DSV3_WARN_ONCE("serving chaos: link ", ev.nodeA,
+                               "->", ev.nodeB,
+                               " outside the fleet; ignoring");
+                return;
+            }
+            engines_[eng].linkFactor = ev.factor;
+            chaosInstant(eng,
+                         ev.factor < 1.0 ? "fault.link_degraded"
+                                         : "fault.link_repaired",
+                         t);
+            ensureProbe(t);
+            return;
+          }
+          default:
+            DSV3_WARN_ONCE("serving chaos ignores fabric-level "
+                           "fault kind ",
+                           fault::faultKindName(ev.kind));
+            return;
+        }
+    }
+
+    /** Recompute reachability after a rank/link transition; on loss,
+     *  void the in-flight step and account downtime. The dispatcher
+     *  notices at the next probe tick. */
+    void
+    updateReachable(std::size_t eng, double t)
+    {
+        Engine &e = engines_[eng];
+        const bool now = e.actualUp && !e.linkDown;
+        if (now != e.reachable) {
+            e.reachable = now;
+            liveLog_.push_back({t, now ? 1 : -1});
+            if (now) {
+                ++liveNow_;
+                chaosInstant(eng, "engine.up", t);
+            } else {
+                --liveNow_;
+                minLive_ = std::min(minLive_, liveNow_);
+                ++deaths_;
+                ++e.epoch; // voids the pending ENGINE_DONE
+                e.work = EngineWork::IDLE;
+                e.chunkInFlight = 0;
+                chaosInstant(eng, "engine.down", t);
+            }
+        }
+        ensureProbe(t);
+    }
+
+    /** Probes tick on the fixed probeIntervalSeconds grid; coalesce
+     *  to at most one pending probe. */
+    void
+    ensureProbe(double t)
+    {
+        if (probePending_)
+            return;
+        probePending_ = true;
+        const double p = fleet_.chaos.probeIntervalSeconds;
+        push((std::floor(t / p) + 1.0) * p, EventKind::PROBE, 0);
+    }
+
+    /** Reconcile observed health with actual component state. */
+    void
+    onProbe(double t)
+    {
+        probePending_ = false;
+        for (std::size_t eng = 0; eng < engines_.size(); ++eng) {
+            Engine &e = engines_[eng];
+            if (!e.reachable) {
+                if (e.observed != EngineHealth::DEAD) {
+                    e.observed = EngineHealth::DEAD;
+                    chaosInstant(eng, "health.dead", t);
+                    failoverEngine(eng, t);
+                }
+                continue;
+            }
+            if (e.observed == EngineHealth::DEAD) {
+                e.observed = EngineHealth::RECOVERING;
+                chaosInstant(eng, "health.recovering", t);
+                push(t + fleet_.chaos.recoverySeconds,
+                     EventKind::RECOVERY_DONE, eng, e.epoch);
+                continue;
+            }
+            if (e.observed == EngineHealth::RECOVERING)
+                continue; // RECOVERY_DONE finishes the warmup
+            const EngineHealth want = healthFromFactor(e.linkFactor);
+            if (want != e.observed) {
+                const bool was_admitting = admitting(e);
+                e.observed = want;
+                chaosInstant(eng, want == EngineHealth::HEALTHY
+                                      ? "health.healthy"
+                                      : want == EngineHealth::DEGRADED
+                                            ? "health.degraded"
+                                            : "health.draining",
+                             t);
+                if (!was_admitting && admitting(e)) {
+                    drainWaiting(t);
+                    kick(eng, t);
+                }
+            }
+        }
+    }
+
+    EngineHealth
+    healthFromFactor(double factor) const
+    {
+        if (factor >= 1.0)
+            return EngineHealth::HEALTHY;
+        return factor >= fleet_.chaos.drainBelowFactor
+                   ? EngineHealth::DEGRADED
+                   : EngineHealth::DRAINING;
+    }
+
+    void
+    onRecoveryDone(std::size_t eng, double t, std::uint64_t tag)
+    {
+        Engine &e = engines_[eng];
+        if (tag != e.epoch || !e.reachable ||
+            e.observed != EngineHealth::RECOVERING)
+            return; // died again during warmup
+        e.observed = healthFromFactor(e.linkFactor);
+        chaosInstant(eng, "health.recovered", t);
+        if (admitting(e))
+            drainWaiting(t);
+        kick(eng, t);
+    }
+
+    /** The engine is detected dead: its KvPager contents are gone, so
+     *  every request it held (resident, ready-queued, or queued for a
+     *  colocated prefill chunk) loses its KV and re-dispatches with
+     *  backoff + prefill recomputation. */
+    void
+    failoverEngine(std::size_t eng, double t)
+    {
+        Engine &e = engines_[eng];
+        std::vector<std::size_t> lost;
+        lost.reserve(e.resident.size() + e.ready.size() +
+                     e.prefillQ.size());
+        for (std::size_t id : e.resident) {
+            e.pager.release(id);
+            lost.push_back(id);
+        }
+        for (std::size_t id : e.ready)
+            lost.push_back(id);
+        for (const PrefillJob &job : e.prefillQ)
+            lost.push_back(job.id);
+        e.resident.clear();
+        e.ready.clear();
+        e.prefillQ.clear();
+        e.lastWasPrefill = false;
+        for (std::size_t id : lost) {
+            ++failovers_;
+            if (reqSampled(id)) {
+                nameRequestTrack(id);
+                timeline_->instant(kRequestPid, (std::uint32_t)id,
+                                   "failover", t,
+                                   "\"engine\":" +
+                                       std::to_string(eng));
+            }
+            scheduleRetry(id, t);
+        }
+    }
+
+    /** Capped exponential backoff with per-(request, attempt) hash
+     *  jitter, then RETRY_DISPATCH -- or FAILED once over budget. */
+    void
+    scheduleRetry(std::size_t id, double t)
+    {
+        ReqState &st = reqs_[id];
+        st.everFailedOver = true;
+        ++st.attempts;
+        if (st.attempts > fleet_.chaos.retryBudget) {
+            failRequest(id, t);
+            return;
+        }
+        ++retries_;
+        const ServingChaosConfig &chaos = fleet_.chaos;
+        double backoff = chaos.backoffBaseSeconds;
+        for (std::size_t k = 1; k < st.attempts &&
+                                backoff < chaos.backoffMaxSeconds;
+             ++k)
+            backoff *= chaos.backoffMultiplier;
+        backoff = std::min(backoff, chaos.backoffMaxSeconds);
+        const double u = hash01(
+            hashCombine(hashCombine(chaosSeed_, id), st.attempts));
+        backoff *= 1.0 - chaos.backoffJitter +
+                   2.0 * chaos.backoffJitter * u;
+        setState(id, RequestState::RETRY_BACKOFF, t);
+        if (reqSampled(id)) {
+            timeline_->instant(kRequestPid, (std::uint32_t)id,
+                               "retry", t,
+                               "\"attempt\":" +
+                                   std::to_string(st.attempts));
+            pendingRetryFlow_[id] = ++flowSeq_;
+            timeline_->flowStart(kRequestPid, (std::uint32_t)id,
+                                 "failover.recompute",
+                                 pendingRetryFlow_[id], t);
+        }
+        push(t + backoff, EventKind::RETRY_DISPATCH, id);
+    }
+
+    /** Terminal FAILED outcome: excluded from the ttft/tpot digests
+     *  (completion stays < 0), distinct from reject and shed. */
+    void
+    failRequest(std::size_t id, double t)
+    {
+        ReqState &st = reqs_[id];
+        accrue(id, st.state, st.stateSince, t);
+        st.stateSince = t;
+        st.failed = true;
+        ++failed_;
+        dropOutstanding(st);
+        DSV3_WARN_ONCE("serving: retry budget (",
+                       fleet_.chaos.retryBudget,
+                       ") exhausted; failing request (excluded from "
+                       "latency percentiles)");
+        if (reqSampled(id)) {
+            timeline_->instant(kRequestPid, (std::uint32_t)id,
+                               "retry.exhausted", t);
+        }
+        releaseNextClosedLoop(t);
+    }
+
+    /** Backoff elapsed: recompute the sequence from scratch on the
+     *  survivors (prompt + tokens generated so far). */
+    void
+    onRetryDispatch(std::size_t id, double t)
+    {
+        ReqState &st = reqs_[id];
+        setState(id, RequestState::FAILOVER, t);
+        const std::size_t tokens =
+            st.req.promptTokens + st.decodeDone;
+        if (fleet_.deployment == Deployment::DISAGGREGATED) {
+            prefillQ_.push_back(PrefillJob{id, tokens});
+            startPrefills(t);
+            return;
+        }
+        const std::size_t eng = chooseEngine();
+        if (eng == kNone) {
+            waitingPrefill_.push_back(PrefillJob{id, tokens});
+            return;
+        }
+        engines_[eng].prefillQ.push_back(PrefillJob{id, tokens});
+        kick(eng, t);
+    }
+
+    /** An engine re-entered rotation: place everything parked while
+     *  the whole fleet was unavailable. */
+    void
+    drainWaiting(double t)
+    {
+        while (!waitingReady_.empty()) {
+            const std::size_t eng = chooseEngine();
+            if (eng == kNone)
+                return;
+            const std::size_t id = waitingReady_.front();
+            waitingReady_.pop_front();
+            sequenceReady(id, eng, t);
+        }
+        while (!waitingPrefill_.empty()) {
+            const std::size_t eng = chooseEngine();
+            if (eng == kNone)
+                return;
+            PrefillJob job = waitingPrefill_.front();
+            waitingPrefill_.pop_front();
+            engines_[eng].prefillQ.push_back(job);
+            kick(eng, t);
+        }
+    }
+
+    /** Admission control: the arrival is turned away outright -- a
+     *  deliberate outcome, never conflated with OOM preemption (the
+     *  request ran) or fitsEver rejection (it never could run). */
+    void
+    shedRequest(std::size_t id, double t)
+    {
+        ReqState &st = reqs_[id];
+        st.shed = true;
+        ++sheds_;
+        if (reqSampled(id)) {
+            nameRequestTrack(id);
+            timeline_->instant(kRequestPid, (std::uint32_t)id,
+                               "shed", t);
+        }
+        releaseNextClosedLoop(t);
     }
 
     void
@@ -456,6 +974,12 @@ class Simulation
             (double)(decodeTokens_ - sampledTokens_) /
                 fleet_.recorderIntervalSeconds);
         sampledTokens_ = decodeTokens_;
+        // Chaos-only channel (absent on fault-free runs so their
+        // timeseries exports stay byte-identical).
+        if (chaosEnabled_) {
+            recorder_->record("inference.serving.live_engines", t,
+                              (double)liveNow_);
+        }
     }
 
     // Prefill ----------------------------------------------------------
@@ -470,6 +994,13 @@ class Simulation
             reject(id, t);
             return;
         }
+        const std::size_t cap = fleet_.chaos.shedMaxOutstanding;
+        if (cap > 0 && outstanding_ >= cap) {
+            shedRequest(id, t);
+            return;
+        }
+        ++outstanding_;
+        st.outstanding = true;
         const std::size_t tokens =
             st.req.promptTokens + st.decodeDone;
         if (fleet_.deployment == Deployment::DISAGGREGATED) {
@@ -477,6 +1008,10 @@ class Simulation
             startPrefills(t);
         } else {
             const std::size_t eng = chooseEngine();
+            if (eng == kNone) { // whole fleet down/draining
+                waitingPrefill_.push_back(PrefillJob{id, tokens});
+                return;
+            }
             engines_[eng].prefillQ.push_back(PrefillJob{id, tokens});
             kick(eng, t);
         }
@@ -512,6 +1047,12 @@ class Simulation
                                   pendingPreemptFlow_[id], t);
         }
         pendingPreemptFlow_[id] = 0;
+        if (pendingRetryFlow_[id] != 0 && reqSampled(id)) {
+            timeline_->flowFinish(kRequestPid, (std::uint32_t)id,
+                                  "failover.recompute",
+                                  pendingRetryFlow_[id], t);
+        }
+        pendingRetryFlow_[id] = 0;
     }
 
     void
@@ -536,7 +1077,15 @@ class Simulation
     void
     onHandoffDone(std::size_t id, double t)
     {
-        sequenceReady(id, chooseEngine(), t);
+        const std::size_t eng = chooseEngine();
+        if (eng == kNone) {
+            // KV is staged but no engine will take it; park until a
+            // recovery re-opens admission.
+            setState(id, waitState(reqs_[id]), t);
+            waitingReady_.push_back(id);
+            return;
+        }
+        sequenceReady(id, eng, t);
     }
 
     /** A sequence's KV exists on @p eng; queue it for decode. */
@@ -582,6 +1131,8 @@ class Simulation
         Engine &e = engines_[eng];
         if (e.work != EngineWork::IDLE)
             return;
+        if (chaosEnabled_ && !operational(e))
+            return; // dead or warming up; re-kicked on recovery
         admit(e, t);
         const bool prefer_prefill =
             !e.prefillQ.empty() &&
@@ -633,7 +1184,7 @@ class Simulation
         e.lastWasPrefill = true;
         e.workStart = t;
         prefillStarted(job.id, t);
-        push(t + dur, EventKind::ENGINE_DONE, eng);
+        push(t + dur, EventKind::ENGINE_DONE, eng, e.epoch);
     }
 
     void
@@ -644,9 +1195,23 @@ class Simulation
         double ctx_sum = 0.0;
         for (std::size_t id : e.resident)
             ctx_sum += (double)ctxTokens(reqs_[id]);
-        const DecodeStepBreakdown bd = decodeStepBreakdown(
+        // A degraded uplink scales the engine's all-to-all bandwidth
+        // and pays the DeepEP timeout/retry lottery per step; the
+        // penalty is pure comm stall, added before the MTP overhead
+        // multiplier so the comm fraction stays exact.
+        const double scale =
+            chaosEnabled_ ? std::min(e.linkFactor, 1.0) : 1.0;
+        DecodeStepBreakdown bd = decodeStepBreakdown(
             fleet_, e.resident.size(),
-            ctx_sum / (double)e.resident.size());
+            ctx_sum / (double)e.resident.size(), scale);
+        if (chaosEnabled_ &&
+            scale < fleet_.chaos.epRetry.degradedThreshold) {
+            const double penalty = ep::degradedRetryPenalty(
+                fleet_.chaos.epRetry, scale,
+                hashCombine(chaosSeed_, ++stepSeq_));
+            bd.commSeconds += penalty;
+            bd.totalSeconds += penalty;
+        }
         double dt = bd.totalSeconds;
         if (fleet_.mtpEnabled)
             dt *= 1.0 + fleet_.mtp.stepOverhead;
@@ -657,13 +1222,16 @@ class Simulation
         // so the comm fraction of the base step carries over.
         e.stepCommFrac = bd.totalSeconds > 0.0
             ? bd.commSeconds / bd.totalSeconds : 0.0;
-        push(t + dt, EventKind::ENGINE_DONE, eng);
+        push(t + dt, EventKind::ENGINE_DONE, eng, e.epoch);
     }
 
     void
-    onEngineDone(std::size_t eng, double t)
+    onEngineDone(std::size_t eng, double t, std::uint64_t tag)
     {
         Engine &e = engines_[eng];
+        if (chaosEnabled_ &&
+            (tag != e.epoch || e.work == EngineWork::IDLE))
+            return; // the engine died mid-step; the work is void
         const EngineWork done = e.work;
         e.work = EngineWork::IDLE;
         if (done == EngineWork::PREFILL_CHUNK)
@@ -879,8 +1447,18 @@ class Simulation
                     state_sum, " vs ", latency);
         st.completion = t;
         ++completed_;
+        dropOutstanding(st);
         lastCompletion_ = std::max(lastCompletion_, t);
         releaseNextClosedLoop(t);
+    }
+
+    void
+    dropOutstanding(ReqState &st)
+    {
+        if (st.outstanding) {
+            st.outstanding = false;
+            --outstanding_;
+        }
     }
 
     void
@@ -889,6 +1467,7 @@ class Simulation
         ReqState &st = reqs_[id];
         st.rejected = true;
         ++rejected_;
+        dropOutstanding(st);
         DSV3_WARN_ONCE("serving: request context (",
                        maxCtxTokens(st),
                        " tokens) can never fit the KV budget; "
@@ -928,6 +1507,36 @@ class Simulation
         m.decodeTokens = decodeTokens_;
         m.preemptions = preemptions_;
         m.simSeconds = lastCompletion_;
+        m.requestsShed = sheds_;
+        m.requestsFailed = failed_;
+        m.retries = retries_;
+        m.failovers = failovers_;
+        m.engineDeaths = deaths_;
+        m.minLiveEngines = minLive_;
+
+        // Availability over [0, simSeconds]: integrate the live-engine
+        // count across the logged reachability transitions (clipping
+        // events past the last completion). Uses *actual* component
+        // state, so the measurement matches the analytic
+        // MTBF/(MTBF+MTTR) bound exactly, detection latency aside.
+        if (!engines_.empty() && m.simSeconds > 0.0) {
+            double up_integral = 0.0, prev = 0.0;
+            double live = (double)engines_.size();
+            for (const auto &[lt, delta] : liveLog_) {
+                const double tc = std::min(lt, m.simSeconds);
+                if (tc > prev) {
+                    up_integral += live * (tc - prev);
+                    prev = tc;
+                }
+                live += (double)delta;
+            }
+            if (m.simSeconds > prev)
+                up_integral += live * (m.simSeconds - prev);
+            const double span =
+                (double)engines_.size() * m.simSeconds;
+            m.availability = up_integral / span;
+            m.engineDowntimeSeconds = span - up_integral;
+        }
 
         // Streaming digests for the per-request per-state seconds:
         // count/mean/max are exact, percentiles are P^2 estimates.
@@ -949,8 +1558,19 @@ class Simulation
         std::vector<double> tpot;
         double slo_tokens = 0.0;
         for (const ReqState &st : reqs_) {
-            if (st.completion < 0.0 || st.rejected)
+            // Percentile digests cover completed requests only:
+            // REJECTED, SHED, and FAILED outcomes (and requests
+            // stranded mid-flight at calendar drain) are excluded
+            // explicitly -- a "latency" for a request that never
+            // finished would poison the tails.
+            if (st.completion < 0.0 || st.rejected || st.shed ||
+                st.failed) {
+                if (st.completion < 0.0 && !st.rejected &&
+                    !st.shed && !st.failed &&
+                    std::isfinite(st.req.arrivalSeconds))
+                    ++m.requestsStranded;
                 continue;
+            }
             const double first =
                 st.firstTokenTime - st.req.arrivalSeconds;
             ttft.push_back(first);
@@ -1004,6 +1624,9 @@ class Simulation
             m.stateSeconds[(int)RequestState::DECODE_COMM];
         const double kv_sec =
             m.stateSeconds[(int)RequestState::STALLED];
+        const double fault_sec =
+            m.stateSeconds[(int)RequestState::FAILOVER] +
+            m.stateSeconds[(int)RequestState::RETRY_BACKOFF];
         m.bottleneck = Bottleneck::COMPUTE;
         double best = compute_sec;
         if (comm_sec > best) {
@@ -1014,8 +1637,12 @@ class Simulation
             m.bottleneck = Bottleneck::QUEUE;
             best = queue_sec;
         }
-        if (kv_sec > best)
+        if (kv_sec > best) {
             m.bottleneck = Bottleneck::KV;
+            best = kv_sec;
+        }
+        if (fault_sec > best)
+            m.bottleneck = Bottleneck::FAULT;
 
         // Drop the trailing partial window so the percentiles are not
         // skewed by a truncated interval.
@@ -1045,6 +1672,7 @@ class Simulation
     obs::Timeline *timeline_;       //!< optional, not owned
     obs::FlightRecorder *recorder_; //!< optional, not owned
     Rng rng_;
+    std::uint64_t chaosSeed_;       //!< jitter/lottery hash base
 
     std::vector<ReqState> reqs_;
     std::vector<Engine> engines_;
@@ -1067,6 +1695,22 @@ class Simulation
     double lastCompletion_ = 0.0;
     std::vector<double> windowTokens_;
 
+    // Chaos state.
+    bool chaosEnabled_ = false;
+    bool probePending_ = false;
+    std::size_t outstanding_ = 0; //!< admitted, not yet terminal
+    std::size_t sheds_ = 0;
+    std::size_t failed_ = 0;
+    std::size_t retries_ = 0;
+    std::size_t failovers_ = 0;
+    std::size_t deaths_ = 0;
+    std::size_t liveNow_ = 0;  //!< reachable engines right now
+    std::size_t minLive_ = 0;  //!< low-water reachable count
+    std::uint64_t stepSeq_ = 0; //!< retry-lottery stream per step
+    std::vector<std::pair<double, int>> liveLog_; //!< (t, +-1)
+    std::deque<std::size_t> waitingReady_;   //!< fleet-wide parked
+    std::deque<PrefillJob> waitingPrefill_;  //!< COLOCATED parked
+
     // Observability state.
     double nextSample_ = 0.0;        //!< next flight-recorder tick
     std::size_t sampledTokens_ = 0;  //!< decodeTokens_ at last tick
@@ -1074,6 +1718,7 @@ class Simulation
     std::vector<bool> trackNamed_;
     std::vector<std::uint64_t> pendingPreemptFlow_;
     std::vector<std::uint64_t> pendingHandoffFlow_;
+    std::vector<std::uint64_t> pendingRetryFlow_;
 };
 
 } // namespace
@@ -1114,6 +1759,23 @@ simulateServing(const ServingFleetConfig &fleet,
     c_preempt.inc(m.preemptions);
     c_rejected.inc(m.requestsRejected);
     g_kv_hwm.max((double)m.kvHighWaterBlocks);
+
+    // Chaos counters register only when chaos machinery is in play so
+    // the stats snapshot of a fault-free report is unchanged. The
+    // reject / preempt / shed triple stays deliberately separate:
+    // three counters, three report columns.
+    if (fleet.chaos.enabled() || fleet.chaos.shedMaxOutstanding > 0) {
+        obs::Registry &reg = obs::Registry::global();
+        reg.counter("inference.serving.retries").inc(m.retries);
+        reg.counter("inference.serving.sheds").inc(m.requestsShed);
+        reg.counter("inference.serving.failovers").inc(m.failovers);
+        reg.counter("inference.serving.retry_exhausted")
+            .inc(m.requestsFailed);
+        reg.counter("inference.serving.engine_deaths")
+            .inc(m.engineDeaths);
+        reg.gauge("inference.serving.engine_downtime_seconds")
+            .add(m.engineDowntimeSeconds);
+    }
     return m;
 }
 

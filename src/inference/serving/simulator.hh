@@ -36,6 +36,7 @@
 #include "ep/speed_limit.hh"
 #include "inference/mtp.hh"
 #include "model/config.hh"
+#include "inference/serving/chaos.hh"
 #include "inference/serving/traffic.hh"
 
 namespace dsv3::obs {
@@ -72,6 +73,12 @@ const char *deploymentName(Deployment deployment);
  * a request waits for after it has been preempted (its recompute
  * prefill queue time included), plus time spent resident on an engine
  * that is not advancing it (e.g. interleaved prefill chunks).
+ *
+ * The last two states exist only under chaos (see chaos.hh):
+ * RETRY_BACKOFF is the jittered wait between losing an engine and the
+ * re-dispatch; FAILOVER is all queueing of a request after it has
+ * failed over at least once (the post-failover analogue of STALLED).
+ * Both are exactly 0 on every request of a fault-free run.
  */
 enum class RequestState : int
 {
@@ -81,9 +88,13 @@ enum class RequestState : int
     DECODE_COMPUTE = 3, //!< decode step, compute share
     DECODE_COMM = 4,    //!< decode step, EP all-to-all share
     STALLED = 5,        //!< post-preemption waits + resident idle
+    FAILOVER = 6,       //!< post-failover queueing/recompute waits
+    RETRY_BACKOFF = 7,  //!< capped-exponential wait before re-dispatch
 };
 
-constexpr std::size_t kNumRequestStates = 6;
+constexpr std::size_t kNumRequestStates = 8;
+/** States a fault-free run can enter (FAILOVER/RETRY_BACKOFF excluded). */
+constexpr std::size_t kNumCoreRequestStates = 6;
 
 const char *requestStateName(RequestState state);
 
@@ -94,6 +105,7 @@ enum class Bottleneck
     COMPUTE, //!< prefill + decode compute dominate
     COMM,    //!< decode all-to-all dominates
     KV,      //!< preemption/stall time dominates (KV pressure)
+    FAULT,   //!< failover/retry-backoff time dominates (chaos)
 };
 
 const char *bottleneckName(Bottleneck bottleneck);
@@ -138,6 +150,12 @@ struct ServingFleetConfig
     double sloTpotSeconds = 0.05;
     double goodputWindowSeconds = 1.0;
 
+    // Chaos: fault schedule, health-check/retry/failover policy, and
+    // admission control (see chaos.hh). Default-constructed (empty
+    // schedule, shed cap off) the simulator is byte-identical to a
+    // fleet that never breaks.
+    ServingChaosConfig chaos;
+
     // Observability hooks (both optional; see DESIGN.md "Sim-time
     // observability"). A simulation run is strictly serial, so a
     // non-owning Timeline/FlightRecorder is fed in deterministic
@@ -167,6 +185,26 @@ struct ServingMetrics
     std::size_t preemptions = 0;
     double simSeconds = 0.0;
 
+    // Chaos outcomes. The three terminal non-completion outcomes are
+    // deliberately distinct: REJECTED (context can never fit),
+    // SHED (admission control turned the arrival away), FAILED
+    // (retry budget exhausted after repeated engine losses). All
+    // three are excluded from the ttft/tpot percentile digests, which
+    // cover completed requests only. STRANDED counts requests still
+    // in flight when the calendar drained (e.g. waiting out a
+    // never-repaired outage).
+    std::size_t requestsShed = 0;
+    std::size_t requestsFailed = 0;
+    std::size_t requestsStranded = 0;
+    std::size_t retries = 0;       //!< re-dispatches scheduled
+    std::size_t failovers = 0;     //!< requests evicted by a death
+    std::size_t engineDeaths = 0;  //!< engine-unreachable transitions
+    double engineDowntimeSeconds = 0.0; //!< summed over engines
+    /** Time-weighted mean live-engine fraction over [0, simSeconds];
+     *  1.0 on a fault-free run. */
+    double availability = 1.0;
+    std::size_t minLiveEngines = 0; //!< low-water live-engine count
+
     PercentileSummary ttft;    //!< seconds, per completed request
     PercentileSummary tpot;    //!< seconds/token, per completed request
     PercentileSummary goodput; //!< tokens/s over fixed windows
@@ -179,7 +217,7 @@ struct ServingMetrics
 
     // Time-in-state attribution over completed requests.
     // stateSeconds[s] sums state s across all completed requests, and
-    // the six entries sum to totalLatencySeconds (arrival ->
+    // the entries sum to totalLatencySeconds (arrival ->
     // completion, summed); statePerRequest[s] digests the per-request
     // seconds in state s (percentiles via streaming P^2 sketches, so
     // they are estimates; count/mean/max are exact).
@@ -201,9 +239,13 @@ struct DecodeStepBreakdown
  * Time for every resident sequence of a decode engine to advance one
  * token, for @p batch sequences at mean context @p avgContextTokens.
  * Exposed so tests can pin the closed-loop convergence argument.
+ * @p commBandwidthScale scales the engine's all-to-all bandwidth (a
+ * degraded NIC link under chaos); 1.0 leaves the arithmetic
+ * bit-identical to the healthy path.
  */
 double decodeStepSeconds(const ServingFleetConfig &fleet,
-                         std::size_t batch, double avgContextTokens);
+                         std::size_t batch, double avgContextTokens,
+                         double commBandwidthScale = 1.0);
 
 /**
  * decodeStepSeconds() with its comm share exposed: the sequential
@@ -216,7 +258,8 @@ double decodeStepSeconds(const ServingFleetConfig &fleet,
  */
 DecodeStepBreakdown decodeStepBreakdown(const ServingFleetConfig &fleet,
                                         std::size_t batch,
-                                        double avgContextTokens);
+                                        double avgContextTokens,
+                                        double commBandwidthScale = 1.0);
 
 /**
  * Run the fleet against a traffic trace generated from
