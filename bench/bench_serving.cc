@@ -10,7 +10,9 @@
 #include "bench_util.hh"
 #include "sweep_driver.hh"
 
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 
 #include "common/rng.hh"
 #include "common/units.hh"
@@ -318,6 +320,57 @@ timeInStateAttribution()
     return t;
 }
 
+/**
+ * Million-request stress row (DSV3_STRESS=1): the ROADMAP's
+ * "millions of users" scale claim as a measured table row — one
+ * closed-loop run over the largest fleet in this bench (64 comm-bound
+ * engines x batch 64), reporting requests retired per second of
+ * wall clock. The wall-derived cells depend on the host, so the
+ * table is transient: printed straight to stdout, never recorded
+ * into --json reports, and never compared by report_diff. Off by
+ * default so the default bench invocation stays cheap enough for the
+ * wall-time trend harness.
+ */
+void
+maybeStressLine()
+{
+    const char *env = std::getenv("DSV3_STRESS");
+    if (env == nullptr || env[0] == '0')
+        return;
+    if (bench::tablesQuiet())
+        return; // not part of the --repeat timed table build
+    ServingFleetConfig fleet = noContentionFleet(50e9);
+    fleet.decodeEngines = 64;
+    TrafficConfig traffic;
+    traffic.process = ArrivalProcess::CLOSED_LOOP;
+    traffic.requests = 1000000;
+    traffic.closedLoopConcurrency = 64 * 64;
+    traffic.promptTokensMin = traffic.promptTokensMax = 128;
+    traffic.genTokensMin = traffic.genTokensMax = 16;
+
+    using clock = std::chrono::steady_clock;
+    const clock::time_point t0 = clock::now();
+    const ServingMetrics m = simulateServing(fleet, traffic, 97);
+    const double wall =
+        std::chrono::duration<double>(clock::now() - t0).count();
+
+    Table t("Million-request stress, closed loop over 64 comm-bound "
+            "engines x batch 64 (wall-derived cells are "
+            "host-dependent; transient, not in recorded reports)");
+    t.setHeader({"Requests", "Decode tokens", "Decode steps",
+                 "Sim seconds", "Wall seconds", "Req/s of wall",
+                 "Tok/s of wall"});
+    t.addRow({Table::fmtInt(m.requestsCompleted),
+              Table::fmtInt(m.decodeTokens),
+              Table::fmtInt(m.decodeSteps),
+              Table::fmt(m.simSeconds, 1), Table::fmt(wall, 3),
+              Table::fmt((double)m.requestsCompleted / wall, 0),
+              Table::fmt((double)m.decodeTokens / wall, 0)});
+    // Deliberately not bench::printTable(): stdout only.
+    std::fputs(t.render().c_str(), stdout);
+    std::fputs("\n", stdout);
+}
+
 void
 printTables()
 {
@@ -330,6 +383,7 @@ printTables()
     bench::printTable(tpsSurface("GB200 NVL72",
                                  model::gb200Nvl72Node(), 900e9));
     bench::printTable(timeInStateAttribution());
+    maybeStressLine();
 }
 
 // Microbenchmarks -------------------------------------------------------

@@ -25,6 +25,17 @@
  *                   serial, 0 = uncapped default). Table output is
  *                   byte-identical at every width; the flag only
  *                   changes wall-clock.
+ *   --repeat=<N>    after the normal (printing) table pass, rebuild
+ *                   the tables N more times with output suppressed
+ *                   and log the min wall seconds per pass to stderr.
+ *                   This is the wall-time trend harness the
+ *                   BENCH_*.json speedup_vs_seed sections and the CI
+ *                   non-gating perf log use: min-of-N of the full
+ *                   table build (simulations included), stdout
+ *                   untouched. Don't combine with --json: the obs
+ *                   stats counters accumulate across passes, so a
+ *                   report written after a --repeat run is not
+ *                   comparable to a single-pass baseline.
  *
  * All default off; without them a bench run is byte-identical to the
  * pre-observability output.
@@ -32,6 +43,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -79,10 +91,22 @@ flightRecorder()
     return recorder;
 }
 
+/** True while a --repeat timing pass is rebuilding tables: printing
+ *  and --json recording are suppressed so the extra passes leave
+ *  stdout and the report exactly as a single pass would. */
+inline bool &
+tablesQuiet()
+{
+    static bool quiet = false;
+    return quiet;
+}
+
 /** Print a reproduction table to stdout (and record it for --json). */
 inline void
 printTable(const Table &table)
 {
+    if (tablesQuiet())
+        return;
     std::fputs(table.render().c_str(), stdout);
     std::fputs("\n", stdout);
     printedTables().push_back(table);
@@ -169,6 +193,8 @@ runBench(int argc, char **argv,
     timelinePath() = detail::extractPathFlag(argc, argv, "timeline");
     const std::string threads_arg =
         detail::extractPathFlag(argc, argv, "threads");
+    const std::string repeat_arg =
+        detail::extractPathFlag(argc, argv, "repeat");
     if (!trace_path.empty())
         obs::setTraceEnabled(true);
     if (!threads_arg.empty())
@@ -177,6 +203,36 @@ runBench(int argc, char **argv,
                                       10));
 
     print_tables();
+
+    // --repeat=N: min-of-N wall time of the full table build. The
+    // timing passes run quiet (no stdout, no --json recording) and
+    // clear the flight recorder first, so — simulations being
+    // seed-deterministic — the recorder ends holding exactly one
+    // pass's samples, the same as a plain run.
+    if (!repeat_arg.empty()) {
+        const std::size_t repeat = (std::size_t)std::strtoul(
+            repeat_arg.c_str(), nullptr, 10);
+        using clock = std::chrono::steady_clock;
+        double best = 0.0;
+        tablesQuiet() = true;
+        for (std::size_t i = 0; i < repeat; ++i) {
+            flightRecorder().clear();
+            const clock::time_point t0 = clock::now();
+            print_tables();
+            const double wall =
+                std::chrono::duration<double>(clock::now() - t0)
+                    .count();
+            if (i == 0 || wall < best)
+                best = wall;
+        }
+        tablesQuiet() = false;
+        if (repeat > 0) {
+            std::fprintf(stderr,
+                         "%s tables: min-of-%zu wall %.6f s/pass\n",
+                         detail::benchName(argv[0]).c_str(), repeat,
+                         best);
+        }
+    }
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Indexed two-level event calendar for discrete-event simulators.
+ *
+ * Drop-in replacement for `std::priority_queue<Event>` keyed on
+ * (time, order): a near-horizon ring of time buckets absorbs the hot
+ * events (the ones scheduled within a few bucket widths of "now",
+ * which in a serving or co-sim event loop is almost all of them), and
+ * a far min-heap holds everything beyond the ring so pathological
+ * schedules (a fault script hours ahead, an open-loop arrival trace
+ * pushed up front) cost one heap hop instead of bloating the ring.
+ *
+ * Ordering contract: pop() returns the globally minimal entry by
+ * (time, order), where `order` is the push-sequence number the
+ * calendar stamps itself — i.e. the exact pop order of a binary heap
+ * with the `(a.time, a.order) > (b.time, b.order)` comparator. FIFO
+ * among equal timestamps is therefore preserved bit-for-bit, which is
+ * what keeps simulators built on this byte-identical to their
+ * priority_queue ancestors (a property test pins this against a
+ * std::priority_queue reference).
+ *
+ * Why the ring scan is exact: bucket b only holds entries with
+ * time < start(b + 1), and the far heap only holds entries with
+ * time >= start(base + nb), so the first non-empty bucket always
+ * contains the global minimum; a linear scan of that one bucket
+ * compares true (time, order) keys, so intra-bucket storage order is
+ * irrelevant. Entries pushed "into the past" (time before the current
+ * scan bucket — legal for a priority queue) are clamped into the scan
+ * bucket, where the same scan finds them first.
+ *
+ * Buckets self-tune: when one bucket accumulates many entries whose
+ * times actually spread (not a same-instant wave, which no width can
+ * split), the calendar rebuilds with a narrower width, so callers that
+ * guess the time scale wrong degrade to a rebuild, not to O(n) pops.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace dsv3 {
+
+template <typename Payload>
+class EventCalendar
+{
+  public:
+    struct Entry
+    {
+        double time;
+        std::uint64_t order; //!< push sequence; FIFO tie-break
+        Payload payload;
+    };
+
+    /**
+     * @p bucketSeconds is the initial ring-bucket width (the expected
+     * spacing of near-horizon events; it self-tunes downward if dense
+     * buckets appear). @p buckets must be a power of two.
+     */
+    explicit EventCalendar(double bucketSeconds = 1e-3,
+                           std::size_t buckets = 512)
+        : width_(bucketSeconds), invWidth_(1.0 / bucketSeconds),
+          ring_(buckets), liveBits_(buckets / 64, 0)
+    {
+        DSV3_ASSERT(bucketSeconds > 0.0,
+                    "EventCalendar: bucket width must be > 0");
+        DSV3_ASSERT(buckets >= 64 && (buckets & (buckets - 1)) == 0,
+                    "EventCalendar: bucket count must be a power of "
+                    "two >= 64 (the occupancy bitmap is word-grained)");
+    }
+
+    /** Sort key of an entry; compares lexicographically. */
+    struct Key
+    {
+        double time;
+        std::uint64_t order;
+
+        bool
+        operator<(const Key &o) const
+        {
+            if (time != o.time)
+                return time < o.time;
+            return order < o.order;
+        }
+    };
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+
+    /**
+     * Consume the next push-sequence number without pushing. Callers
+     * that park an event outside the calendar (e.g. a simulator's
+     * per-engine event slot) stamp it from the same counter so its
+     * FIFO rank among equal timestamps stays exactly what a push
+     * would have given it.
+     */
+    std::uint64_t nextOrder() { return order_++; }
+
+    void
+    push(double time, const Payload &payload)
+    {
+        place(Entry{time, order_++, payload});
+        ++size_;
+        ++mut_;
+    }
+
+    /** Key of the minimal entry without removing it. */
+    Key
+    peekKey()
+    {
+        DSV3_ASSERT(size_ > 0, "EventCalendar: peek on empty calendar");
+        const std::size_t best = locateBest(); // may advance base_
+        const Entry &e = ring_[maskOf(base_)][best];
+        return Key{e.time, e.order};
+    }
+
+    /** Remove and return the minimal (time, order) entry. */
+    Entry
+    pop()
+    {
+        DSV3_ASSERT(size_ > 0, "EventCalendar: pop on empty calendar");
+        const std::size_t best = locateBest();
+        std::vector<Entry> &bucket = ring_[maskOf(base_)];
+        Entry out = bucket[best];
+        bucket[best] = bucket.back();
+        bucket.pop_back();
+        if (bucket.empty())
+            clearBit(maskOf(base_));
+        --ringCount_;
+        --size_;
+        ++mut_;
+        return out;
+    }
+
+  private:
+    // Entries at or beyond this bucket index saturate (guards the
+    // floor()->integer conversion against absurd timestamps).
+    static constexpr std::int64_t kMaxBucket =
+        std::int64_t(1) << 62;
+
+    /**
+     * Bucket index: floor(time * 1/width). The multiply is cheaper
+     * than the division and its 1-ulp disagreements are harmless:
+     * the map stays monotone in time (so earlier buckets never hold
+     * later times than later buckets, which is all the pop-order
+     * proof uses), and the far/ring split compares bucket indices
+     * computed by this same function on both sides.
+     */
+    std::int64_t
+    bucketOf(double time) const
+    {
+        const double b = std::floor(time * invWidth_);
+        if (!(b < (double)kMaxBucket)) // NaN-safe saturation
+            return kMaxBucket;
+        if (b < (double)-kMaxBucket)
+            return -kMaxBucket;
+        return (std::int64_t)b;
+    }
+
+    std::size_t
+    maskOf(std::int64_t bucket) const
+    {
+        return (std::size_t)bucket & (ring_.size() - 1);
+    }
+
+    /**
+     * Advance the window to the first occupied bucket and return the
+     * index of the minimal entry within it. The result is memoized on
+     * the mutation counter so a peekKey() immediately followed by
+     * pop() scans the bucket once.
+     */
+    std::size_t
+    locateBest()
+    {
+        if (bestMut_ == mut_)
+            return best_;
+        if (ringCount_ == 0)
+            anchorToFar();
+        else
+            advanceToOccupied();
+        const std::vector<Entry> &bucket = ring_[maskOf(base_)];
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < bucket.size(); ++i) {
+            const Entry &a = bucket[i];
+            const Entry &b = bucket[best];
+            if (a.time < b.time ||
+                (a.time == b.time && a.order < b.order))
+                best = i;
+        }
+        best_ = best;
+        bestMut_ = mut_;
+        return best;
+    }
+
+    void
+    place(const Entry &entry)
+    {
+        std::int64_t idx = bucketOf(entry.time);
+        if (idx >= base_ + (std::int64_t)ring_.size()) {
+            far_.push_back(entry);
+            std::push_heap(far_.begin(), far_.end(), FarAfter{});
+            return;
+        }
+        // A push into the past (or exactly "now") lands in the scan
+        // bucket; the pop scan compares real times, so it is found
+        // first regardless.
+        if (idx < base_)
+            idx = base_;
+        std::vector<Entry> &bucket = ring_[maskOf(idx)];
+        bucket.push_back(entry);
+        if (bucket.size() == 1)
+            setBit(maskOf(idx));
+        ++ringCount_;
+        if (!rebuilding_)
+            maybeSplit(bucket);
+    }
+
+    void setBit(std::size_t slot)
+    {
+        liveBits_[slot >> 6] |= std::uint64_t(1) << (slot & 63);
+    }
+
+    void clearBit(std::size_t slot)
+    {
+        liveBits_[slot >> 6] &= ~(std::uint64_t(1) << (slot & 63));
+    }
+
+    /**
+     * Jump the window to the first occupied bucket (the occupancy
+     * bitmap makes this a ctz scan, not a bucket-by-bucket walk — the
+     * walk dominated pops when event spacing was many bucket widths),
+     * then pull far entries into the newly covered span. Safe to jump
+     * because far entries' times are >= the old horizon, so they land
+     * strictly after the first occupied bucket.
+     */
+    void
+    advanceToOccupied()
+    {
+        const std::size_t start = maskOf(base_);
+        const std::size_t words = liveBits_.size();
+        std::size_t word = start >> 6;
+        std::uint64_t w =
+            liveBits_[word] & (~std::uint64_t(0) << (start & 63));
+        std::size_t steps;
+        if (w) {
+            steps = (std::size_t)std::countr_zero(w) - (start & 63);
+        } else {
+            // ringCount_ > 0 guarantees a set bit within one lap
+            // (slot masks are unique across the window).
+            std::size_t k = 1;
+            while ((w = liveBits_[(word + k) & (words - 1)]) == 0)
+                ++k;
+            steps = (std::size_t)std::countr_zero(w) + (k << 6) -
+                    (start & 63);
+        }
+        if (steps == 0)
+            return; // horizon unchanged; nothing to drain
+        base_ += (std::int64_t)steps;
+        drainFar();
+    }
+
+    /** Pull far entries now covered by [base_, base_ + buckets).
+     *  The pull condition compares bucket indices, not raw times, so
+     *  it is exactly the complement of place()'s far criterion — no
+     *  rounding seam can strand an entry on the wrong side. */
+    void
+    drainFar()
+    {
+        const std::int64_t horizon =
+            base_ + (std::int64_t)ring_.size();
+        while (!far_.empty() && bucketOf(far_.front().time) < horizon) {
+            std::pop_heap(far_.begin(), far_.end(), FarAfter{});
+            Entry e = far_.back();
+            far_.pop_back();
+            const std::size_t slot =
+                maskOf(std::max(bucketOf(e.time), base_));
+            std::vector<Entry> &bucket = ring_[slot];
+            bucket.push_back(e);
+            if (bucket.size() == 1)
+                setBit(slot);
+            ++ringCount_;
+        }
+    }
+
+    /** Ring empty: jump the window to the earliest far entry. */
+    void
+    anchorToFar()
+    {
+        DSV3_ASSERT(!far_.empty());
+        base_ = bucketOf(far_.front().time);
+        drainFar();
+    }
+
+    /**
+     * Dense-bucket self-tuning: if one bucket holds many entries whose
+     * times genuinely spread across it, the width was guessed too
+     * coarse — rebuild the whole calendar with a narrower bucket.
+     * Checked only at power-of-two occupancies so the scan cost is
+     * amortized O(1) per push; same-instant waves (span 0) are left
+     * alone because no width can separate them.
+     */
+    void
+    maybeSplit(const std::vector<Entry> &bucket)
+    {
+        const std::size_t n = bucket.size();
+        if (n < 128 || (n & (n - 1)) != 0)
+            return;
+        double lo = bucket[0].time, hi = bucket[0].time;
+        for (const Entry &e : bucket) {
+            lo = std::min(lo, e.time);
+            hi = std::max(hi, e.time);
+        }
+        if (!((hi - lo) > 0.0) || width_ <= 1e-12)
+            return;
+        rebuild(std::max((hi - lo) / 64.0, width_ / 64.0));
+    }
+
+    void
+    rebuild(double newWidth)
+    {
+        rebuilding_ = true;
+        std::vector<Entry> all;
+        all.reserve(size_);
+        for (std::vector<Entry> &bucket : ring_) {
+            all.insert(all.end(), bucket.begin(), bucket.end());
+            bucket.clear();
+        }
+        all.insert(all.end(), far_.begin(), far_.end());
+        far_.clear();
+        std::fill(liveBits_.begin(), liveBits_.end(), 0);
+        ringCount_ = 0;
+        width_ = newWidth;
+        invWidth_ = 1.0 / newWidth;
+        double lo = all.empty() ? 0.0 : all[0].time;
+        for (const Entry &e : all)
+            lo = std::min(lo, e.time);
+        base_ = bucketOf(lo);
+        for (const Entry &e : all)
+            place(e);
+        rebuilding_ = false;
+    }
+
+    struct FarAfter
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.time != b.time)
+                return a.time > b.time;
+            return a.order > b.order;
+        }
+    };
+
+    double width_;
+    double invWidth_;
+    std::int64_t base_ = 0; //!< global index of the scan bucket
+    std::vector<std::vector<Entry>> ring_;
+    std::vector<std::uint64_t> liveBits_; //!< per-slot occupancy bits
+    std::vector<Entry> far_; //!< min-heap, time >= ring horizon
+    std::size_t ringCount_ = 0;
+    std::size_t size_ = 0;
+    std::uint64_t order_ = 0;
+    bool rebuilding_ = false;
+    // locateBest() memo: valid while no push/pop has happened since.
+    std::uint64_t mut_ = 0;
+    std::uint64_t bestMut_ = ~std::uint64_t(0);
+    std::size_t best_ = 0;
+};
+
+} // namespace dsv3

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Open-addressing flat hash map for simulator hot paths.
+ *
+ * `std::unordered_map` pays a heap node per entry and a pointer chase
+ * per lookup; the serving simulator's KV pager and the step-cost memo
+ * probe their tables once per decode step, so both want the keys and
+ * values contiguous. FlatHashMap stores (key, value, state) triples in
+ * one power-of-two slot array with linear probing, tombstone deletes,
+ * and rehash at 70% occupancy (tombstones included, so churny
+ * workloads cannot degrade probes indefinitely).
+ *
+ * Requirements: K and V must be trivially copyable (slots are moved
+ * with plain assignment during rehash). The default hasher covers
+ * integral keys via the splitmix-style hashU64(); anything else
+ * supplies its own functor.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace dsv3 {
+
+/** Default hasher: integral keys through the rng.hh bit mixer. */
+struct FlatHashU64
+{
+    std::size_t
+    operator()(std::uint64_t key) const
+    {
+        return (std::size_t)hashU64(key);
+    }
+};
+
+/**
+ * One-multiply Fibonacci hasher for small dense integer keys (request
+ * ids, engine indices): multiplication by the golden-ratio constant
+ * spreads consecutive keys across the high bits at a third of the
+ * full mixer's cost. Probed once per resident sequence per decode
+ * step by the KV pager, where the mixer itself showed up in profiles.
+ */
+struct FlatHashFibonacci
+{
+    std::size_t
+    operator()(std::uint64_t key) const
+    {
+        return (std::size_t)(key * 0x9E3779B97F4A7C15ull);
+    }
+};
+
+template <typename K, typename V, typename Hash = FlatHashU64>
+class FlatHashMap
+{
+    static_assert(std::is_trivially_copyable_v<K>,
+                  "FlatHashMap keys must be trivially copyable");
+    static_assert(std::is_trivially_copyable_v<V>,
+                  "FlatHashMap values must be trivially copyable");
+
+    enum : std::uint8_t { EMPTY = 0, FULL = 1, TOMB = 2 };
+
+    struct Slot
+    {
+        K key;
+        V value;
+        std::uint8_t state;
+    };
+
+  public:
+    explicit FlatHashMap(std::size_t initialSlots = 16)
+    {
+        std::size_t cap = 8;
+        while (cap < initialSlots)
+            cap <<= 1;
+        slots_.assign(cap, Slot{K{}, V{}, EMPTY});
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    void
+    clear()
+    {
+        for (Slot &s : slots_)
+            s.state = EMPTY;
+        size_ = 0;
+        occupied_ = 0;
+    }
+
+    /** Pointer to the value for @p key, or nullptr. Stable until the
+     *  next insert/erase. */
+    V *
+    find(const K &key)
+    {
+        std::size_t i = Hash{}(key) & (slots_.size() - 1);
+        while (true) {
+            Slot &s = slots_[i];
+            if (s.state == EMPTY)
+                return nullptr;
+            if (s.state == FULL && s.key == key)
+                return &s.value;
+            i = (i + 1) & (slots_.size() - 1);
+        }
+    }
+
+    const V *
+    find(const K &key) const
+    {
+        return const_cast<FlatHashMap *>(this)->find(key);
+    }
+
+    /**
+     * Value slot for @p key, default-constructed and inserted if
+     * absent; @p created reports which. The reference is stable until
+     * the next insert/erase.
+     */
+    V &
+    findOrInsert(const K &key, bool &created)
+    {
+        if (occupied_ * 10 >= slots_.size() * 7)
+            rehash(size_ * 10 >= slots_.size() * 7
+                       ? slots_.size() * 2 : slots_.size());
+        std::size_t i = Hash{}(key) & (slots_.size() - 1);
+        std::size_t firstTomb = (std::size_t)-1;
+        while (true) {
+            Slot &s = slots_[i];
+            if (s.state == EMPTY) {
+                const std::size_t at =
+                    firstTomb != (std::size_t)-1 ? firstTomb : i;
+                Slot &dst = slots_[at];
+                if (dst.state == EMPTY)
+                    ++occupied_;
+                dst.state = FULL;
+                dst.key = key;
+                dst.value = V{};
+                ++size_;
+                created = true;
+                return dst.value;
+            }
+            if (s.state == TOMB) {
+                if (firstTomb == (std::size_t)-1)
+                    firstTomb = i;
+            } else if (s.key == key) {
+                created = false;
+                return s.value;
+            }
+            i = (i + 1) & (slots_.size() - 1);
+        }
+    }
+
+    /** Insert or overwrite. */
+    void
+    insert(const K &key, const V &value)
+    {
+        bool created = false;
+        findOrInsert(key, created) = value;
+    }
+
+    /** Remove @p key; returns whether it was present. */
+    bool
+    erase(const K &key)
+    {
+        std::size_t i = Hash{}(key) & (slots_.size() - 1);
+        while (true) {
+            Slot &s = slots_[i];
+            if (s.state == EMPTY)
+                return false;
+            if (s.state == FULL && s.key == key) {
+                s.state = TOMB;
+                --size_;
+                return true;
+            }
+            i = (i + 1) & (slots_.size() - 1);
+        }
+    }
+
+  private:
+    void
+    rehash(std::size_t newCap)
+    {
+        DSV3_ASSERT((newCap & (newCap - 1)) == 0);
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(newCap, Slot{K{}, V{}, EMPTY});
+        occupied_ = size_;
+        for (const Slot &s : old) {
+            if (s.state != FULL)
+                continue;
+            std::size_t i = Hash{}(s.key) & (newCap - 1);
+            while (slots_[i].state == FULL)
+                i = (i + 1) & (newCap - 1);
+            slots_[i] = s;
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t size_ = 0;     //!< FULL slots
+    std::size_t occupied_ = 0; //!< FULL + TOMB slots
+};
+
+} // namespace dsv3

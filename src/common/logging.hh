@@ -81,3 +81,17 @@ concat(Args &&...args)
                                        ##__VA_ARGS__));                    \
         }                                                                  \
     } while (0)
+
+/**
+ * Debug-build-only invariant check (compiles away under NDEBUG): for
+ * conditions on hot paths whose evaluation would cost real time, or
+ * redundant belt-and-suspenders proofs (e.g. "a voided calendar event
+ * is never dispatched") that release builds already guard cheaply.
+ */
+#ifdef NDEBUG
+#define DSV3_DEBUG_ASSERT(cond, ...) \
+    do {                             \
+    } while (0)
+#else
+#define DSV3_DEBUG_ASSERT(cond, ...) DSV3_ASSERT(cond, ##__VA_ARGS__)
+#endif

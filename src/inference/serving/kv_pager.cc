@@ -33,51 +33,45 @@ KvPager::fitsEver(std::size_t tokens) const
 }
 
 bool
-KvPager::tryAllocate(std::size_t seq, std::size_t tokens)
+KvPager::allocateSlow(std::size_t seq, std::size_t tokens)
 {
-    if (unlimited_)
-        return true;
-    DSV3_ASSERT(held_.find(seq) == held_.end(),
+    DSV3_ASSERT(held_.find(seq) == nullptr,
                 "sequence already resident in pager");
     const std::size_t need = blocksFor(tokens);
     if (need > freeBlocks())
         return false;
-    held_[seq] = need;
+    held_.insert(seq, need);
     used_ += need;
     highWater_ = std::max(highWater_, used_);
     return true;
 }
 
 bool
-KvPager::tryGrow(std::size_t seq, std::size_t tokens)
+KvPager::growSlow(std::size_t seq, std::size_t tokens)
 {
-    if (unlimited_)
-        return true;
-    auto it = held_.find(seq);
-    DSV3_ASSERT(it != held_.end(), "growing a non-resident sequence");
+    std::size_t *held = held_.find(seq);
+    DSV3_ASSERT(held != nullptr, "growing a non-resident sequence");
     const std::size_t need = blocksFor(tokens);
-    if (need <= it->second)
+    if (need <= *held)
         return true;
-    const std::size_t extra = need - it->second;
+    const std::size_t extra = need - *held;
     if (extra > freeBlocks())
         return false;
-    it->second = need;
+    *held = need;
     used_ += extra;
     highWater_ = std::max(highWater_, used_);
     return true;
 }
 
 void
-KvPager::release(std::size_t seq)
+KvPager::releaseSlow(std::size_t seq)
 {
-    if (unlimited_)
+    std::size_t *held = held_.find(seq);
+    if (held == nullptr)
         return;
-    auto it = held_.find(seq);
-    if (it == held_.end())
-        return;
-    DSV3_ASSERT(used_ >= it->second);
-    used_ -= it->second;
-    held_.erase(it);
+    DSV3_ASSERT(used_ >= *held);
+    used_ -= *held;
+    held_.erase(seq);
 }
 
 } // namespace dsv3::inference::serving

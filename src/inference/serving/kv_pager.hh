@@ -20,7 +20,8 @@
 #pragma once
 
 #include <cstddef>
-#include <unordered_map>
+
+#include "common/flat_hash.hh"
 
 namespace dsv3::inference::serving {
 
@@ -55,26 +56,57 @@ class KvPager
      * Reserve blocksFor(tokens) for a new sequence. Returns false
      * (allocating nothing) if the free pool is short. @p seq must not
      * already hold blocks.
+     *
+     * The unlimited (budget 0) configuration is the common case in
+     * closed-loop studies and is checked inline: the simulator calls
+     * tryGrow() once per resident sequence per decode step, so the
+     * fast path must not cost a function call.
      */
-    bool tryAllocate(std::size_t seq, std::size_t tokens);
+    bool
+    tryAllocate(std::size_t seq, std::size_t tokens)
+    {
+        if (unlimited_)
+            return true;
+        return allocateSlow(seq, tokens);
+    }
 
     /**
      * Extend @p seq's reservation to cover @p tokens. Growth is
      * all-or-nothing; returns false if the extra blocks don't fit.
      */
-    bool tryGrow(std::size_t seq, std::size_t tokens);
+    bool
+    tryGrow(std::size_t seq, std::size_t tokens)
+    {
+        if (unlimited_)
+            return true;
+        return growSlow(seq, tokens);
+    }
 
     /** Release every block @p seq holds (no-op if it holds none). */
-    void release(std::size_t seq);
+    void
+    release(std::size_t seq)
+    {
+        if (unlimited_)
+            return;
+        releaseSlow(seq);
+    }
 
   private:
+    bool allocateSlow(std::size_t seq, std::size_t tokens);
+    bool growSlow(std::size_t seq, std::size_t tokens);
+    void releaseSlow(std::size_t seq);
+
     KvPagerConfig config_;
     bool unlimited_ = false;
     double blockBytes_ = 0.0;
     std::size_t total_ = 0;
     std::size_t used_ = 0;
     std::size_t highWater_ = 0;
-    std::unordered_map<std::size_t, std::size_t> held_;
+    /** seq id -> held blocks; flat so the per-step growth probe stays
+     *  a contiguous scan instead of an unordered_map node chase, with
+     *  the one-multiply hasher because sequence ids are small and
+     *  dense and this probes once per resident per decode step. */
+    FlatHashMap<std::size_t, std::size_t, FlatHashFibonacci> held_;
 };
 
 } // namespace dsv3::inference::serving

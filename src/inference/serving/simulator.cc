@@ -2,19 +2,22 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <numeric>
-#include <queue>
 #include <vector>
 
+#include "common/event_calendar.hh"
 #include "common/logging.hh"
+#include "common/small_vec.hh"
 #include "common/stats.hh"
 #include "ep/deepep.hh"
 #include "inference/overlap.hh"
 #include "inference/roofline.hh"
 #include "inference/serving/kv_pager.hh"
 #include "model/kv_cache.hh"
+#include "obs/batch.hh"
 #include "obs/flight_recorder.hh"
 #include "obs/registry.hh"
 #include "obs/timeline.hh"
@@ -169,25 +172,17 @@ enum class EventKind : int
     RECOVERY_DONE = 8,  //!< engine id finished its recovery warmup
 };
 
-struct Event
+/** Calendar payload. Timestamp and the FIFO tie-break order live in
+ *  the EventCalendar entry; the calendar reproduces the old
+ *  priority_queue's (time, order) pop order bit-for-bit. Packed to
+ *  16 bytes (a 32-byte calendar entry) so pushes, pops, and bucket
+ *  scans move half the bytes the old 48-byte heap nodes did. */
+struct EventBody
 {
-    double time;
-    EventKind kind;
-    std::size_t id;      //!< request id or engine index
-    std::uint64_t order; //!< schedule-order FIFO tie-break
-    std::uint64_t tag;   //!< engine epoch; voids stale ENGINE_DONE /
-                         //!< RECOVERY_DONE after a death
-};
-
-struct EventAfter
-{
-    bool
-    operator()(const Event &a, const Event &b) const
-    {
-        if (a.time != b.time)
-            return a.time > b.time;
-        return a.order > b.order;
-    }
+    std::uint32_t id;   //!< request id or engine index
+    std::uint32_t kind; //!< EventKind
+    std::uint64_t tag;  //!< engine epoch; voids stale ENGINE_DONE /
+                        //!< RECOVERY_DONE after a death
 };
 
 enum class EngineWork
@@ -205,12 +200,14 @@ struct PrefillJob
 
 struct Engine
 {
-    std::vector<std::size_t> resident; //!< admission order (oldest first)
-    std::deque<std::size_t> ready;
-    std::deque<PrefillJob> prefillQ; //!< COLOCATED only
+    SmallVec<std::size_t, 8> resident; //!< admission order (oldest first)
+    FlatDeque<std::size_t> ready;
+    FlatDeque<PrefillJob> prefillQ; //!< COLOCATED only
     KvPager pager;
     EngineWork work = EngineWork::IDLE;
     bool lastWasPrefill = false;
+    bool kickPending = false; //!< a same-instant ENGINE_KICK is queued
+    std::size_t ctxSum = 0;   //!< sum of ctxTokens over resident
     std::size_t chunkInFlight = 0; //!< tokens of the running chunk
     double workStart = 0.0;        //!< start of the running step/chunk
     double stepCommFrac = 0.0;     //!< comm share of the running step
@@ -231,6 +228,26 @@ struct Engine
     {
         return resident.size() + ready.size() + prefillQ.size();
     }
+};
+
+/**
+ * Parked next engine event (ENGINE_DONE or ENGINE_KICK). An engine
+ * has at most one of either live at a time (see slotPush()), so the
+ * steady-state decode loop never touches the calendar: the
+ * dispatcher compares this slot's (time, order) against the calendar
+ * head instead. A voided ENGINE_DONE (stale tag after a death) stays
+ * parked and still pops as the no-op the seed's loop popped,
+ * preserving recorder sampling. Slots live in their own dense array
+ * (32 bytes per engine) so the per-event scan stays within one or
+ * two cache lines instead of striding across the fat Engine structs.
+ */
+struct EngineSlot
+{
+    double time = 0.0;
+    std::uint64_t order = 0;
+    std::uint64_t tag = 0;
+    std::uint32_t kind = 0;
+    std::uint32_t live = 0;
 };
 
 struct ReqState
@@ -387,12 +404,22 @@ class Simulation
         validateConfig(fleet, traffic);
         chaosEnabled_ = fleet.chaos.enabled();
 
+        // Kill switch for the step-cost memo (a hit returns the exact
+        // value a miss would compute, so this only trades speed; CI
+        // cross-checks byte-identity of the reports both ways).
+        const char *cache_env = std::getenv("DSV3_STEP_CACHE");
+        stepCacheOn_ =
+            !(cache_env && cache_env[0] == '0' && cache_env[1] == '\0');
+        if (stepCacheOn_)
+            stepCache_.assign(kStepCacheInitSlots, StepSlot{});
+
         KvPagerConfig kv;
         kv.budgetBytes = fleet.kvBudgetBytesPerEngine;
         kv.blockTokens = fleet.kvBlockTokens;
         kv.bytesPerToken = model::kvCacheBytesPerToken(
             fleet.modelConfig, fleet.kvBytesPerElem);
         engines_.assign(fleet.decodeEngines, Engine(kv));
+        slots_.assign(fleet.decodeEngines, EngineSlot{});
 
         Rng trace_rng(hashCombine(hashU64(seed), 0x7a44ffu));
         std::vector<Request> trace =
@@ -424,11 +451,14 @@ class Simulation
                 push(evs[i].time, EventKind::CHAOS, i);
         }
 
-        trackNamed_.assign(reqs_.size(), false);
-        pendingPreemptFlow_.assign(reqs_.size(), 0);
-        pendingHandoffFlow_.assign(reqs_.size(), 0);
-        pendingRetryFlow_.assign(reqs_.size(), 0);
+        windowTokens_.reserve(1024);
         if (timeline_) {
+            // Per-request flow bookkeeping exists only when a timeline
+            // consumer does; the hot loop never touches it otherwise.
+            trackNamed_.assign(reqs_.size(), false);
+            pendingPreemptFlow_.assign(reqs_.size(), 0);
+            pendingHandoffFlow_.assign(reqs_.size(), 0);
+            pendingRetryFlow_.assign(reqs_.size(), 0);
             timeline_->setProcessName(kFleetPid, "fleet");
             timeline_->setThreadName(kFleetPid, 0, "prefill pool");
             for (std::size_t e = 0; e < engines_.size(); ++e) {
@@ -444,7 +474,7 @@ class Simulation
     ServingMetrics
     run()
     {
-        while (!events_.empty()) {
+        while (true) {
             // Once every request is terminal the calendar holds only
             // chaos machinery (fault replay, probes, recoveries);
             // draining a multi-hour fault schedule after the last
@@ -454,42 +484,109 @@ class Simulation
                 completed_ + rejected_ + sheds_ + failed_ ==
                     reqs_.size())
                 break;
-            Event ev = events_.top();
-            events_.pop();
-            sampleRecorderUpTo(ev.time);
-            switch (ev.kind) {
+            // Next event: minimum (time, order) over the parked
+            // per-engine slots and the calendar head. Slot stamps
+            // come from the calendar's own order counter, so this
+            // comparison reproduces the single-queue pop order
+            // bit-for-bit — including voided slots, which pop as the
+            // same time-advancing no-ops the seed loop popped.
+            std::size_t best_eng = kNone;
+            EventCalendar<EventBody>::Key best{0.0, 0};
+            for (std::size_t i = 0; i < slots_.size(); ++i) {
+                const EngineSlot &s = slots_[i];
+                if (!s.live)
+                    continue;
+                const EventCalendar<EventBody>::Key k{s.time, s.order};
+                if (best_eng == kNone || k < best) {
+                    best = k;
+                    best_eng = i;
+                }
+            }
+            if (best_eng != kNone &&
+                (events_.empty() || best < events_.peekKey())) {
+                EngineSlot &s = slots_[best_eng];
+                s.live = 0;
+                const double now = s.time;
+                const std::uint64_t tag = s.tag;
+                const EventKind kind = (EventKind)s.kind;
+                sampleRecorderUpTo(now);
+                if (kind == EventKind::ENGINE_KICK) {
+                    engines_[best_eng].kickPending = false;
+                    tryStartWork(best_eng, now);
+                } else if (!(chaosEnabled_ &&
+                             tag != engines_[best_eng].epoch)) {
+                    onEngineDone(best_eng, now, tag);
+                }
+                continue;
+            }
+            if (events_.empty())
+                break;
+            const auto entry = events_.pop();
+            const EventBody &ev = entry.payload;
+            const double now = entry.time;
+            sampleRecorderUpTo(now);
+            switch ((EventKind)ev.kind) {
               case EventKind::ARRIVAL:
-                routeArrival(ev.id, ev.time);
+                routeArrival(ev.id, now);
                 break;
               case EventKind::PREFILL_DONE:
-                onPrefillDone(ev.id, ev.time);
+                onPrefillDone(ev.id, now);
                 break;
               case EventKind::HANDOFF_DONE:
-                onHandoffDone(ev.id, ev.time);
+                onHandoffDone(ev.id, now);
                 break;
               case EventKind::ENGINE_DONE:
-                onEngineDone(ev.id, ev.time, ev.tag);
+                // Slot-overflow spill (slotPush() fell back while a
+                // voided entry held the slot). Void stale work at
+                // pop: a death bumped the epoch, so the completion
+                // this event announces never happened.
+                if (chaosEnabled_ && ev.tag != engines_[ev.id].epoch)
+                    break;
+                onEngineDone(ev.id, now, ev.tag);
                 break;
               case EventKind::ENGINE_KICK:
-                tryStartWork(ev.id, ev.time);
+                engines_[ev.id].kickPending = false;
+                tryStartWork(ev.id, now);
                 break;
               case EventKind::CHAOS:
-                applyChaos(ev.id, ev.time);
+                applyChaos(ev.id, now);
                 break;
               case EventKind::PROBE:
-                onProbe(ev.time);
+                onProbe(now);
                 break;
               case EventKind::RETRY_DISPATCH:
-                onRetryDispatch(ev.id, ev.time);
+                onRetryDispatch(ev.id, now);
                 break;
               case EventKind::RECOVERY_DONE:
-                onRecoveryDone(ev.id, ev.time, ev.tag);
+                if (chaosEnabled_ && ev.tag != engines_[ev.id].epoch)
+                    break;
+                onRecoveryDone(ev.id, now, ev.tag);
                 break;
             }
         }
         if (timeline_ && recorder_)
             recorder_->exportCounters(*timeline_, kGaugePid);
+        // Registered (and therefore present in the stats snapshot)
+        // only when a cascade actually happened, exactly like the
+        // seed's per-cascade add.
+        if (preemptDepths_.pending() > 0) {
+            static obs::Distribution &d_depth =
+                obs::Registry::global().distribution(
+                    "inference.serving.preempt_depth", 0.0, 32.0, 16);
+            preemptDepths_.flushTo(d_depth);
+        }
         return collect();
+    }
+
+    /** One-shot flush of the step-cost memo counters (batched locally;
+     *  the hot loop never touches an atomic). */
+    void
+    flushCacheStats(obs::Counter &hits, obs::Counter &misses,
+                    obs::Counter &entries)
+    {
+        cacheHits_.flushTo(hits);
+        cacheMisses_.flushTo(misses);
+        entries.inc(cacheEntries_);
     }
 
   private:
@@ -499,7 +596,110 @@ class Simulation
     push(double time, EventKind kind, std::size_t id,
          std::uint64_t tag = 0)
     {
-        events_.push(Event{time, kind, id, order_++, tag});
+        events_.push(time, EventBody{(std::uint32_t)id,
+                                     (std::uint32_t)kind, tag});
+    }
+
+    /**
+     * Park an engine event (ENGINE_DONE or ENGINE_KICK) in the
+     * engine's slot instead of the calendar; the run() loop treats
+     * the slot as a pop candidate with the order stamp a push would
+     * have gotten. At most one such event is live per engine: a live
+     * ENGINE_DONE implies the engine is working, so kick() generates
+     * nothing, and work only starts from a kick pop, which frees the
+     * slot first. The only possible occupant is a voided ENGINE_DONE
+     * (death bumped the epoch while the done was parked); it must
+     * still pop as a time-advancing no-op, so the new event spills to
+     * the calendar instead of overwriting it.
+     */
+    void
+    slotPush(std::size_t eng, double time, EventKind kind,
+             std::uint64_t tag = 0)
+    {
+        EngineSlot &s = slots_[eng];
+        if (s.live) {
+            DSV3_DEBUG_ASSERT(
+                (EventKind)s.kind == EventKind::ENGINE_DONE &&
+                    chaosEnabled_ && s.tag != engines_[eng].epoch,
+                "engine event slot occupied by a live event");
+            push(time, kind, eng, tag);
+            return;
+        }
+        s.time = time;
+        s.order = events_.nextOrder();
+        s.tag = tag;
+        s.kind = (std::uint32_t)kind;
+        s.live = 1;
+    }
+
+    // Step-cost memoization --------------------------------------------
+
+    /**
+     * decodeStepBreakdown() is a pure function of (batch,
+     * llround(max(avgContextTokens, 1)), commBandwidthScale) for a
+     * fixed fleet — and the fleet (including the schedule) is fixed
+     * for the lifetime of a Simulation. The memo stores the exact
+     * DecodeStepBreakdown a miss computed, so a hit is bit-identical
+     * to recomputing by construction.
+     *
+     * Direct-mapped on purpose: a decoding batch's mean context walks
+     * forward ~+1 token per step, so stale keys rarely re-hit;
+     * overwrite-on-collision keeps the recent keys that can. The key
+     * packs (batch << 40) | ctx — batch >= 1 means a real key is
+     * never 0, so 0 is the empty sentinel — and out-of-range inputs
+     * bypass the cache entirely.
+     */
+    DecodeStepBreakdown
+    stepCost(std::size_t batch, double avgContextTokens, double scale)
+    {
+        const long long ctx =
+            std::llround(std::max(avgContextTokens, 1.0));
+        if (!stepCacheOn_ || batch >= (std::size_t(1) << 24) ||
+            ctx >= (1ll << 40)) {
+            cacheMisses_.inc();
+            return decodeStepBreakdown(fleet_, batch,
+                                       avgContextTokens, scale);
+        }
+        if (cacheEntries_ * 2 > stepCache_.size() &&
+            stepCache_.size() < kStepCacheMaxSlots)
+            growStepCache();
+        const std::uint64_t key =
+            ((std::uint64_t)batch << 40) | (std::uint64_t)ctx;
+        std::uint64_t scale_bits;
+        std::memcpy(&scale_bits, &scale, sizeof scale_bits);
+        StepSlot &slot =
+            stepCache_[hashCombine(hashU64(key), scale_bits) &
+                       (stepCache_.size() - 1)];
+        if (slot.key == key && slot.scaleBits == scale_bits) {
+            cacheHits_.inc();
+            return slot.bd;
+        }
+        cacheMisses_.inc();
+        if (slot.key == 0)
+            ++cacheEntries_;
+        slot.key = key;
+        slot.scaleBits = scale_bits;
+        slot.bd = decodeStepBreakdown(fleet_, batch, avgContextTokens,
+                                      scale);
+        return slot.bd;
+    }
+
+    void
+    growStepCache()
+    {
+        std::vector<StepSlot> old = std::move(stepCache_);
+        stepCache_.assign(old.size() * 2, StepSlot{});
+        cacheEntries_ = 0;
+        for (const StepSlot &s : old) {
+            if (s.key == 0)
+                continue;
+            StepSlot &slot =
+                stepCache_[hashCombine(hashU64(s.key), s.scaleBits) &
+                           (stepCache_.size() - 1)];
+            if (slot.key == 0)
+                ++cacheEntries_;
+            slot = s;
+        }
     }
 
     /** Least-loaded engine accepting new placements, or kNone when
@@ -766,6 +966,14 @@ class Simulation
     onRecoveryDone(std::size_t eng, double t, std::uint64_t tag)
     {
         Engine &e = engines_[eng];
+        // Dying again during warmup bumps the epoch, and probes leave
+        // RECOVERING engines alone, so a current-epoch event implies
+        // the warmup it announced is still the live one.
+        DSV3_DEBUG_ASSERT(
+            tag != e.epoch ||
+                (e.reachable &&
+                 e.observed == EngineHealth::RECOVERING),
+            "voided RECOVERY_DONE dispatched");
         if (tag != e.epoch || !e.reachable ||
             e.observed != EngineHealth::RECOVERING)
             return; // died again during warmup
@@ -784,18 +992,20 @@ class Simulation
     failoverEngine(std::size_t eng, double t)
     {
         Engine &e = engines_[eng];
-        std::vector<std::size_t> lost;
+        std::vector<std::size_t> &lost = lostScratch_;
+        lost.clear();
         lost.reserve(e.resident.size() + e.ready.size() +
                      e.prefillQ.size());
         for (std::size_t id : e.resident) {
             e.pager.release(id);
             lost.push_back(id);
         }
-        for (std::size_t id : e.ready)
-            lost.push_back(id);
-        for (const PrefillJob &job : e.prefillQ)
-            lost.push_back(job.id);
+        for (std::size_t i = 0; i < e.ready.size(); ++i)
+            lost.push_back(e.ready[i]);
+        for (std::size_t i = 0; i < e.prefillQ.size(); ++i)
+            lost.push_back(e.prefillQ[i].id);
         e.resident.clear();
+        e.ctxSum = 0;
         e.ready.clear();
         e.prefillQ.clear();
         e.lastWasPrefill = false;
@@ -1041,6 +1251,8 @@ class Simulation
     prefillStarted(std::size_t id, double t)
     {
         setState(id, RequestState::PREFILL, t);
+        if (!timeline_)
+            return; // the flow vectors exist only with a timeline
         if (pendingPreemptFlow_[id] != 0 && reqSampled(id)) {
             timeline_->flowFinish(kRequestPid, (std::uint32_t)id,
                                   "preempt.recompute",
@@ -1095,12 +1307,14 @@ class Simulation
         ReqState &st = reqs_[id];
         if (st.firstTokenTime < 0.0)
             st.firstTokenTime = t;
-        if (pendingHandoffFlow_[id] != 0 && reqSampled(id)) {
-            timeline_->flowFinish(kRequestPid, (std::uint32_t)id,
-                                  "kv.handoff",
-                                  pendingHandoffFlow_[id], t);
+        if (timeline_) {
+            if (pendingHandoffFlow_[id] != 0 && reqSampled(id)) {
+                timeline_->flowFinish(kRequestPid, (std::uint32_t)id,
+                                      "kv.handoff",
+                                      pendingHandoffFlow_[id], t);
+            }
+            pendingHandoffFlow_[id] = 0;
         }
-        pendingHandoffFlow_[id] = 0;
         if (st.decodeDone >= st.decodeNeeded) {
             complete(id, t);
             return;
@@ -1121,8 +1335,17 @@ class Simulation
     void
     kick(std::size_t eng, double t)
     {
-        if (engines_[eng].work == EngineWork::IDLE)
-            push(t, EventKind::ENGINE_KICK, eng);
+        Engine &e = engines_[eng];
+        // Coalesce to one pending kick per engine. A pending kick
+        // implies the engine is still IDLE (work only starts when a
+        // kick pops, which clears the flag) and was pushed at this
+        // same instant (kicks are always scheduled at "now" and the
+        // calendar pops in time order), so the skipped push would
+        // have observed the exact state the pending one will.
+        if (e.work == EngineWork::IDLE && !e.kickPending) {
+            e.kickPending = true;
+            slotPush(eng, t, EventKind::ENGINE_KICK);
+        }
     }
 
     void
@@ -1162,6 +1385,7 @@ class Simulation
                 break; // OOM: retry at the next step boundary
             e.ready.pop_front();
             e.resident.push_back(id);
+            e.ctxSum += ctxTokens(st);
             // Resident but not yet stepping: anything the engine does
             // before this sequence's next step is a stall for it.
             setState(id, RequestState::STALLED, t);
@@ -1184,7 +1408,7 @@ class Simulation
         e.lastWasPrefill = true;
         e.workStart = t;
         prefillStarted(job.id, t);
-        push(t + dur, EventKind::ENGINE_DONE, eng, e.epoch);
+        slotPush(eng, t + dur, EventKind::ENGINE_DONE, e.epoch);
     }
 
     void
@@ -1192,18 +1416,27 @@ class Simulation
     {
         Engine &e = engines_[eng];
         DSV3_ASSERT(!e.resident.empty());
-        double ctx_sum = 0.0;
+        // e.ctxSum is maintained incrementally (admit / decode /
+        // remove) in exact integer arithmetic; values stay far below
+        // 2^53, so the cast equals the seed's sequential double
+        // summation over the resident set bit-for-bit.
+#ifndef NDEBUG
+        std::size_t check_sum = 0;
         for (std::size_t id : e.resident)
-            ctx_sum += (double)ctxTokens(reqs_[id]);
+            check_sum += ctxTokens(reqs_[id]);
+        DSV3_ASSERT(check_sum == e.ctxSum,
+                    "incremental ctxSum drifted from the resident set");
+#endif
+        const std::size_t ctx_sum = e.ctxSum;
         // A degraded uplink scales the engine's all-to-all bandwidth
         // and pays the DeepEP timeout/retry lottery per step; the
         // penalty is pure comm stall, added before the MTP overhead
         // multiplier so the comm fraction stays exact.
         const double scale =
             chaosEnabled_ ? std::min(e.linkFactor, 1.0) : 1.0;
-        DecodeStepBreakdown bd = decodeStepBreakdown(
-            fleet_, e.resident.size(),
-            ctx_sum / (double)e.resident.size(), scale);
+        DecodeStepBreakdown bd = stepCost(
+            e.resident.size(),
+            (double)ctx_sum / (double)e.resident.size(), scale);
         if (chaosEnabled_ &&
             scale < fleet_.chaos.epRetry.degradedThreshold) {
             const double penalty = ep::degradedRetryPenalty(
@@ -1222,13 +1455,20 @@ class Simulation
         // so the comm fraction of the base step carries over.
         e.stepCommFrac = bd.totalSeconds > 0.0
             ? bd.commSeconds / bd.totalSeconds : 0.0;
-        push(t + dt, EventKind::ENGINE_DONE, eng, e.epoch);
+        slotPush(eng, t + dt, EventKind::ENGINE_DONE, e.epoch);
     }
 
     void
     onEngineDone(std::size_t eng, double t, std::uint64_t tag)
     {
         Engine &e = engines_[eng];
+        // Stale epochs are filtered at pop; a death bumps the epoch
+        // and idles the engine atomically, so a current-epoch event
+        // always finds the work it announced still in flight.
+        DSV3_DEBUG_ASSERT(!chaosEnabled_ ||
+                              (tag == e.epoch &&
+                               e.work != EngineWork::IDLE),
+                          "voided ENGINE_DONE dispatched");
         if (chaosEnabled_ &&
             (tag != e.epoch || e.work == EngineWork::IDLE))
             return; // the engine died mid-step; the work is void
@@ -1319,13 +1559,112 @@ class Simulation
     {
         Engine &e = engines_[eng];
         ++steps_;
+
+        // Fast path: with no timeline consumer and an unlimited pager
+        // (no preemption possible), attribution and commit fuse into
+        // one pass over the resident set — each scattered ReqState
+        // cache line is touched once per step instead of twice. Every
+        // per-request double addition happens in the seed's order, so
+        // the metrics stay bit-identical; the paths diverge only in
+        // which loop performs them.
+        if (!timeline_ && e.pager.unlimited()) {
+            const double seg = t - e.workStart;
+            const double comm_sec = seg * e.stepCommFrac;
+            const double comp_sec = seg - comm_sec;
+            double *win = goodputWindow(t);
+            const bool mtp = fleet_.mtpEnabled;
+            // Token totals accumulate locally and commit once after
+            // the loop: every addend is an exact integer-valued
+            // double far below 2^53, so the regrouped sums equal the
+            // seed's per-request additions bit-for-bit.
+            std::size_t step_tokens = 0;
+            std::size_t w = 0;
+            if (!mtp) {
+                // Single-token specialization: with MTP off every
+                // resident advances exactly one token (residency
+                // implies decodeDone < decodeNeeded, so the clamp is
+                // dead), dropping the draft-sampling branch and min()
+                // from the simulator's hottest loop. ctxSum commits
+                // batch between completions in exact integer
+                // arithmetic; the flush before complete() keeps any
+                // reader inside the completion path (engine load for
+                // closed-loop routing) seeing the incremental value.
+                std::size_t ctx_flushed = 0;
+                for (std::size_t i = 0; i < e.resident.size(); ++i) {
+                    const std::size_t id = e.resident[i];
+                    ReqState &st = reqs_[id];
+                    st.stateSeconds[(int)st.state] +=
+                        e.workStart - st.stateSince;
+                    st.stateSeconds
+                        [(int)RequestState::DECODE_COMPUTE] +=
+                        comp_sec;
+                    st.stateSeconds[(int)RequestState::DECODE_COMM] +=
+                        comm_sec;
+                    st.state = RequestState::STALLED;
+                    st.stateSince = t;
+                    DSV3_DEBUG_ASSERT(st.decodeDone < st.decodeNeeded);
+                    st.decodeDone += 1;
+                    ++step_tokens;
+                    if (st.decodeDone >= st.decodeNeeded) {
+                        e.ctxSum += step_tokens - ctx_flushed;
+                        ctx_flushed = step_tokens;
+                        e.ctxSum -= ctxTokens(st);
+                        complete(id, t);
+                    } else {
+                        e.resident[w++] = id;
+                    }
+                }
+                e.ctxSum += step_tokens - ctx_flushed;
+            } else {
+                for (std::size_t i = 0; i < e.resident.size(); ++i) {
+                    const std::size_t id = e.resident[i];
+                    ReqState &st = reqs_[id];
+                    st.stateSeconds[(int)st.state] +=
+                        e.workStart - st.stateSince;
+                    st.stateSeconds
+                        [(int)RequestState::DECODE_COMPUTE] +=
+                        comp_sec;
+                    st.stateSeconds[(int)RequestState::DECODE_COMM] +=
+                        comm_sec;
+                    st.state = RequestState::STALLED;
+                    st.stateSince = t;
+                    std::size_t tokens = 1;
+                    for (std::size_t d = 0;
+                         d < fleet_.mtp.draftTokens; ++d) {
+                        if (!rng_.bernoulli(fleet_.mtp.acceptanceRate))
+                            break;
+                        ++tokens;
+                    }
+                    tokens = std::min(tokens,
+                                      st.decodeNeeded - st.decodeDone);
+                    DSV3_ASSERT(tokens >= 1);
+                    st.decodeDone += tokens;
+                    e.ctxSum += tokens;
+                    step_tokens += tokens;
+                    if (st.decodeDone >= st.decodeNeeded) {
+                        e.ctxSum -= ctxTokens(st);
+                        complete(id, t);
+                    } else {
+                        e.resident[w++] = id;
+                    }
+                }
+            }
+            e.resident.truncate(w);
+            decodeTokens_ += step_tokens;
+            if (win)
+                *win += (double)step_tokens;
+            return;
+        }
+
         attributeStep(eng, t);
-        std::vector<std::size_t> survivors;
-        survivors.reserve(e.resident.size());
-        std::vector<bool> gone(e.resident.size(), false);
+        // gone_ is member scratch and compaction is in place: this
+        // runs once per decode step, and the seed's per-step
+        // survivors/gone allocations dominated the event-loop profile.
+        gone_.assign(e.resident.size(), 0);
+        double *win = goodputWindow(t);
 
         for (std::size_t i = 0; i < e.resident.size(); ++i) {
-            if (gone[i])
+            if (gone_[i])
                 continue;
             const std::size_t id = e.resident[i];
             ReqState &st = reqs_[id];
@@ -1350,52 +1689,52 @@ class Simulation
             while (!e.pager.tryGrow(id, ctxTokens(st) + tokens)) {
                 std::size_t victim = kNone;
                 for (std::size_t j = e.resident.size(); j-- > i + 1;) {
-                    if (!gone[j]) {
+                    if (!gone_[j]) {
                         victim = j;
                         break;
                     }
                 }
                 if (victim == kNone) {
                     preempt(eng, id, t);
-                    gone[i] = true;
+                    gone_[i] = 1;
                     self_preempted = true;
                     ++cascade;
                     break;
                 }
                 preempt(eng, e.resident[victim], t);
-                gone[victim] = true;
+                gone_[victim] = 1;
                 ++cascade;
             }
-            if (cascade > 0) {
-                static obs::Distribution &d_depth =
-                    obs::Registry::global().distribution(
-                        "inference.serving.preempt_depth", 0.0, 32.0,
-                        16);
-                d_depth.add((double)cascade);
-            }
+            if (cascade > 0)
+                preemptDepths_.add((double)cascade);
             if (self_preempted)
                 continue;
 
             st.decodeDone += tokens;
+            e.ctxSum += tokens;
             decodeTokens_ += tokens;
-            addGoodputTokens(t, (double)tokens);
+            if (win)
+                *win += (double)tokens;
             if (st.decodeDone >= st.decodeNeeded) {
+                e.ctxSum -= ctxTokens(st);
                 e.pager.release(id);
                 complete(id, t);
-                gone[i] = true;
+                gone_[i] = 1;
             }
         }
 
+        std::size_t w = 0;
         for (std::size_t i = 0; i < e.resident.size(); ++i)
-            if (!gone[i])
-                survivors.push_back(e.resident[i]);
-        e.resident = std::move(survivors);
+            if (!gone_[i])
+                e.resident[w++] = e.resident[i];
+        e.resident.truncate(w);
     }
 
     void
     preempt(std::size_t eng, std::size_t id, double t)
     {
         Engine &e = engines_[eng];
+        e.ctxSum -= ctxTokens(reqs_[id]); // still resident here
         e.pager.release(id);
         ++preemptions_;
         // Recompute path: the sequence's KV is rebuilt by a fresh
@@ -1485,16 +1824,36 @@ class Simulation
         routeArrival(id, t);
     }
 
-    void
-    addGoodputTokens(double t, double tokens)
+    /**
+     * Accumulator for the goodput window containing @p t (growing the
+     * window vector as needed), or nullptr when windows are off.
+     * Every decode commit within one step lands in the same window,
+     * so the division is hoisted to once per step; the per-sequence
+     * += order is unchanged.
+     */
+    double *
+    goodputWindow(double t)
     {
         const double w = fleet_.goodputWindowSeconds;
         if (w <= 0.0)
-            return;
-        const std::size_t idx = (std::size_t)(t / w);
-        if (idx >= windowTokens_.size())
-            windowTokens_.resize(idx + 1, 0.0);
-        windowTokens_[idx] += tokens;
+            return nullptr;
+        // Event times are nondecreasing, so the window index is too;
+        // cache it to skip the division on the common same-window
+        // call. The guard band is conservative: below winSafe_ the
+        // true t / w provably still floors to winIdx_ (the band is
+        // one part in 2^40 of the window, ~4000x the division's
+        // worst-case rounding slop), and monotonicity pins the index
+        // from below, so the cached index can never disagree with
+        // the uncached computation.
+        if (!(t < winSafe_)) {
+            winIdx_ = (std::size_t)(t / w);
+            winSafe_ =
+                (double)(winIdx_ + 1) * w * (1.0 - 0x1p-40);
+            if (winIdx_ >= windowTokens_.size())
+                windowTokens_.resize(winIdx_ + 1, 0.0);
+        }
+        DSV3_DEBUG_ASSERT((std::size_t)(t / w) == winIdx_);
+        return &windowTokens_[winIdx_];
     }
 
     ServingMetrics
@@ -1556,6 +1915,8 @@ class Simulation
 
         std::vector<double> ttft;
         std::vector<double> tpot;
+        ttft.reserve(completed_);
+        tpot.reserve(completed_);
         double slo_tokens = 0.0;
         for (const ReqState &st : reqs_) {
             // Percentile digests cover completed requests only:
@@ -1676,12 +2037,33 @@ class Simulation
 
     std::vector<ReqState> reqs_;
     std::vector<Engine> engines_;
-    std::priority_queue<Event, std::vector<Event>, EventAfter>
-        events_;
-    std::uint64_t order_ = 0;
+    std::vector<EngineSlot> slots_; //!< parked per-engine events
+    EventCalendar<EventBody> events_;
+
+    // Step-cost memo: direct-mapped, power-of-two slots, grown once
+    // past half occupancy up to the cap (then overwrite-on-collision
+    // keeps recent keys). See stepCost() for the exactness argument.
+    struct StepSlot
+    {
+        std::uint64_t key = 0; //!< (batch << 40) | ctx; 0 == empty
+        std::uint64_t scaleBits = 0;
+        DecodeStepBreakdown bd;
+    };
+    static constexpr std::size_t kStepCacheInitSlots = 1 << 10;
+    static constexpr std::size_t kStepCacheMaxSlots = 1 << 15;
+    std::vector<StepSlot> stepCache_;
+    std::size_t cacheEntries_ = 0;
+    bool stepCacheOn_ = true;
+    obs::CounterBatch cacheHits_;
+    obs::CounterBatch cacheMisses_;
+
+    // Hot-loop scratch, reused across steps / failovers.
+    std::vector<unsigned char> gone_;
+    std::vector<std::size_t> lostScratch_;
+    obs::DistributionBatch preemptDepths_;
 
     // Disaggregated prefill pool.
-    std::deque<PrefillJob> prefillQ_;
+    FlatDeque<PrefillJob> prefillQ_;
     std::size_t prefillBusy_ = 0;
 
     bool closedLoop_ = false;
@@ -1694,6 +2076,8 @@ class Simulation
     std::size_t preemptions_ = 0;
     double lastCompletion_ = 0.0;
     std::vector<double> windowTokens_;
+    std::size_t winIdx_ = 0;   //!< goodputWindow() monotone memo
+    double winSafe_ = -1e300;  //!< t below this keeps winIdx_ valid
 
     // Chaos state.
     bool chaosEnabled_ = false;
@@ -1708,8 +2092,8 @@ class Simulation
     std::size_t minLive_ = 0;  //!< low-water reachable count
     std::uint64_t stepSeq_ = 0; //!< retry-lottery stream per step
     std::vector<std::pair<double, int>> liveLog_; //!< (t, +-1)
-    std::deque<std::size_t> waitingReady_;   //!< fleet-wide parked
-    std::deque<PrefillJob> waitingPrefill_;  //!< COLOCATED parked
+    FlatDeque<std::size_t> waitingReady_;  //!< fleet-wide parked
+    FlatDeque<PrefillJob> waitingPrefill_; //!< COLOCATED parked
 
     // Observability state.
     double nextSample_ = 0.0;        //!< next flight-recorder tick
@@ -1745,11 +2129,24 @@ simulateServing(const ServingFleetConfig &fleet,
             "inference.serving.rejected");
     static obs::Gauge &g_kv_hwm = obs::Registry::global().gauge(
         "inference.serving.kv_blocks_high_water");
+    // Always registered (cache on or off) so the stats key set does
+    // not depend on the DSV3_STEP_CACHE kill switch.
+    static obs::Counter &c_cache_hits =
+        obs::Registry::global().counter(
+            "inference.serving.step_cache.hits");
+    static obs::Counter &c_cache_misses =
+        obs::Registry::global().counter(
+            "inference.serving.step_cache.misses");
+    static obs::Counter &c_cache_entries =
+        obs::Registry::global().counter(
+            "inference.serving.step_cache.entries");
 
     DSV3_TRACE_SPAN("inference.serving.simulate", "requests",
                     traffic.requests);
     Simulation sim(fleet, traffic, seed);
     ServingMetrics m = sim.run();
+    sim.flushCacheStats(c_cache_hits, c_cache_misses,
+                        c_cache_entries);
 
     c_runs.inc();
     c_requests.inc(traffic.requests);

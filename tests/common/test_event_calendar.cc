@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Property tests for the two-level EventCalendar against a
+ * std::priority_queue reference: identical (time, order) pop order on
+ * random event soups, same-instant waves, pushes into the past,
+ * extreme timestamps, and interleaved push/pop traffic — the exact
+ * contract the serving simulator's byte-identity rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/event_calendar.hh"
+#include "common/rng.hh"
+
+namespace dsv3 {
+namespace {
+
+struct RefEntry
+{
+    double time;
+    std::uint64_t order;
+    int payload;
+};
+
+/** Reference comparator: exactly the heap the simulator grew out of. */
+struct RefAfter
+{
+    bool
+    operator()(const RefEntry &a, const RefEntry &b) const
+    {
+        if (a.time != b.time)
+            return a.time > b.time;
+        return a.order > b.order;
+    }
+};
+
+class Reference
+{
+  public:
+    void
+    push(double time, int payload)
+    {
+        q_.push(RefEntry{time, order_++, payload});
+    }
+
+    bool empty() const { return q_.empty(); }
+
+    RefEntry
+    pop()
+    {
+        RefEntry e = q_.top();
+        q_.pop();
+        return e;
+    }
+
+  private:
+    std::priority_queue<RefEntry, std::vector<RefEntry>, RefAfter> q_;
+    std::uint64_t order_ = 0;
+};
+
+/** Drain both structures and require identical (time, order, payload)
+ *  sequences, checking peekKey() against each pop on the way. */
+void
+expectSameDrain(EventCalendar<int> &cal, Reference &ref)
+{
+    while (!ref.empty()) {
+        ASSERT_FALSE(cal.empty());
+        const RefEntry want = ref.pop();
+        const EventCalendar<int>::Key key = cal.peekKey();
+        EXPECT_EQ(key.time, want.time);
+        EXPECT_EQ(key.order, want.order);
+        const EventCalendar<int>::Entry got = cal.pop();
+        ASSERT_EQ(got.time, want.time);
+        ASSERT_EQ(got.order, want.order);
+        ASSERT_EQ(got.payload, want.payload);
+    }
+    EXPECT_TRUE(cal.empty());
+}
+
+TEST(EventCalendar, RandomSoupMatchesPriorityQueue)
+{
+    Rng rng(11);
+    for (int round = 0; round < 8; ++round) {
+        EventCalendar<int> cal(1e-3, 64);
+        Reference ref;
+        const int n = 500 + (int)rng.nextBounded(1500);
+        for (int i = 0; i < n; ++i) {
+            const double t = rng.uniform(0.0, 10.0);
+            cal.push(t, i);
+            ref.push(t, i);
+        }
+        expectSameDrain(cal, ref);
+    }
+}
+
+TEST(EventCalendar, SameInstantWavePreservesFifo)
+{
+    EventCalendar<int> cal(1e-3, 64);
+    Reference ref;
+    // A wave no bucket width can split: FIFO among equal times is
+    // carried by the order stamp alone.
+    for (int i = 0; i < 400; ++i) {
+        cal.push(1.0, i);
+        ref.push(1.0, i);
+    }
+    // A second wave at another instant, interleaved pushes.
+    for (int i = 0; i < 100; ++i) {
+        cal.push(0.5, 1000 + i);
+        ref.push(0.5, 1000 + i);
+        cal.push(1.0, 2000 + i);
+        ref.push(1.0, 2000 + i);
+    }
+    expectSameDrain(cal, ref);
+}
+
+TEST(EventCalendar, PushIntoThePastIsLegal)
+{
+    Rng rng(23);
+    EventCalendar<int> cal(1e-3, 64);
+    Reference ref;
+    double now = 0.0;
+    int id = 0;
+    for (int i = 0; i < 200; ++i) {
+        const double t = rng.uniform(0.0, 5.0);
+        cal.push(t, id);
+        ref.push(t, id);
+        ++id;
+    }
+    // Drain halfway, then push events at/before the current minimum —
+    // a priority queue allows it, so the calendar must too.
+    for (int i = 0; i < 100; ++i) {
+        const RefEntry want = ref.pop();
+        const EventCalendar<int>::Entry got = cal.pop();
+        ASSERT_EQ(got.order, want.order);
+        now = want.time;
+    }
+    for (int i = 0; i < 100; ++i) {
+        const double t = now - rng.uniform(0.0, 2.0);
+        cal.push(t, id);
+        ref.push(t, id);
+        ++id;
+    }
+    expectSameDrain(cal, ref);
+}
+
+TEST(EventCalendar, ExtremeAndDenseTimesStaySorted)
+{
+    EventCalendar<int> cal(1e-3, 64);
+    Reference ref;
+    const double ts[] = {0.0,  1e-12, 1e-9, 3600.0, 1e6,  1e12,
+                         1e300, 5e-4, 5e-4, 2.5,    1e300, 0.0,
+                         7.0};
+    int id = 0;
+    for (double t : ts) {
+        cal.push(t, id);
+        ref.push(t, id);
+        ++id;
+    }
+    // Dense same-bucket cluster to exercise the self-tuning rebuild.
+    Rng rng(7);
+    for (int i = 0; i < 600; ++i) {
+        const double t = 42.0 + rng.uniform(0.0, 1e-4);
+        cal.push(t, id);
+        ref.push(t, id);
+        ++id;
+    }
+    expectSameDrain(cal, ref);
+}
+
+TEST(EventCalendar, InterleavedPushPopMatchesReference)
+{
+    Rng rng(31);
+    EventCalendar<int> cal(5e-2, 128);
+    Reference ref;
+    int id = 0;
+    double horizon = 0.0;
+    for (int step = 0; step < 5000; ++step) {
+        const bool push =
+            ref.empty() || rng.bernoulli(0.55);
+        if (push) {
+            // Mostly near-future (the serving pattern), occasionally
+            // far ahead so the far heap and drainFar() run.
+            const double t = rng.bernoulli(0.05)
+                ? horizon + rng.uniform(50.0, 5000.0)
+                : horizon + rng.uniform(0.0, 0.5);
+            cal.push(t, id);
+            ref.push(t, id);
+            ++id;
+        } else {
+            const RefEntry want = ref.pop();
+            const EventCalendar<int>::Entry got = cal.pop();
+            ASSERT_EQ(got.time, want.time);
+            ASSERT_EQ(got.order, want.order);
+            ASSERT_EQ(got.payload, want.payload);
+            horizon = want.time;
+        }
+    }
+    expectSameDrain(cal, ref);
+}
+
+TEST(EventCalendar, NextOrderInterleavesWithPushes)
+{
+    // A parked event stamped via nextOrder() must sort among pushed
+    // events exactly where a push at the same moment would have: the
+    // simulator's per-engine slots rely on this.
+    EventCalendar<int> cal(1e-3, 64);
+    cal.push(1.0, 0);                            // order 0
+    const std::uint64_t parked = cal.nextOrder(); // order 1
+    cal.push(1.0, 2);                            // order 2
+    EXPECT_EQ(parked, 1u);
+
+    // The parked key (1.0, 1) beats the pushed (1.0, 2) but not
+    // (1.0, 0) under the calendar's own comparator.
+    const EventCalendar<int>::Key parked_key{1.0, parked};
+    EventCalendar<int>::Key head = cal.peekKey();
+    EXPECT_TRUE(head < parked_key); // (1.0, 0) first
+    const EventCalendar<int>::Entry first = cal.pop();
+    EXPECT_EQ(first.payload, 0);
+    head = cal.peekKey();
+    EXPECT_TRUE(parked_key < head); // parked beats (1.0, 2)
+    const EventCalendar<int>::Entry second = cal.pop();
+    EXPECT_EQ(second.payload, 2);
+    EXPECT_TRUE(cal.empty());
+}
+
+TEST(EventCalendar, PeekKeyMatchesPopAfterWindowJump)
+{
+    // Regression: peekKey() must index the bucket located *after*
+    // locateBest() advances the window, not the stale scan bucket.
+    EventCalendar<int> cal(1e-3, 64);
+    cal.push(0.010, 1);
+    cal.push(50.0, 2); // lands in the far heap first
+    const EventCalendar<int>::Key k1 = cal.peekKey();
+    EXPECT_EQ(k1.time, 0.010);
+    EXPECT_EQ(cal.pop().payload, 1);
+    const EventCalendar<int>::Key k2 = cal.peekKey();
+    EXPECT_EQ(k2.time, 50.0);
+    EXPECT_EQ(cal.pop().payload, 2);
+}
+
+} // namespace
+} // namespace dsv3
